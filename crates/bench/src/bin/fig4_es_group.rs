@@ -1,0 +1,82 @@
+//! Regenerates **Figure 4 — Event Service Group based on GSD**: the
+//! supervision story of Sec 4.4. "If one member of event service group
+//! fails, GSD on the same host will notify all members of GSD group and
+//! then restart the failed service. Recovered event service daemon will
+//! retrieve its state data from the checkpoint service. If the node on
+//! which event service daemon running fails, GSD member next to it in the
+//! ring structure will select a new node for migrating GSD and then
+//! recovering event service."
+
+use phoenix_kernel::boot::boot_and_stabilize;
+use phoenix_kernel::client::ClientHandle;
+use phoenix_kernel::KernelParams;
+use phoenix_proto::{
+    ClusterTopology, ConsumerReg, EventFilter, EventType, KernelMsg,
+};
+use phoenix_sim::{Fault, NodeId, SimDuration, TraceEvent};
+
+fn main() {
+    let topo = ClusterTopology::uniform(3, 4, 1);
+    let (mut w, cluster) = boot_and_stabilize(topo, KernelParams::fast(), 34);
+
+    // A consumer registered at partition 1's ES; its registration is the
+    // state that must survive both failure modes.
+    let es1 = cluster.directory.partitions[1].event;
+    let consumer = ClientHandle::spawn(&mut w, NodeId(2));
+    consumer.send(
+        &mut w,
+        es1,
+        KernelMsg::EsRegisterConsumer {
+            reg: ConsumerReg {
+                consumer: consumer.pid,
+                filter: EventFilter::types(&[EventType::NodeFault, EventType::NodeRecovery]),
+            },
+        },
+    );
+    w.run_for(SimDuration::from_secs(2));
+
+    println!("== phase 1: ES process failure → restart in place + checkpoint restore ==");
+    w.kill_process(es1);
+    w.run_for(SimDuration::from_secs(3));
+    let restarted = w.trace().count(|e| {
+        matches!(
+            e,
+            TraceEvent::Recovered {
+                action: phoenix_sim::RecoveryAction::RestartedInPlace,
+                ..
+            }
+        )
+    });
+    println!("   in-place service recoveries so far: {restarted}");
+
+    // Prove the restored registration still works.
+    let _ = consumer.drain();
+    w.apply_fault(Fault::CrashNode(NodeId(7))); // some compute node
+    w.run_for(SimDuration::from_secs(3));
+    let notified = consumer
+        .drain()
+        .iter()
+        .any(|(_, m)| matches!(m, KernelMsg::EsNotify { event } if event.etype == EventType::NodeFault));
+    println!("   consumer notified after restart: {notified}");
+
+    println!("\n== phase 2: server-node failure → GSD migrates, ES recovered on backup ==");
+    let server1 = cluster.topology.partitions[1].server;
+    let backup1 = cluster.topology.partitions[1].backups[0];
+    w.apply_fault(Fault::CrashNode(server1));
+    w.run_for(SimDuration::from_secs(8));
+    let migrated = w.trace().count(|e| {
+        matches!(e, TraceEvent::Recovered { action: phoenix_sim::RecoveryAction::Migrated(to), .. } if *to == backup1)
+    });
+    println!("   services migrated to backup {backup1}: {migrated}");
+
+    let _ = consumer.drain();
+    w.apply_fault(Fault::CrashNode(NodeId(11)));
+    w.run_for(SimDuration::from_secs(3));
+    let notified2 = consumer
+        .drain()
+        .iter()
+        .any(|(_, m)| matches!(m, KernelMsg::EsNotify { event } if event.etype == EventType::NodeFault));
+    println!("   consumer notified after migration: {notified2}");
+    println!("\nFig 4 reproduced: restart-in-place and migrate-with-GSD paths both keep");
+    println!("the event service group serving its consumers.");
+}

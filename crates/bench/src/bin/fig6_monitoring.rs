@@ -1,0 +1,53 @@
+//! Regenerates **Figure 6 / Sec 5.3 — System Monitoring based on Phoenix
+//! Kernel**: GridView on the full 640-node Dawning 4000A shape ("this
+//! system includes 640 nodes, and it proves the high scalability of
+//! Phoenix kernel"), plus the scalability sweep behind that claim.
+
+use phoenix_bench::scale::monitor_run;
+use phoenix_gridview::GridView;
+use phoenix_kernel::boot::boot_cluster;
+use phoenix_kernel::KernelParams;
+use phoenix_proto::ClusterTopology;
+use phoenix_sim::SimDuration;
+
+fn main() {
+    // ---- the Fig 6 snapshot at 640 nodes -------------------------------
+    let topo = ClusterTopology::uniform(40, 16, 1); // 640 nodes
+    let params = KernelParams::default(); // 30 s heartbeats, 10 s samples
+    let (mut w, cluster) = boot_cluster(topo, params.clone(), 36);
+    w.run_for(SimDuration::from_millis(200));
+    let gv = GridView::spawn(
+        &mut w,
+        cluster.topology.partitions[0].compute[0],
+        cluster.bulletin(),
+        cluster.event(),
+        SimDuration::from_secs(10), // the paper's "specific refreshing rate"
+    );
+    w.run_for(SimDuration::from_secs(60));
+    println!("{}", gv.render());
+    println!(
+        "(paper Fig 6 snapshot: ~640 nodes, ~20% avg memory, ~19% avg CPU, 0.72% avg swap)\n"
+    );
+
+    // ---- scalability sweep ----------------------------------------------
+    println!("Monitoring scalability sweep (30 virtual seconds each):");
+    println!(
+        "{:>7} {:>11} {:>13} {:>13} {:>10} {:>9}",
+        "nodes", "partitions", "ctl msgs/s", "ctl bytes/s", "refreshes", "complete"
+    );
+    for partitions in [4usize, 8, 16, 24, 40] {
+        let p = monitor_run(partitions, 16, 30, KernelParams::default(), 37);
+        println!(
+            "{:>7} {:>11} {:>13.1} {:>13.0} {:>10} {:>9}",
+            p.nodes,
+            p.partitions,
+            p.msgs_per_sec,
+            p.bytes_per_sec,
+            p.refreshes,
+            p.last_complete
+        );
+    }
+    println!("\nControl traffic grows linearly in node count (heartbeats dominate), and");
+    println!("GridView keeps getting complete cluster-wide answers at 640 nodes — the");
+    println!("scalability claim of Sec 5.3.");
+}

@@ -1,0 +1,21 @@
+//! Regenerates **Table 1 — Three Unhealthy Situations for WD** on the
+//! paper testbed: 136 nodes, 8 partitions (16 compute + 1 server each),
+//! 30 s heartbeat interval.
+//!
+//! Paper row shape: detecting ≈ 30 s, diagnosing 0.29 s (process) / 2 s
+//! (node) / 348 µs (network), recovery ≈ 0.
+
+use phoenix_bench::ft::{paper_testbed, print_table, run_table, Component};
+
+fn main() {
+    let (topo, params) = paper_testbed();
+    println!(
+        "Testbed: {} nodes, {} partitions, heartbeat interval {}",
+        topo.node_count(),
+        topo.partitions.len(),
+        params.ft.hb_interval
+    );
+    let rows = run_table(topo, params, Component::Wd);
+    print_table("Table 1: Three Unhealthy Situations for WD", &rows);
+    println!("\nPaper reference: process 30s/0.29s/0us=30.29s; node 30s/2s/0s=32s; network 30s/348us/0s=30s");
+}

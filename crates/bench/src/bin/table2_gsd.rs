@@ -1,0 +1,20 @@
+//! Regenerates **Table 2 — Three Unhealthy Situations for GSD** on the
+//! paper testbed (detection by the ring successor in the GSD meta-group).
+//!
+//! Paper row shape: process 30 s / 0.29 s / 2.03 s; node 30 s / 0.3 s /
+//! 2.95 s (migration to a backup node); network 30 s / 348 µs / 0.
+
+use phoenix_bench::ft::{paper_testbed, print_table, run_table, Component};
+
+fn main() {
+    let (topo, params) = paper_testbed();
+    println!(
+        "Testbed: {} nodes, {} partitions, heartbeat interval {}",
+        topo.node_count(),
+        topo.partitions.len(),
+        params.ft.hb_interval
+    );
+    let rows = run_table(topo, params, Component::Gsd);
+    print_table("Table 2: Three Unhealthy Situations for GSD", &rows);
+    println!("\nPaper reference: process 30s/0.29s/2.03s=32.32s; node 30s/0.3s/2.95s=33.25s; network 30s/348us/0s=30s");
+}

@@ -1,0 +1,22 @@
+//! Regenerates **Table 3 — Three Unhealthy Situations for ES** (the event
+//! service) on the paper testbed. ES failures are detected by the local
+//! GSD (same host → 12 µs diagnosis); recovery restores state from the
+//! checkpoint service; node failure recovers by migrating with the GSD.
+//!
+//! Paper row shape: process 30 s / 12 µs / 0.12 s; node 30 s / 0.3 s /
+//! 2.95 s; network 30 s / 12 µs / 0.
+
+use phoenix_bench::ft::{paper_testbed, print_table, run_table, Component};
+
+fn main() {
+    let (topo, params) = paper_testbed();
+    println!(
+        "Testbed: {} nodes, {} partitions, heartbeat interval {}",
+        topo.node_count(),
+        topo.partitions.len(),
+        params.ft.hb_interval
+    );
+    let rows = run_table(topo, params, Component::Es);
+    print_table("Table 3: Three Unhealthy Situations for ES", &rows);
+    println!("\nPaper reference: process 30s/12us/0.12s=30.12s; node 30s/0.3s/2.95s=33.25s; network 30s/12us/0s=30s");
+}

@@ -1,0 +1,140 @@
+//! Production-soak experiment beyond the paper's tables: throughput of
+//! the PWS job manager under a realistic Poisson job stream **while
+//! compute nodes crash and return** — the combined promise of Sec 5
+//! ("fault tolerance means loss of performance" should be small, and the
+//! job service itself must stay available).
+//!
+//! Prints completed/failed counts and control-plane traffic with and
+//! without node churn.
+
+use phoenix_kernel::boot::boot_cluster;
+use phoenix_kernel::client::ClientHandle;
+use phoenix_kernel::KernelParams;
+use phoenix_proto::{ClusterTopology, KernelMsg, NodeOp, RequestId};
+use phoenix_pws::workload::{generate, WorkloadParams};
+use phoenix_pws::{install_pws, login, PolicyKind, PoolConfig};
+use phoenix_sim::{NodeId, SimDuration, SimTime, TraceEvent};
+
+struct Outcome {
+    completed: usize,
+    failed: usize,
+    virtual_secs: f64,
+    ctl_msgs: u64,
+}
+
+fn run(churn: bool, seed: u64) -> Outcome {
+    let topo = ClusterTopology::uniform(3, 7, 1); // 21 nodes, 15 compute
+    let (mut w, cluster) = boot_cluster(topo, KernelParams::fast(), seed);
+    w.run_for(SimDuration::from_millis(200));
+    let compute: Vec<NodeId> = cluster
+        .topology
+        .partitions
+        .iter()
+        .flat_map(|p| p.compute.iter().copied())
+        .collect();
+    let pws = install_pws(
+        &mut w,
+        &cluster,
+        vec![PoolConfig::new("batch", compute.clone(), PolicyKind::Backfill)],
+    );
+    w.run_for(SimDuration::from_millis(200));
+    let sched = pws.scheduler("batch").unwrap();
+    let client = ClientHandle::spawn(&mut w, compute[0]);
+    let token = login(&mut w, &cluster, &client, "alice", "alice-secret");
+
+    let jobs = generate(
+        &WorkloadParams {
+            mean_interarrival_s: 3.0,
+            max_nodes: 3,
+            min_runtime_s: 2.0,
+            max_runtime_s: 8.0,
+            ..WorkloadParams::default()
+        },
+        40,
+        seed + 1,
+    );
+
+    // Interleave arrivals with churn: every ~20 s crash a compute node,
+    // bring it back ~8 s later through the configuration service.
+    let t_start = w.now();
+    let mut next_churn = SimTime(t_start.as_nanos() + 20_000_000_000);
+    let mut churn_round = 0u64;
+    for a in &jobs {
+        let due = SimTime(t_start.as_nanos() + a.at_ns);
+        while churn && next_churn < due {
+            w.run_until(next_churn);
+            let victim = compute[(churn_round as usize * 5 + 2) % compute.len()];
+            w.apply_fault(phoenix_sim::Fault::CrashNode(victim));
+            // Schedule its return via config after 8 s.
+            client.send(
+                &mut w,
+                cluster.config(),
+                KernelMsg::CfgNodeOp {
+                    req: RequestId(5_000 + churn_round),
+                    node: victim,
+                    op: NodeOp::Shutdown, // idempotent: already crashed
+                },
+            );
+            let back = SimTime(next_churn.as_nanos() + 8_000_000_000);
+            w.run_until(back);
+            client.send(
+                &mut w,
+                cluster.config(),
+                KernelMsg::CfgNodeOp {
+                    req: RequestId(6_000 + churn_round),
+                    node: victim,
+                    op: NodeOp::Start,
+                },
+            );
+            churn_round += 1;
+            next_churn = SimTime(next_churn.as_nanos() + 20_000_000_000);
+        }
+        w.run_until(due);
+        client.send(
+            &mut w,
+            sched,
+            KernelMsg::PwsSubmit {
+                req: RequestId(10_000 + a.spec.id.0),
+                token: token.clone(),
+                spec: a.spec.clone(),
+            },
+        );
+    }
+    // Drain.
+    w.run_for(SimDuration::from_secs(120));
+
+    let completed = w
+        .trace()
+        .count(|e| matches!(e, TraceEvent::Milestone { label: "job-completed", .. }));
+    let failed = w
+        .trace()
+        .count(|e| matches!(e, TraceEvent::Milestone { label: "job-failed", .. }));
+    let leftover = phoenix_pws::queue_status(&mut w, &client, pws.scheduler("batch").unwrap());
+    if !leftover.is_empty() {
+        eprintln!("  leftover rows: {leftover:?}");
+    }
+    Outcome {
+        completed,
+        failed,
+        virtual_secs: w.now().as_secs_f64(),
+        ctl_msgs: w.metrics().total.sent,
+    }
+}
+
+fn main() {
+    println!("40 Poisson-arrival jobs on 15 compute nodes (3 partitions), PWS backfill.\n");
+    println!(
+        "{:>14} {:>10} {:>8} {:>12} {:>12}",
+        "condition", "completed", "failed", "virtual s", "ctl msgs"
+    );
+    for (churn, label) in [(false, "calm"), (true, "node churn")] {
+        let o = run(churn, 90 + churn as u64);
+        println!(
+            "{label:>14} {:>10} {:>8} {:>12.0} {:>12}",
+            o.completed, o.failed, o.virtual_secs, o.ctl_msgs
+        );
+    }
+    println!("\nUnder periodic node crashes the job service keeps draining the queue —");
+    println!("jobs caught on a dying node fail fast and the rest complete; the kernel's");
+    println!("detection/recovery machinery is the reason (Sec 5's combined story).");
+}

@@ -1,0 +1,170 @@
+//! Scalability harness: Sec 5.3 (monitoring at up to 640 nodes) and the
+//! Sec 4.3 ablation (flat all-to-all membership vs the partitioned
+//! meta-group).
+
+use phoenix_gridview::GridView;
+use phoenix_kernel::boot::boot_cluster;
+use phoenix_kernel::group::FlatMember;
+use phoenix_kernel::{FtParams, KernelParams};
+use phoenix_proto::{ClusterTopology, KernelMsg};
+use phoenix_sim::{ClusterBuilder, NodeId, NodeSpec, Pid, SimDuration};
+
+/// One point of the monitoring-scalability sweep.
+#[derive(Clone, Debug)]
+pub struct MonitorPoint {
+    pub nodes: usize,
+    pub partitions: usize,
+    /// Virtual seconds simulated.
+    pub virtual_secs: f64,
+    /// Control-plane messages per virtual second (heartbeats + meta +
+    /// svc + bulletin + event).
+    pub msgs_per_sec: f64,
+    /// Control-plane bytes per virtual second.
+    pub bytes_per_sec: f64,
+    /// GridView refreshes completed and whether the last was complete.
+    pub refreshes: u64,
+    pub last_complete: bool,
+    pub nodes_reporting: usize,
+    pub avg_cpu: f64,
+    pub avg_mem: f64,
+    pub avg_swap: f64,
+}
+
+/// Run the GridView monitoring workload on `partitions × per_partition`
+/// nodes for `secs` virtual seconds (Fig 6 / Sec 5.3).
+pub fn monitor_run(
+    partitions: usize,
+    per_partition: usize,
+    secs: u64,
+    params: KernelParams,
+    seed: u64,
+) -> MonitorPoint {
+    let topo = ClusterTopology::uniform(partitions, per_partition, 1);
+    let nodes = topo.node_count();
+    let (mut world, cluster) = boot_cluster(topo, params.clone(), seed);
+    world.run_for(SimDuration::from_millis(100));
+    let gv = GridView::spawn(
+        &mut world,
+        cluster.topology.partitions[0].compute[0],
+        cluster.bulletin(),
+        cluster.event(),
+        params.detector_sample,
+    );
+    let m0 = snapshot_traffic(&world);
+    let t0 = world.now();
+    world.run_for(SimDuration::from_secs(secs));
+    let m1 = snapshot_traffic(&world);
+    let dt = world.now().since(t0).as_secs_f64();
+    let snap = gv.snapshot();
+    MonitorPoint {
+        nodes,
+        partitions,
+        virtual_secs: dt,
+        msgs_per_sec: (m1.0 - m0.0) as f64 / dt,
+        bytes_per_sec: (m1.1 - m0.1) as f64 / dt,
+        refreshes: gv.refreshes(),
+        last_complete: snap.complete,
+        nodes_reporting: snap.nodes_reporting,
+        avg_cpu: snap.avg_cpu,
+        avg_mem: snap.avg_memory,
+        avg_swap: snap.avg_swap,
+    }
+}
+
+fn snapshot_traffic(world: &phoenix_sim::World<KernelMsg>) -> (u64, u64) {
+    let m = world.metrics();
+    (m.total.sent, m.total.sent_bytes)
+}
+
+/// One point of the flat-vs-partitioned membership ablation.
+#[derive(Clone, Debug)]
+pub struct MembershipPoint {
+    pub nodes: usize,
+    /// Membership-protocol messages per virtual second.
+    pub flat_msgs_per_sec: f64,
+    pub partitioned_msgs_per_sec: f64,
+    pub ratio: f64,
+}
+
+/// Compare membership-protocol traffic: every node in one flat group vs
+/// the Phoenix partitioned design (WD heartbeats + GSD meta-ring) at the
+/// same node count (16 nodes per partition).
+pub fn membership_compare(nodes: usize, ft: FtParams, secs: u64, seed: u64) -> MembershipPoint {
+    // Flat: n members all-to-all.
+    let flat_rate = {
+        let mut w = ClusterBuilder::new()
+            .nodes(nodes, NodeSpec::default())
+            .seed(seed)
+            .build::<KernelMsg>();
+        let pids: Vec<Pid> = (1..=nodes as u64).map(Pid).collect();
+        for i in 0..nodes {
+            let m = FlatMember::new(pids.clone(), ft.clone());
+            let got = w.spawn(NodeId(i as u32), Box::new(m));
+            assert_eq!(got, pids[i]);
+        }
+        let t0 = w.now();
+        w.run_for(SimDuration::from_secs(secs));
+        let dt = w.now().since(t0).as_secs_f64();
+        w.metrics().label("meta").sent as f64 / dt
+    };
+    // Partitioned: full Phoenix boot, count hb + meta.
+    let part_rate = {
+        let partitions = nodes.div_ceil(16);
+        let per = nodes / partitions;
+        let topo = ClusterTopology::uniform(partitions, per.max(2), 1);
+        let params = KernelParams {
+            ft: ft.clone(),
+            ..KernelParams::default()
+        };
+        let (mut w, _cluster) = boot_cluster(topo, params, seed + 1);
+        w.run_for(SimDuration::from_millis(100));
+        let m0 = {
+            let m = w.metrics();
+            m.label("hb").sent + m.label("meta").sent
+        };
+        let t0 = w.now();
+        w.run_for(SimDuration::from_secs(secs));
+        let dt = w.now().since(t0).as_secs_f64();
+        let m1 = {
+            let m = w.metrics();
+            m.label("hb").sent + m.label("meta").sent
+        };
+        (m1 - m0) as f64 / dt
+    };
+    MembershipPoint {
+        nodes,
+        flat_msgs_per_sec: flat_rate,
+        partitioned_msgs_per_sec: part_rate,
+        ratio: flat_rate / part_rate.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitoring_sees_whole_small_cluster() {
+        let p = monitor_run(2, 4, 3, KernelParams::fast(), 5);
+        assert_eq!(p.nodes, 8);
+        assert_eq!(p.nodes_reporting, 8);
+        assert!(p.last_complete);
+        assert!(p.refreshes >= 2);
+        assert!(p.msgs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn flat_membership_costs_more_and_gap_widens() {
+        let ft = FtParams::fast();
+        let small = membership_compare(32, ft.clone(), 5, 1);
+        let big = membership_compare(64, ft, 5, 2);
+        assert!(
+            small.ratio > 1.0,
+            "flat must already lose at 32 nodes: {small:?}"
+        );
+        assert!(
+            big.ratio > small.ratio,
+            "the gap must widen with scale: {small:?} vs {big:?}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Text rendering of the monitoring dashboard — our stand-in for the
+//! paper's Fig 6 screenshot ("a snapshot of Dawning 4000A's monitoring
+//! system under common load with … percent average memory usage, percent
+//! average CPU usage and 0.72 percent average swap usage").
+
+use crate::{FeedItem, Snapshot};
+use std::fmt::Write as _;
+
+/// Proportional bar of `frac` (0..=1), `width` cells wide.
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '█' } else { '░' });
+    }
+    s
+}
+
+/// Render a snapshot and the tail of the event feed.
+pub fn render(snapshot: &Snapshot, feed: &[FeedItem]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Phoenix GridView — system status ===");
+    let _ = writeln!(
+        out,
+        "nodes reporting: {:<5} running apps: {:<5} federation: {}",
+        snapshot.nodes_reporting,
+        snapshot.running_apps,
+        if snapshot.complete { "complete" } else { "PARTIAL" },
+    );
+    let _ = writeln!(
+        out,
+        "CPU    {:>6.2}%  {}",
+        snapshot.avg_cpu * 100.0,
+        bar(snapshot.avg_cpu, 30)
+    );
+    let _ = writeln!(
+        out,
+        "Memory {:>6.2}%  {}",
+        snapshot.avg_memory * 100.0,
+        bar(snapshot.avg_memory, 30)
+    );
+    let _ = writeln!(
+        out,
+        "Swap   {:>6.2}%  {}",
+        snapshot.avg_swap * 100.0,
+        bar(snapshot.avg_swap, 30)
+    );
+    if snapshot.overloaded_nodes > 0 {
+        let _ = writeln!(
+            out,
+            "!! System Overload: {} node(s) above alarm threshold",
+            snapshot.overloaded_nodes
+        );
+    }
+    let _ = writeln!(out, "--- recent events ---");
+    for item in feed.iter().rev().take(8) {
+        let _ = writeln!(out, "{}  {:?} @ {}", item.at, item.etype, item.origin);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_proto::EventType;
+    use phoenix_sim::{NodeId, SimTime};
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.0, 10), "░░░░░░░░░░");
+        assert_eq!(bar(1.0, 10), "██████████");
+        assert_eq!(bar(0.5, 10).chars().filter(|&c| c == '█').count(), 5);
+    }
+
+    #[test]
+    fn render_mentions_key_figures() {
+        let snap = Snapshot {
+            at_ns: 0,
+            nodes_reporting: 640,
+            avg_cpu: 0.19,
+            avg_memory: 0.20,
+            avg_swap: 0.0072,
+            max_cpu: 0.9,
+            overloaded_nodes: 0,
+            complete: true,
+            running_apps: 3,
+        };
+        let feed = vec![FeedItem {
+            at: SimTime(1_000_000_000),
+            etype: EventType::NodeFault,
+            origin: NodeId(5),
+        }];
+        let s = render(&snap, &feed);
+        assert!(s.contains("640"));
+        assert!(s.contains("0.72%"));
+        assert!(s.contains("NodeFault"));
+        assert!(s.contains("complete"));
+    }
+
+    #[test]
+    fn overload_banner_appears() {
+        let snap = Snapshot {
+            overloaded_nodes: 2,
+            ..Snapshot::default()
+        };
+        let s = render(&snap, &[]);
+        assert!(s.contains("System Overload"));
+    }
+}

@@ -1,0 +1,347 @@
+//! The system construction tool ("behaves like the BIOS and kernel booting
+//! module of a host operating system", paper Sec 3): builds a complete
+//! Phoenix cluster inside a simulation world.
+//!
+//! Boot order: configuration + security services first, then per-partition
+//! server-node services (GSD, event, bulletin, checkpoint), then per-node
+//! daemons (WD, detector, PPM agent). Once every pid exists the driver
+//! assembles the [`ServiceDirectory`] and delivers it to every service in a
+//! `Boot` message; services wire themselves from it.
+
+use crate::bulletin::DataBulletin;
+use crate::checkpoint::CheckpointService;
+use crate::config::ConfigService;
+use crate::detect::Detector;
+use crate::event::EventService;
+use crate::group::{kernel_factory_key, shared_registry, Gsd, RespawnArgs, SharedRegistry, Wd};
+use crate::params::KernelParams;
+use crate::ppm::PpmAgent;
+use crate::security::SecurityService;
+use phoenix_proto::{
+    ClusterTopology, KernelMsg, MemberInfo, NodeServices, Role, ServiceDirectory, ServiceKind,
+};
+use phoenix_sim::{ClusterBuilder, NetParams, NodeSpec, Pid, RecoveryAction, SimDuration, World};
+
+/// Handle to a booted Phoenix cluster.
+pub struct PhoenixCluster {
+    pub topology: ClusterTopology,
+    pub params: KernelParams,
+    pub directory: ServiceDirectory,
+    pub registry: SharedRegistry,
+    /// Signing key of the security service (tests mint tokens through it).
+    pub security_key: u64,
+}
+
+impl PhoenixCluster {
+    /// Pid of the partition-0 data bulletin — a convenient single access
+    /// point (any instance works).
+    pub fn bulletin(&self) -> Pid {
+        self.directory.partitions[0].bulletin
+    }
+
+    /// Pid of the partition-0 event service.
+    pub fn event(&self) -> Pid {
+        self.directory.partitions[0].event
+    }
+
+    /// Pid of a partition's GSD.
+    pub fn gsd(&self, partition: usize) -> Pid {
+        self.directory.partitions[partition].gsd
+    }
+
+    pub fn config(&self) -> Pid {
+        self.directory.config
+    }
+
+    pub fn security(&self) -> Pid {
+        self.directory.security
+    }
+}
+
+/// Default user accounts installed at boot.
+pub fn default_accounts() -> Vec<(&'static str, &'static str, Role)> {
+    vec![
+        ("constructor", "c0nstruct", Role::SystemConstructor),
+        ("admin", "adm1n", Role::SystemAdministrator),
+        ("alice", "alice-secret", Role::ScientificUser),
+        ("bob", "bob-secret", Role::ScientificUser),
+        ("webapp", "w3bapp", Role::BusinessUser),
+    ]
+}
+
+/// Build a simulation world shaped like `topology` (3 NICs per node, like
+/// the Dawning 4000A) and boot a full Phoenix kernel onto it.
+pub fn boot_cluster(
+    topology: ClusterTopology,
+    params: KernelParams,
+    seed: u64,
+) -> (World<KernelMsg>, PhoenixCluster) {
+    let world = ClusterBuilder::new()
+        .nodes(topology.node_count(), NodeSpec::default())
+        .net(NetParams::default())
+        .seed(seed)
+        .build::<KernelMsg>();
+    boot_onto(world, topology, params)
+}
+
+/// Boot Phoenix onto an existing world (which must have at least
+/// `topology.node_count()` nodes).
+pub fn boot_onto(
+    mut world: World<KernelMsg>,
+    topology: ClusterTopology,
+    params: KernelParams,
+) -> (World<KernelMsg>, PhoenixCluster) {
+    assert!(
+        world.node_count() >= topology.node_count(),
+        "world too small for topology"
+    );
+    let registry = shared_registry();
+    let security_key = 0x5EC0_0151;
+
+    // Cluster-wide singletons live on the first server node.
+    let first_server = topology.partitions[0].server;
+    let config = world.spawn(
+        first_server,
+        Box::new(ConfigService::new(topology.clone(), params.clone())),
+    );
+    let security = world.spawn(
+        first_server,
+        Box::new(SecurityService::new(
+            security_key,
+            &default_accounts(),
+            params.clone(),
+        )),
+    );
+
+    // Per-partition services on each server node.
+    let mut partitions: Vec<MemberInfo> = Vec::with_capacity(topology.partitions.len());
+    for spec in &topology.partitions {
+        let p = spec.id;
+        let gsd = world.spawn(
+            spec.server,
+            Box::new(Gsd::new(
+                p,
+                params.clone(),
+                topology.clone(),
+                config,
+                registry.clone(),
+            )),
+        );
+        let event = world.spawn(spec.server, Box::new(EventService::new(p, params.clone())));
+        let bulletin = world.spawn(spec.server, Box::new(DataBulletin::new(p, params.clone())));
+        let checkpoint = world.spawn(
+            spec.server,
+            Box::new(CheckpointService::new(p, params.clone())),
+        );
+        partitions.push(MemberInfo {
+            partition: p,
+            node: spec.server,
+            gsd,
+            event,
+            bulletin,
+            checkpoint,
+            host_ppm: Pid(0), // patched below once PPM agents exist
+        });
+    }
+
+    // Node daemons everywhere.
+    let mut nodes: Vec<NodeServices> = Vec::with_capacity(topology.node_count());
+    for spec in &topology.partitions {
+        for node in spec.all_nodes() {
+            let wd = world.spawn(node, Box::new(Wd::new(node, spec.id, params.ft.clone())));
+            let detector = world.spawn(
+                node,
+                Box::new(Detector::new(node, spec.id, params.clone())),
+            );
+            let ppm = world.spawn(node, Box::new(PpmAgent::new(node)));
+            nodes.push(NodeServices {
+                node,
+                wd,
+                detector,
+                ppm,
+            });
+        }
+    }
+
+    // Patch host_ppm now that PPM agents exist.
+    for m in &mut partitions {
+        if let Some(ns) = nodes.iter().find(|n| n.node == m.node) {
+            m.host_ppm = ns.ppm;
+        }
+    }
+
+    let directory = ServiceDirectory {
+        config,
+        security,
+        partitions,
+        nodes,
+    };
+
+    // Register respawn factories for the per-partition kernel services.
+    {
+        let mut reg = registry.borrow_mut();
+        for spec in &topology.partitions {
+            let p = spec.id;
+            reg.register(
+                kernel_factory_key(ServiceKind::Event, p),
+                Box::new(move |args: &RespawnArgs| {
+                    let peers = args
+                        .members
+                        .iter()
+                        .filter(|m| m.partition != args.partition)
+                        .map(|m| m.event)
+                        .collect();
+                    Box::new(EventService::respawn(
+                        args.partition,
+                        args.params.clone(),
+                        args.gsd,
+                        args.checkpoint,
+                        peers,
+                        args.action,
+                    ))
+                }),
+            );
+            reg.register(
+                kernel_factory_key(ServiceKind::DataBulletin, p),
+                Box::new(move |args: &RespawnArgs| {
+                    let peers = args
+                        .members
+                        .iter()
+                        .filter(|m| m.partition != args.partition)
+                        .map(|m| (m.partition, m.bulletin))
+                        .collect();
+                    Box::new(DataBulletin::respawn(
+                        args.partition,
+                        args.params.clone(),
+                        args.gsd,
+                        args.checkpoint,
+                        peers,
+                        args.action,
+                    ))
+                }),
+            );
+            reg.register(
+                kernel_factory_key(ServiceKind::Checkpoint, p),
+                Box::new(move |args: &RespawnArgs| {
+                    let peers = args
+                        .members
+                        .iter()
+                        .filter(|m| m.partition != args.partition)
+                        .map(|m| m.checkpoint)
+                        .collect();
+                    let action = if matches!(args.action, RecoveryAction::Migrated(_)) {
+                        args.action
+                    } else {
+                        RecoveryAction::RestartedInPlace
+                    };
+                    Box::new(CheckpointService::respawn(
+                        args.partition,
+                        args.params.clone(),
+                        args.gsd,
+                        peers,
+                        action,
+                    ))
+                }),
+            );
+        }
+    }
+
+    // Deliver the directory to every service.
+    let boot = KernelMsg::Boot(Box::new(directory.clone()));
+    world.inject(config, boot.clone());
+    for m in &directory.partitions {
+        for pid in [m.gsd, m.event, m.bulletin, m.checkpoint] {
+            world.inject(pid, boot.clone());
+        }
+    }
+    for ns in &directory.nodes {
+        for pid in [ns.wd, ns.detector, ns.ppm] {
+            world.inject(pid, boot.clone());
+        }
+    }
+
+    let cluster = PhoenixCluster {
+        topology,
+        params,
+        directory,
+        registry,
+        security_key,
+    };
+    (world, cluster)
+}
+
+/// Boot and run the world briefly so every service finishes initializing.
+pub fn boot_and_stabilize(
+    topology: ClusterTopology,
+    params: KernelParams,
+    seed: u64,
+) -> (World<KernelMsg>, PhoenixCluster) {
+    let (mut world, cluster) = boot_cluster(topology, params, seed);
+    world.run_for(SimDuration::from_millis(50));
+    (world, cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_sim::TraceEvent;
+
+    #[test]
+    fn boot_brings_every_service_up() {
+        let topo = ClusterTopology::uniform(2, 4, 1);
+        let (w, cluster) = boot_and_stabilize(topo, KernelParams::fast(), 1);
+        // 2 singletons + 2×4 partition services + 8×3 node daemons.
+        assert_eq!(w.live_processes(), 2 + 8 + 24);
+        assert_eq!(cluster.directory.partitions.len(), 2);
+        assert_eq!(cluster.directory.nodes.len(), 8);
+        let ups = w
+            .trace()
+            .count(|e| matches!(e, TraceEvent::ServiceUp { .. }));
+        assert!(ups >= 2 + 8 + 24);
+    }
+
+    #[test]
+    fn gsd_roles_assigned() {
+        let topo = ClusterTopology::uniform(3, 3, 1);
+        let (w, _cluster) = boot_and_stabilize(topo, KernelParams::fast(), 2);
+        let leader = w
+            .trace()
+            .count(|e| matches!(e, TraceEvent::RoleChange { role: "leader", .. }));
+        let princess = w
+            .trace()
+            .count(|e| matches!(e, TraceEvent::RoleChange { role: "princess", .. }));
+        assert_eq!(leader, 1);
+        assert_eq!(princess, 1);
+    }
+
+    #[test]
+    fn heartbeats_flow_after_boot() {
+        let topo = ClusterTopology::uniform(2, 3, 1);
+        let (mut w, _cluster) = boot_and_stabilize(topo, KernelParams::fast(), 3);
+        w.run_for(SimDuration::from_secs(3));
+        let hb = w.metrics().label("hb");
+        // 6 nodes × 3 NICs × ≥3 intervals.
+        assert!(hb.sent >= 54, "wd heartbeats: {}", hb.sent);
+        let meta = w.metrics().label("meta");
+        assert!(meta.sent > 0, "ring heartbeats flow");
+    }
+
+    #[test]
+    fn registry_has_factories_for_all_partitions() {
+        let topo = ClusterTopology::uniform(4, 3, 1);
+        let (_w, cluster) = boot_and_stabilize(topo, KernelParams::fast(), 4);
+        let reg = cluster.registry.borrow();
+        for p in 0..4u32 {
+            for kind in [
+                ServiceKind::Event,
+                ServiceKind::DataBulletin,
+                ServiceKind::Checkpoint,
+            ] {
+                assert!(reg.contains(&kernel_factory_key(
+                    kind,
+                    phoenix_proto::PartitionId(p)
+                )));
+            }
+        }
+    }
+}

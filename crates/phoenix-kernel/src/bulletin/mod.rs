@@ -1,0 +1,569 @@
+//! The data-bulletin service.
+//!
+//! Paper Sec 4.2: "Based on group service, data bulletin service is an
+//! in-memory database which stores the state of cluster-wide physical
+//! resource and application state; it provides interfaces for
+//! non-persistent data storage and data query."
+//!
+//! One instance per partition. Detectors push their partition's readings to
+//! the local instance; the instances form a federation shaped like a
+//! complete graph (paper Fig 5): a query sent to *any* instance is fanned
+//! out to every peer and answered with the merged cluster-wide result —
+//! the "single access point". If a peer cannot answer before the timeout,
+//! the reply is delivered with `complete = false`: "only the state of one
+//! partition can't be obtained".
+
+use crate::params::KernelParams;
+use phoenix_proto::{
+    BulletinEntry, BulletinQuery, CheckpointData, KernelMsg, PartitionId, RequestId, ServiceKind,
+};
+use phoenix_sim::{Actor, Ctx, FaultTarget, Pid, RecoveryAction, TimerId, TraceEvent};
+use std::collections::{BTreeMap, HashMap};
+
+const TOK_HB: u64 = 1;
+const TOK_CKPT: u64 = 2;
+const TOK_FED_BASE: u64 = 1_000;
+
+/// An in-flight federated query.
+struct PendingQuery {
+    client: Pid,
+    client_req: RequestId,
+    query: BulletinQuery,
+    acc: Vec<BulletinEntry>,
+    waiting: Vec<PartitionId>,
+    timer: TimerId,
+}
+
+/// The data-bulletin actor.
+pub struct DataBulletin {
+    partition: PartitionId,
+    params: KernelParams,
+    gsd: Pid,
+    checkpoint: Pid,
+    /// Peer instances: (partition, pid).
+    peers: Vec<(PartitionId, Pid)>,
+    entries: BTreeMap<phoenix_proto::BulletinKey, (phoenix_proto::BulletinValue, u64)>,
+    pending: HashMap<u64, PendingQuery>,
+    next_fed: u64,
+    hb_seq: u64,
+    recovery: Option<RecoveryAction>,
+    restoring: bool,
+}
+
+impl DataBulletin {
+    /// Boot-time instance.
+    pub fn new(partition: PartitionId, params: KernelParams) -> Self {
+        DataBulletin {
+            partition,
+            params,
+            gsd: Pid(0),
+            checkpoint: Pid(0),
+            peers: Vec::new(),
+            entries: BTreeMap::new(),
+            pending: HashMap::new(),
+            next_fed: 0,
+            hb_seq: 0,
+            recovery: None,
+            restoring: false,
+        }
+    }
+
+    /// Respawned instance; restores its soft state from checkpoint so it
+    /// can answer queries before detectors re-push.
+    pub fn respawn(
+        partition: PartitionId,
+        params: KernelParams,
+        gsd: Pid,
+        checkpoint: Pid,
+        peers: Vec<(PartitionId, Pid)>,
+        action: RecoveryAction,
+    ) -> Self {
+        DataBulletin {
+            partition,
+            params,
+            gsd,
+            checkpoint,
+            peers,
+            entries: BTreeMap::new(),
+            pending: HashMap::new(),
+            next_fed: 0,
+            hb_seq: 0,
+            recovery: Some(action),
+            restoring: true,
+        }
+    }
+
+    fn register_with_gsd(&self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.send(
+            self.gsd,
+            KernelMsg::SvcRegister {
+                kind: ServiceKind::DataBulletin,
+                pid: ctx.pid(),
+                factory: format!("bulletin:p{}", self.partition.0),
+            },
+        );
+    }
+
+    fn heartbeat(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        self.hb_seq += 1;
+        ctx.send(
+            self.gsd,
+            KernelMsg::SvcHeartbeat {
+                kind: ServiceKind::DataBulletin,
+                pid: ctx.pid(),
+                seq: self.hb_seq,
+            },
+        );
+        ctx.set_timer(self.params.ft.hb_interval, TOK_HB);
+    }
+
+    fn local_matches(&self, query: BulletinQuery) -> Vec<BulletinEntry> {
+        if !query.wants_partition(self.partition) {
+            return Vec::new();
+        }
+        self.entries
+            .iter()
+            .map(|(&key, &(ref value, stamp_ns))| BulletinEntry {
+                key,
+                value: value.clone(),
+                stamp_ns,
+            })
+            .filter(|e| query.matches(e))
+            .collect()
+    }
+
+    fn save_state(&self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let entries: Vec<BulletinEntry> = self
+            .entries
+            .iter()
+            .map(|(&key, &(ref value, stamp_ns))| BulletinEntry {
+                key,
+                value: value.clone(),
+                stamp_ns,
+            })
+            .collect();
+        ctx.send(
+            self.checkpoint,
+            KernelMsg::CkSave {
+                service: ServiceKind::DataBulletin,
+                partition: self.partition,
+                data: CheckpointData::Bulletin { entries },
+            },
+        );
+    }
+
+    fn finish_query(&mut self, ctx: &mut Ctx<'_, KernelMsg>, fed: u64, complete: bool) {
+        if let Some(p) = self.pending.remove(&fed) {
+            ctx.cancel_timer(p.timer);
+            ctx.send(
+                p.client,
+                KernelMsg::DbResp {
+                    req: p.client_req,
+                    entries: p.acc,
+                    complete,
+                },
+            );
+        }
+    }
+}
+
+impl Actor<KernelMsg> for DataBulletin {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.trace(TraceEvent::ServiceUp {
+            pid: ctx.pid(),
+            service: "bulletin",
+            node: ctx.node(),
+        });
+        if self.gsd != Pid(0) {
+            self.register_with_gsd(ctx);
+            self.heartbeat(ctx);
+            ctx.set_timer(self.params.detector_sample * 2, TOK_CKPT);
+        }
+        if self.restoring {
+            ctx.send(
+                self.checkpoint,
+                KernelMsg::CkLoad {
+                    req: RequestId(0),
+                    service: ServiceKind::DataBulletin,
+                    partition: self.partition,
+                },
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, KernelMsg>, from: Pid, msg: KernelMsg) {
+        match msg {
+            KernelMsg::Boot(dir) => {
+                if let Some(me) = dir.partition(self.partition) {
+                    self.gsd = me.gsd;
+                    self.checkpoint = me.checkpoint;
+                }
+                self.peers = dir
+                    .partitions
+                    .iter()
+                    .filter(|m| m.partition != self.partition)
+                    .map(|m| (m.partition, m.bulletin))
+                    .collect();
+                self.register_with_gsd(ctx);
+                self.heartbeat(ctx);
+                ctx.set_timer(self.params.detector_sample * 2, TOK_CKPT);
+            }
+            KernelMsg::PartitionView { members, local } => {
+                let gsd_changed = self.gsd != local.gsd;
+                self.gsd = local.gsd;
+                self.checkpoint = local.checkpoint;
+                self.peers = members
+                    .iter()
+                    .filter(|m| m.partition != self.partition)
+                    .map(|m| (m.partition, m.bulletin))
+                    .collect();
+                if gsd_changed {
+                    self.register_with_gsd(ctx);
+                }
+            }
+            KernelMsg::DbPut { entries } => {
+                for e in entries {
+                    self.entries.insert(e.key, (e.value, e.stamp_ns));
+                }
+            }
+            KernelMsg::DbQuery { req, query } => {
+                let acc = self.local_matches(query);
+                // Which peers need to contribute?
+                let waiting: Vec<PartitionId> = self
+                    .peers
+                    .iter()
+                    .filter(|(p, _)| query.wants_partition(*p))
+                    .map(|(p, _)| *p)
+                    .collect();
+                if waiting.is_empty() {
+                    ctx.send(
+                        from,
+                        KernelMsg::DbResp {
+                            req,
+                            entries: acc,
+                            complete: true,
+                        },
+                    );
+                    return;
+                }
+                self.next_fed += 1;
+                let fed = self.next_fed;
+                let fed_req = RequestId(fed);
+                for (p, pid) in &self.peers {
+                    if query.wants_partition(*p) {
+                        ctx.send(*pid, KernelMsg::DbFedQuery { req: fed_req, query });
+                    }
+                }
+                let timer =
+                    ctx.set_timer(self.params.fed_query_timeout, TOK_FED_BASE + fed);
+                self.pending.insert(
+                    fed,
+                    PendingQuery {
+                        client: from,
+                        client_req: req,
+                        query,
+                        acc,
+                        waiting,
+                        timer,
+                    },
+                );
+            }
+            KernelMsg::DbFedQuery { req, query } => {
+                let entries = self.local_matches(query);
+                ctx.send(
+                    from,
+                    KernelMsg::DbFedResp {
+                        req,
+                        partition: self.partition,
+                        entries,
+                    },
+                );
+            }
+            KernelMsg::DbFedResp {
+                req,
+                partition,
+                entries,
+            } => {
+                let fed = req.0;
+                let done = if let Some(p) = self.pending.get_mut(&fed) {
+                    p.acc.extend(entries);
+                    p.waiting.retain(|&w| w != partition);
+                    p.waiting.is_empty()
+                } else {
+                    false
+                };
+                if done {
+                    self.finish_query(ctx, fed, true);
+                }
+            }
+            KernelMsg::CkLoadResp { data, .. } => {
+                if self.restoring {
+                    self.restoring = false;
+                    if let Some(CheckpointData::Bulletin { entries }) = data {
+                        for e in entries {
+                            self.entries.insert(e.key, (e.value, e.stamp_ns));
+                        }
+                    }
+                    if let Some(action) = self.recovery.take() {
+                        ctx.trace(TraceEvent::Recovered {
+                            target: FaultTarget::Process(ctx.pid()),
+                            action,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, KernelMsg>, token: u64) {
+        match token {
+            TOK_HB => self.heartbeat(ctx),
+            TOK_CKPT => {
+                self.save_state(ctx);
+                ctx.set_timer(self.params.detector_sample * 2, TOK_CKPT);
+            }
+            t if t >= TOK_FED_BASE => {
+                // Federation timeout: answer with what we have.
+                let fed = t - TOK_FED_BASE;
+                // Partial data: the paper's "only the state of one
+                // partition can't be obtained".
+                let _ = &self.pending.get(&fed).map(|p| p.query);
+                self.finish_query(ctx, fed, false);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bulletin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientHandle;
+    use phoenix_proto::{BulletinKey, BulletinValue, MemberInfo, ServiceDirectory};
+    use phoenix_sim::{ClusterBuilder, NodeId, NodeSpec, ResourceUsage, SimDuration, World};
+
+    fn setup(n: usize) -> (World<KernelMsg>, Vec<Pid>) {
+        let mut w = ClusterBuilder::new()
+            .nodes(n, NodeSpec::default())
+            .build::<KernelMsg>();
+        let dbs: Vec<Pid> = (0..n)
+            .map(|i| {
+                w.spawn(
+                    NodeId(i as u32),
+                    Box::new(DataBulletin::new(PartitionId(i as u32), KernelParams::fast())),
+                )
+            })
+            .collect();
+        let dir = ServiceDirectory {
+            config: Pid(0),
+            security: Pid(0),
+            partitions: dbs
+                .iter()
+                .enumerate()
+                .map(|(i, &db)| MemberInfo {
+                    partition: PartitionId(i as u32),
+                    node: NodeId(i as u32),
+                    gsd: Pid(0),
+                    event: Pid(0),
+                    bulletin: db,
+                    checkpoint: Pid(0),
+                    host_ppm: Pid(0),
+                })
+                .collect(),
+            nodes: vec![],
+        };
+        for &db in &dbs {
+            w.inject(db, KernelMsg::Boot(Box::new(dir.clone())));
+        }
+        w.run_for(SimDuration::from_millis(5));
+        (w, dbs)
+    }
+
+    fn resource_entry(node: u32, cpu: f64) -> BulletinEntry {
+        BulletinEntry {
+            key: BulletinKey::Resource(NodeId(node)),
+            value: BulletinValue::Resource(ResourceUsage {
+                cpu,
+                ..ResourceUsage::IDLE
+            }),
+            stamp_ns: 0,
+        }
+    }
+
+    #[test]
+    fn single_access_point_returns_cluster_wide_state() {
+        let (mut w, dbs) = setup(3);
+        // Each partition holds one node's reading.
+        for (i, &db) in dbs.iter().enumerate() {
+            w.inject(
+                db,
+                KernelMsg::DbPut {
+                    entries: vec![resource_entry(i as u32, 0.5)],
+                },
+            );
+        }
+        w.run_for(SimDuration::from_millis(5));
+        // Query ANY instance; expect all three entries.
+        for &db in &dbs {
+            let client = ClientHandle::spawn(&mut w, NodeId(0));
+            client.send(
+                &mut w,
+                db,
+                KernelMsg::DbQuery {
+                    req: RequestId(1),
+                    query: BulletinQuery::All,
+                },
+            );
+            w.run_for(SimDuration::from_millis(10));
+            let got = client.drain();
+            assert_eq!(got.len(), 1);
+            match &got[0].1 {
+                KernelMsg::DbResp {
+                    entries, complete, ..
+                } => {
+                    assert_eq!(entries.len(), 3);
+                    assert!(*complete);
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dead_peer_degrades_to_partial_answer() {
+        let (mut w, dbs) = setup(3);
+        for (i, &db) in dbs.iter().enumerate() {
+            w.inject(
+                db,
+                KernelMsg::DbPut {
+                    entries: vec![resource_entry(i as u32, 0.1)],
+                },
+            );
+        }
+        w.run_for(SimDuration::from_millis(5));
+        w.kill_process(dbs[2]);
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        client.send(
+            &mut w,
+            dbs[0],
+            KernelMsg::DbQuery {
+                req: RequestId(2),
+                query: BulletinQuery::All,
+            },
+        );
+        w.run_for(SimDuration::from_millis(300));
+        let got = client.drain();
+        assert_eq!(got.len(), 1);
+        match &got[0].1 {
+            KernelMsg::DbResp {
+                entries, complete, ..
+            } => {
+                assert_eq!(entries.len(), 2, "only one partition's state is lost");
+                assert!(!complete);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_query_filters() {
+        let (mut w, dbs) = setup(2);
+        w.inject(
+            dbs[0],
+            KernelMsg::DbPut {
+                entries: vec![resource_entry(0, 0.3), resource_entry(5, 0.9)],
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        client.send(
+            &mut w,
+            dbs[0],
+            KernelMsg::DbQuery {
+                req: RequestId(3),
+                query: BulletinQuery::Node(NodeId(5)),
+            },
+        );
+        w.run_for(SimDuration::from_millis(10));
+        let got = client.drain();
+        match &got[0].1 {
+            KernelMsg::DbResp { entries, .. } => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].key.node(), NodeId(5));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_scoped_query_skips_fanout() {
+        let (mut w, dbs) = setup(2);
+        w.inject(
+            dbs[0],
+            KernelMsg::DbPut {
+                entries: vec![resource_entry(0, 0.3)],
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        let before = w.metrics().label("bulletin").sent;
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        client.send(
+            &mut w,
+            dbs[0],
+            KernelMsg::DbQuery {
+                req: RequestId(4),
+                query: BulletinQuery::Partition(PartitionId(0)),
+            },
+        );
+        w.run_for(SimDuration::from_millis(10));
+        let got = client.drain();
+        assert_eq!(got.len(), 1);
+        // Only query + response crossed the wire: no federation messages.
+        let after = w.metrics().label("bulletin").sent;
+        assert_eq!(after - before, 2);
+    }
+
+    #[test]
+    fn put_overwrites_stale_values() {
+        let (mut w, dbs) = setup(1);
+        w.inject(
+            dbs[0],
+            KernelMsg::DbPut {
+                entries: vec![resource_entry(0, 0.2)],
+            },
+        );
+        w.inject(
+            dbs[0],
+            KernelMsg::DbPut {
+                entries: vec![resource_entry(0, 0.8)],
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        client.send(
+            &mut w,
+            dbs[0],
+            KernelMsg::DbQuery {
+                req: RequestId(5),
+                query: BulletinQuery::All,
+            },
+        );
+        w.run_for(SimDuration::from_millis(10));
+        let got = client.drain();
+        match &got[0].1 {
+            KernelMsg::DbResp { entries, .. } => {
+                assert_eq!(entries.len(), 1);
+                match &entries[0].value {
+                    BulletinValue::Resource(u) => assert_eq!(u.cpu, 0.8),
+                    other => panic!("unexpected value {other:?}"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! The checkpoint service.
+//!
+//! Paper Sec 4.2: "Based on group service, it provides interfaces for
+//! upper-layer services to save system data, which means that upper-layer
+//! services themselves are responsible for saving and deleting system state
+//! by calling interface of checkpoint service."
+//!
+//! One instance runs per partition on the server node. Instances form a
+//! federation: every save is replicated to the peers, so a checkpoint
+//! instance that migrates to a backup node after a server-node crash can
+//! resynchronize the partition's state from any surviving peer
+//! (`CkSyncReq` / `CkSyncResp`).
+
+use crate::params::KernelParams;
+use phoenix_proto::{CheckpointData, KernelMsg, PartitionId, RequestId, ServiceKind};
+use phoenix_sim::{Actor, Ctx, Pid, RecoveryAction, SimDuration, TraceEvent};
+use std::collections::BTreeMap;
+
+const TOK_HB: u64 = 1;
+const TOK_SYNC_TIMEOUT: u64 = 2;
+
+/// Key of a checkpointed snapshot: which service instance saved it.
+pub type CkKey = (ServiceKind, PartitionId);
+
+/// The checkpoint-service actor.
+pub struct CheckpointService {
+    partition: PartitionId,
+    params: KernelParams,
+    gsd: Pid,
+    peers: Vec<Pid>,
+    store: BTreeMap<CkKey, CheckpointData>,
+    /// Migrated instances must pull state from a peer before answering.
+    synced: bool,
+    pending_loads: Vec<(Pid, RequestId, CkKey)>,
+    hb_seq: u64,
+    recovery: Option<RecoveryAction>,
+}
+
+impl CheckpointService {
+    /// A boot-time instance: wired later by the `Boot` message; starts
+    /// synced (there is nothing to recover).
+    pub fn new(partition: PartitionId, params: KernelParams) -> Self {
+        CheckpointService {
+            partition,
+            params,
+            gsd: Pid(0),
+            peers: Vec::new(),
+            store: BTreeMap::new(),
+            synced: true,
+            pending_loads: Vec::new(),
+            hb_seq: 0,
+            recovery: None,
+        }
+    }
+
+    /// A respawned instance. `peers` are surviving federation members; if
+    /// the restart followed a migration the store starts empty and is
+    /// pulled from a peer.
+    pub fn respawn(
+        partition: PartitionId,
+        params: KernelParams,
+        gsd: Pid,
+        peers: Vec<Pid>,
+        action: RecoveryAction,
+    ) -> Self {
+        let migrated = matches!(action, RecoveryAction::Migrated(_));
+        CheckpointService {
+            partition,
+            params,
+            gsd,
+            peers,
+            store: BTreeMap::new(),
+            synced: !migrated,
+            pending_loads: Vec::new(),
+            hb_seq: 0,
+            recovery: Some(action),
+        }
+    }
+
+    fn answer(&self, ctx: &mut Ctx<'_, KernelMsg>, to: Pid, req: RequestId, key: CkKey) {
+        let data = self.store.get(&key).cloned();
+        ctx.send(to, KernelMsg::CkLoadResp { req, data });
+    }
+
+    fn flush_pending(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let pending = std::mem::take(&mut self.pending_loads);
+        for (to, req, key) in pending {
+            self.answer(ctx, to, req, key);
+        }
+    }
+
+    fn heartbeat(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        self.hb_seq += 1;
+        ctx.send(
+            self.gsd,
+            KernelMsg::SvcHeartbeat {
+                kind: ServiceKind::Checkpoint,
+                pid: ctx.pid(),
+                seq: self.hb_seq,
+            },
+        );
+        ctx.set_timer(self.params.ft.hb_interval, TOK_HB);
+    }
+}
+
+impl Actor<KernelMsg> for CheckpointService {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.trace(TraceEvent::ServiceUp {
+            pid: ctx.pid(),
+            service: "checkpoint",
+            node: ctx.node(),
+        });
+        if self.gsd != Pid(0) {
+            ctx.send(
+                self.gsd,
+                KernelMsg::SvcRegister {
+                    kind: ServiceKind::Checkpoint,
+                    pid: ctx.pid(),
+                    factory: format!("checkpoint:p{}", self.partition.0),
+                },
+            );
+            self.heartbeat(ctx);
+        }
+        if !self.synced {
+            // Pull the federation's replicated state from every peer; the
+            // first answer wins, the rest merge idempotently.
+            for &p in &self.peers.clone() {
+                ctx.send(p, KernelMsg::CkSyncReq { req: RequestId(0) });
+            }
+            // Give up after a bounded wait (all peers dead): serve empty.
+            ctx.set_timer(self.params.fed_query_timeout * 4, TOK_SYNC_TIMEOUT);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, KernelMsg>, from: Pid, msg: KernelMsg) {
+        match msg {
+            KernelMsg::Boot(dir) => {
+                if let Some(me) = dir.partition(self.partition) {
+                    self.gsd = me.gsd;
+                }
+                self.peers = dir
+                    .partitions
+                    .iter()
+                    .filter(|m| m.partition != self.partition)
+                    .map(|m| m.checkpoint)
+                    .collect();
+                ctx.send(
+                    self.gsd,
+                    KernelMsg::SvcRegister {
+                        kind: ServiceKind::Checkpoint,
+                        pid: ctx.pid(),
+                        factory: format!("checkpoint:p{}", self.partition.0),
+                    },
+                );
+                self.heartbeat(ctx);
+            }
+            KernelMsg::PartitionView { members, local } => {
+                let gsd_changed = self.gsd != local.gsd;
+                self.gsd = local.gsd;
+                self.peers = members
+                    .iter()
+                    .filter(|m| m.partition != self.partition)
+                    .map(|m| m.checkpoint)
+                    .collect();
+                if gsd_changed {
+                    ctx.send(
+                        self.gsd,
+                        KernelMsg::SvcRegister {
+                            kind: ServiceKind::Checkpoint,
+                            pid: ctx.pid(),
+                            factory: format!("checkpoint:p{}", self.partition.0),
+                        },
+                    );
+                }
+            }
+            KernelMsg::CkSave {
+                service,
+                partition,
+                data,
+            } => {
+                self.store.insert((service, partition), data.clone());
+                for &p in &self.peers {
+                    ctx.send(
+                        p,
+                        KernelMsg::CkReplicate {
+                            service,
+                            partition,
+                            data: data.clone(),
+                        },
+                    );
+                }
+            }
+            KernelMsg::CkReplicate {
+                service,
+                partition,
+                data,
+            } => {
+                self.store.insert((service, partition), data);
+            }
+            KernelMsg::CkLoad {
+                req,
+                service,
+                partition,
+            } => {
+                let key = (service, partition);
+                if self.synced {
+                    self.answer(ctx, from, req, key);
+                } else {
+                    self.pending_loads.push((from, req, key));
+                }
+            }
+            KernelMsg::CkDelete { service, partition } => {
+                self.store.remove(&(service, partition));
+                // Forward once; peers recognise each other and stop.
+                if !self.peers.contains(&from) {
+                    for &p in &self.peers {
+                        ctx.send(p, KernelMsg::CkDelete { service, partition });
+                    }
+                }
+            }
+            KernelMsg::CkSyncReq { req } => {
+                let items: Vec<(ServiceKind, PartitionId, CheckpointData)> = self
+                    .store
+                    .iter()
+                    .map(|(&(s, p), d)| (s, p, d.clone()))
+                    .collect();
+                ctx.send(from, KernelMsg::CkSyncResp { req, items });
+            }
+            KernelMsg::CkSyncResp { items, .. } => {
+                for (s, p, d) in items {
+                    self.store.entry((s, p)).or_insert(d);
+                }
+                if !self.synced {
+                    self.synced = true;
+                    self.flush_pending(ctx);
+                    if let Some(action) = self.recovery.take() {
+                        ctx.trace(TraceEvent::Recovered {
+                            target: phoenix_sim::FaultTarget::Process(ctx.pid()),
+                            action,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, KernelMsg>, token: u64) {
+        match token {
+            TOK_HB => self.heartbeat(ctx),
+            TOK_SYNC_TIMEOUT => {
+                if !self.synced {
+                    self.synced = true;
+                    self.flush_pending(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "checkpoint"
+    }
+}
+
+/// Convenience: how long a migrated instance waits for peers at most.
+pub fn sync_deadline(params: &KernelParams) -> SimDuration {
+    params.fed_query_timeout * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_proto::MemberInfo;
+    use phoenix_sim::{ClusterBuilder, NodeSpec, World};
+
+    fn world() -> World<KernelMsg> {
+        ClusterBuilder::new()
+            .nodes(4, NodeSpec::default())
+            .build::<KernelMsg>()
+    }
+
+    /// Drives a save and a load through a two-instance federation.
+    #[test]
+    fn save_replicates_to_peers() {
+        let mut w = world();
+        let a = w.spawn(
+            phoenix_sim::NodeId(0),
+            Box::new(CheckpointService::new(PartitionId(0), KernelParams::fast())),
+        );
+        let b = w.spawn(
+            phoenix_sim::NodeId(1),
+            Box::new(CheckpointService::new(PartitionId(1), KernelParams::fast())),
+        );
+        // Wire peers manually (no full boot in a unit test).
+        let dir = phoenix_proto::ServiceDirectory {
+            config: Pid(0),
+            security: Pid(0),
+            partitions: vec![
+                MemberInfo {
+                    partition: PartitionId(0),
+                    node: phoenix_sim::NodeId(0),
+                    gsd: Pid(0),
+                    event: Pid(0),
+                    bulletin: Pid(0),
+                    checkpoint: a,
+                    host_ppm: Pid(0),
+                },
+                MemberInfo {
+                    partition: PartitionId(1),
+                    node: phoenix_sim::NodeId(1),
+                    gsd: Pid(0),
+                    event: Pid(0),
+                    bulletin: Pid(0),
+                    checkpoint: b,
+                    host_ppm: Pid(0),
+                },
+            ],
+            nodes: vec![],
+        };
+        w.inject(a, KernelMsg::Boot(Box::new(dir.clone())));
+        w.inject(b, KernelMsg::Boot(Box::new(dir)));
+        w.run_for(SimDuration::from_millis(10));
+
+        w.inject(
+            a,
+            KernelMsg::CkSave {
+                service: ServiceKind::Event,
+                partition: PartitionId(0),
+                data: CheckpointData::Raw(vec![1, 2, 3]),
+            },
+        );
+        w.run_for(SimDuration::from_millis(10));
+
+        // Load from the *peer*: replication must have carried it over.
+        let client = crate::client::ClientHandle::spawn(&mut w, phoenix_sim::NodeId(2));
+        client.send(
+            &mut w,
+            b,
+            KernelMsg::CkLoad {
+                req: RequestId(9),
+                service: ServiceKind::Event,
+                partition: PartitionId(0),
+            },
+        );
+        w.run_for(SimDuration::from_millis(10));
+        let msgs = client.drain();
+        assert!(matches!(
+            &msgs[..],
+            [(_, KernelMsg::CkLoadResp { data: Some(CheckpointData::Raw(v)), .. })] if v == &vec![1,2,3]
+        ));
+    }
+}

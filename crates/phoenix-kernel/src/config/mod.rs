@@ -1,0 +1,280 @@
+//! The configuration service.
+//!
+//! Paper Sec 4.2: "It provides cluster-wide configuration information,
+//! including information of physical resources, Phoenix kernel and user
+//! environments. Configuration service has a self-introspection mechanism
+//! to automatically find and diagnose cluster resources, and provides
+//! documented interface for dynamic reconfiguration."
+//!
+//! One instance runs cluster-wide. It is the authoritative copy of the
+//! topology and the live service directory (GSDs report every restart and
+//! migration), answers queries, applies dynamic parameter changes, and
+//! executes administrative node operations (paper Fig 9's start/shutdown
+//! nodes), respawning node daemons when a node comes back up.
+
+use crate::detect::Detector;
+use crate::group::Wd;
+use crate::params::KernelParams;
+use crate::ppm::PpmAgent;
+use phoenix_proto::{
+    ClusterTopology, Event, EventPayload, EventType, KernelMsg, NodeOp, NodeServices,
+    RequestId, ServiceDirectory,
+};
+use phoenix_sim::{Actor, Ctx, NodeId, Pid, TraceEvent};
+use std::collections::HashMap;
+
+/// The configuration-service actor.
+pub struct ConfigService {
+    topology: ClusterTopology,
+    params: KernelParams,
+    directory: ServiceDirectory,
+    /// Dynamic key/value parameters set through `CfgSetParam`.
+    kv: HashMap<String, String>,
+}
+
+impl ConfigService {
+    pub fn new(topology: ClusterTopology, params: KernelParams) -> Self {
+        ConfigService {
+            topology,
+            params,
+            directory: ServiceDirectory::default(),
+            kv: HashMap::new(),
+        }
+    }
+
+    /// Event service of the first known partition (used to publish
+    /// configuration-change events).
+    fn any_event_service(&self) -> Option<Pid> {
+        self.directory
+            .partitions
+            .first()
+            .map(|m| m.event)
+            .filter(|&p| p != Pid(0))
+    }
+
+    /// Bring a node back: power it on and respawn its daemons, then tell
+    /// the partition GSD and all PPM agents about the new pids.
+    fn start_node(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) {
+        ctx.set_node_power(node, true);
+        let Some(partition) = self.topology.partition_of(node) else {
+            return;
+        };
+        let wd = ctx.spawn(
+            node,
+            Box::new(Wd::new(node, partition, self.params.ft.clone())),
+        );
+        let detector = ctx.spawn(
+            node,
+            Box::new(Detector::new(node, partition, self.params.clone())),
+        );
+        let ppm = ctx.spawn(node, Box::new(PpmAgent::new(node)));
+        let services = NodeServices {
+            node,
+            wd,
+            detector,
+            ppm,
+        };
+        // Update the directory.
+        self.directory.nodes.retain(|n| n.node != node);
+        self.directory.nodes.push(services);
+        // Wire the new daemons.
+        let boot = KernelMsg::Boot(Box::new(self.directory.clone()));
+        ctx.send(wd, boot.clone());
+        ctx.send(detector, boot.clone());
+        ctx.send(ppm, boot);
+        // Tell the supervising GSD (resumes monitoring, publishes
+        // NodeRecovery) and every PPM agent (routing tables).
+        if let Some(member) = self.directory.partition(partition) {
+            ctx.send(member.gsd, KernelMsg::DirectoryUpdateNode { services });
+        }
+        for ns in &self.directory.nodes {
+            if ns.node != node {
+                ctx.send(ns.ppm, KernelMsg::DirectoryUpdateNode { services });
+            }
+        }
+        ctx.trace(TraceEvent::Milestone {
+            label: "node-started",
+            value: node.0 as f64,
+        });
+    }
+
+    fn shutdown_node(&self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) {
+        ctx.set_node_power(node, false);
+        ctx.trace(TraceEvent::Milestone {
+            label: "node-shutdown",
+            value: node.0 as f64,
+        });
+    }
+}
+
+impl Actor<KernelMsg> for ConfigService {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.trace(TraceEvent::ServiceUp {
+            pid: ctx.pid(),
+            service: "config",
+            node: ctx.node(),
+        });
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, KernelMsg>, from: Pid, msg: KernelMsg) {
+        match msg {
+            KernelMsg::Boot(dir) => {
+                self.directory = *dir;
+            }
+            KernelMsg::CfgQueryTopology { req } => {
+                ctx.send(
+                    from,
+                    KernelMsg::CfgTopology {
+                        req,
+                        topology: Box::new(self.topology.clone()),
+                    },
+                );
+            }
+            KernelMsg::CfgQueryDirectory { req } => {
+                ctx.send(
+                    from,
+                    KernelMsg::CfgDirectory {
+                        req,
+                        directory: Box::new(self.directory.clone()),
+                    },
+                );
+            }
+            KernelMsg::CfgSetParam { req, key, value } => {
+                self.kv.insert(key.clone(), value.clone());
+                ctx.send(from, KernelMsg::CfgAck { req, ok: true });
+                // Dynamic reconfiguration: push tunables to the daemons
+                // that consume them ("the interval for sending heartbeat
+                // can be configured as a system parameter").
+                if key == "hb_interval_ms" {
+                    let push = KernelMsg::CfgSetParam {
+                        req: RequestId(0),
+                        key: key.clone(),
+                        value,
+                    };
+                    for m in &self.directory.partitions {
+                        ctx.send(m.gsd, push.clone());
+                    }
+                    for n in &self.directory.nodes {
+                        ctx.send(n.wd, push.clone());
+                    }
+                }
+                if let Some(es) = self.any_event_service() {
+                    ctx.send(
+                        es,
+                        KernelMsg::EsPublish {
+                            event: Event::new(
+                                EventType::ConfigChange,
+                                ctx.node(),
+                                EventPayload::Text(key),
+                            ),
+                        },
+                    );
+                }
+            }
+            KernelMsg::DirectoryUpdate { partition, member } => {
+                self.directory.partitions.retain(|m| m.partition != partition);
+                self.directory.partitions.push(member);
+                self.directory.partitions.sort_by_key(|m| m.partition);
+            }
+            KernelMsg::DirectoryUpdateNode { services } => {
+                self.directory.nodes.retain(|n| n.node != services.node);
+                self.directory.nodes.push(services);
+            }
+            KernelMsg::CfgNodeOp { req, node, op } => {
+                match op {
+                    NodeOp::Start => self.start_node(ctx, node),
+                    NodeOp::Shutdown => self.shutdown_node(ctx, node),
+                }
+                ctx.send(from, KernelMsg::CfgAck { req, ok: true });
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "config"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientHandle;
+    use phoenix_proto::RequestId;
+    use phoenix_sim::{ClusterBuilder, NodeSpec, SimDuration};
+
+    #[test]
+    fn topology_and_params_query() {
+        let mut w = ClusterBuilder::new()
+            .nodes(4, NodeSpec::default())
+            .build::<KernelMsg>();
+        let topo = ClusterTopology::uniform(2, 2, 1);
+        let cfg = w.spawn(
+            NodeId(0),
+            Box::new(ConfigService::new(topo.clone(), KernelParams::fast())),
+        );
+        let client = ClientHandle::spawn(&mut w, NodeId(1));
+        client.send(&mut w, cfg, KernelMsg::CfgQueryTopology { req: RequestId(1) });
+        client.send(
+            &mut w,
+            cfg,
+            KernelMsg::CfgSetParam {
+                req: RequestId(2),
+                key: "hb_interval".into(),
+                value: "30s".into(),
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        let msgs = client.drain();
+        assert!(msgs.iter().any(|(_, m)| matches!(
+            m,
+            KernelMsg::CfgTopology { topology, .. } if **topology == topo
+        )));
+        assert!(msgs
+            .iter()
+            .any(|(_, m)| matches!(m, KernelMsg::CfgAck { ok: true, .. })));
+    }
+
+    #[test]
+    fn shutdown_and_start_node_round_trip() {
+        let mut w = ClusterBuilder::new()
+            .nodes(4, NodeSpec::default())
+            .build::<KernelMsg>();
+        let topo = ClusterTopology::uniform(1, 4, 1);
+        let cfg = w.spawn(
+            NodeId(0),
+            Box::new(ConfigService::new(topo, KernelParams::fast())),
+        );
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        client.send(
+            &mut w,
+            cfg,
+            KernelMsg::CfgNodeOp {
+                req: RequestId(3),
+                node: NodeId(3),
+                op: NodeOp::Shutdown,
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        assert!(!w.node(NodeId(3)).up);
+        client.send(
+            &mut w,
+            cfg,
+            KernelMsg::CfgNodeOp {
+                req: RequestId(4),
+                node: NodeId(3),
+                op: NodeOp::Start,
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        assert!(w.node(NodeId(3)).up);
+        // Node daemons respawned: WD, detector, PPM live on node 3.
+        assert_eq!(w.pids_on(NodeId(3)).len(), 3);
+        let acks = client
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, KernelMsg::CfgAck { ok: true, .. }))
+            .count();
+        assert_eq!(acks, 2);
+    }
+}

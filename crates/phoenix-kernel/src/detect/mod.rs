@@ -1,0 +1,378 @@
+//! Detector services.
+//!
+//! Paper Sec 4.2 names four detectors. This actor — one per node —
+//! implements the two data-producing ones directly:
+//!
+//! * the **physical resource detector** samples CPU, memory, swap, disk and
+//!   network I/O of its node ("fundamental for job management's
+//!   schedulers") and exports them to the partition's data bulletin;
+//! * the **application state detector** tracks the applications running on
+//!   the node — resources consumed, living status, and SLA flag
+//!   ("fundamental for business application runtime environment").
+//!
+//! The node-state and network-state detectors are realized by the watch
+//! daemon / GSD heartbeat analysis in [`crate::group`], exactly as the
+//! paper describes GSD "monitoring status of nodes and networks in a
+//! partition" through heartbeat analysis.
+
+use crate::params::KernelParams;
+use phoenix_proto::{
+    AppState, AppStatus, BulletinEntry, BulletinKey, BulletinValue, Event, EventPayload,
+    EventType, JobId, KernelMsg, PartitionId, TaskSpec,
+};
+use phoenix_sim::{Actor, Ctx, NodeId, Pid, ResourceUsage, TraceEvent};
+use rand::Rng;
+use std::collections::HashMap;
+
+const TOK_SAMPLE: u64 = 1;
+
+/// A tracked application instance on this node.
+struct TrackedApp {
+    pid: Pid,
+    task: TaskSpec,
+    status: AppStatus,
+}
+
+/// The per-node detector actor.
+pub struct Detector {
+    node: NodeId,
+    partition: PartitionId,
+    params: KernelParams,
+    bulletin: Pid,
+    event: Pid,
+    apps: HashMap<JobId, TrackedApp>,
+    alarm_active: bool,
+    started: bool,
+}
+
+impl Detector {
+    pub fn new(node: NodeId, partition: PartitionId, params: KernelParams) -> Self {
+        Detector {
+            node,
+            partition,
+            params,
+            bulletin: Pid(0),
+            event: Pid(0),
+            apps: HashMap::new(),
+            alarm_active: false,
+            started: false,
+        }
+    }
+
+    /// Respawned detector with explicit wiring (after node restart).
+    pub fn respawn(
+        node: NodeId,
+        partition: PartitionId,
+        params: KernelParams,
+        bulletin: Pid,
+        event: Pid,
+    ) -> Self {
+        Detector {
+            bulletin,
+            event,
+            ..Detector::new(node, partition, params)
+        }
+    }
+
+    /// Self-introspection: compute the node's current resource usage from
+    /// the OS baseline plus the load of every live application.
+    fn compute_usage(&mut self, ctx: &mut Ctx<'_, KernelMsg>) -> ResourceUsage {
+        // Small deterministic jitter models OS noise.
+        let jitter = ctx.rng().gen_range(-0.005..0.005);
+        let mut cpu = self.params.base_cpu_load + jitter;
+        let mut mem = self.params.base_mem_load;
+        let swap = self.params.base_swap_load;
+        for app in self.apps.values() {
+            if app.status == AppStatus::Running {
+                cpu += app.task.cpu_load;
+                mem += app.task.mem_load;
+            }
+        }
+        ResourceUsage {
+            cpu,
+            memory: mem,
+            swap,
+            disk_io: 0.01,
+            net_io: 0.01,
+        }
+        .clamped()
+    }
+
+    /// Check liveness of tracked app processes: a process that vanished
+    /// without announcing exit has failed.
+    fn check_app_liveness(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let mut failed: Vec<JobId> = Vec::new();
+        for (&job, app) in &self.apps {
+            if app.status == AppStatus::Running && !ctx.process_is_alive(app.pid) {
+                failed.push(job);
+            }
+        }
+        for job in failed {
+            if let Some(app) = self.apps.get_mut(&job) {
+                app.status = AppStatus::Failed;
+            }
+            self.publish_app_event(ctx, job, false);
+        }
+    }
+
+    fn publish_app_event(&self, ctx: &mut Ctx<'_, KernelMsg>, job: JobId, up: bool) {
+        let event = Event::new(
+            EventType::AppStateChange,
+            self.node,
+            EventPayload::AppLifecycle {
+                job,
+                node: self.node,
+                up,
+            },
+        );
+        ctx.send(self.event, KernelMsg::EsPublish { event });
+    }
+
+    /// Export resource + application state to the partition bulletin.
+    fn export(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let usage = self.compute_usage(ctx);
+        ctx.set_usage(self.node, usage);
+        let stamp_ns = ctx.now().as_nanos();
+        let mut entries = vec![BulletinEntry {
+            key: BulletinKey::Resource(self.node),
+            value: BulletinValue::Resource(usage),
+            stamp_ns,
+        }];
+        for (&job, app) in &self.apps {
+            entries.push(BulletinEntry {
+                key: BulletinKey::App(self.node, job),
+                value: BulletinValue::App(AppState {
+                    job,
+                    node: self.node,
+                    cpu: app.task.cpu_load,
+                    memory: app.task.mem_load,
+                    status: app.status,
+                    sla_ok: app.status == AppStatus::Running,
+                }),
+                stamp_ns,
+            });
+        }
+        ctx.send(self.bulletin, KernelMsg::DbPut { entries });
+
+        // Resource alarming (GridView's "System Overload" banner).
+        if usage.cpu >= self.params.alarm_cpu && !self.alarm_active {
+            self.alarm_active = true;
+            let event = Event::new(
+                EventType::ResourceAlarm,
+                self.node,
+                EventPayload::Metric(usage.cpu),
+            );
+            ctx.send(self.event, KernelMsg::EsPublish { event });
+        } else if usage.cpu < self.params.alarm_cpu {
+            self.alarm_active = false;
+        }
+    }
+
+    fn start_sampling(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // Stagger the first sample by node id so 640 detectors do not all
+        // fire at the same virtual instant.
+        let phase = (self.node.0 as u64 % 16) * (self.params.detector_sample.as_nanos() / 16);
+        ctx.set_timer(phoenix_sim::SimDuration::from_nanos(phase.max(1)), TOK_SAMPLE);
+    }
+}
+
+impl Actor<KernelMsg> for Detector {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.trace(TraceEvent::ServiceUp {
+            pid: ctx.pid(),
+            service: "detector",
+            node: ctx.node(),
+        });
+        if self.bulletin != Pid(0) {
+            self.start_sampling(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, KernelMsg>, from: Pid, msg: KernelMsg) {
+        match msg {
+            KernelMsg::Boot(dir) => {
+                if let Some(me) = dir.partition(self.partition) {
+                    self.bulletin = me.bulletin;
+                    self.event = me.event;
+                }
+                self.start_sampling(ctx);
+            }
+            KernelMsg::PartitionView { local, .. } => {
+                self.bulletin = local.bulletin;
+                self.event = local.event;
+            }
+            KernelMsg::AppStarted { job, pid, task } => {
+                self.apps.insert(
+                    job,
+                    TrackedApp {
+                        pid,
+                        task,
+                        status: AppStatus::Running,
+                    },
+                );
+                self.publish_app_event(ctx, job, true);
+                self.export(ctx);
+            }
+            KernelMsg::AppExited { job, failed, .. } => {
+                if let Some(app) = self.apps.get_mut(&job) {
+                    app.status = if failed {
+                        AppStatus::Failed
+                    } else {
+                        AppStatus::Exited
+                    };
+                }
+                self.publish_app_event(ctx, job, false);
+                self.export(ctx);
+                // Exited apps drop out of tracking after their final export.
+                self.apps.remove(&job);
+            }
+            KernelMsg::PbsPoll { req } => {
+                // PBS-baseline resource poll: answer directly.
+                let usage = self.compute_usage(ctx);
+                let jobs: Vec<JobId> = self.apps.keys().copied().collect();
+                ctx.send(
+                    from,
+                    KernelMsg::PbsPollResp {
+                        req,
+                        node: self.node,
+                        usage,
+                        jobs,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, KernelMsg>, token: u64) {
+        if token == TOK_SAMPLE {
+            self.check_app_liveness(ctx);
+            self.export(ctx);
+            ctx.set_timer(self.params.detector_sample, TOK_SAMPLE);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "detector"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientHandle;
+    use phoenix_proto::{MemberInfo, RequestId, ServiceDirectory};
+    use phoenix_sim::{ClusterBuilder, NodeSpec, SimDuration, World};
+
+    fn setup() -> (World<KernelMsg>, Pid, ClientHandle, ClientHandle) {
+        let mut w = ClusterBuilder::new()
+            .nodes(2, NodeSpec::default())
+            .build::<KernelMsg>();
+        let det = w.spawn(
+            NodeId(0),
+            Box::new(Detector::new(NodeId(0), PartitionId(0), KernelParams::fast())),
+        );
+        // Stand-in bulletin and event sinks.
+        let bulletin = ClientHandle::spawn(&mut w, NodeId(1));
+        let event = ClientHandle::spawn(&mut w, NodeId(1));
+        let dir = ServiceDirectory {
+            config: Pid(0),
+            security: Pid(0),
+            partitions: vec![MemberInfo {
+                partition: PartitionId(0),
+                node: NodeId(1),
+                gsd: Pid(0),
+                event: event.pid,
+                bulletin: bulletin.pid,
+                checkpoint: Pid(0),
+                host_ppm: Pid(0),
+            }],
+            nodes: vec![],
+        };
+        w.inject(det, KernelMsg::Boot(Box::new(dir)));
+        (w, det, bulletin, event)
+    }
+
+    #[test]
+    fn periodic_export_reaches_bulletin() {
+        let (mut w, _det, bulletin, _event) = setup();
+        w.run_for(SimDuration::from_secs(2));
+        let puts = bulletin
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, KernelMsg::DbPut { .. }))
+            .count();
+        assert!(puts >= 2, "expected several samples, got {puts}");
+    }
+
+    #[test]
+    fn app_lifecycle_updates_usage_and_events() {
+        let (mut w, det, _bulletin, event) = setup();
+        w.run_for(SimDuration::from_millis(700));
+        w.inject(
+            det,
+            KernelMsg::AppStarted {
+                job: JobId(7),
+                pid: Pid(9999), // not alive; liveness check will flag it
+                task: TaskSpec {
+                    cpus: 2,
+                    cpu_load: 0.6,
+                    mem_load: 0.2,
+                    duration_ns: None,
+                },
+            },
+        );
+        w.run_for(SimDuration::from_millis(100));
+        // Node usage now reflects the app load.
+        let u = w.node(NodeId(0)).usage;
+        assert!(u.cpu > 0.5, "cpu={}", u.cpu);
+        let evs = event.drain();
+        assert!(evs.iter().any(|(_, m)| matches!(
+            m,
+            KernelMsg::EsPublish { event } if event.etype == EventType::AppStateChange
+        )));
+    }
+
+    #[test]
+    fn vanished_app_is_reported_failed() {
+        let (mut w, det, _bulletin, event) = setup();
+        w.inject(
+            det,
+            KernelMsg::AppStarted {
+                job: JobId(1),
+                pid: Pid(12345), // never existed → fails liveness
+                task: TaskSpec::default(),
+            },
+        );
+        w.run_for(SimDuration::from_secs(2));
+        let evs = event.drain();
+        let downs = evs
+            .iter()
+            .filter(|(_, m)| {
+                matches!(m, KernelMsg::EsPublish { event }
+                    if matches!(event.payload, EventPayload::AppLifecycle { up: false, .. }))
+            })
+            .count();
+        assert!(downs >= 1, "app failure must be published");
+    }
+
+    #[test]
+    fn pbs_poll_answers_with_usage() {
+        let (mut w, det, _b, _e) = setup();
+        let client = ClientHandle::spawn(&mut w, NodeId(1));
+        client.send(&mut w, det, KernelMsg::PbsPoll { req: RequestId(4) });
+        w.run_for(SimDuration::from_millis(5));
+        let got = client.drain();
+        assert!(matches!(
+            got[0].1,
+            KernelMsg::PbsPollResp {
+                node: NodeId(0),
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,453 @@
+//! The event service.
+//!
+//! Paper Sec 4.2: "Based on group service, event service plays the role of
+//! communication channel of Phoenix kernel, and provides the following
+//! interfaces: the registration of the event supplier and event types it
+//! produces, the registration of the event consumer and event types it
+//! feels interested in; plus these interfaces, event service also provides
+//! functions like events filtering and real-time notification."
+//!
+//! One instance per partition, forming a federation: an event published at
+//! any instance is forwarded to all peers, so a consumer registered at any
+//! single access point observes cluster-wide events. Consumer
+//! registrations and the publish cursor are checkpointed so a restarted or
+//! migrated instance keeps serving its consumers (paper Fig 4).
+
+use crate::params::KernelParams;
+use phoenix_proto::{
+    CheckpointData, ConsumerReg, Event, EventType, KernelMsg, PartitionId, RequestId, ServiceKind,
+};
+use phoenix_sim::{Actor, Ctx, FaultTarget, Pid, RecoveryAction, TraceEvent};
+use std::collections::HashMap;
+
+const TOK_HB: u64 = 1;
+const TOK_RESTORE_TIMEOUT: u64 = 2;
+
+/// Save the cursor every this many publishes (registrations always save).
+const SEQ_SAVE_STRIDE: u64 = 16;
+
+/// The event-service actor.
+pub struct EventService {
+    partition: PartitionId,
+    params: KernelParams,
+    gsd: Pid,
+    checkpoint: Pid,
+    peers: Vec<Pid>,
+    consumers: Vec<ConsumerReg>,
+    suppliers: HashMap<Pid, Vec<EventType>>,
+    next_seq: u64,
+    /// While Some, we are waiting for checkpoint state; publishes queue.
+    restoring: bool,
+    queued: Vec<(Pid, Event)>,
+    hb_seq: u64,
+    recovery: Option<RecoveryAction>,
+}
+
+impl EventService {
+    /// Boot-time instance; wired by the `Boot` message.
+    pub fn new(partition: PartitionId, params: KernelParams) -> Self {
+        EventService {
+            partition,
+            params,
+            gsd: Pid(0),
+            checkpoint: Pid(0),
+            peers: Vec::new(),
+            consumers: Vec::new(),
+            suppliers: HashMap::new(),
+            next_seq: 1,
+            restoring: false,
+            queued: Vec::new(),
+            hb_seq: 0,
+            recovery: None,
+        }
+    }
+
+    /// Respawned instance: restores registrations from the checkpoint
+    /// service before resuming notification.
+    pub fn respawn(
+        partition: PartitionId,
+        params: KernelParams,
+        gsd: Pid,
+        checkpoint: Pid,
+        peers: Vec<Pid>,
+        action: RecoveryAction,
+    ) -> Self {
+        EventService {
+            partition,
+            params,
+            gsd,
+            checkpoint,
+            peers,
+            consumers: Vec::new(),
+            suppliers: HashMap::new(),
+            next_seq: 1,
+            restoring: true,
+            queued: Vec::new(),
+            hb_seq: 0,
+            recovery: Some(action),
+        }
+    }
+
+    fn register_with_gsd(&self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.send(
+            self.gsd,
+            KernelMsg::SvcRegister {
+                kind: ServiceKind::Event,
+                pid: ctx.pid(),
+                factory: format!("event:p{}", self.partition.0),
+            },
+        );
+    }
+
+    fn heartbeat(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        self.hb_seq += 1;
+        ctx.send(
+            self.gsd,
+            KernelMsg::SvcHeartbeat {
+                kind: ServiceKind::Event,
+                pid: ctx.pid(),
+                seq: self.hb_seq,
+            },
+        );
+        ctx.set_timer(self.params.ft.hb_interval, TOK_HB);
+    }
+
+    fn save_state(&self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.send(
+            self.checkpoint,
+            KernelMsg::CkSave {
+                service: ServiceKind::Event,
+                partition: self.partition,
+                data: CheckpointData::EventService {
+                    consumers: self.consumers.clone(),
+                    next_seq: self.next_seq,
+                },
+            },
+        );
+    }
+
+    /// Deliver to local consumers whose filter accepts the event.
+    fn notify_local(&self, ctx: &mut Ctx<'_, KernelMsg>, event: &Event) {
+        for reg in &self.consumers {
+            if reg.filter.accepts(event) {
+                ctx.send(
+                    reg.consumer,
+                    KernelMsg::EsNotify {
+                        event: event.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn publish(&mut self, ctx: &mut Ctx<'_, KernelMsg>, mut event: Event) {
+        event.partition = self.partition;
+        event.seq = self.next_seq;
+        self.next_seq += 1;
+        self.notify_local(ctx, &event);
+        for &peer in &self.peers {
+            ctx.send(peer, KernelMsg::EsFedForward { event: event.clone() });
+        }
+        if self.next_seq % SEQ_SAVE_STRIDE == 0 {
+            self.save_state(ctx);
+        }
+    }
+
+    fn finish_restore(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        self.restoring = false;
+        if let Some(action) = self.recovery.take() {
+            ctx.trace(TraceEvent::Recovered {
+                target: FaultTarget::Process(ctx.pid()),
+                action,
+            });
+        }
+        let queued = std::mem::take(&mut self.queued);
+        for (_from, ev) in queued {
+            self.publish(ctx, ev);
+        }
+    }
+}
+
+impl Actor<KernelMsg> for EventService {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.trace(TraceEvent::ServiceUp {
+            pid: ctx.pid(),
+            service: "event",
+            node: ctx.node(),
+        });
+        if self.gsd != Pid(0) {
+            self.register_with_gsd(ctx);
+            self.heartbeat(ctx);
+        }
+        if self.restoring {
+            ctx.send(
+                self.checkpoint,
+                KernelMsg::CkLoad {
+                    req: RequestId(0),
+                    service: ServiceKind::Event,
+                    partition: self.partition,
+                },
+            );
+            ctx.set_timer(self.params.fed_query_timeout * 8, TOK_RESTORE_TIMEOUT);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, KernelMsg>, from: Pid, msg: KernelMsg) {
+        match msg {
+            KernelMsg::Boot(dir) => {
+                if let Some(me) = dir.partition(self.partition) {
+                    self.gsd = me.gsd;
+                    self.checkpoint = me.checkpoint;
+                }
+                self.peers = dir
+                    .partitions
+                    .iter()
+                    .filter(|m| m.partition != self.partition)
+                    .map(|m| m.event)
+                    .collect();
+                self.register_with_gsd(ctx);
+                self.heartbeat(ctx);
+            }
+            KernelMsg::PartitionView { members, local } => {
+                let gsd_changed = self.gsd != local.gsd;
+                self.gsd = local.gsd;
+                self.checkpoint = local.checkpoint;
+                self.peers = members
+                    .iter()
+                    .filter(|m| m.partition != self.partition)
+                    .map(|m| m.event)
+                    .collect();
+                // Register only when the supervisor changed: an
+                // unconditional register would echo every view push into
+                // another membership announcement.
+                if gsd_changed {
+                    self.register_with_gsd(ctx);
+                }
+            }
+            KernelMsg::EsRegisterConsumer { reg } => {
+                self.consumers.retain(|r| r.consumer != reg.consumer);
+                self.consumers.push(reg);
+                self.save_state(ctx);
+            }
+            KernelMsg::EsUnregisterConsumer { consumer } => {
+                self.consumers.retain(|r| r.consumer != consumer);
+                self.save_state(ctx);
+            }
+            KernelMsg::EsRegisterSupplier { supplier, types } => {
+                self.suppliers.insert(supplier, types);
+            }
+            KernelMsg::EsPublish { event } => {
+                if self.restoring {
+                    self.queued.push((from, event));
+                } else {
+                    self.publish(ctx, event);
+                }
+            }
+            KernelMsg::EsFedForward { event } => {
+                self.notify_local(ctx, &event);
+            }
+            KernelMsg::CkLoadResp { data, .. } => {
+                if self.restoring {
+                    if let Some(CheckpointData::EventService { consumers, next_seq }) = data {
+                        self.consumers = consumers;
+                        self.next_seq = next_seq;
+                    }
+                    self.finish_restore(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, KernelMsg>, token: u64) {
+        match token {
+            TOK_HB => self.heartbeat(ctx),
+            TOK_RESTORE_TIMEOUT => {
+                if self.restoring {
+                    self.finish_restore(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "event"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientHandle;
+    use phoenix_proto::{EventFilter, EventPayload, MemberInfo, ServiceDirectory};
+    use phoenix_sim::{ClusterBuilder, NodeId, NodeSpec, SimDuration, World};
+
+    fn setup() -> (World<KernelMsg>, Pid, Pid) {
+        let mut w = ClusterBuilder::new()
+            .nodes(4, NodeSpec::default())
+            .build::<KernelMsg>();
+        let es0 = w.spawn(
+            NodeId(0),
+            Box::new(EventService::new(PartitionId(0), KernelParams::fast())),
+        );
+        let es1 = w.spawn(
+            NodeId(1),
+            Box::new(EventService::new(PartitionId(1), KernelParams::fast())),
+        );
+        let member = |p: u32, n: u32, es: Pid| MemberInfo {
+            partition: PartitionId(p),
+            node: NodeId(n),
+            gsd: Pid(0),
+            event: es,
+            bulletin: Pid(0),
+            checkpoint: Pid(0),
+            host_ppm: Pid(0),
+        };
+        let dir = ServiceDirectory {
+            config: Pid(0),
+            security: Pid(0),
+            partitions: vec![member(0, 0, es0), member(1, 1, es1)],
+            nodes: vec![],
+        };
+        w.inject(es0, KernelMsg::Boot(Box::new(dir.clone())));
+        w.inject(es1, KernelMsg::Boot(Box::new(dir)));
+        w.run_for(SimDuration::from_millis(5));
+        (w, es0, es1)
+    }
+
+    #[test]
+    fn consumer_gets_filtered_notifications() {
+        let (mut w, es0, _es1) = setup();
+        let client = ClientHandle::spawn(&mut w, NodeId(2));
+        client.send(
+            &mut w,
+            es0,
+            KernelMsg::EsRegisterConsumer {
+                reg: ConsumerReg {
+                    consumer: client.pid,
+                    filter: EventFilter::types(&[EventType::NodeFault]),
+                },
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        // Publish a matching and a non-matching event.
+        w.inject(
+            es0,
+            KernelMsg::EsPublish {
+                event: Event::new(EventType::NodeFault, NodeId(3), EventPayload::Node(NodeId(3))),
+            },
+        );
+        w.inject(
+            es0,
+            KernelMsg::EsPublish {
+                event: Event::new(EventType::ConfigChange, NodeId(0), EventPayload::None),
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        let got = client.drain();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(
+            &got[0].1,
+            KernelMsg::EsNotify { event } if event.etype == EventType::NodeFault
+        ));
+    }
+
+    #[test]
+    fn federation_forwards_to_remote_consumers() {
+        let (mut w, es0, es1) = setup();
+        // Consumer registered at instance 1, event published at instance 0.
+        let client = ClientHandle::spawn(&mut w, NodeId(3));
+        client.send(
+            &mut w,
+            es1,
+            KernelMsg::EsRegisterConsumer {
+                reg: ConsumerReg {
+                    consumer: client.pid,
+                    filter: EventFilter::All,
+                },
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        w.inject(
+            es0,
+            KernelMsg::EsPublish {
+                event: Event::new(EventType::NodeFault, NodeId(2), EventPayload::None),
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        let got = client.drain();
+        assert_eq!(got.len(), 1, "single access point: remote event arrives");
+    }
+
+    #[test]
+    fn publish_assigns_monotone_seq() {
+        let (mut w, es0, _) = setup();
+        let client = ClientHandle::spawn(&mut w, NodeId(2));
+        client.send(
+            &mut w,
+            es0,
+            KernelMsg::EsRegisterConsumer {
+                reg: ConsumerReg {
+                    consumer: client.pid,
+                    filter: EventFilter::All,
+                },
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        for _ in 0..3 {
+            w.inject(
+                es0,
+                KernelMsg::EsPublish {
+                    event: Event::new(EventType::ResourceAlarm, NodeId(0), EventPayload::None),
+                },
+            );
+        }
+        w.run_for(SimDuration::from_millis(5));
+        let mut seqs: Vec<u64> = client
+            .drain()
+            .into_iter()
+            .map(|(_, m)| match m {
+                KernelMsg::EsNotify { event } => event.seq,
+                _ => panic!("unexpected message"),
+            })
+            .collect();
+        // Delivery order may vary with network jitter, but the service
+        // must have assigned three distinct consecutive sequence numbers.
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unregister_stops_notifications() {
+        let (mut w, es0, _) = setup();
+        let client = ClientHandle::spawn(&mut w, NodeId(2));
+        client.send(
+            &mut w,
+            es0,
+            KernelMsg::EsRegisterConsumer {
+                reg: ConsumerReg {
+                    consumer: client.pid,
+                    filter: EventFilter::All,
+                },
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        client.send(
+            &mut w,
+            es0,
+            KernelMsg::EsUnregisterConsumer {
+                consumer: client.pid,
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        w.inject(
+            es0,
+            KernelMsg::EsPublish {
+                event: Event::new(EventType::NodeFault, NodeId(0), EventPayload::None),
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        assert!(client.is_empty());
+    }
+}

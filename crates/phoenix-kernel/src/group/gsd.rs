@@ -1,0 +1,1629 @@
+//! The Group Service Daemon (GSD).
+//!
+//! Paper Sec 4.3–4.4. One GSD runs per partition (on the partition's
+//! server node) and is the keystone of both scalability and fault
+//! tolerance:
+//!
+//! * **WD monitoring** — watch daemons on every partition node heartbeat
+//!   over all NICs; the GSD analyzes the per-NIC pattern to detect and
+//!   diagnose process, node, and network failures (Table 1).
+//! * **Meta-group ring** — the GSDs of all partitions form a ring-structured
+//!   meta-group (paper Fig 3). Each member heartbeats its successor over
+//!   all NICs; the successor of a failed member diagnoses the failure and
+//!   takes over: restarting the GSD in place (process fault) or migrating
+//!   it — with its partition services — to a backup node (node fault).
+//!   The first member is the Leader, the second the Princess; when the
+//!   Leader fails the Princess takes over, and so on down the ring.
+//! * **Service supervision** — per-partition services (event, bulletin,
+//!   checkpoint, user-environment services) register with their GSD and
+//!   heartbeat it; the GSD restarts failed members from the factory
+//!   registry, after which they restore state from the checkpoint service
+//!   (paper Fig 4).
+
+use crate::group::registry::{kernel_factory_key, RespawnArgs, SharedRegistry};
+use crate::group::wd::Wd;
+use crate::params::KernelParams;
+use phoenix_proto::{
+    CheckpointData, ClusterTopology, Event, EventPayload, EventType, KernelMsg, MemberInfo,
+    NodeServices, PartitionId, RequestId, ServiceKind,
+};
+use phoenix_sim::{
+    Actor, Ctx, Diagnosis, FaultTarget, NicId, NodeId, Pid, RecoveryAction, SimTime, TraceEvent,
+};
+use std::collections::HashMap;
+
+const TOK_SCAN: u64 = 1;
+const TOK_TICK: u64 = 2;
+const OP_BASE: u64 = 100;
+
+/// How this GSD instance came to exist.
+enum GsdInit {
+    /// Spawned by the boot driver; wiring arrives in the `Boot` message.
+    Boot,
+    /// Spawned by a ring neighbour taking over a failed member.
+    Respawn {
+        hint: MemberInfo,
+        members: Vec<MemberInfo>,
+        action: RecoveryAction,
+    },
+}
+
+/// Per-node watch-daemon tracking state.
+struct WdTrack {
+    wd: Pid,
+    last: Vec<SimTime>,
+    nic_down: Vec<bool>,
+    node_down: bool,
+    probing: Option<u64>,
+}
+
+impl WdTrack {
+    fn new(wd: Pid, nics: usize, now: SimTime) -> WdTrack {
+        WdTrack {
+            wd,
+            last: vec![now; nics],
+            nic_down: vec![false; nics],
+            node_down: false,
+            probing: None,
+        }
+    }
+}
+
+/// Supervised-service tracking state.
+struct SvcTrack {
+    kind: ServiceKind,
+    factory: String,
+    last: SimTime,
+}
+
+/// Ring-predecessor tracking state.
+struct PredTrack {
+    member: MemberInfo,
+    last: Vec<SimTime>,
+    nic_down: Vec<bool>,
+    probing: Option<u64>,
+    down: bool,
+}
+
+/// An in-flight liveness probe session.
+struct ProbeSession {
+    kind: ProbeKind,
+    target_ppm: Pid,
+    rounds_sent: u32,
+    responses: u32,
+    active: bool,
+}
+
+#[derive(Clone, Copy)]
+enum ProbeKind {
+    /// Diagnosing a silent watch daemon on a partition node.
+    Wd(NodeId),
+    /// Diagnosing a silent ring predecessor.
+    Meta(PartitionId),
+}
+
+/// Work scheduled for a later virtual instant.
+enum DelayedOp {
+    ProbeRound(u64),
+    ProbeTimeout(u64),
+    /// Network-failure analysis completes (per-NIC heartbeat pattern).
+    NicDiag {
+        node: NodeId,
+        nic: NicId,
+    },
+    /// Local (same-host) failure classification completes.
+    LocalDiagSvc {
+        pid: Pid,
+        kind: ServiceKind,
+        factory: String,
+    },
+    /// Own-NIC introspection classification completes.
+    LocalDiagNic { nic: NicId },
+    /// Execute a scheduled restart/migration.
+    Restart(RestartWhat),
+}
+
+enum RestartWhat {
+    Wd(NodeId),
+    Svc {
+        kind: ServiceKind,
+        factory: String,
+    },
+    GsdInPlace {
+        hint: MemberInfo,
+        members: Vec<MemberInfo>,
+    },
+    GsdMigrate {
+        hint: MemberInfo,
+        members: Vec<MemberInfo>,
+        to: NodeId,
+    },
+    /// Leader safety net: a partition has had no meta-group member for a
+    /// whole tick — whoever planned its takeover died before executing
+    /// it. Decide restart-vs-migrate at fire time.
+    GsdRescue { partition: PartitionId },
+}
+
+/// The GSD actor.
+pub struct Gsd {
+    partition: PartitionId,
+    params: KernelParams,
+    topology: ClusterTopology,
+    config: Pid,
+    registry: SharedRegistry,
+    init: Option<GsdInit>,
+
+    local: MemberInfo,
+    members: Vec<MemberInfo>,
+    epoch: u64,
+    node_daemons: HashMap<NodeId, NodeServices>,
+
+    wd_tracks: HashMap<NodeId, WdTrack>,
+    svc_tracks: HashMap<Pid, SvcTrack>,
+    pred: Option<PredTrack>,
+    my_nic_known: Vec<bool>,
+
+    probes: HashMap<u64, ProbeSession>,
+    ops: HashMap<u64, DelayedOp>,
+    next_id: u64,
+    last_role: &'static str,
+    monitoring: bool,
+    recovery: Option<RecoveryAction>,
+    supervision_dirty: bool,
+    /// Last known member info per partition (rescue hints).
+    last_known: HashMap<PartitionId, MemberInfo>,
+    /// Partitions the leader is currently rescuing.
+    rescuing: std::collections::HashSet<PartitionId>,
+    /// Re-announce ourselves to the leader at the next tick (set when a
+    /// membership broadcast was missing us).
+    needs_rejoin: bool,
+}
+
+impl Gsd {
+    /// Boot-time GSD.
+    pub fn new(
+        partition: PartitionId,
+        params: KernelParams,
+        topology: ClusterTopology,
+        config: Pid,
+        registry: SharedRegistry,
+    ) -> Self {
+        Self::build(partition, params, topology, config, registry, GsdInit::Boot)
+    }
+
+    /// A GSD spawned by a ring neighbour to replace a failed member.
+    /// `hint` is the failed member's info (for an in-place restart its
+    /// service pids are still valid); `members` is the takeover-time
+    /// membership snapshot (failed member already removed).
+    pub fn respawn(
+        partition: PartitionId,
+        params: KernelParams,
+        topology: ClusterTopology,
+        config: Pid,
+        registry: SharedRegistry,
+        hint: MemberInfo,
+        members: Vec<MemberInfo>,
+        action: RecoveryAction,
+    ) -> Self {
+        Self::build(
+            partition,
+            params,
+            topology,
+            config,
+            registry,
+            GsdInit::Respawn {
+                hint,
+                members,
+                action,
+            },
+        )
+    }
+
+    fn build(
+        partition: PartitionId,
+        params: KernelParams,
+        topology: ClusterTopology,
+        config: Pid,
+        registry: SharedRegistry,
+        init: GsdInit,
+    ) -> Self {
+        Gsd {
+            partition,
+            params,
+            topology,
+            config,
+            registry,
+            init: Some(init),
+            local: MemberInfo {
+                partition,
+                node: NodeId(0),
+                gsd: Pid(0),
+                event: Pid(0),
+                bulletin: Pid(0),
+                checkpoint: Pid(0),
+                host_ppm: Pid(0),
+            },
+            members: Vec::new(),
+            epoch: 0,
+            node_daemons: HashMap::new(),
+            wd_tracks: HashMap::new(),
+            svc_tracks: HashMap::new(),
+            pred: None,
+            my_nic_known: Vec::new(),
+            probes: HashMap::new(),
+            ops: HashMap::new(),
+            next_id: 0,
+            last_role: "",
+            monitoring: false,
+            recovery: None,
+            supervision_dirty: false,
+            last_known: HashMap::new(),
+            rescuing: std::collections::HashSet::new(),
+            needs_rejoin: false,
+        }
+    }
+
+    // ---- identity & ring geometry ---------------------------------------
+
+    fn sorted(&mut self) {
+        self.members.sort_by_key(|m| m.partition);
+        self.members.dedup_by_key(|m| m.partition);
+    }
+
+    fn my_index(&self) -> Option<usize> {
+        self.members
+            .iter()
+            .position(|m| m.partition == self.partition)
+    }
+
+    /// The ring successor (whom I heartbeat).
+    fn successor(&self) -> Option<MemberInfo> {
+        let i = self.my_index()?;
+        let n = self.members.len();
+        if n < 2 {
+            return None;
+        }
+        Some(self.members[(i + 1) % n])
+    }
+
+    /// The ring predecessor (whom I monitor).
+    fn predecessor(&self) -> Option<MemberInfo> {
+        let i = self.my_index()?;
+        let n = self.members.len();
+        if n < 2 {
+            return None;
+        }
+        Some(self.members[(i + n - 1) % n])
+    }
+
+    /// "Leader" / "princess" / "member" per ring position (paper Fig 3).
+    fn role(&self) -> &'static str {
+        match self.my_index() {
+            Some(0) => "leader",
+            Some(1) => "princess",
+            Some(_) => "member",
+            None => "orphan",
+        }
+    }
+
+    fn leader(&self) -> Option<MemberInfo> {
+        self.members.first().copied()
+    }
+
+    fn refresh_roles(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        self.sorted();
+        for m in &self.members {
+            self.last_known.insert(m.partition, *m);
+        }
+        let present: std::collections::HashSet<PartitionId> =
+            self.members.iter().map(|m| m.partition).collect();
+        self.rescuing.retain(|p| !present.contains(p));
+        let role = self.role();
+        if role != self.last_role {
+            self.last_role = role;
+            ctx.trace(TraceEvent::RoleChange {
+                pid: ctx.pid(),
+                role,
+            });
+        }
+        // Reset predecessor tracking if the predecessor changed.
+        let pred = self.predecessor();
+        let changed = match (&self.pred, &pred) {
+            (Some(t), Some(p)) => t.member.gsd != p.gsd,
+            (None, None) => false,
+            _ => true,
+        };
+        if changed {
+            self.pred = pred.map(|member| PredTrack {
+                member,
+                last: vec![ctx.now(); self.my_nic_known.len().max(1)],
+                nic_down: vec![false; self.my_nic_known.len().max(1)],
+                probing: None,
+                down: false,
+            });
+        }
+    }
+
+    // ---- small utilities -------------------------------------------------
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn schedule(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg>,
+        after: phoenix_sim::SimDuration,
+        op: DelayedOp,
+    ) {
+        let id = self.fresh_id();
+        self.ops.insert(id, op);
+        ctx.set_timer(after, OP_BASE + id);
+    }
+
+    fn publish(&self, ctx: &mut Ctx<'_, KernelMsg>, etype: EventType, origin: NodeId, payload: EventPayload) {
+        ctx.send(
+            self.local.event,
+            KernelMsg::EsPublish {
+                event: Event::new(etype, origin, payload),
+            },
+        );
+    }
+
+    fn broadcast_meta(&self, ctx: &mut Ctx<'_, KernelMsg>, msg: KernelMsg) {
+        for m in &self.members {
+            if m.partition != self.partition {
+                ctx.send(m.gsd, msg.clone());
+            }
+        }
+    }
+
+    fn push_partition_view(&self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let view = KernelMsg::PartitionView {
+            members: self.members.clone(),
+            local: self.local,
+        };
+        for pid in [self.local.event, self.local.bulletin, self.local.checkpoint] {
+            if pid != Pid(0) {
+                ctx.send(pid, view.clone());
+            }
+        }
+        // Supervised user-environment services also get the view.
+        for (&pid, t) in &self.svc_tracks {
+            if t.kind == ServiceKind::UserEnvironment {
+                ctx.send(pid, view.clone());
+            }
+        }
+        if let Some(spec) = self.topology.partition(self.partition) {
+            for node in spec.all_nodes() {
+                if let Some(ns) = self.node_daemons.get(&node) {
+                    ctx.send(ns.wd, view.clone());
+                    ctx.send(ns.detector, view.clone());
+                }
+            }
+        }
+    }
+
+    fn announce_membership_change(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        // Route the change through the leader (ourselves, perhaps).
+        if let Some(leader) = self.leader() {
+            if leader.partition == self.partition {
+                self.epoch += 1;
+                let msg = KernelMsg::MetaMembership {
+                    epoch: self.epoch,
+                    members: self.members.clone(),
+                };
+                self.broadcast_meta(ctx, msg);
+            } else {
+                ctx.send(leader.gsd, KernelMsg::MetaJoin { member: self.local });
+            }
+        }
+        ctx.send(
+            self.config,
+            KernelMsg::DirectoryUpdate {
+                partition: self.partition,
+                member: self.local,
+            },
+        );
+        self.push_partition_view(ctx);
+    }
+
+    fn save_supervision(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let entries: Vec<(String, Pid)> = self
+            .svc_tracks
+            .iter()
+            .filter(|(_, t)| t.kind == ServiceKind::UserEnvironment)
+            .map(|(&pid, t)| (t.factory.clone(), pid))
+            .collect();
+        ctx.send(
+            self.local.checkpoint,
+            KernelMsg::CkSave {
+                service: ServiceKind::Group,
+                partition: self.partition,
+                data: CheckpointData::Supervision { entries },
+            },
+        );
+        self.supervision_dirty = false;
+    }
+
+    // ---- wiring ----------------------------------------------------------
+
+    fn wire_from_boot(&mut self, ctx: &mut Ctx<'_, KernelMsg>, dir: &phoenix_proto::ServiceDirectory) {
+        if let Some(me) = dir.partition(self.partition) {
+            self.local = *me;
+            self.local.gsd = ctx.pid();
+        }
+        self.members = dir.partitions.clone();
+        // Patch our own entry (directory was built before spawn order).
+        for m in &mut self.members {
+            if m.partition == self.partition {
+                *m = self.local;
+            }
+        }
+        self.ingest_node_daemons(dir.nodes.iter());
+        self.finish_wiring(ctx);
+    }
+
+    fn ingest_node_daemons<'a, I: Iterator<Item = &'a NodeServices>>(&mut self, nodes: I) {
+        let Some(spec) = self.topology.partition(self.partition) else {
+            return;
+        };
+        let mine = spec.all_nodes();
+        for ns in nodes {
+            if mine.contains(&ns.node) {
+                self.node_daemons.insert(ns.node, *ns);
+            }
+        }
+    }
+
+    fn finish_wiring(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let nics = ctx.nic_count(ctx.node());
+        self.my_nic_known = (0..nics)
+            .map(|i| ctx.nic_is_up(ctx.node(), NicId(i as u8)))
+            .collect();
+        if let Some(ns) = self.node_daemons.get(&ctx.node()) {
+            self.local.host_ppm = ns.ppm;
+        }
+        self.local.node = ctx.node();
+
+        // Initialize WD tracking for every partition node.
+        let now = ctx.now();
+        if let Some(spec) = self.topology.partition(self.partition).cloned() {
+            for node in spec.all_nodes() {
+                if let Some(ns) = self.node_daemons.get(&node) {
+                    let nics = self.my_nic_known.len();
+                    self.wd_tracks
+                        .entry(node)
+                        .or_insert_with(|| WdTrack::new(ns.wd, nics, now));
+                }
+            }
+        }
+
+        self.refresh_roles(ctx);
+        self.monitoring = true;
+        ctx.set_timer(self.params.ft.check_interval, TOK_SCAN);
+        ctx.set_timer(self.params.ft.hb_interval, TOK_TICK);
+        // Register as an event supplier (fault/recovery events).
+        ctx.send(
+            self.local.event,
+            KernelMsg::EsRegisterSupplier {
+                supplier: ctx.pid(),
+                types: vec![
+                    EventType::NodeFault,
+                    EventType::NodeRecovery,
+                    EventType::NetworkFault,
+                    EventType::NetworkRecovery,
+                    EventType::ServiceFault,
+                    EventType::ServiceRecovery,
+                ],
+            },
+        );
+        // Announce initial ring heartbeat immediately so successors have a
+        // fresh baseline.
+        self.send_meta_heartbeats(ctx);
+    }
+
+    fn wire_from_respawn(&mut self, ctx: &mut Ctx<'_, KernelMsg>, dir: &phoenix_proto::ServiceDirectory) {
+        let Some(GsdInit::Respawn {
+            hint,
+            members,
+            action,
+        }) = self.init.take()
+        else {
+            return;
+        };
+        self.ingest_node_daemons(dir.nodes.iter());
+        self.members = members;
+        self.local = hint;
+        self.local.gsd = ctx.pid();
+        self.local.node = ctx.node();
+        self.recovery = Some(action);
+
+        if let RecoveryAction::Migrated(_) = action {
+            // The whole server node died: rebuild the partition services
+            // here. Checkpoint first so the others can restore from it.
+            let mut args = RespawnArgs {
+                kind: ServiceKind::Checkpoint,
+                partition: self.partition,
+                node: ctx.node(),
+                gsd: ctx.pid(),
+                checkpoint: Pid(0),
+                members: self.members.clone(),
+                action,
+                params: self.params.clone(),
+            };
+            let reg = self.registry.clone();
+            let spawn_kind = |ctx: &mut Ctx<'_, KernelMsg>,
+                                  args: &RespawnArgs,
+                                  kind: ServiceKind|
+             -> Pid {
+                let key = kernel_factory_key(kind, args.partition);
+                let mut args2 = args.clone();
+                args2.kind = kind;
+                match reg.borrow_mut().build(&key, &args2) {
+                    Some(actor) => ctx.spawn(args2.node, actor),
+                    None => Pid(0),
+                }
+            };
+            let ck = spawn_kind(ctx, &args, ServiceKind::Checkpoint);
+            args.checkpoint = ck;
+            let es = spawn_kind(ctx, &args, ServiceKind::Event);
+            let db = spawn_kind(ctx, &args, ServiceKind::DataBulletin);
+            self.local.checkpoint = ck;
+            self.local.event = es;
+            self.local.bulletin = db;
+        }
+
+        // Upsert ourselves into the membership and tell the world.
+        let old_gsd = hint.gsd;
+        self.members.retain(|m| m.partition != self.partition);
+        self.members.push(self.local);
+        self.finish_wiring(ctx);
+        self.announce_membership_change(ctx);
+        // Make sure the instance we replace (if it is somehow still
+        // running — false takeover) learns about us and yields.
+        if old_gsd != ctx.pid() && old_gsd != Pid(0) {
+            ctx.send(
+                old_gsd,
+                KernelMsg::MetaMembership {
+                    epoch: self.epoch + 1,
+                    members: self.members.clone(),
+                },
+            );
+        }
+
+        // Restore the user-environment supervision roster.
+        ctx.send(
+            self.local.checkpoint,
+            KernelMsg::CkLoad {
+                req: RequestId(0),
+                service: ServiceKind::Group,
+                partition: self.partition,
+            },
+        );
+
+        if let Some(action) = self.recovery.take() {
+            ctx.trace(TraceEvent::Recovered {
+                target: FaultTarget::Process(ctx.pid()),
+                action,
+            });
+            self.publish(
+                ctx,
+                EventType::ServiceRecovery,
+                ctx.node(),
+                EventPayload::Service(ServiceKind::Group, ctx.node()),
+            );
+        }
+    }
+
+    // ---- scanning --------------------------------------------------------
+
+    fn stale(&self, now: SimTime, last: SimTime) -> bool {
+        now.since(last) > self.params.ft.hb_interval + self.params.ft.hb_grace
+    }
+
+    fn scan(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let now = ctx.now();
+        self.scan_wds(ctx, now);
+        self.scan_pred(ctx, now);
+        self.scan_svcs(ctx, now);
+    }
+
+    fn scan_wds(&mut self, ctx: &mut Ctx<'_, KernelMsg>, now: SimTime) {
+        let own_node = ctx.node();
+        let nodes: Vec<NodeId> = self.wd_tracks.keys().copied().collect();
+        for node in nodes {
+            // Split-borrow dance: compute the decision, then mutate.
+            let decision = {
+                let t = &self.wd_tracks[&node];
+                if t.node_down || t.probing.is_some() {
+                    continue;
+                }
+                let mut stale_nics = Vec::new();
+                let mut fresh = 0usize;
+                for (i, &last) in t.last.iter().enumerate() {
+                    if t.nic_down[i] {
+                        continue;
+                    }
+                    // Skip NICs that are down on our own side: the
+                    // introspection path owns those.
+                    if !ctx.nic_is_up(own_node, NicId(i as u8)) {
+                        continue;
+                    }
+                    if self.stale(now, last) {
+                        stale_nics.push(i);
+                    } else {
+                        fresh += 1;
+                    }
+                }
+                (stale_nics, fresh)
+            };
+            let (stale_nics, fresh) = decision;
+            if stale_nics.is_empty() {
+                continue;
+            }
+            if fresh == 0 {
+                // Every interface silent: process or node failure; probe
+                // the node's PPM agent to find out.
+                let wd_pid = self.wd_tracks[&node].wd;
+                ctx.trace(TraceEvent::FaultDetected {
+                    observer: ctx.pid(),
+                    target: FaultTarget::Process(wd_pid),
+                });
+                let session = self.start_probe(
+                    ctx,
+                    ProbeKind::Wd(node),
+                    self.node_daemons.get(&node).map(|n| n.ppm).unwrap_or(Pid(0)),
+                    self.params.ft.wd_node_probe_timeout,
+                );
+                self.wd_tracks.get_mut(&node).unwrap().probing = Some(session);
+            } else {
+                // Partial silence: network failure on those interfaces.
+                for i in stale_nics {
+                    ctx.trace(TraceEvent::FaultDetected {
+                        observer: ctx.pid(),
+                        target: FaultTarget::Nic(node, NicId(i as u8)),
+                    });
+                    self.wd_tracks.get_mut(&node).unwrap().nic_down[i] = true;
+                    self.schedule(
+                        ctx,
+                        self.params.ft.nic_analysis_delay,
+                        DelayedOp::NicDiag {
+                            node,
+                            nic: NicId(i as u8),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn scan_pred(&mut self, ctx: &mut Ctx<'_, KernelMsg>, now: SimTime) {
+        let own_node = ctx.node();
+        let Some(t) = &self.pred else { return };
+        if t.down || t.probing.is_some() {
+            return;
+        }
+        let member = t.member;
+        let mut stale_nics = Vec::new();
+        let mut fresh = 0usize;
+        for (i, &last) in t.last.iter().enumerate() {
+            if t.nic_down[i] {
+                continue;
+            }
+            if !ctx.nic_is_up(own_node, NicId(i as u8)) {
+                continue;
+            }
+            if self.stale(now, last) {
+                stale_nics.push(i);
+            } else {
+                fresh += 1;
+            }
+        }
+        if stale_nics.is_empty() {
+            return;
+        }
+        if fresh == 0 {
+            ctx.trace(TraceEvent::FaultDetected {
+                observer: ctx.pid(),
+                target: FaultTarget::Process(member.gsd),
+            });
+            let session = self.start_probe(
+                ctx,
+                ProbeKind::Meta(member.partition),
+                member.host_ppm,
+                self.params.ft.meta_node_probe_timeout,
+            );
+            if let Some(t) = &mut self.pred {
+                t.probing = Some(session);
+            }
+        } else {
+            for i in stale_nics {
+                ctx.trace(TraceEvent::FaultDetected {
+                    observer: ctx.pid(),
+                    target: FaultTarget::Nic(member.node, NicId(i as u8)),
+                });
+                if let Some(t) = &mut self.pred {
+                    t.nic_down[i] = true;
+                }
+                self.schedule(
+                    ctx,
+                    self.params.ft.nic_analysis_delay,
+                    DelayedOp::NicDiag {
+                        node: member.node,
+                        nic: NicId(i as u8),
+                    },
+                );
+            }
+        }
+    }
+
+    fn scan_svcs(&mut self, ctx: &mut Ctx<'_, KernelMsg>, now: SimTime) {
+        let stale: Vec<(Pid, ServiceKind, String)> = self
+            .svc_tracks
+            .iter()
+            .filter(|(_, t)| self.stale(now, t.last))
+            .map(|(&pid, t)| (pid, t.kind, t.factory.clone()))
+            .collect();
+        for (pid, kind, factory) in stale {
+            self.svc_tracks.remove(&pid);
+            ctx.trace(TraceEvent::FaultDetected {
+                observer: ctx.pid(),
+                target: FaultTarget::Process(pid),
+            });
+            self.schedule(
+                ctx,
+                self.params.ft.local_diag_delay,
+                DelayedOp::LocalDiagSvc { pid, kind, factory },
+            );
+        }
+    }
+
+    // ---- probes ----------------------------------------------------------
+
+    fn start_probe(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg>,
+        kind: ProbeKind,
+        target_ppm: Pid,
+        timeout: phoenix_sim::SimDuration,
+    ) -> u64 {
+        let id = self.fresh_id();
+        self.probes.insert(
+            id,
+            ProbeSession {
+                kind,
+                target_ppm,
+                rounds_sent: 0,
+                responses: 0,
+                active: true,
+            },
+        );
+        // First probe round fires after one spacing; the paper's process
+        // diagnosing time ≈ rounds × spacing.
+        let spacing = self.params.ft.probe_round_interval;
+        self.schedule_probe_round(ctx, id, spacing);
+        self.schedule(ctx, timeout, DelayedOp::ProbeTimeout(id));
+        id
+    }
+
+    fn schedule_probe_round(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg>,
+        session: u64,
+        after: phoenix_sim::SimDuration,
+    ) {
+        let id = self.fresh_id();
+        self.ops.insert(id, DelayedOp::ProbeRound(session));
+        ctx.set_timer(after, OP_BASE + id);
+    }
+
+    fn probe_round(&mut self, ctx: &mut Ctx<'_, KernelMsg>, session: u64) {
+        let Some(s) = self.probes.get_mut(&session) else {
+            return;
+        };
+        if !s.active || s.rounds_sent >= self.params.ft.probe_rounds {
+            return;
+        }
+        s.rounds_sent += 1;
+        let target = s.target_ppm;
+        ctx.send(target, KernelMsg::ProbeReq { req: RequestId(session) });
+        let spacing = self.params.ft.probe_round_interval;
+        self.schedule_probe_round(ctx, session, spacing);
+    }
+
+    fn on_probe_resp(&mut self, ctx: &mut Ctx<'_, KernelMsg>, session: u64) {
+        let Some(s) = self.probes.get_mut(&session) else {
+            return;
+        };
+        if !s.active {
+            return;
+        }
+        s.responses += 1;
+        if s.responses < self.params.ft.probe_rounds {
+            return;
+        }
+        s.active = false;
+        let kind = s.kind;
+        // Node is alive, daemon silent: process failure.
+        match kind {
+            ProbeKind::Wd(node) => self.diagnose_wd_process(ctx, node),
+            ProbeKind::Meta(partition) => self.diagnose_gsd_process(ctx, partition),
+        }
+    }
+
+    fn on_probe_timeout(&mut self, ctx: &mut Ctx<'_, KernelMsg>, session: u64) {
+        let Some(s) = self.probes.get_mut(&session) else {
+            return;
+        };
+        if !s.active {
+            return;
+        }
+        s.active = false;
+        let kind = s.kind;
+        match kind {
+            ProbeKind::Wd(node) => self.diagnose_wd_node(ctx, node),
+            ProbeKind::Meta(partition) => self.diagnose_gsd_node(ctx, partition),
+        }
+    }
+
+    // ---- diagnoses & recovery ---------------------------------------------
+
+    fn diagnose_wd_process(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) {
+        let Some(t) = self.wd_tracks.get_mut(&node) else {
+            return;
+        };
+        let wd_pid = t.wd;
+        t.probing = None;
+        ctx.trace(TraceEvent::FaultDiagnosed {
+            observer: ctx.pid(),
+            target: FaultTarget::Process(wd_pid),
+            diagnosis: Diagnosis::ProcessFailure,
+        });
+        self.publish(
+            ctx,
+            EventType::ServiceFault,
+            node,
+            EventPayload::Service(ServiceKind::WatchDaemon, node),
+        );
+        // Restart in place (cost ≈ 0: Table 1 reports 0 µs).
+        let cost = self.params.ft.wd_restart_cost;
+        if cost == phoenix_sim::SimDuration::ZERO {
+            self.restart_wd(ctx, node);
+        } else {
+            self.schedule(ctx, cost, DelayedOp::Restart(RestartWhat::Wd(node)));
+        }
+    }
+
+    fn restart_wd(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) {
+        let wd = Wd::respawn(
+            node,
+            self.partition,
+            self.params.ft.clone(),
+            ctx.pid(),
+            RecoveryAction::RestartedInPlace,
+        );
+        let new_pid = ctx.spawn(node, Box::new(wd));
+        if let Some(ns) = self.node_daemons.get_mut(&node) {
+            ns.wd = new_pid;
+            let updated = *ns;
+            ctx.send(self.config, KernelMsg::DirectoryUpdateNode { services: updated });
+        }
+        let now = ctx.now();
+        let nics = self.my_nic_known.len();
+        self.wd_tracks.insert(node, WdTrack::new(new_pid, nics, now));
+        self.publish(
+            ctx,
+            EventType::ServiceRecovery,
+            node,
+            EventPayload::Service(ServiceKind::WatchDaemon, node),
+        );
+    }
+
+    fn diagnose_wd_node(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) {
+        if let Some(t) = self.wd_tracks.get_mut(&node) {
+            t.probing = None;
+            t.node_down = true;
+        }
+        ctx.trace(TraceEvent::FaultDiagnosed {
+            observer: ctx.pid(),
+            target: FaultTarget::Node(node),
+            diagnosis: Diagnosis::NodeFailure,
+        });
+        // "for WD, in case of node failure, the recovery time is 0,
+        // because ... migrating WD means nothing."
+        ctx.trace(TraceEvent::Recovered {
+            target: FaultTarget::Node(node),
+            action: RecoveryAction::NoneNeeded,
+        });
+        self.publish(ctx, EventType::NodeFault, node, EventPayload::Node(node));
+    }
+
+    fn diagnose_gsd_process(&mut self, ctx: &mut Ctx<'_, KernelMsg>, partition: PartitionId) {
+        let Some(t) = &mut self.pred else { return };
+        if t.member.partition != partition {
+            return;
+        }
+        t.probing = None;
+        t.down = true;
+        let failed = t.member;
+        ctx.trace(TraceEvent::FaultDiagnosed {
+            observer: ctx.pid(),
+            target: FaultTarget::Process(failed.gsd),
+            diagnosis: Diagnosis::ProcessFailure,
+        });
+        self.publish(
+            ctx,
+            EventType::ServiceFault,
+            failed.node,
+            EventPayload::Service(ServiceKind::Group, failed.node),
+        );
+        self.remove_member(ctx, partition, Diagnosis::ProcessFailure);
+        let members = self.members.clone();
+        self.schedule(
+            ctx,
+            self.params.ft.gsd_restart_cost,
+            DelayedOp::Restart(RestartWhat::GsdInPlace {
+                hint: failed,
+                members,
+            }),
+        );
+    }
+
+    fn diagnose_gsd_node(&mut self, ctx: &mut Ctx<'_, KernelMsg>, partition: PartitionId) {
+        let Some(t) = &mut self.pred else { return };
+        if t.member.partition != partition {
+            return;
+        }
+        t.probing = None;
+        t.down = true;
+        let failed = t.member;
+        ctx.trace(TraceEvent::FaultDiagnosed {
+            observer: ctx.pid(),
+            target: FaultTarget::Node(failed.node),
+            diagnosis: Diagnosis::NodeFailure,
+        });
+        self.publish(ctx, EventType::NodeFault, failed.node, EventPayload::Node(failed.node));
+        self.remove_member(ctx, partition, Diagnosis::NodeFailure);
+        // Choose a backup node of the failed partition to migrate to.
+        let target = self
+            .topology
+            .partition(partition)
+            .map(|spec| {
+                spec.backups
+                    .iter()
+                    .chain(spec.compute.iter())
+                    .copied()
+                    .find(|&n| n != failed.node && ctx.node_is_up(n))
+            })
+            .unwrap_or(None);
+        match target {
+            Some(to) => {
+                let members = self.members.clone();
+                self.schedule(
+                    ctx,
+                    self.params.ft.gsd_migrate_cost,
+                    DelayedOp::Restart(RestartWhat::GsdMigrate {
+                        hint: failed,
+                        members,
+                        to,
+                    }),
+                );
+            }
+            None => {
+                ctx.trace(TraceEvent::Milestone {
+                    label: "no-backup-node",
+                    value: partition.0 as f64,
+                });
+            }
+        }
+    }
+
+    fn remove_member(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg>,
+        partition: PartitionId,
+        diagnosis: Diagnosis,
+    ) {
+        self.members.retain(|m| m.partition != partition);
+        self.broadcast_meta(
+            ctx,
+            KernelMsg::MetaMemberDown {
+                partition,
+                diagnosis,
+            },
+        );
+        self.refresh_roles(ctx);
+    }
+
+    fn execute_restart(&mut self, ctx: &mut Ctx<'_, KernelMsg>, what: RestartWhat) {
+        match what {
+            RestartWhat::Wd(node) => self.restart_wd(ctx, node),
+            RestartWhat::Svc { kind, factory } => {
+                let args = RespawnArgs {
+                    kind,
+                    partition: self.partition,
+                    node: ctx.node(),
+                    gsd: ctx.pid(),
+                    checkpoint: self.local.checkpoint,
+                    members: self.members.clone(),
+                    action: RecoveryAction::RestartedInPlace,
+                    params: self.params.clone(),
+                };
+                let built = self.registry.borrow_mut().build(&factory, &args);
+                match built {
+                    Some(actor) => {
+                        ctx.spawn(ctx.node(), actor);
+                        // The replacement registers itself (SvcRegister),
+                        // which updates `local` and broadcasts.
+                    }
+                    None => ctx.trace(TraceEvent::Milestone {
+                        label: "no-factory",
+                        value: 0.0,
+                    }),
+                }
+            }
+            RestartWhat::GsdInPlace { hint, members } => {
+                if self.members.iter().any(|m| m.partition == hint.partition) {
+                    return; // already rejoined (rescued by someone else)
+                }
+                let gsd = Gsd::respawn(
+                    hint.partition,
+                    self.params.clone(),
+                    self.topology.clone(),
+                    self.config,
+                    self.registry.clone(),
+                    hint,
+                    members,
+                    RecoveryAction::RestartedInPlace,
+                );
+                ctx.spawn(hint.node, Box::new(gsd));
+            }
+            RestartWhat::GsdMigrate { hint, members, to } => {
+                if self.members.iter().any(|m| m.partition == hint.partition) {
+                    return;
+                }
+                let gsd = Gsd::respawn(
+                    hint.partition,
+                    self.params.clone(),
+                    self.topology.clone(),
+                    self.config,
+                    self.registry.clone(),
+                    hint,
+                    members,
+                    RecoveryAction::Migrated(to),
+                );
+                ctx.spawn(to, Box::new(gsd));
+            }
+            RestartWhat::GsdRescue { partition } => {
+                self.rescuing.remove(&partition);
+                if self.members.iter().any(|m| m.partition == partition) {
+                    return;
+                }
+                let Some(hint) = self.last_known.get(&partition).copied() else {
+                    return;
+                };
+                let members = self.members.clone();
+                // Restart in place if the old host is up, else migrate.
+                if ctx.node_is_up(hint.node) {
+                    self.execute_restart(ctx, RestartWhat::GsdInPlace { hint, members });
+                } else if let Some(to) = self
+                    .topology
+                    .partition(partition)
+                    .and_then(|spec| {
+                        spec.backups
+                            .iter()
+                            .chain(spec.compute.iter())
+                            .copied()
+                            .find(|&n| n != hint.node && ctx.node_is_up(n))
+                    })
+                {
+                    self.execute_restart(ctx, RestartWhat::GsdMigrate { hint, members, to });
+                }
+            }
+        }
+    }
+
+    // ---- tick (ring heartbeats + introspection) ----------------------------
+
+    fn send_meta_heartbeats(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        if let Some(succ) = self.successor() {
+            for i in 0..self.my_nic_known.len() {
+                ctx.send_via(
+                    succ.gsd,
+                    NicId(i as u8),
+                    KernelMsg::MetaHeartbeat {
+                        from_partition: self.partition,
+                        nic: NicId(i as u8),
+                        epoch: self.epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    fn introspect_own_nics(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let own = ctx.node();
+        for i in 0..self.my_nic_known.len() {
+            let up = ctx.nic_is_up(own, NicId(i as u8));
+            let was = self.my_nic_known[i];
+            if was && !up {
+                ctx.trace(TraceEvent::FaultDetected {
+                    observer: ctx.pid(),
+                    target: FaultTarget::Nic(own, NicId(i as u8)),
+                });
+                self.schedule(
+                    ctx,
+                    self.params.ft.local_diag_delay,
+                    DelayedOp::LocalDiagNic { nic: NicId(i as u8) },
+                );
+            } else if !was && up {
+                self.publish(
+                    ctx,
+                    EventType::NetworkRecovery,
+                    own,
+                    EventPayload::Nic(own, NicId(i as u8)),
+                );
+            }
+            self.my_nic_known[i] = up;
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        self.send_meta_heartbeats(ctx);
+        self.introspect_own_nics(ctx);
+        if self.supervision_dirty {
+            self.save_supervision(ctx);
+        }
+        self.rescue_sweep(ctx);
+        if self.needs_rejoin {
+            self.needs_rejoin = false;
+            if let Some(leader) = self.leader() {
+                if leader.partition != self.partition {
+                    ctx.send(leader.gsd, KernelMsg::MetaJoin { member: self.local });
+                }
+            }
+        }
+        ctx.set_timer(self.params.ft.hb_interval, TOK_TICK);
+    }
+
+    /// Leader safety net: if a topology partition has no meta-group member
+    /// (its takeover plan died with the daemon that scheduled it), the
+    /// leader schedules a rescue. Executed with a still-missing guard, so
+    /// a concurrent normal takeover wins harmlessly.
+    fn rescue_sweep(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        if self.role() != "leader" {
+            return;
+        }
+        let missing: Vec<PartitionId> = self
+            .topology
+            .partitions
+            .iter()
+            .map(|p| p.id)
+            .filter(|p| {
+                self.members.iter().all(|m| m.partition != *p) && !self.rescuing.contains(p)
+            })
+            .collect();
+        for partition in missing {
+            self.rescuing.insert(partition);
+            ctx.trace(TraceEvent::Milestone {
+                label: "gsd-rescue-scheduled",
+                value: partition.0 as f64,
+            });
+            self.schedule(
+                ctx,
+                self.params.ft.gsd_restart_cost,
+                DelayedOp::Restart(RestartWhat::GsdRescue { partition }),
+            );
+        }
+    }
+
+    // ---- heartbeat ingestion -----------------------------------------------
+
+    fn on_wd_heartbeat(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId, nic: NicId) {
+        let now = ctx.now();
+        let mut recovered_node = false;
+        let mut recovered_nic = false;
+        if let Some(t) = self.wd_tracks.get_mut(&node) {
+            if let Some(last) = t.last.get_mut(nic.0 as usize) {
+                *last = now;
+            }
+            if t.node_down {
+                t.node_down = false;
+                recovered_node = true;
+            }
+            if t.nic_down.get(nic.0 as usize).copied().unwrap_or(false) {
+                t.nic_down[nic.0 as usize] = false;
+                recovered_nic = true;
+            }
+        }
+        if recovered_node {
+            self.publish(ctx, EventType::NodeRecovery, node, EventPayload::Node(node));
+        }
+        if recovered_nic {
+            self.publish(
+                ctx,
+                EventType::NetworkRecovery,
+                node,
+                EventPayload::Nic(node, nic),
+            );
+        }
+    }
+
+    fn on_meta_heartbeat(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg>,
+        from_partition: PartitionId,
+        nic: NicId,
+    ) {
+        let now = ctx.now();
+        let mut recovered_nic = false;
+        let mut node = NodeId(0);
+        if let Some(t) = &mut self.pred {
+            if t.member.partition == from_partition {
+                node = t.member.node;
+                if let Some(last) = t.last.get_mut(nic.0 as usize) {
+                    *last = now;
+                }
+                if t.nic_down.get(nic.0 as usize).copied().unwrap_or(false) {
+                    t.nic_down[nic.0 as usize] = false;
+                    recovered_nic = true;
+                }
+            }
+        }
+        if recovered_nic {
+            self.publish(
+                ctx,
+                EventType::NetworkRecovery,
+                node,
+                EventPayload::Nic(node, nic),
+            );
+        }
+    }
+
+    // ---- delayed-op dispatch -------------------------------------------------
+
+    fn run_op(&mut self, ctx: &mut Ctx<'_, KernelMsg>, op: DelayedOp) {
+        match op {
+            DelayedOp::ProbeRound(s) => self.probe_round(ctx, s),
+            DelayedOp::ProbeTimeout(s) => self.on_probe_timeout(ctx, s),
+            DelayedOp::NicDiag { node, nic } => {
+                ctx.trace(TraceEvent::FaultDiagnosed {
+                    observer: ctx.pid(),
+                    target: FaultTarget::Nic(node, nic),
+                    diagnosis: Diagnosis::NetworkFailure,
+                });
+                // One of several redundant networks: no recovery needed.
+                ctx.trace(TraceEvent::Recovered {
+                    target: FaultTarget::Nic(node, nic),
+                    action: RecoveryAction::NoneNeeded,
+                });
+                self.publish(
+                    ctx,
+                    EventType::NetworkFault,
+                    node,
+                    EventPayload::Nic(node, nic),
+                );
+            }
+            DelayedOp::LocalDiagSvc { pid, kind, factory } => {
+                ctx.trace(TraceEvent::FaultDiagnosed {
+                    observer: ctx.pid(),
+                    target: FaultTarget::Process(pid),
+                    diagnosis: Diagnosis::ProcessFailure,
+                });
+                self.publish(
+                    ctx,
+                    EventType::ServiceFault,
+                    ctx.node(),
+                    EventPayload::Service(kind, ctx.node()),
+                );
+                let cost = match kind {
+                    ServiceKind::Event => self.params.ft.es_restart_cost,
+                    ServiceKind::DataBulletin => self.params.ft.db_restart_cost,
+                    ServiceKind::Checkpoint => self.params.ft.ck_restart_cost,
+                    _ => self.params.ft.userenv_restart_cost,
+                };
+                self.schedule(ctx, cost, DelayedOp::Restart(RestartWhat::Svc { kind, factory }));
+            }
+            DelayedOp::LocalDiagNic { nic } => {
+                let own = ctx.node();
+                ctx.trace(TraceEvent::FaultDiagnosed {
+                    observer: ctx.pid(),
+                    target: FaultTarget::Nic(own, nic),
+                    diagnosis: Diagnosis::NetworkFailure,
+                });
+                ctx.trace(TraceEvent::Recovered {
+                    target: FaultTarget::Nic(own, nic),
+                    action: RecoveryAction::NoneNeeded,
+                });
+                self.publish(ctx, EventType::NetworkFault, own, EventPayload::Nic(own, nic));
+            }
+            DelayedOp::Restart(what) => self.execute_restart(ctx, what),
+        }
+    }
+}
+
+impl Actor<KernelMsg> for Gsd {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.trace(TraceEvent::ServiceUp {
+            pid: ctx.pid(),
+            service: "gsd",
+            node: ctx.node(),
+        });
+        self.local.gsd = ctx.pid();
+        self.local.node = ctx.node();
+        if matches!(self.init, Some(GsdInit::Respawn { .. })) {
+            // Need the current node-daemon directory before wiring.
+            ctx.send(self.config, KernelMsg::CfgQueryDirectory { req: RequestId(0) });
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, KernelMsg>, from: Pid, msg: KernelMsg) {
+        match msg {
+            KernelMsg::Boot(dir) => {
+                if matches!(self.init, Some(GsdInit::Boot)) {
+                    self.init = None;
+                    self.wire_from_boot(ctx, &dir);
+                }
+            }
+            KernelMsg::CfgDirectory { directory, .. } => {
+                if matches!(self.init, Some(GsdInit::Respawn { .. })) {
+                    self.wire_from_respawn(ctx, &directory);
+                }
+            }
+            KernelMsg::WdHeartbeat { node, nic, .. } => self.on_wd_heartbeat(ctx, node, nic),
+            KernelMsg::MetaHeartbeat {
+                from_partition,
+                nic,
+                ..
+            } => self.on_meta_heartbeat(ctx, from_partition, nic),
+            KernelMsg::MetaJoin { member } => {
+                if self.role() == "leader" {
+                    let old_entry = self
+                        .members
+                        .iter()
+                        .find(|m| m.partition == member.partition)
+                        .copied();
+                    if old_entry == Some(member) {
+                        // Idempotent re-join: nothing changed, do not bump
+                        // the epoch or rebroadcast (damps membership wars).
+                        return;
+                    }
+                    let old_gsd = old_entry.map(|m| m.gsd);
+                    self.members.retain(|m| m.partition != member.partition);
+                    self.members.push(member);
+                    self.refresh_roles(ctx);
+                    self.epoch += 1;
+                    let msg = KernelMsg::MetaMembership {
+                        epoch: self.epoch,
+                        members: self.members.clone(),
+                    };
+                    self.broadcast_meta(ctx, msg.clone());
+                    // If a still-running instance was replaced (e.g. a
+                    // false takeover after a link partition), tell it
+                    // directly so it can yield — it is no longer in the
+                    // member list and would miss the broadcast.
+                    if let Some(old) = old_gsd {
+                        if old != member.gsd {
+                            ctx.send(old, msg);
+                        }
+                    }
+                    self.push_partition_view(ctx);
+                } else if let Some(leader) = self.leader() {
+                    ctx.send(leader.gsd, KernelMsg::MetaJoin { member });
+                }
+            }
+            KernelMsg::MetaMembership { epoch, members } => {
+                // Duplicate resolution first, independent of epoch: if the
+                // group installed a NEWER GSD for our partition (a rescue
+                // or false takeover raced us), yield to it.
+                if let Some(other) = members
+                    .iter()
+                    .find(|m| m.partition == self.partition)
+                    .map(|m| m.gsd)
+                {
+                    if other != ctx.pid() && other > ctx.pid() {
+                        ctx.trace(TraceEvent::Milestone {
+                            label: "gsd-yielded",
+                            value: self.partition.0 as f64,
+                        });
+                        ctx.kill(ctx.pid());
+                        return;
+                    }
+                }
+                if epoch >= self.epoch {
+                    self.epoch = epoch;
+                    self.members = members;
+                    // Keep our own entry authoritative.
+                    let local = self.local;
+                    for m in &mut self.members {
+                        if m.partition == local.partition {
+                            *m = local;
+                        }
+                    }
+                    if self.my_index().is_none() {
+                        self.members.push(local);
+                        // Re-join at the next tick, not instantly: a
+                        // stale broadcast must not trigger a join →
+                        // broadcast → join cycle at network latency.
+                        self.needs_rejoin = true;
+                    }
+                    self.refresh_roles(ctx);
+                    self.push_partition_view(ctx);
+                }
+            }
+            KernelMsg::MetaMemberDown { partition, .. } => {
+                if partition != self.partition {
+                    self.members.retain(|m| m.partition != partition);
+                    self.refresh_roles(ctx);
+                }
+            }
+            KernelMsg::SvcRegister { kind, pid, factory } => {
+                self.svc_tracks.insert(
+                    pid,
+                    SvcTrack {
+                        kind,
+                        factory,
+                        last: ctx.now(),
+                    },
+                );
+                // Adopt new kernel-service pids into our MemberInfo.
+                let slot = match kind {
+                    ServiceKind::Event => Some(&mut self.local.event),
+                    ServiceKind::DataBulletin => Some(&mut self.local.bulletin),
+                    ServiceKind::Checkpoint => Some(&mut self.local.checkpoint),
+                    _ => None,
+                };
+                if let Some(slot) = slot {
+                    if *slot != pid {
+                        // Canonical-instance resolution: the NEWER pid is
+                        // the legitimate instance; a register from an older
+                        // pid is a stale duplicate (e.g. left over from a
+                        // false takeover) and is terminated rather than
+                        // adopted — otherwise two instances flip-flop the
+                        // slot and every flip re-announces cluster-wide.
+                        if pid < *slot && ctx.process_is_alive(*slot) {
+                            self.svc_tracks.remove(&pid);
+                            ctx.kill(pid);
+                            return;
+                        }
+                        let displaced = *slot;
+                        *slot = pid;
+                        if displaced != Pid(0) && ctx.process_is_alive(displaced) {
+                            // Clean up the instance we are replacing.
+                            self.svc_tracks.remove(&displaced);
+                            ctx.kill(displaced);
+                        }
+                        // Update membership copy of ourselves.
+                        let local = self.local;
+                        for m in &mut self.members {
+                            if m.partition == local.partition {
+                                *m = local;
+                            }
+                        }
+                        self.announce_membership_change(ctx);
+                        self.publish(
+                            ctx,
+                            EventType::ServiceRecovery,
+                            ctx.node(),
+                            EventPayload::Service(kind, ctx.node()),
+                        );
+                    }
+                }
+                if kind == ServiceKind::UserEnvironment {
+                    self.supervision_dirty = true;
+                }
+            }
+            KernelMsg::SvcHeartbeat { pid, .. } => {
+                if let Some(t) = self.svc_tracks.get_mut(&pid) {
+                    t.last = ctx.now();
+                }
+            }
+            KernelMsg::ProbeResp { req } => self.on_probe_resp(ctx, req.0),
+            KernelMsg::ProbeReq { req } => {
+                ctx.send(from, KernelMsg::ProbeResp { req });
+            }
+            KernelMsg::CfgSetParam { key, value, .. } => {
+                if key == "hb_interval_ms" {
+                    if let Ok(ms) = value.parse::<u64>() {
+                        self.params.ft.hb_interval =
+                            phoenix_sim::SimDuration::from_millis(ms.max(1));
+                        // Reset heartbeat baselines so a *longer* interval
+                        // does not trip deadlines computed from beats that
+                        // were sent on the old cadence.
+                        let now = ctx.now();
+                        for t in self.wd_tracks.values_mut() {
+                            for l in t.last.iter_mut() {
+                                *l = now;
+                            }
+                        }
+                        if let Some(p) = &mut self.pred {
+                            for l in p.last.iter_mut() {
+                                *l = now;
+                            }
+                        }
+                    }
+                }
+            }
+            KernelMsg::DirectoryUpdateNode { services } => {
+                // Config respawned a node's daemons (node brought back up).
+                let node = services.node;
+                self.node_daemons.insert(node, services);
+                let was_down = self
+                    .wd_tracks
+                    .get(&node)
+                    .map(|t| t.node_down)
+                    .unwrap_or(false);
+                let nics = self.my_nic_known.len();
+                self.wd_tracks
+                    .insert(node, WdTrack::new(services.wd, nics, ctx.now()));
+                if was_down {
+                    self.publish(ctx, EventType::NodeRecovery, node, EventPayload::Node(node));
+                }
+            }
+            KernelMsg::CkLoadResp { data, .. } => {
+                // Supervision roster restore after GSD respawn.
+                if let Some(CheckpointData::Supervision { entries }) = data {
+                    for (factory, old_pid) in entries {
+                        if matches!(self.recovery, None) {
+                            // In-place restart: old instances may be alive;
+                            // ping them with the view so they re-register.
+                            if ctx.process_is_alive(old_pid) {
+                                ctx.send(
+                                    old_pid,
+                                    KernelMsg::PartitionView {
+                                        members: self.members.clone(),
+                                        local: self.local,
+                                    },
+                                );
+                                continue;
+                            }
+                        }
+                        let args = RespawnArgs {
+                            kind: ServiceKind::UserEnvironment,
+                            partition: self.partition,
+                            node: ctx.node(),
+                            gsd: ctx.pid(),
+                            checkpoint: self.local.checkpoint,
+                            members: self.members.clone(),
+                            action: RecoveryAction::Migrated(ctx.node()),
+                            params: self.params.clone(),
+                        };
+                        let built = self.registry.borrow_mut().build(&factory, &args);
+                        if let Some(actor) = built {
+                            ctx.spawn(ctx.node(), actor);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, KernelMsg>, token: u64) {
+        match token {
+            TOK_SCAN => {
+                if self.monitoring {
+                    self.scan(ctx);
+                    ctx.set_timer(self.params.ft.check_interval, TOK_SCAN);
+                }
+            }
+            TOK_TICK => {
+                if self.monitoring {
+                    self.tick(ctx);
+                }
+            }
+            t if t > OP_BASE => {
+                if let Some(op) = self.ops.remove(&(t - OP_BASE)) {
+                    self.run_op(ctx, op);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "gsd"
+    }
+}

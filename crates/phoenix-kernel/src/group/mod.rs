@@ -1,0 +1,27 @@
+//! The group service (paper Sec 4.3–4.4).
+//!
+//! "Group service is the kernel one to solve scalability and high
+//! availability at the same time. The key functions of group service are
+//! guaranteeing the high availability of its meta-group; providing
+//! interfaces for upper-layer service group's creating, joining and
+//! leaving; and guaranteeing upper-layer service group's high
+//! availability."
+//!
+//! * [`wd`] — the watch daemon on every node (heartbeats over all NICs);
+//! * [`gsd`] — the per-partition Group Service Daemon and the ring-shaped
+//!   meta-group with Leader/Princess takeover;
+//! * [`registry`] — respawn-policy registration for supervised services;
+//! * [`flat`] — the flat all-to-all membership baseline the paper argues
+//!   against, kept for the scalability ablation.
+
+pub mod flat;
+pub mod gsd;
+pub mod registry;
+pub mod wd;
+
+pub use flat::FlatMember;
+pub use gsd::Gsd;
+pub use registry::{
+    kernel_factory_key, shared_registry, Factory, FactoryRegistry, RespawnArgs, SharedRegistry,
+};
+pub use wd::Wd;

@@ -1,0 +1,135 @@
+//! The respawn-factory registry.
+//!
+//! Paper Sec 4.4: services "call the interface of group service to create
+//! service group and register policies of how to deal with faults." In
+//! this reproduction the *policy* is a factory closure: given the respawn
+//! context (node, partition, current membership, recovery action), it
+//! builds a replacement actor. GSDs share one registry; the simulation is
+//! single-threaded, so `Rc<RefCell<…>>` is the right tool.
+
+use crate::params::KernelParams;
+use phoenix_proto::{KernelMsg, MemberInfo, PartitionId, ServiceKind};
+use phoenix_sim::{Actor, NodeId, Pid, RecoveryAction};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Everything a factory needs to rebuild a service instance.
+#[derive(Clone, Debug)]
+pub struct RespawnArgs {
+    pub kind: ServiceKind,
+    pub partition: PartitionId,
+    /// Node the replacement will run on.
+    pub node: NodeId,
+    /// The supervising GSD.
+    pub gsd: Pid,
+    /// The partition's (possibly freshly spawned) checkpoint instance.
+    pub checkpoint: Pid,
+    /// Current meta-group membership (for federation peer lists).
+    pub members: Vec<MemberInfo>,
+    pub action: RecoveryAction,
+    pub params: KernelParams,
+}
+
+/// A respawn recipe.
+pub type Factory = Box<dyn FnMut(&RespawnArgs) -> Box<dyn Actor<KernelMsg>>>;
+
+/// Factory registry shared by every GSD (and by user environments that
+/// want their services supervised).
+#[derive(Default)]
+pub struct FactoryRegistry {
+    map: HashMap<String, Factory>,
+}
+
+impl FactoryRegistry {
+    /// Register (or replace) a recipe under `key`.
+    pub fn register(&mut self, key: impl Into<String>, factory: Factory) {
+        self.map.insert(key.into(), factory);
+    }
+
+    /// Build a replacement actor, if a recipe exists.
+    pub fn build(&mut self, key: &str, args: &RespawnArgs) -> Option<Box<dyn Actor<KernelMsg>>> {
+        self.map.get_mut(key).map(|f| f(args))
+    }
+
+    /// Is a recipe registered?
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of registered recipes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no recipes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Shared handle to the registry.
+pub type SharedRegistry = Rc<RefCell<FactoryRegistry>>;
+
+/// Create an empty shared registry.
+pub fn shared_registry() -> SharedRegistry {
+    Rc::new(RefCell::new(FactoryRegistry::default()))
+}
+
+/// Conventional factory keys for the per-partition kernel services.
+pub fn kernel_factory_key(kind: ServiceKind, partition: PartitionId) -> String {
+    match kind {
+        ServiceKind::Event => format!("event:p{}", partition.0),
+        ServiceKind::DataBulletin => format!("bulletin:p{}", partition.0),
+        ServiceKind::Checkpoint => format!("checkpoint:p{}", partition.0),
+        other => format!("{}:p{}", other.label(), partition.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_sim::Ctx;
+
+    struct Nop;
+    impl Actor<KernelMsg> for Nop {
+        fn on_message(&mut self, _: &mut Ctx<'_, KernelMsg>, _: Pid, _: KernelMsg) {}
+    }
+
+    fn args() -> RespawnArgs {
+        RespawnArgs {
+            kind: ServiceKind::Event,
+            partition: PartitionId(0),
+            node: NodeId(0),
+            gsd: Pid(1),
+            checkpoint: Pid(2),
+            members: vec![],
+            action: RecoveryAction::RestartedInPlace,
+            params: KernelParams::fast(),
+        }
+    }
+
+    #[test]
+    fn register_and_build() {
+        let reg = shared_registry();
+        reg.borrow_mut()
+            .register("event:p0", Box::new(|_| Box::new(Nop)));
+        assert!(reg.borrow().contains("event:p0"));
+        assert_eq!(reg.borrow().len(), 1);
+        let built = reg.borrow_mut().build("event:p0", &args());
+        assert!(built.is_some());
+        assert!(reg.borrow_mut().build("missing", &args()).is_none());
+    }
+
+    #[test]
+    fn keys_are_per_partition() {
+        assert_ne!(
+            kernel_factory_key(ServiceKind::Event, PartitionId(0)),
+            kernel_factory_key(ServiceKind::Event, PartitionId(1))
+        );
+        assert_eq!(
+            kernel_factory_key(ServiceKind::DataBulletin, PartitionId(3)),
+            "bulletin:p3"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! The watch daemon (WD).
+//!
+//! Paper Sec 4.3: "Within a partition, the daemons responsible for sending
+//! heartbeat are watch daemons (WD) which reside on every node. WD sends
+//! heartbeat to GSD periodically through all network interfaces of the
+//! node. Through receiving and analyzing heartbeat from WD, GSD can
+//! monitor status of nodes and networks in a partition."
+
+use crate::params::FtParams;
+use phoenix_proto::{KernelMsg, PartitionId};
+use phoenix_sim::{
+    Actor, Ctx, FaultTarget, NicId, NodeId, Pid, RecoveryAction, TraceEvent,
+};
+
+const TOK_HB: u64 = 1;
+
+/// The watch-daemon actor.
+pub struct Wd {
+    node: NodeId,
+    partition: PartitionId,
+    gsd: Pid,
+    params: FtParams,
+    seq: u64,
+    /// Set on a respawned instance; emits the recovery trace on start.
+    recovery: Option<RecoveryAction>,
+}
+
+impl Wd {
+    /// Boot-time WD; the GSD pid arrives via `Boot`.
+    pub fn new(node: NodeId, partition: PartitionId, params: FtParams) -> Self {
+        Wd {
+            node,
+            partition,
+            gsd: Pid(0),
+            params,
+            seq: 0,
+            recovery: None,
+        }
+    }
+
+    /// A WD restarted by its GSD after a process failure.
+    pub fn respawn(
+        node: NodeId,
+        partition: PartitionId,
+        params: FtParams,
+        gsd: Pid,
+        action: RecoveryAction,
+    ) -> Self {
+        Wd {
+            node,
+            partition,
+            gsd,
+            params,
+            seq: 0,
+            recovery: Some(action),
+        }
+    }
+
+    /// Send one heartbeat over every network interface of the node. The
+    /// per-NIC fan-out is what lets the GSD distinguish a NIC failure
+    /// (some interfaces silent) from a node failure (all silent).
+    fn beat(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        self.seq += 1;
+        let nics = ctx.nic_count(self.node);
+        for i in 0..nics {
+            ctx.send_via(
+                self.gsd,
+                NicId(i as u8),
+                KernelMsg::WdHeartbeat {
+                    node: self.node,
+                    nic: NicId(i as u8),
+                    seq: self.seq,
+                },
+            );
+        }
+        ctx.set_timer(self.params.hb_interval, TOK_HB);
+    }
+}
+
+impl Actor<KernelMsg> for Wd {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.trace(TraceEvent::ServiceUp {
+            pid: ctx.pid(),
+            service: "wd",
+            node: ctx.node(),
+        });
+        if let Some(action) = self.recovery.take() {
+            ctx.trace(TraceEvent::Recovered {
+                target: FaultTarget::Process(ctx.pid()),
+                action,
+            });
+        }
+        if self.gsd != Pid(0) {
+            self.beat(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, KernelMsg>, from: Pid, msg: KernelMsg) {
+        match msg {
+            KernelMsg::Boot(dir) => {
+                if let Some(me) = dir.partition(self.partition) {
+                    self.gsd = me.gsd;
+                }
+                self.beat(ctx);
+            }
+            KernelMsg::PartitionView { local, .. } => {
+                // A restarted or migrated GSD announces itself here.
+                self.gsd = local.gsd;
+            }
+            KernelMsg::ProbeReq { req } => {
+                ctx.send(from, KernelMsg::ProbeResp { req });
+            }
+            KernelMsg::CfgSetParam { key, value, .. } => {
+                // Dynamic reconfiguration pushed by the config service.
+                if key == "hb_interval_ms" {
+                    if let Ok(ms) = value.parse::<u64>() {
+                        self.params.hb_interval =
+                            phoenix_sim::SimDuration::from_millis(ms.max(1));
+                        // Takes effect at the next beat (the pending timer
+                        // still fires on the old schedule once).
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, KernelMsg>, token: u64) {
+        if token == TOK_HB {
+            self.beat(ctx);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "wd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientHandle;
+    use phoenix_sim::{ClusterBuilder, Fault, NodeSpec, SimDuration};
+
+    #[test]
+    fn heartbeats_flow_on_every_nic() {
+        let mut w = ClusterBuilder::new()
+            .nodes(2, NodeSpec::default())
+            .build::<KernelMsg>();
+        let gsd = ClientHandle::spawn(&mut w, NodeId(0));
+        let wd = Wd::respawn(
+            NodeId(1),
+            PartitionId(0),
+            FtParams::fast(),
+            gsd.pid,
+            RecoveryAction::NoneNeeded,
+        );
+        w.spawn(NodeId(1), Box::new(wd));
+        w.run_for(SimDuration::from_millis(2100));
+        let beats: Vec<(NicId, u64)> = gsd
+            .drain()
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                KernelMsg::WdHeartbeat { nic, seq, .. } => Some((nic, seq)),
+                _ => None,
+            })
+            .collect();
+        // 3 beats (t≈0, 1s, 2s) × 3 NICs.
+        assert_eq!(beats.len(), 9);
+        for nic in 0..3 {
+            assert_eq!(beats.iter().filter(|(n, _)| n.0 == nic).count(), 3);
+        }
+    }
+
+    #[test]
+    fn nic_failure_silences_only_that_interface() {
+        let mut w = ClusterBuilder::new()
+            .nodes(2, NodeSpec::default())
+            .build::<KernelMsg>();
+        let gsd = ClientHandle::spawn(&mut w, NodeId(0));
+        let wd = Wd::respawn(
+            NodeId(1),
+            PartitionId(0),
+            FtParams::fast(),
+            gsd.pid,
+            RecoveryAction::NoneNeeded,
+        );
+        w.spawn(NodeId(1), Box::new(wd));
+        w.apply_fault(Fault::NicDown(NodeId(1), NicId(0)));
+        w.run_for(SimDuration::from_millis(1100));
+        let nics: Vec<u8> = gsd
+            .drain()
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                KernelMsg::WdHeartbeat { nic, .. } => Some(nic.0),
+                _ => None,
+            })
+            .collect();
+        assert!(!nics.contains(&0), "NIC 0 heartbeats must be dropped");
+        assert!(nics.contains(&1) && nics.contains(&2));
+    }
+
+    #[test]
+    fn probe_is_answered() {
+        let mut w = ClusterBuilder::new()
+            .nodes(2, NodeSpec::default())
+            .build::<KernelMsg>();
+        let wd_pid = w.spawn(
+            NodeId(1),
+            Box::new(Wd::new(NodeId(1), PartitionId(0), FtParams::fast())),
+        );
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        client.send(
+            &mut w,
+            wd_pid,
+            KernelMsg::ProbeReq {
+                req: phoenix_proto::RequestId(3),
+            },
+        );
+        w.run_for(SimDuration::from_millis(5));
+        assert!(matches!(
+            client.drain()[..],
+            [(_, KernelMsg::ProbeResp { .. })]
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! # phoenix-kernel — the Fire Phoenix cluster OS kernel
+//!
+//! The paper's contribution: "a minimum set of cluster core functions with
+//! scalability and fault-tolerance support" (paper Sec 1). The kernel
+//! stack (paper Fig 2) maps onto modules as follows:
+//!
+//! | Paper component | Module |
+//! |---|---|
+//! | Configuration service | [`config`] |
+//! | Security service | [`security`] |
+//! | Parallel process management | [`ppm`] |
+//! | Detector services | [`detect`] (+ heartbeat analysis in [`group`]) |
+//! | Group service (GSD/WD, meta-group ring) | [`group`] |
+//! | Checkpoint service | [`checkpoint`] |
+//! | Event service | [`event`] |
+//! | Data bulletin service | [`bulletin`] |
+//! | System construction tool | [`boot`] |
+//!
+//! Build a whole cluster with [`boot::boot_cluster`] and interact with it
+//! through [`client::ClientHandle`] — the same message interfaces the
+//! paper's user environments (GridView, Phoenix-PWS) are built on.
+
+pub mod boot;
+pub mod bulletin;
+pub mod checkpoint;
+pub mod client;
+pub mod config;
+pub mod detect;
+pub mod event;
+pub mod group;
+pub mod params;
+pub mod ppm;
+pub mod security;
+
+pub use boot::{boot_and_stabilize, boot_cluster, boot_onto, PhoenixCluster};
+pub use client::ClientHandle;
+pub use params::{FtParams, KernelParams};

@@ -1,0 +1,447 @@
+//! Parallel process management (PPM).
+//!
+//! Paper Sec 4.2: "Parallel process management service performs efficient
+//! remote jobs loading, deleting, and resource cleaning up, which is a
+//! basic module of Phoenix kernel."
+//!
+//! A `PpmAgent` runs on every node. Job loads and deletes are forwarded
+//! down a binomial tree over the target set, so launching a task on `n`
+//! nodes takes `O(log n)` message latency instead of `O(n)` sequential
+//! sends — the "efficient remote jobs loading" of the paper. Each agent
+//! acknowledges directly to the requester.
+//!
+//! The agent spawns [`AppProc`] actors: simulated application processes
+//! that register with the node's application-state detector, drive their
+//! configured resource load, and exit after their run time.
+
+use phoenix_proto::{JobId, KernelMsg, NodeServices, TaskSpec};
+use phoenix_sim::{Actor, Ctx, NodeId, Pid, SimDuration, TraceEvent};
+use std::collections::HashMap;
+
+/// A simulated application process: one task of a job on one node.
+pub struct AppProc {
+    job: JobId,
+    task: TaskSpec,
+    detector: Pid,
+    agent: Pid,
+}
+
+const TOK_DONE: u64 = 1;
+
+impl AppProc {
+    pub fn new(job: JobId, task: TaskSpec, detector: Pid, agent: Pid) -> Self {
+        AppProc {
+            job,
+            task,
+            detector,
+            agent,
+        }
+    }
+}
+
+impl Actor<KernelMsg> for AppProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.send(
+            self.detector,
+            KernelMsg::AppStarted {
+                job: self.job,
+                pid: ctx.pid(),
+                task: self.task.clone(),
+            },
+        );
+        if let Some(d) = self.task.duration_ns {
+            ctx.set_timer(SimDuration::from_nanos(d), TOK_DONE);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, KernelMsg>, _from: Pid, _msg: KernelMsg) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, KernelMsg>, token: u64) {
+        if token == TOK_DONE {
+            let exited = KernelMsg::AppExited {
+                job: self.job,
+                pid: ctx.pid(),
+                failed: false,
+            };
+            ctx.send(self.detector, exited.clone());
+            ctx.send(self.agent, exited);
+            ctx.kill(ctx.pid());
+        }
+    }
+
+    fn name(&self) -> &str {
+        "app"
+    }
+}
+
+/// The per-node PPM agent.
+pub struct PpmAgent {
+    node: NodeId,
+    /// PPM agents of every node (for tree forwarding).
+    table: HashMap<NodeId, Pid>,
+    detector: Pid,
+    /// Local app processes by job.
+    jobs: HashMap<JobId, Pid>,
+}
+
+impl PpmAgent {
+    pub fn new(node: NodeId) -> Self {
+        PpmAgent {
+            node,
+            table: HashMap::new(),
+            detector: Pid(0),
+            jobs: HashMap::new(),
+        }
+    }
+
+    /// Respawned agent with explicit wiring.
+    pub fn respawn(node: NodeId, detector: Pid, table: HashMap<NodeId, Pid>) -> Self {
+        PpmAgent {
+            node,
+            table,
+            detector,
+            jobs: HashMap::new(),
+        }
+    }
+
+    /// Forward `targets` (not containing self) down the binomial tree:
+    /// repeatedly delegate the far half to its first node.
+    fn forward<F>(&self, ctx: &mut Ctx<'_, KernelMsg>, mut targets: Vec<NodeId>, make: F)
+    where
+        F: Fn(Vec<NodeId>) -> KernelMsg,
+    {
+        while !targets.is_empty() {
+            let take = targets.len().div_ceil(2);
+            let sub: Vec<NodeId> = targets.split_off(targets.len() - take);
+            if let Some(&head_pid) = self.table.get(&sub[0]) {
+                ctx.send(head_pid, make(sub));
+            }
+            // An unknown head silently drops that subtree; the requester's
+            // ack count exposes the loss.
+        }
+    }
+
+    fn ingest_table(&mut self, nodes: &[NodeServices]) {
+        for ns in nodes {
+            self.table.insert(ns.node, ns.ppm);
+            if ns.node == self.node {
+                self.detector = ns.detector;
+            }
+        }
+    }
+}
+
+impl Actor<KernelMsg> for PpmAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.trace(TraceEvent::ServiceUp {
+            pid: ctx.pid(),
+            service: "ppm",
+            node: ctx.node(),
+        });
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, KernelMsg>, from: Pid, msg: KernelMsg) {
+        match msg {
+            KernelMsg::Boot(dir) => self.ingest_table(&dir.nodes),
+            KernelMsg::DirectoryUpdateNode { services } => self.ingest_table(&[services]),
+            KernelMsg::ProbeReq { req } => {
+                ctx.send(from, KernelMsg::ProbeResp { req });
+            }
+            KernelMsg::PpmExec {
+                req,
+                job,
+                task,
+                targets,
+                reply_to,
+            } => {
+                let mut rest: Vec<NodeId> = Vec::with_capacity(targets.len());
+                let mut mine = false;
+                for t in targets {
+                    if t == self.node {
+                        mine = true;
+                    } else {
+                        rest.push(t);
+                    }
+                }
+                if mine {
+                    let ok = !self.jobs.contains_key(&job);
+                    if ok {
+                        let app = AppProc::new(job, task.clone(), self.detector, ctx.pid());
+                        let pid = ctx.spawn(self.node, Box::new(app));
+                        self.jobs.insert(job, pid);
+                    }
+                    ctx.send(
+                        reply_to,
+                        KernelMsg::PpmExecAck {
+                            req,
+                            job,
+                            node: self.node,
+                            ok,
+                        },
+                    );
+                }
+                let task2 = task;
+                self.forward(ctx, rest, move |sub| KernelMsg::PpmExec {
+                    req,
+                    job,
+                    task: task2.clone(),
+                    targets: sub,
+                    reply_to,
+                });
+            }
+            KernelMsg::PpmDelete {
+                req,
+                job,
+                targets,
+                reply_to,
+            } => {
+                let mut rest: Vec<NodeId> = Vec::with_capacity(targets.len());
+                let mut mine = false;
+                for t in targets {
+                    if t == self.node {
+                        mine = true;
+                    } else {
+                        rest.push(t);
+                    }
+                }
+                if mine {
+                    // Kill the task and clean up: the detector is told the
+                    // app is gone so resource accounting resets.
+                    if let Some(pid) = self.jobs.remove(&job) {
+                        ctx.kill(pid);
+                        ctx.send(
+                            self.detector,
+                            KernelMsg::AppExited {
+                                job,
+                                pid,
+                                failed: false,
+                            },
+                        );
+                    }
+                    ctx.send(
+                        reply_to,
+                        KernelMsg::PpmDeleteAck {
+                            req,
+                            job,
+                            node: self.node,
+                        },
+                    );
+                }
+                self.forward(ctx, rest, move |sub| KernelMsg::PpmDelete {
+                    req,
+                    job,
+                    targets: sub,
+                    reply_to,
+                });
+            }
+            KernelMsg::AppExited { job, .. } => {
+                self.jobs.remove(&job);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ppm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientHandle;
+    use phoenix_proto::{RequestId, ServiceDirectory};
+    use phoenix_sim::{ClusterBuilder, NodeSpec, World};
+
+    /// Build n nodes each with a PPM agent and a stub detector (client).
+    fn setup(n: u32) -> (World<KernelMsg>, Vec<Pid>, ClientHandle) {
+        let mut w = ClusterBuilder::new()
+            .nodes(n as usize, NodeSpec::default())
+            .build::<KernelMsg>();
+        let det = ClientHandle::spawn(&mut w, NodeId(0));
+        let agents: Vec<Pid> = (0..n)
+            .map(|i| w.spawn(NodeId(i), Box::new(PpmAgent::new(NodeId(i)))))
+            .collect();
+        let dir = ServiceDirectory {
+            config: Pid(0),
+            security: Pid(0),
+            partitions: vec![],
+            nodes: (0..n)
+                .map(|i| NodeServices {
+                    node: NodeId(i),
+                    wd: Pid(0),
+                    detector: det.pid,
+                    ppm: agents[i as usize],
+                })
+                .collect(),
+        };
+        for &a in &agents {
+            w.inject(a, KernelMsg::Boot(Box::new(dir.clone())));
+        }
+        w.run_for(SimDuration::from_millis(5));
+        (w, agents, det)
+    }
+
+    #[test]
+    fn exec_fans_out_to_all_targets() {
+        let (mut w, agents, _det) = setup(16);
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        let targets: Vec<NodeId> = (0..16).map(NodeId).collect();
+        client.send(
+            &mut w,
+            agents[0],
+            KernelMsg::PpmExec {
+                req: RequestId(1),
+                job: JobId(1),
+                task: TaskSpec::default(),
+                targets,
+                reply_to: client.pid,
+            },
+        );
+        w.run_for(SimDuration::from_millis(50));
+        let acks = client
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, KernelMsg::PpmExecAck { ok: true, .. }))
+            .count();
+        assert_eq!(acks, 16);
+    }
+
+    #[test]
+    fn exec_spawns_app_procs_that_register() {
+        let (mut w, agents, det) = setup(4);
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        client.send(
+            &mut w,
+            agents[0],
+            KernelMsg::PpmExec {
+                req: RequestId(2),
+                job: JobId(9),
+                task: TaskSpec {
+                    duration_ns: Some(1_000_000_000),
+                    ..TaskSpec::default()
+                },
+                targets: vec![NodeId(1), NodeId(2)],
+                reply_to: client.pid,
+            },
+        );
+        w.run_for(SimDuration::from_millis(50));
+        let started = det
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, KernelMsg::AppStarted { job: JobId(9), .. }))
+            .count();
+        assert_eq!(started, 2);
+        // After the task duration, both exit on their own.
+        w.run_for(SimDuration::from_secs(2));
+        let exited = det
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, KernelMsg::AppExited { job: JobId(9), .. }))
+            .count();
+        assert_eq!(exited, 2);
+    }
+
+    #[test]
+    fn delete_kills_running_tasks() {
+        let (mut w, agents, det) = setup(4);
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        client.send(
+            &mut w,
+            agents[0],
+            KernelMsg::PpmExec {
+                req: RequestId(3),
+                job: JobId(5),
+                task: TaskSpec {
+                    duration_ns: None, // runs until deleted
+                    ..TaskSpec::default()
+                },
+                targets: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+                reply_to: client.pid,
+            },
+        );
+        w.run_for(SimDuration::from_millis(50));
+        let live_before = w.live_processes();
+        client.send(
+            &mut w,
+            agents[0],
+            KernelMsg::PpmDelete {
+                req: RequestId(4),
+                job: JobId(5),
+                targets: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+                reply_to: client.pid,
+            },
+        );
+        w.run_for(SimDuration::from_millis(50));
+        let del_acks = client
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, KernelMsg::PpmDeleteAck { .. }))
+            .count();
+        assert_eq!(del_acks, 4);
+        assert_eq!(w.live_processes(), live_before - 4, "app procs killed");
+        let _ = det.drain();
+    }
+
+    #[test]
+    fn duplicate_exec_rejected() {
+        let (mut w, agents, _det) = setup(2);
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        for req in [5u64, 6] {
+            client.send(
+                &mut w,
+                agents[1],
+                KernelMsg::PpmExec {
+                    req: RequestId(req),
+                    job: JobId(1),
+                    task: TaskSpec {
+                        duration_ns: None,
+                        ..TaskSpec::default()
+                    },
+                    targets: vec![NodeId(1)],
+                    reply_to: client.pid,
+                },
+            );
+        }
+        w.run_for(SimDuration::from_millis(50));
+        let oks: Vec<bool> = client
+            .drain()
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                KernelMsg::PpmExecAck { ok, .. } => Some(ok),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(oks.len(), 2);
+        assert!(oks.contains(&true) && oks.contains(&false));
+    }
+
+    #[test]
+    fn fanout_message_depth_is_logarithmic() {
+        // With 64 targets the exec wave should finish well before a
+        // sequential 64-hop chain would.
+        let (mut w, agents, _det) = setup(64);
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        let t0 = w.now();
+        client.send(
+            &mut w,
+            agents[0],
+            KernelMsg::PpmExec {
+                req: RequestId(9),
+                job: JobId(2),
+                task: TaskSpec::default(),
+                targets: (0..64).map(NodeId).collect(),
+                reply_to: client.pid,
+            },
+        );
+        // Each hop costs ≈150 µs; log2(64)=6 levels ≈ 1 ms; allow 4 ms.
+        w.run_for(SimDuration::from_millis(4));
+        let acks = client
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, KernelMsg::PpmExecAck { .. }))
+            .count();
+        assert_eq!(acks, 64, "all acks within logarithmic time");
+        assert!(w.now().since(t0) < SimDuration::from_millis(5));
+    }
+}

@@ -1,0 +1,108 @@
+//! Keyed hashing and the stream-cipher stand-in.
+//!
+//! The paper specifies the security service's *interfaces* (authentication,
+//! authorization, encryption) but no algorithms. We implement a small
+//! keyed hash (an FNV-1a chain mixed with a 64-bit key and a finalizer) for
+//! token MACs, and an xorshift keystream for the encryption interface.
+//! These are stand-ins with the right *shape* — deterministic, keyed,
+//! tamper-evident for honest-but-curious simulation purposes — and are NOT
+//! cryptographically secure (documented in DESIGN.md).
+
+/// 64-bit keyed hash over arbitrary bytes.
+pub fn keyed_hash(key: u64, data: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = FNV_OFFSET ^ key;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // splitmix64 finalizer for avalanche.
+    h = h.wrapping_add(0x9e3779b97f4a7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+    h ^ (h >> 31)
+}
+
+/// Keyed hash over several fields without concatenation allocations.
+pub fn keyed_hash_fields(key: u64, fields: &[&[u8]]) -> u64 {
+    let mut h = key;
+    for f in fields {
+        h = keyed_hash(h, f);
+        // Domain-separate fields so ("ab","c") != ("a","bc").
+        h = keyed_hash(h, &[0xff]);
+    }
+    h
+}
+
+/// Xorshift64* keystream generator.
+fn keystream_next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// Symmetric stream "encryption": XOR with a keyed keystream. Applying it
+/// twice with the same key restores the plaintext.
+pub fn xor_stream(key: u64, data: &mut [u8]) {
+    let mut state = key | 1; // xorshift state must be nonzero
+    let mut buf = [0u8; 8];
+    for chunk in data.chunks_mut(8) {
+        let word = keystream_next(&mut state);
+        buf.copy_from_slice(&word.to_le_bytes());
+        for (b, k) in chunk.iter_mut().zip(buf.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(keyed_hash(1, b"hello"), keyed_hash(1, b"hello"));
+    }
+
+    #[test]
+    fn hash_depends_on_key_and_data() {
+        assert_ne!(keyed_hash(1, b"hello"), keyed_hash(2, b"hello"));
+        assert_ne!(keyed_hash(1, b"hello"), keyed_hash(1, b"hellp"));
+    }
+
+    #[test]
+    fn field_hash_domain_separation() {
+        let a = keyed_hash_fields(7, &[b"ab", b"c"]);
+        let b = keyed_hash_fields(7, &[b"a", b"bc"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xor_stream_round_trips() {
+        let mut data = b"the quick brown fox jumps".to_vec();
+        let orig = data.clone();
+        xor_stream(0xDEAD_BEEF, &mut data);
+        assert_ne!(data, orig);
+        xor_stream(0xDEAD_BEEF, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn xor_stream_wrong_key_garbles() {
+        let mut data = b"secret".to_vec();
+        xor_stream(1, &mut data);
+        xor_stream(2, &mut data);
+        assert_ne!(data, b"secret".to_vec());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert_ne!(keyed_hash(0, b""), 0);
+        let mut empty: Vec<u8> = vec![];
+        xor_stream(5, &mut empty);
+    }
+}

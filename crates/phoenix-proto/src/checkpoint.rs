@@ -1,0 +1,66 @@
+//! Checkpoint-service payloads.
+//!
+//! Paper Sec 4.2: "upper-layer services themselves are responsible for
+//! saving and deleting system state by calling interface of checkpoint
+//! service." Each upper-layer service has a typed state snapshot here; a
+//! raw-bytes variant serves ad-hoc users.
+
+use crate::bulletin::BulletinEntry;
+use crate::event::ConsumerReg;
+use crate::ids::JobId;
+use crate::job::JobSpec;
+use phoenix_sim::{NodeId, Pid};
+use serde::{Deserialize, Serialize};
+
+/// State snapshots the kernel services save through the checkpoint service.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum CheckpointData {
+    /// Event service: live consumer registrations and the publish cursor.
+    EventService {
+        consumers: Vec<ConsumerReg>,
+        next_seq: u64,
+    },
+    /// Data bulletin: current entries of the partition.
+    Bulletin { entries: Vec<BulletinEntry> },
+    /// PWS scheduler: queue and placements.
+    Scheduler {
+        queued: Vec<JobSpec>,
+        running: Vec<(JobId, Vec<NodeId>)>,
+    },
+    /// GSD supervision roster: factory keys and pids of the supervised
+    /// user-environment services, so a migrated GSD can respawn them.
+    Supervision { entries: Vec<(String, Pid)> },
+    /// Anything else.
+    Raw(Vec<u8>),
+}
+
+impl CheckpointData {
+    /// Human label for traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CheckpointData::EventService { .. } => "event-state",
+            CheckpointData::Bulletin { .. } => "bulletin-state",
+            CheckpointData::Scheduler { .. } => "scheduler-state",
+            CheckpointData::Supervision { .. } => "supervision",
+            CheckpointData::Raw(_) => "raw",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            CheckpointData::EventService {
+                consumers: vec![],
+                next_seq: 0
+            }
+            .label(),
+            "event-state"
+        );
+        assert_eq!(CheckpointData::Raw(vec![1, 2]).label(), "raw");
+    }
+}

@@ -1,0 +1,152 @@
+//! Event-service types: event classes, payloads, and consumer filters.
+//!
+//! The paper's event service provides "the registration of the event
+//! supplier and event types it produces, the registration of the event
+//! consumer and event types it feels interested in", plus filtering and
+//! real-time notification (Sec 4.2).
+
+use crate::ids::{JobId, PartitionId, ServiceKind};
+use phoenix_sim::{NicId, NodeId, Pid};
+use serde::{Deserialize, Serialize};
+
+/// The classes of event flowing through the Phoenix kernel.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum EventType {
+    /// A node stopped responding (GSD diagnosis: node failure).
+    NodeFault,
+    /// A previously failed node is back.
+    NodeRecovery,
+    /// One network interface of a node failed.
+    NetworkFault,
+    /// A network interface recovered.
+    NetworkRecovery,
+    /// A kernel or user-environment service instance failed.
+    ServiceFault,
+    /// A failed service instance was restarted or migrated.
+    ServiceRecovery,
+    /// An application's state changed (started, exited, SLA breach, ...).
+    AppStateChange,
+    /// A job changed scheduling state (queued, running, done, ...).
+    JobStateChange,
+    /// Cluster configuration was changed at runtime.
+    ConfigChange,
+    /// A resource gauge crossed an alarm threshold.
+    ResourceAlarm,
+    /// Application-defined event class.
+    Custom(u16),
+}
+
+/// Structured payload attached to an event.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize, Default)]
+pub enum EventPayload {
+    #[default]
+    None,
+    Node(NodeId),
+    Nic(NodeId, NicId),
+    Service(ServiceKind, NodeId),
+    Job(JobId),
+    /// A task of `job` started (`up = true`) or stopped on `node`.
+    AppLifecycle {
+        job: JobId,
+        node: NodeId,
+        up: bool,
+    },
+    Metric(f64),
+    Text(String),
+}
+
+/// An event instance published to the event service.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Event {
+    pub etype: EventType,
+    /// Node the event concerns or originated from.
+    pub origin: NodeId,
+    /// Partition where the event was published.
+    pub partition: PartitionId,
+    /// Per-event-service monotone sequence number (assigned on publish).
+    pub seq: u64,
+    pub payload: EventPayload,
+}
+
+impl Event {
+    /// Construct an event; the sequence number is filled in by the event
+    /// service at publish time.
+    pub fn new(etype: EventType, origin: NodeId, payload: EventPayload) -> Event {
+        Event {
+            etype,
+            origin,
+            partition: PartitionId(0),
+            seq: 0,
+            payload,
+        }
+    }
+}
+
+/// What a consumer is interested in.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EventFilter {
+    /// Receive every event.
+    All,
+    /// Receive only the listed event classes.
+    Types(Vec<EventType>),
+}
+
+impl EventFilter {
+    /// Does this filter accept the event?
+    pub fn accepts(&self, event: &Event) -> bool {
+        match self {
+            EventFilter::All => true,
+            EventFilter::Types(types) => types.contains(&event.etype),
+        }
+    }
+
+    /// Convenience constructor from a slice of types.
+    pub fn types(types: &[EventType]) -> EventFilter {
+        EventFilter::Types(types.to_vec())
+    }
+}
+
+/// A consumer registration held by the event service (and checkpointed so
+/// a restarted instance keeps notifying its consumers).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ConsumerReg {
+    pub consumer: Pid,
+    pub filter: EventFilter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: EventType) -> Event {
+        Event::new(t, NodeId(1), EventPayload::None)
+    }
+
+    #[test]
+    fn all_filter_accepts_everything() {
+        let f = EventFilter::All;
+        assert!(f.accepts(&ev(EventType::NodeFault)));
+        assert!(f.accepts(&ev(EventType::Custom(9))));
+    }
+
+    #[test]
+    fn typed_filter_selects() {
+        let f = EventFilter::types(&[EventType::NodeFault, EventType::NetworkFault]);
+        assert!(f.accepts(&ev(EventType::NodeFault)));
+        assert!(f.accepts(&ev(EventType::NetworkFault)));
+        assert!(!f.accepts(&ev(EventType::NodeRecovery)));
+    }
+
+    #[test]
+    fn custom_types_distinguished_by_code() {
+        let f = EventFilter::types(&[EventType::Custom(1)]);
+        assert!(f.accepts(&ev(EventType::Custom(1))));
+        assert!(!f.accepts(&ev(EventType::Custom(2))));
+    }
+
+    #[test]
+    fn empty_typed_filter_accepts_nothing() {
+        let f = EventFilter::Types(vec![]);
+        assert!(!f.accepts(&ev(EventType::NodeFault)));
+    }
+}

@@ -1,0 +1,506 @@
+//! The kernel message set: every message exchanged between Phoenix
+//! services, node daemons, user environments and clients.
+//!
+//! One enum keeps the simulator monomorphic (`World<KernelMsg>`); the
+//! [`label`](KernelMsg::label) method buckets variants into traffic classes
+//! so the experiments can attribute network load to heartbeats, bulletin
+//! queries, polling, and so on.
+
+use crate::bulletin::{BulletinEntry, BulletinQuery};
+use crate::checkpoint::CheckpointData;
+use crate::event::{ConsumerReg, Event, EventType};
+use crate::ids::{JobId, PartitionId, RequestId, ServiceKind, UserId};
+use crate::job::{JobSpec, JobState, TaskSpec};
+use crate::security::{Action, AuthToken};
+use crate::size::encoded_size;
+use crate::topology::ClusterTopology;
+use phoenix_sim::{Diagnosis, Message, NicId, NodeId, Pid, ResourceUsage};
+use serde::{Deserialize, Serialize};
+
+/// The per-partition service pids of one meta-group member, as carried in
+/// membership broadcasts. Federation peers find each other through this.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MemberInfo {
+    pub partition: PartitionId,
+    /// Node currently hosting the partition services.
+    pub node: NodeId,
+    pub gsd: Pid,
+    pub event: Pid,
+    pub bulletin: Pid,
+    pub checkpoint: Pid,
+    /// PPM agent on the hosting node; ring neighbours probe it to
+    /// distinguish a GSD process death from a node death.
+    pub host_ppm: Pid,
+}
+
+/// Per-node daemon pids (watch daemon, detector, PPM agent).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NodeServices {
+    pub node: NodeId,
+    pub wd: Pid,
+    pub detector: Pid,
+    pub ppm: Pid,
+}
+
+/// The cluster-wide service directory maintained by the configuration
+/// service and distributed at boot.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
+pub struct ServiceDirectory {
+    pub config: Pid,
+    pub security: Pid,
+    pub partitions: Vec<MemberInfo>,
+    pub nodes: Vec<NodeServices>,
+}
+
+impl ServiceDirectory {
+    /// Services of the partition, if known.
+    pub fn partition(&self, id: PartitionId) -> Option<&MemberInfo> {
+        self.partitions.iter().find(|m| m.partition == id)
+    }
+
+    /// Daemons of a node, if known.
+    pub fn node(&self, id: NodeId) -> Option<&NodeServices> {
+        self.nodes.iter().find(|n| n.node == id)
+    }
+}
+
+/// A row in a queue-status reply.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct QueueRow {
+    pub job: JobId,
+    pub pool: String,
+    pub user: UserId,
+    pub state: JobState,
+    pub nodes: Vec<NodeId>,
+}
+
+/// Administrative node operations (paper Fig 9: start/shutdown nodes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NodeOp {
+    Start,
+    Shutdown,
+}
+
+/// Every message in the Phoenix protocol.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum KernelMsg {
+    // ---- boot / wiring -------------------------------------------------
+    /// Initial wiring: the full service directory, sent to every service
+    /// by the boot driver (the paper's "system construction tool").
+    Boot(Box<ServiceDirectory>),
+
+    // ---- group service: WD heartbeats and probing ("hb"/"probe") -------
+    /// Watch-daemon heartbeat, sent over every NIC each interval.
+    WdHeartbeat {
+        node: NodeId,
+        nic: NicId,
+        seq: u64,
+    },
+    /// Liveness probe used during fault diagnosis.
+    ProbeReq { req: RequestId },
+    ProbeResp { req: RequestId },
+
+    // ---- group service: meta-group ring ("meta") ------------------------
+    /// Ring heartbeat from a GSD to its successor, sent over every NIC so
+    /// the observer can tell a network failure from a daemon failure.
+    MetaHeartbeat {
+        from_partition: PartitionId,
+        nic: NicId,
+        epoch: u64,
+    },
+    /// A (re)started GSD announces itself to the meta-group leader.
+    MetaJoin { member: MemberInfo },
+    /// Leader broadcast of the authoritative membership.
+    MetaMembership {
+        epoch: u64,
+        members: Vec<MemberInfo>,
+    },
+    /// A GSD announces a peer's failure to the whole meta-group.
+    MetaMemberDown {
+        partition: PartitionId,
+        diagnosis: Diagnosis,
+    },
+
+    // ---- group service: partition-local supervision ("svc") -------------
+    /// A per-partition service registers with its GSD for supervision.
+    /// `factory` names the respawn recipe in the GSD's factory registry
+    /// ("register policies of how to deal with faults", paper Sec 4.4).
+    SvcRegister {
+        kind: ServiceKind,
+        pid: Pid,
+        factory: String,
+    },
+    /// Supervised-service heartbeat to the local GSD.
+    SvcHeartbeat {
+        kind: ServiceKind,
+        pid: Pid,
+        seq: u64,
+    },
+    /// GSD pushes the current meta-group view to partition services and
+    /// node daemons (federation peers + replacement pids flow through it).
+    PartitionView {
+        members: Vec<MemberInfo>,
+        local: MemberInfo,
+    },
+
+    // ---- event service ("event") ----------------------------------------
+    EsRegisterConsumer { reg: ConsumerReg },
+    EsUnregisterConsumer { consumer: Pid },
+    EsRegisterSupplier {
+        supplier: Pid,
+        types: Vec<EventType>,
+    },
+    /// Publish an event (supplier → local ES).
+    EsPublish { event: Event },
+    /// Notification delivered to a consumer.
+    EsNotify { event: Event },
+    /// Federation forward to peer ES instances.
+    EsFedForward { event: Event },
+
+    // ---- data bulletin ("bulletin") --------------------------------------
+    /// Detector export of fresh readings to its partition bulletin.
+    DbPut { entries: Vec<BulletinEntry> },
+    /// Client query against any instance (the single access point).
+    DbQuery {
+        req: RequestId,
+        query: BulletinQuery,
+    },
+    /// Reply to a client. `complete` is false if some partition of the
+    /// federation could not answer (paper: "only the state of one
+    /// partition can't be obtained").
+    DbResp {
+        req: RequestId,
+        entries: Vec<BulletinEntry>,
+        complete: bool,
+    },
+    /// Federation-internal fan-out of a query.
+    DbFedQuery {
+        req: RequestId,
+        query: BulletinQuery,
+    },
+    DbFedResp {
+        req: RequestId,
+        partition: PartitionId,
+        entries: Vec<BulletinEntry>,
+    },
+
+    // ---- checkpoint service ("ckpt") -------------------------------------
+    CkSave {
+        service: ServiceKind,
+        partition: PartitionId,
+        data: CheckpointData,
+    },
+    CkLoad {
+        req: RequestId,
+        service: ServiceKind,
+        partition: PartitionId,
+    },
+    CkLoadResp {
+        req: RequestId,
+        data: Option<CheckpointData>,
+    },
+    CkDelete {
+        service: ServiceKind,
+        partition: PartitionId,
+    },
+    /// Replication of a save to federation peers.
+    CkReplicate {
+        service: ServiceKind,
+        partition: PartitionId,
+        data: CheckpointData,
+    },
+    /// A freshly (re)started checkpoint instance pulls state from a peer.
+    CkSyncReq { req: RequestId },
+    CkSyncResp {
+        req: RequestId,
+        items: Vec<(ServiceKind, PartitionId, CheckpointData)>,
+    },
+
+    // ---- configuration service ("config") --------------------------------
+    CfgQueryTopology { req: RequestId },
+    CfgTopology {
+        req: RequestId,
+        topology: Box<ClusterTopology>,
+    },
+    CfgQueryDirectory { req: RequestId },
+    CfgDirectory {
+        req: RequestId,
+        directory: Box<ServiceDirectory>,
+    },
+    /// Dynamic reconfiguration: set a named kernel parameter.
+    CfgSetParam {
+        req: RequestId,
+        key: String,
+        value: String,
+    },
+    CfgAck { req: RequestId, ok: bool },
+    /// GSD → config service: a service was restarted/migrated.
+    DirectoryUpdate {
+        partition: PartitionId,
+        member: MemberInfo,
+    },
+    /// Node daemons were (re)spawned (WD restart, node brought back up).
+    DirectoryUpdateNode { services: NodeServices },
+    /// Administrative node power operation.
+    CfgNodeOp {
+        req: RequestId,
+        node: NodeId,
+        op: NodeOp,
+    },
+
+    // ---- security service ("security") ------------------------------------
+    SecLogin {
+        req: RequestId,
+        user: UserId,
+        secret: String,
+    },
+    SecLoginResp {
+        req: RequestId,
+        token: Option<AuthToken>,
+    },
+    SecCheck {
+        req: RequestId,
+        token: AuthToken,
+        action: Action,
+    },
+    SecCheckResp { req: RequestId, allowed: bool },
+
+    // ---- parallel process management ("ppm"/"app") -------------------------
+    /// Load a task on `targets`; forwarded down a binomial tree.
+    PpmExec {
+        req: RequestId,
+        job: JobId,
+        task: TaskSpec,
+        targets: Vec<NodeId>,
+        reply_to: Pid,
+    },
+    PpmExecAck {
+        req: RequestId,
+        job: JobId,
+        node: NodeId,
+        ok: bool,
+    },
+    /// Delete a job's task on `targets` (tree-forwarded) and clean up.
+    PpmDelete {
+        req: RequestId,
+        job: JobId,
+        targets: Vec<NodeId>,
+        reply_to: Pid,
+    },
+    PpmDeleteAck {
+        req: RequestId,
+        job: JobId,
+        node: NodeId,
+    },
+    /// Application process announces itself to the node's detector.
+    AppStarted {
+        job: JobId,
+        pid: Pid,
+        task: TaskSpec,
+    },
+    AppExited {
+        job: JobId,
+        pid: Pid,
+        failed: bool,
+    },
+
+    // ---- PWS job management ("pws") -----------------------------------------
+    PwsSubmit {
+        req: RequestId,
+        token: AuthToken,
+        spec: JobSpec,
+    },
+    PwsSubmitResp {
+        req: RequestId,
+        accepted: bool,
+        reason: String,
+    },
+    PwsCancel {
+        req: RequestId,
+        token: AuthToken,
+        job: JobId,
+    },
+    PwsCancelResp { req: RequestId, ok: bool },
+    PwsJobStatus { req: RequestId, job: JobId },
+    PwsJobStatusResp {
+        req: RequestId,
+        state: Option<JobState>,
+        nodes: Vec<NodeId>,
+    },
+    PwsQueueStatus {
+        req: RequestId,
+        pool: Option<String>,
+    },
+    PwsQueueStatusResp {
+        req: RequestId,
+        rows: Vec<QueueRow>,
+    },
+    /// Dynamic leasing between pool schedulers.
+    PoolLeaseReq {
+        req: RequestId,
+        from_pool: String,
+        nodes: u32,
+    },
+    PoolLeaseResp {
+        req: RequestId,
+        granted: Vec<NodeId>,
+    },
+    PoolLeaseReturn { nodes: Vec<NodeId> },
+
+    // ---- PBS baseline ("pbs") -------------------------------------------------
+    /// Central-server resource poll (the paper contrasts PBS's continuous
+    /// polling with PWS's event-driven collection).
+    PbsPoll { req: RequestId },
+    PbsPollResp {
+        req: RequestId,
+        node: NodeId,
+        usage: ResourceUsage,
+        jobs: Vec<JobId>,
+    },
+}
+
+impl KernelMsg {
+    /// Traffic-class label. Groups variants by the subsystem that owns
+    /// them so experiments can break down wire load.
+    pub fn traffic_label(&self) -> &'static str {
+        use KernelMsg::*;
+        match self {
+            Boot(_) => "boot",
+            WdHeartbeat { .. } => "hb",
+            ProbeReq { .. } | ProbeResp { .. } => "probe",
+            MetaHeartbeat { .. } | MetaJoin { .. } | MetaMembership { .. }
+            | MetaMemberDown { .. } => "meta",
+            SvcRegister { .. } | SvcHeartbeat { .. } | PartitionView { .. } => "svc",
+            EsRegisterConsumer { .. }
+            | EsUnregisterConsumer { .. }
+            | EsRegisterSupplier { .. }
+            | EsPublish { .. }
+            | EsNotify { .. }
+            | EsFedForward { .. } => "event",
+            DbPut { .. } | DbQuery { .. } | DbResp { .. } | DbFedQuery { .. }
+            | DbFedResp { .. } => "bulletin",
+            CkSave { .. } | CkLoad { .. } | CkLoadResp { .. } | CkDelete { .. }
+            | CkReplicate { .. } | CkSyncReq { .. } | CkSyncResp { .. } => "ckpt",
+            CfgQueryTopology { .. }
+            | CfgTopology { .. }
+            | CfgQueryDirectory { .. }
+            | CfgDirectory { .. }
+            | CfgSetParam { .. }
+            | CfgAck { .. }
+            | DirectoryUpdate { .. }
+            | DirectoryUpdateNode { .. }
+            | CfgNodeOp { .. } => "config",
+            SecLogin { .. } | SecLoginResp { .. } | SecCheck { .. } | SecCheckResp { .. } => {
+                "security"
+            }
+            PpmExec { .. } | PpmExecAck { .. } | PpmDelete { .. } | PpmDeleteAck { .. } => "ppm",
+            AppStarted { .. } | AppExited { .. } => "app",
+            PwsSubmit { .. }
+            | PwsSubmitResp { .. }
+            | PwsCancel { .. }
+            | PwsCancelResp { .. }
+            | PwsJobStatus { .. }
+            | PwsJobStatusResp { .. }
+            | PwsQueueStatus { .. }
+            | PwsQueueStatusResp { .. }
+            | PoolLeaseReq { .. }
+            | PoolLeaseResp { .. }
+            | PoolLeaseReturn { .. } => "pws",
+            PbsPoll { .. } | PbsPollResp { .. } => "pbs",
+        }
+    }
+}
+
+impl Message for KernelMsg {
+    fn wire_size(&self) -> usize {
+        encoded_size(self)
+    }
+
+    fn label(&self) -> &'static str {
+        self.traffic_label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_is_small() {
+        let hb = KernelMsg::WdHeartbeat {
+            node: NodeId(1),
+            nic: NicId(0),
+            seq: 42,
+        };
+        // tag + node(4) + nic(1) + seq(8)
+        assert_eq!(hb.wire_size(), 4 + 4 + 1 + 8);
+        assert_eq!(hb.label(), "hb");
+    }
+
+    #[test]
+    fn bulletin_resp_size_scales_with_entries() {
+        use crate::bulletin::{BulletinKey, BulletinValue};
+        let entry = BulletinEntry {
+            key: BulletinKey::Resource(NodeId(0)),
+            value: BulletinValue::Resource(ResourceUsage::IDLE),
+            stamp_ns: 0,
+        };
+        let small = KernelMsg::DbResp {
+            req: RequestId(1),
+            entries: vec![entry.clone()],
+            complete: true,
+        };
+        let big = KernelMsg::DbResp {
+            req: RequestId(1),
+            entries: vec![entry; 100],
+            complete: true,
+        };
+        assert!(big.wire_size() > small.wire_size() * 50);
+    }
+
+    #[test]
+    fn labels_cover_major_groups() {
+        assert_eq!(
+            KernelMsg::MetaHeartbeat {
+                from_partition: PartitionId(0),
+                nic: NicId(0),
+                epoch: 0
+            }
+            .label(),
+            "meta"
+        );
+        assert_eq!(KernelMsg::PbsPoll { req: RequestId(0) }.label(), "pbs");
+        assert_eq!(
+            KernelMsg::CkSyncReq { req: RequestId(0) }.label(),
+            "ckpt"
+        );
+    }
+
+    #[test]
+    fn directory_lookup() {
+        let m = MemberInfo {
+            partition: PartitionId(1),
+            node: NodeId(17),
+            gsd: Pid(1),
+            event: Pid(2),
+            bulletin: Pid(3),
+            checkpoint: Pid(4),
+            host_ppm: Pid(5),
+        };
+        let n = NodeServices {
+            node: NodeId(5),
+            wd: Pid(10),
+            detector: Pid(11),
+            ppm: Pid(12),
+        };
+        let dir = ServiceDirectory {
+            config: Pid(100),
+            security: Pid(101),
+            partitions: vec![m],
+            nodes: vec![n],
+        };
+        assert_eq!(dir.partition(PartitionId(1)).unwrap().gsd, Pid(1));
+        assert!(dir.partition(PartitionId(9)).is_none());
+        assert_eq!(dir.node(NodeId(5)).unwrap().ppm, Pid(12));
+    }
+}

@@ -1,0 +1,99 @@
+//! Security-service types: principals, roles, actions, tokens.
+//!
+//! The paper specifies the *interfaces* — "authorization, authentication
+//! and encryption functions for users" — but no algorithms; the types here
+//! plus the keyed-MAC implementation in `phoenix-kernel::security` are our
+//! stand-in (documented in DESIGN.md).
+
+use crate::ids::UserId;
+use serde::{Deserialize, Serialize};
+
+/// The four user roles Phoenix defines (paper Sec 3) plus a guest.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Role {
+    /// "System constructor configures, deploys and boots cluster system."
+    SystemConstructor,
+    /// "System administrators perform daily system management."
+    SystemAdministrator,
+    /// "Science computing users submit their jobs."
+    ScientificUser,
+    /// "Business computing user" of the hosting runtime.
+    BusinessUser,
+    /// Unauthenticated / unknown.
+    Guest,
+}
+
+/// Actions subject to authorization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Action {
+    SubmitJob,
+    CancelJob,
+    QueryState,
+    Reconfigure,
+    StartNode,
+    ShutdownNode,
+    PublishEvent,
+    ManageUsers,
+}
+
+impl Role {
+    /// The static role→action policy matrix.
+    pub fn may(self, action: Action) -> bool {
+        use Action::*;
+        use Role::*;
+        match self {
+            SystemConstructor => true,
+            SystemAdministrator => !matches!(action, ManageUsers),
+            ScientificUser => matches!(action, SubmitJob | CancelJob | QueryState),
+            BusinessUser => matches!(action, QueryState | PublishEvent),
+            Guest => false,
+        }
+    }
+}
+
+/// A signed authentication token. `mac` is a keyed hash over the user and
+/// expiry computed by the security service; services verify it without a
+/// round trip.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AuthToken {
+    pub user: UserId,
+    pub role: Role,
+    pub expires_ns: u64,
+    pub mac: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_can_do_anything() {
+        for a in [
+            Action::SubmitJob,
+            Action::Reconfigure,
+            Action::ManageUsers,
+            Action::ShutdownNode,
+        ] {
+            assert!(Role::SystemConstructor.may(a));
+        }
+    }
+
+    #[test]
+    fn admin_cannot_manage_users() {
+        assert!(Role::SystemAdministrator.may(Action::ShutdownNode));
+        assert!(!Role::SystemAdministrator.may(Action::ManageUsers));
+    }
+
+    #[test]
+    fn scientific_user_scope() {
+        assert!(Role::ScientificUser.may(Action::SubmitJob));
+        assert!(Role::ScientificUser.may(Action::QueryState));
+        assert!(!Role::ScientificUser.may(Action::Reconfigure));
+        assert!(!Role::ScientificUser.may(Action::ShutdownNode));
+    }
+
+    #[test]
+    fn guest_can_do_nothing() {
+        assert!(!Role::Guest.may(Action::QueryState));
+    }
+}

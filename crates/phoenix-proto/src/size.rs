@@ -1,0 +1,346 @@
+//! Wire-size estimation.
+//!
+//! The experiments compare *network load* between designs (PBS polling vs
+//! PWS event-driven collection, flat vs partitioned membership), so every
+//! message needs a realistic encoded size. Rather than hand-annotating
+//! sizes per variant, this module implements a [`serde::Serializer`] that
+//! emits nothing and simply counts the bytes a compact binary encoding
+//! (bincode-style: fixed-width ints, length-prefixed sequences, u32 variant
+//! tags) would produce.
+
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Compute the compact binary encoded size of any `Serialize` value.
+pub fn encoded_size<T: Serialize + ?Sized>(value: &T) -> usize {
+    let mut s = SizeCounter { bytes: 0 };
+    // Counting cannot fail for well-formed data structures.
+    value
+        .serialize(&mut s)
+        .expect("size counting is infallible");
+    s.bytes
+}
+
+/// Error type required by the Serializer trait; never actually produced.
+#[derive(Debug)]
+pub struct SizeError(String);
+
+impl fmt::Display for SizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "size counting error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SizeError {}
+
+impl ser::Error for SizeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SizeError(msg.to_string())
+    }
+}
+
+struct SizeCounter {
+    bytes: usize,
+}
+
+type R = Result<(), SizeError>;
+
+impl<'a> ser::Serializer for &'a mut SizeCounter {
+    type Ok = ();
+    type Error = SizeError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, _: bool) -> R {
+        self.bytes += 1;
+        Ok(())
+    }
+    fn serialize_i8(self, _: i8) -> R {
+        self.bytes += 1;
+        Ok(())
+    }
+    fn serialize_i16(self, _: i16) -> R {
+        self.bytes += 2;
+        Ok(())
+    }
+    fn serialize_i32(self, _: i32) -> R {
+        self.bytes += 4;
+        Ok(())
+    }
+    fn serialize_i64(self, _: i64) -> R {
+        self.bytes += 8;
+        Ok(())
+    }
+    fn serialize_u8(self, _: u8) -> R {
+        self.bytes += 1;
+        Ok(())
+    }
+    fn serialize_u16(self, _: u16) -> R {
+        self.bytes += 2;
+        Ok(())
+    }
+    fn serialize_u32(self, _: u32) -> R {
+        self.bytes += 4;
+        Ok(())
+    }
+    fn serialize_u64(self, _: u64) -> R {
+        self.bytes += 8;
+        Ok(())
+    }
+    fn serialize_f32(self, _: f32) -> R {
+        self.bytes += 4;
+        Ok(())
+    }
+    fn serialize_f64(self, _: f64) -> R {
+        self.bytes += 8;
+        Ok(())
+    }
+    fn serialize_char(self, _: char) -> R {
+        self.bytes += 4;
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> R {
+        self.bytes += 8 + v.len(); // length prefix + utf8 bytes
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> R {
+        self.bytes += 8 + v.len();
+        Ok(())
+    }
+    fn serialize_none(self) -> R {
+        self.bytes += 1;
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> R {
+        self.bytes += 1;
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> R {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> R {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        _variant: &'static str,
+    ) -> R {
+        self.bytes += 4; // variant tag
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> R {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> R {
+        self.bytes += 4;
+        value.serialize(self)
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, SizeError> {
+        self.bytes += 8; // length prefix
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, SizeError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct, SizeError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, SizeError> {
+        self.bytes += 4;
+        Ok(self)
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, SizeError> {
+        self.bytes += 8;
+        Ok(self)
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, SizeError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, SizeError> {
+        self.bytes += 4;
+        Ok(self)
+    }
+}
+
+impl<'a> ser::SerializeSeq for &'a mut SizeCounter {
+    type Ok = ();
+    type Error = SizeError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> R {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> R {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeTuple for &'a mut SizeCounter {
+    type Ok = ();
+    type Error = SizeError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> R {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> R {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeTupleStruct for &'a mut SizeCounter {
+    type Ok = ();
+    type Error = SizeError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> R {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> R {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeTupleVariant for &'a mut SizeCounter {
+    type Ok = ();
+    type Error = SizeError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> R {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> R {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeMap for &'a mut SizeCounter {
+    type Ok = ();
+    type Error = SizeError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> R {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> R {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> R {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStruct for &'a mut SizeCounter {
+    type Ok = ();
+    type Error = SizeError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> R {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> R {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStructVariant for &'a mut SizeCounter {
+    type Ok = ();
+    type Error = SizeError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, _key: &'static str, value: &T) -> R {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> R {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(encoded_size(&1u8), 1);
+        assert_eq!(encoded_size(&1u32), 4);
+        assert_eq!(encoded_size(&1.0f64), 8);
+        assert_eq!(encoded_size(&true), 1);
+    }
+
+    #[test]
+    fn strings_carry_length_prefix() {
+        assert_eq!(encoded_size("abc"), 8 + 3);
+        assert_eq!(encoded_size(&String::from("")), 8);
+    }
+
+    #[test]
+    fn vectors_sum_elements() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(encoded_size(&v), 8 + 3 * 4);
+    }
+
+    #[derive(Serialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+    }
+
+    #[test]
+    fn structs_are_field_sums() {
+        assert_eq!(encoded_size(&Point { x: 0.0, y: 0.0 }), 16);
+    }
+
+    #[derive(Serialize)]
+    enum E {
+        A,
+        B(u64),
+        C { s: String },
+    }
+
+    #[test]
+    fn enums_pay_variant_tag() {
+        assert_eq!(encoded_size(&E::A), 4);
+        assert_eq!(encoded_size(&E::B(9)), 4 + 8);
+        assert_eq!(encoded_size(&E::C { s: "hi".into() }), 4 + 8 + 2);
+    }
+
+    #[test]
+    fn options() {
+        let some: Option<u32> = Some(5);
+        let none: Option<u32> = None;
+        assert_eq!(encoded_size(&some), 1 + 4);
+        assert_eq!(encoded_size(&none), 1);
+    }
+
+    #[test]
+    fn maps() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(1u32, 2u64);
+        assert_eq!(encoded_size(&m), 8 + 4 + 8);
+    }
+}

@@ -1,0 +1,243 @@
+//! The PBS-style baseline (paper Fig 7).
+//!
+//! "Main modules of PBS include user interface, scheduling, resource
+//! monitoring, configuration, parallel process management." This actor is
+//! the monolithic central server the paper contrasts PWS against:
+//!
+//! * resource state is collected by **polling** every node continuously
+//!   ("PBS needs polling continually and consumes network bandwidth"),
+//! * scheduling is FIFO over one global pool,
+//! * there is **no** high-availability support ("PBS doesn't guarantee
+//!   it") — the server is not supervised by any GSD.
+//!
+//! Job launch reuses the same PPM agents so the comparison isolates the
+//! resource-collection and HA design, which is what Sec 5.4 compares.
+
+use phoenix_proto::{
+    JobId, JobSpec, KernelMsg, QueueRow, RequestId, ServiceDirectory,
+};
+use phoenix_sim::{Actor, Ctx, NodeId, Pid, ResourceUsage, SimDuration, TraceEvent};
+use std::collections::{BTreeSet, HashMap};
+
+const TOK_POLL: u64 = 1;
+const TOK_SCHED: u64 = 2;
+
+/// A running PBS job.
+struct PbsJob {
+    spec: JobSpec,
+    nodes: Vec<NodeId>,
+    /// Nodes still reporting the job in their poll responses. A job is
+    /// complete when consecutive polls show it nowhere.
+    last_seen_poll: u64,
+    started_poll: u64,
+}
+
+/// The central PBS server actor.
+pub struct PbsServer {
+    directory: ServiceDirectory,
+    nodes: Vec<NodeId>,
+    poll_interval: SimDuration,
+    sched_interval: SimDuration,
+
+    usage: HashMap<NodeId, ResourceUsage>,
+    queued: Vec<JobSpec>,
+    running: HashMap<JobId, PbsJob>,
+    free: BTreeSet<NodeId>,
+    poll_round: u64,
+    next_req: u64,
+}
+
+impl PbsServer {
+    pub fn new(
+        directory: ServiceDirectory,
+        nodes: Vec<NodeId>,
+        poll_interval: SimDuration,
+    ) -> Self {
+        let free = nodes.iter().copied().collect();
+        PbsServer {
+            directory,
+            nodes,
+            poll_interval,
+            sched_interval: SimDuration::from_millis(500),
+            usage: HashMap::new(),
+            queued: Vec::new(),
+            running: HashMap::new(),
+            free,
+            poll_round: 0,
+            next_req: 0,
+        }
+    }
+
+    fn req(&mut self) -> RequestId {
+        self.next_req += 1;
+        RequestId(self.next_req)
+    }
+
+    /// Poll every node's detector for resources and running jobs — the
+    /// traffic the paper calls out.
+    fn poll_all(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        self.poll_round += 1;
+        let req = RequestId(self.poll_round);
+        for &node in &self.nodes {
+            if let Some(ns) = self.directory.node(node) {
+                ctx.send(ns.detector, KernelMsg::PbsPoll { req });
+            }
+        }
+        ctx.set_timer(self.poll_interval, TOK_POLL);
+    }
+
+    fn schedule_pass(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        // Strict FIFO, single pool.
+        while let Some(head) = self.queued.first() {
+            if (head.nodes as usize) > self.free.len() {
+                break;
+            }
+            let spec = self.queued.remove(0);
+            let nodes: Vec<NodeId> = {
+                let picked: Vec<NodeId> =
+                    self.free.iter().take(spec.nodes as usize).copied().collect();
+                for n in &picked {
+                    self.free.remove(n);
+                }
+                picked
+            };
+            let req = self.req();
+            if let Some(first) = nodes.first().and_then(|n| self.directory.node(*n)) {
+                ctx.send(
+                    first.ppm,
+                    KernelMsg::PpmExec {
+                        req,
+                        job: spec.id,
+                        task: spec.task.clone(),
+                        targets: nodes.clone(),
+                        reply_to: ctx.pid(),
+                    },
+                );
+            }
+            ctx.trace(TraceEvent::Milestone {
+                label: "pbs-job-dispatched",
+                value: spec.id.0 as f64,
+            });
+            self.running.insert(
+                spec.id,
+                PbsJob {
+                    spec,
+                    nodes,
+                    last_seen_poll: self.poll_round,
+                    started_poll: self.poll_round,
+                },
+            );
+        }
+    }
+
+    /// Completion detection by polling: a job unseen for two full poll
+    /// rounds (after a warm-up round) is finished.
+    fn reap(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let round = self.poll_round;
+        let done: Vec<JobId> = self
+            .running
+            .iter()
+            .filter(|(_, j)| round > j.started_poll + 1 && round > j.last_seen_poll + 1)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in done {
+            if let Some(j) = self.running.remove(&id) {
+                for n in j.nodes {
+                    self.free.insert(n);
+                }
+                ctx.trace(TraceEvent::Milestone {
+                    label: "pbs-job-completed",
+                    value: id.0 as f64,
+                });
+            }
+        }
+    }
+}
+
+impl Actor<KernelMsg> for PbsServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.trace(TraceEvent::ServiceUp {
+            pid: ctx.pid(),
+            service: "pbs-server",
+            node: ctx.node(),
+        });
+        self.poll_all(ctx);
+        ctx.set_timer(self.sched_interval, TOK_SCHED);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, KernelMsg>, from: Pid, msg: KernelMsg) {
+        match msg {
+            KernelMsg::PbsPollResp {
+                node, usage, jobs, ..
+            } => {
+                self.usage.insert(node, usage);
+                for job in jobs {
+                    if let Some(j) = self.running.get_mut(&job) {
+                        j.last_seen_poll = self.poll_round;
+                    }
+                }
+            }
+            // PBS accepts submissions without the kernel security service
+            // (its own simple ACL is out of scope for the comparison).
+            KernelMsg::PwsSubmit { req, spec, .. } => {
+                let mut spec = spec;
+                spec.submitted_ns = ctx.now().as_nanos();
+                self.queued.push(spec);
+                ctx.send(
+                    from,
+                    KernelMsg::PwsSubmitResp {
+                        req,
+                        accepted: true,
+                        reason: String::new(),
+                    },
+                );
+                self.schedule_pass(ctx);
+            }
+            KernelMsg::PwsQueueStatus { req, .. } => {
+                let mut rows: Vec<QueueRow> = self
+                    .queued
+                    .iter()
+                    .map(|j| QueueRow {
+                        job: j.id,
+                        pool: "pbs".into(),
+                        user: j.user.clone(),
+                        state: phoenix_proto::JobState::Queued,
+                        nodes: vec![],
+                    })
+                    .collect();
+                rows.extend(self.running.values().map(|j| QueueRow {
+                    job: j.spec.id,
+                    pool: "pbs".into(),
+                    user: j.spec.user.clone(),
+                    state: phoenix_proto::JobState::Running,
+                    nodes: j.nodes.clone(),
+                }));
+                rows.sort_by_key(|r| r.job);
+                ctx.send(from, KernelMsg::PwsQueueStatusResp { req, rows });
+            }
+            KernelMsg::PpmExecAck { .. } => {
+                // Launch acks are informational for PBS (completion is
+                // detected by polling).
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, KernelMsg>, token: u64) {
+        match token {
+            TOK_POLL => {
+                self.reap(ctx);
+                self.poll_all(ctx);
+            }
+            TOK_SCHED => {
+                self.schedule_pass(ctx);
+                ctx.set_timer(self.sched_interval, TOK_SCHED);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "pbs-server"
+    }
+}

@@ -1,0 +1,186 @@
+//! Installing PWS onto a booted Phoenix cluster, plus client-side helpers
+//! (login, submit, status) used by examples, tests, and benches.
+//!
+//! Paper Sec 5.4: "Phoenix kernel provides most of functions of PBS, and
+//! the development of new PWS system focuses only on the user interface
+//! and scheduling modules" — accordingly, installing PWS is just: spawn
+//! one scheduler per pool on a server node, register its respawn factory
+//! with the group service, and let the kernel do the rest.
+
+use crate::pbs::PbsServer;
+use crate::scheduler::{pool_directory, PoolConfig, PoolDirectory, PwsScheduler};
+use phoenix_kernel::boot::PhoenixCluster;
+use phoenix_kernel::client::ClientHandle;
+use phoenix_proto::{AuthToken, JobSpec, KernelMsg, PartitionId, QueueRow, RequestId, UserId};
+use phoenix_sim::{NodeId, Pid, SimDuration, World};
+use std::collections::HashMap;
+
+/// Handle to an installed PWS.
+pub struct PwsHandle {
+    /// Scheduler pid per pool name (as of installation; respawns update
+    /// the shared pool directory instead).
+    pub schedulers: HashMap<String, Pid>,
+    pub pools: PoolDirectory,
+}
+
+impl PwsHandle {
+    /// Current pid of a pool's scheduler (follows respawns).
+    pub fn scheduler(&self, pool: &str) -> Option<Pid> {
+        self.pools.borrow().get(pool).copied()
+    }
+}
+
+/// Spawn one PWS scheduler per pool and register respawn factories so the
+/// group service can keep them highly available.
+pub fn install_pws(
+    world: &mut World<KernelMsg>,
+    cluster: &PhoenixCluster,
+    pools: Vec<PoolConfig>,
+) -> PwsHandle {
+    let dir = pool_directory();
+    let mut schedulers = HashMap::new();
+    let nparts = cluster.topology.partitions.len();
+    for (i, pool) in pools.into_iter().enumerate() {
+        // Spread schedulers across partitions ("scheduling service group").
+        let partition = PartitionId((i % nparts) as u32);
+        let server = cluster.topology.partitions[partition.index()].server;
+
+        // Respawn factory so the GSD can restart or migrate the scheduler.
+        {
+            let pool = pool.clone();
+            let dir = dir.clone();
+            let directory = cluster.directory.clone();
+            cluster.registry.borrow_mut().register(
+                format!("sched:{}", pool.name),
+                Box::new(move |args| {
+                    Box::new(PwsScheduler::respawn(
+                        pool.clone(),
+                        args.partition,
+                        args.params.clone(),
+                        directory.clone(),
+                        dir.clone(),
+                        args.gsd,
+                        args.checkpoint,
+                        args.members
+                            .iter()
+                            .find(|m| m.partition == args.partition)
+                            .map(|m| m.event)
+                            .unwrap_or(Pid(0)),
+                        args.action,
+                    ))
+                }),
+            );
+        }
+
+        let sched = PwsScheduler::new(
+            pool.clone(),
+            partition,
+            cluster.params.clone(),
+            cluster.directory.clone(),
+            dir.clone(),
+        );
+        let pid = world.spawn(server, Box::new(sched));
+        schedulers.insert(pool.name.clone(), pid);
+    }
+    PwsHandle {
+        schedulers,
+        pools: dir,
+    }
+}
+
+/// Spawn the PBS baseline server on a node.
+pub fn install_pbs(
+    world: &mut World<KernelMsg>,
+    cluster: &PhoenixCluster,
+    node: NodeId,
+    managed: Vec<NodeId>,
+    poll_interval: SimDuration,
+) -> Pid {
+    world.spawn(
+        node,
+        Box::new(PbsServer::new(
+            cluster.directory.clone(),
+            managed,
+            poll_interval,
+        )),
+    )
+}
+
+/// Log a user in through the security service; panics on failure (test
+/// and example convenience).
+pub fn login(
+    world: &mut World<KernelMsg>,
+    cluster: &PhoenixCluster,
+    client: &ClientHandle,
+    user: &str,
+    secret: &str,
+) -> AuthToken {
+    client.send(
+        world,
+        cluster.security(),
+        KernelMsg::SecLogin {
+            req: RequestId(u64::MAX),
+            user: UserId::new(user),
+            secret: secret.to_string(),
+        },
+    );
+    world.run_for(SimDuration::from_millis(5));
+    for (_, m) in client.drain() {
+        if let KernelMsg::SecLoginResp {
+            req: RequestId(u64::MAX),
+            token,
+        } = m
+        {
+            return token.expect("login rejected");
+        }
+    }
+    panic!("no login response");
+}
+
+/// Submit a job and wait for the accept/reject response.
+pub fn submit(
+    world: &mut World<KernelMsg>,
+    client: &ClientHandle,
+    scheduler: Pid,
+    token: AuthToken,
+    spec: JobSpec,
+) -> bool {
+    let req = RequestId(spec.id.0 | (1 << 62));
+    client.send(world, scheduler, KernelMsg::PwsSubmit { req, token, spec });
+    world.run_for(SimDuration::from_millis(10));
+    client
+        .drain()
+        .into_iter()
+        .find_map(|(_, m)| match m {
+            KernelMsg::PwsSubmitResp {
+                req: r, accepted, ..
+            } if r == req => Some(accepted),
+            _ => None,
+        })
+        .unwrap_or(false)
+}
+
+/// Fetch the queue status of a scheduler.
+pub fn queue_status(
+    world: &mut World<KernelMsg>,
+    client: &ClientHandle,
+    scheduler: Pid,
+) -> Vec<QueueRow> {
+    client.send(
+        world,
+        scheduler,
+        KernelMsg::PwsQueueStatus {
+            req: RequestId(u64::MAX - 1),
+            pool: None,
+        },
+    );
+    world.run_for(SimDuration::from_millis(10));
+    client
+        .drain()
+        .into_iter()
+        .find_map(|(_, m)| match m {
+            KernelMsg::PwsQueueStatusResp { rows, .. } => Some(rows),
+            _ => None,
+        })
+        .unwrap_or_default()
+}

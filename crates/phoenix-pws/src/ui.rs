@@ -1,0 +1,86 @@
+//! Text rendering of the PWS management console.
+//!
+//! Our stand-in for the paper's "Integrated Web GUI for Phoenix-PWS"
+//! (Fig 9: start/shutdown nodes, queue overview): the same operations go
+//! through the same kernel interfaces, rendered as text tables instead of
+//! HTML.
+
+use phoenix_proto::{JobState, QueueRow};
+use phoenix_sim::NodeState;
+
+/// Render the job queue as a fixed-width table.
+pub fn render_queue(rows: &[QueueRow]) -> String {
+    let mut out = String::from(
+        "JOB      POOL         USER         STATE      NODES\n\
+         -------- ------------ ------------ ---------- -----\n",
+    );
+    for r in rows {
+        let state = match r.state {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        };
+        out.push_str(&format!(
+            "{:<8} {:<12} {:<12} {:<10} {}\n",
+            r.job.to_string(),
+            r.pool,
+            r.user.to_string(),
+            state,
+            r.nodes.len(),
+        ));
+    }
+    out
+}
+
+/// Render the node board (the Fig 9 start/shutdown view): one cell per
+/// node, `#` up, `.` down.
+pub fn render_node_board(nodes: &[NodeState], per_row: usize) -> String {
+    let mut out = String::new();
+    for chunk in nodes.chunks(per_row) {
+        for n in chunk {
+            out.push(if n.up { '#' } else { '.' });
+        }
+        let first = chunk.first().map(|n| n.id.0).unwrap_or(0);
+        let last = chunk.last().map(|n| n.id.0).unwrap_or(0);
+        out.push_str(&format!("   nodes {first}-{last}\n"));
+    }
+    let up = nodes.iter().filter(|n| n.up).count();
+    out.push_str(&format!("{up}/{} nodes up\n", nodes.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_proto::{JobId, UserId};
+    use phoenix_sim::{NodeId, NodeSpec};
+
+    #[test]
+    fn queue_table_contains_rows() {
+        let rows = vec![QueueRow {
+            job: JobId(7),
+            pool: "batch".into(),
+            user: UserId::new("alice"),
+            state: JobState::Running,
+            nodes: vec![NodeId(1), NodeId(2)],
+        }];
+        let s = render_queue(&rows);
+        assert!(s.contains("job7"));
+        assert!(s.contains("batch"));
+        assert!(s.contains("alice"));
+        assert!(s.contains("running"));
+    }
+
+    #[test]
+    fn node_board_marks_down_nodes() {
+        let mut nodes: Vec<NodeState> = (0..4)
+            .map(|i| NodeState::new(NodeId(i), NodeSpec::default()))
+            .collect();
+        nodes[2].up = false;
+        let s = render_node_board(&nodes, 4);
+        assert!(s.contains("##.#"));
+        assert!(s.contains("3/4 nodes up"));
+    }
+}

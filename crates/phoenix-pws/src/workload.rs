@@ -1,0 +1,153 @@
+//! Synthetic batch-workload generation.
+//!
+//! The paper's testbed served real Dawning 4000A users; for experiments we
+//! generate statistically similar job streams: exponential inter-arrival
+//! times (Poisson arrivals), log-uniform node counts, and bounded
+//! log-uniform run times — the standard shape of HPC batch traces.
+//! Deterministic per seed.
+
+use phoenix_proto::{JobSpec, TaskSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic job stream.
+#[derive(Clone, Debug)]
+pub struct WorkloadParams {
+    /// Mean inter-arrival time in virtual seconds.
+    pub mean_interarrival_s: f64,
+    /// Inclusive node-count bounds (log-uniform).
+    pub min_nodes: u32,
+    pub max_nodes: u32,
+    /// Inclusive run-time bounds in virtual seconds (log-uniform).
+    pub min_runtime_s: f64,
+    pub max_runtime_s: f64,
+    /// Users submitting jobs (round-robin-ish by weight).
+    pub users: Vec<&'static str>,
+    /// Target pool name stamped into the specs.
+    pub pool: String,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            mean_interarrival_s: 4.0,
+            min_nodes: 1,
+            max_nodes: 4,
+            min_runtime_s: 2.0,
+            max_runtime_s: 20.0,
+            users: vec!["alice", "bob"],
+            pool: "batch".to_string(),
+        }
+    }
+}
+
+/// A generated job with its arrival time.
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// Virtual arrival time in nanoseconds from stream start.
+    pub at_ns: u64,
+    pub spec: JobSpec,
+}
+
+/// Generate `count` arrivals. Deterministic per `(params, seed)`.
+pub fn generate(params: &WorkloadParams, count: usize, seed: u64) -> Vec<Arrival> {
+    assert!(params.min_nodes >= 1 && params.max_nodes >= params.min_nodes);
+    assert!(params.min_runtime_s > 0.0 && params.max_runtime_s >= params.min_runtime_s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t_ns = 0u64;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap_s = -params.mean_interarrival_s * u.ln();
+        t_ns += (gap_s * 1e9) as u64;
+
+        let nodes = log_uniform_u32(&mut rng, params.min_nodes, params.max_nodes);
+        let runtime_s = log_uniform_f64(&mut rng, params.min_runtime_s, params.max_runtime_s);
+        let user = params.users[rng.gen_range(0..params.users.len())];
+        out.push(Arrival {
+            at_ns: t_ns,
+            spec: JobSpec {
+                task: TaskSpec {
+                    cpus: 1,
+                    cpu_load: rng.gen_range(0.5..0.95),
+                    mem_load: rng.gen_range(0.1..0.4),
+                    duration_ns: Some((runtime_s * 1e9) as u64),
+                },
+                ..JobSpec::simple(i as u64 + 1, user, &params.pool, nodes)
+            },
+        });
+    }
+    out
+}
+
+fn log_uniform_u32(rng: &mut StdRng, lo: u32, hi: u32) -> u32 {
+    if lo == hi {
+        return lo;
+    }
+    let x = rng.gen_range((lo as f64).ln()..=(hi as f64).ln());
+    (x.exp().round() as u32).clamp(lo, hi)
+}
+
+fn log_uniform_f64(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    if lo == hi {
+        return lo;
+    }
+    rng.gen_range(lo.ln()..=hi.ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = WorkloadParams::default();
+        let a = generate(&p, 50, 9);
+        let b = generate(&p, 50, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_ns, y.at_ns);
+            assert_eq!(x.spec, y.spec);
+        }
+        let c = generate(&p, 50, 10);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.at_ns != y.at_ns));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_bounded() {
+        let p = WorkloadParams::default();
+        let jobs = generate(&p, 200, 3);
+        let mut prev = 0;
+        for a in &jobs {
+            assert!(a.at_ns >= prev);
+            prev = a.at_ns;
+            assert!(a.spec.nodes >= p.min_nodes && a.spec.nodes <= p.max_nodes);
+            let d = a.spec.task.duration_ns.unwrap() as f64 / 1e9;
+            assert!(d >= p.min_runtime_s * 0.99 && d <= p.max_runtime_s * 1.01);
+        }
+    }
+
+    #[test]
+    fn mean_interarrival_is_roughly_right() {
+        let p = WorkloadParams {
+            mean_interarrival_s: 10.0,
+            ..WorkloadParams::default()
+        };
+        let jobs = generate(&p, 2_000, 7);
+        let total_s = jobs.last().unwrap().at_ns as f64 / 1e9;
+        let mean = total_s / jobs.len() as f64;
+        assert!(
+            (mean - 10.0).abs() < 1.0,
+            "empirical mean {mean:.2}s should be ≈10s"
+        );
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let jobs = generate(&WorkloadParams::default(), 20, 1);
+        for (i, a) in jobs.iter().enumerate() {
+            assert_eq!(a.spec.id.0, i as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Actors: the unit of simulated software.
+//!
+//! Every daemon in the Phoenix reproduction (WD, GSD, event service, data
+//! bulletin, schedulers, ...) is an [`Actor`] spawned on a simulated node.
+//! Actors interact with the world exclusively through [`Ctx`], which batches
+//! side effects into commands that the [`World`](crate::World) applies after
+//! the handler returns — the classic command-buffer pattern that keeps the
+//! borrow checker happy and the semantics deterministic.
+
+use crate::ids::{NicId, NodeId, Pid, TimerId};
+use crate::message::Message;
+use crate::node::{NodeState, ResourceUsage};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceEvent;
+use rand::rngs::StdRng;
+
+/// A simulated process. Handlers run to completion at a virtual instant.
+pub trait Actor<M: Message> {
+    /// Called once, immediately after the actor is spawned.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called when a message addressed to this actor is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: Pid, msg: M);
+
+    /// Called when a timer set by this actor fires. `token` is the value
+    /// passed to [`Ctx::set_timer`].
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _token: u64) {}
+
+    /// Called when the actor is killed or its node crashes. Must not
+    /// schedule new work (the process is already dead); useful for tests.
+    fn on_kill(&mut self, _now: SimTime) {}
+
+    /// Short human-readable name used in traces.
+    fn name(&self) -> &str {
+        "actor"
+    }
+}
+
+/// Side effects an actor may request; applied by the world after the
+/// handler returns, in order.
+pub enum Command<M: Message> {
+    Send {
+        to: Pid,
+        via: Option<NicId>,
+        msg: M,
+    },
+    SetTimer {
+        id: TimerId,
+        after: SimDuration,
+        token: u64,
+    },
+    CancelTimer(TimerId),
+    Spawn {
+        node: NodeId,
+        actor: Box<dyn Actor<M>>,
+        pid: Pid,
+    },
+    Kill(Pid),
+    SetUsage(NodeId, ResourceUsage),
+    /// Power a node on or off (off kills its processes, like a crash).
+    NodePower {
+        node: NodeId,
+        up: bool,
+    },
+    Trace(TraceEvent),
+}
+
+/// Read-only view of the world plus a command buffer, handed to actor
+/// handlers.
+pub struct Ctx<'a, M: Message> {
+    pub(crate) now: SimTime,
+    pub(crate) self_pid: Pid,
+    pub(crate) self_node: NodeId,
+    pub(crate) commands: &'a mut Vec<Command<M>>,
+    pub(crate) next_timer: &'a mut u64,
+    pub(crate) next_pid: &'a mut u64,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) view: WorldView<'a>,
+}
+
+/// Immutable facts about the world that actors may consult.
+pub struct WorldView<'a> {
+    pub(crate) nodes: &'a [NodeState],
+    pub(crate) live: &'a std::collections::HashMap<Pid, NodeId>,
+}
+
+impl<'a, M: Message> Ctx<'a, M> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The pid of the running actor.
+    #[inline]
+    pub fn pid(&self) -> Pid {
+        self.self_pid
+    }
+
+    /// The node the running actor lives on.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.self_node
+    }
+
+    /// Send `msg` to `to` over the default route (first healthy NIC).
+    pub fn send(&mut self, to: Pid, msg: M) {
+        self.commands.push(Command::Send {
+            to,
+            via: None,
+            msg,
+        });
+    }
+
+    /// Send `msg` to `to` pinned to a specific network interface. Used by
+    /// watch daemons, which heartbeat over *all* interfaces so the GSD can
+    /// tell a NIC failure from a node failure.
+    pub fn send_via(&mut self, to: Pid, nic: NicId, msg: M) {
+        self.commands.push(Command::Send {
+            to,
+            via: Some(nic),
+            msg,
+        });
+    }
+
+    /// Schedule `on_timer(token)` after `after`. Returns a handle that can
+    /// cancel the timer.
+    pub fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerId {
+        *self.next_timer += 1;
+        let id = TimerId(*self.next_timer);
+        self.commands.push(Command::SetTimer { id, after, token });
+        id
+    }
+
+    /// Cancel a previously set timer. Harmless if already fired.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.commands.push(Command::CancelTimer(id));
+    }
+
+    /// Spawn a new actor on `node`; returns its pid immediately. The actor's
+    /// `on_start` runs at the current virtual instant, after this handler.
+    /// Spawning on a crashed node is a no-op (the pid will never be live).
+    pub fn spawn(&mut self, node: NodeId, actor: Box<dyn Actor<M>>) -> Pid {
+        *self.next_pid += 1;
+        let pid = Pid(*self.next_pid);
+        self.commands.push(Command::Spawn { node, actor, pid });
+        pid
+    }
+
+    /// Kill a process (possibly self).
+    pub fn kill(&mut self, pid: Pid) {
+        self.commands.push(Command::Kill(pid));
+    }
+
+    /// Overwrite the resource usage readings of a node (used by workload
+    /// models and the physical-resource detector's self-introspection).
+    pub fn set_usage(&mut self, node: NodeId, usage: ResourceUsage) {
+        self.commands.push(Command::SetUsage(node, usage));
+    }
+
+    /// Record a structured trace event for later analysis.
+    pub fn trace(&mut self, ev: TraceEvent) {
+        self.commands.push(Command::Trace(ev));
+    }
+
+    /// Power a node off (killing its processes) or back on. This is the
+    /// mechanism behind administrative start/shutdown-node operations.
+    pub fn set_node_power(&mut self, node: NodeId, up: bool) {
+        self.commands.push(Command::NodePower { node, up });
+    }
+
+    /// Is `node` powered and running?
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.view
+            .nodes
+            .get(node.index())
+            .map(|n| n.up)
+            .unwrap_or(false)
+    }
+
+    /// Is a specific NIC of `node` healthy (node up, NIC up)?
+    pub fn nic_is_up(&self, node: NodeId, nic: NicId) -> bool {
+        self.view
+            .nodes
+            .get(node.index())
+            .map(|n| n.nic_healthy(nic))
+            .unwrap_or(false)
+    }
+
+    /// Current resource usage of a node, if it exists.
+    pub fn node_usage(&self, node: NodeId) -> Option<ResourceUsage> {
+        self.view.nodes.get(node.index()).map(|n| n.usage)
+    }
+
+    /// Number of NICs configured on `node`.
+    pub fn nic_count(&self, node: NodeId) -> usize {
+        self.view
+            .nodes
+            .get(node.index())
+            .map(|n| n.nic_up.len())
+            .unwrap_or(0)
+    }
+
+    /// Number of CPUs on `node` (0 if unknown).
+    pub fn node_cpus(&self, node: NodeId) -> u32 {
+        self.view
+            .nodes
+            .get(node.index())
+            .map(|n| n.spec.cpus)
+            .unwrap_or(0)
+    }
+
+    /// Is the given process currently alive? (Models OS-level process
+    /// liveness checks such as the application-state detector's scan.)
+    pub fn process_is_alive(&self, pid: Pid) -> bool {
+        self.view.live.contains_key(&pid)
+    }
+
+    /// Node a live process runs on.
+    pub fn node_of(&self, pid: Pid) -> Option<NodeId> {
+        self.view.live.get(&pid).copied()
+    }
+
+    /// Deterministic per-world random source.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}

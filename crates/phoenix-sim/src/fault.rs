@@ -1,0 +1,43 @@
+//! Fault injection.
+//!
+//! The paper evaluates fault tolerance "by the means of fault injection"
+//! (Sec 5.1): killing daemon processes, crashing nodes, and failing one of a
+//! node's network interfaces. These are exactly the operations modelled
+//! here. Faults can be applied immediately through
+//! [`World`](crate::World) methods or scheduled at a future virtual time.
+
+use crate::ids::{NicId, NodeId, Pid};
+
+/// An injectable failure (or repair) event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Kill a single process; its node keeps running.
+    KillProcess(Pid),
+    /// Crash a node: every process on it dies, all NICs go silent.
+    CrashNode(NodeId),
+    /// Power a crashed node back on (no processes are restarted — recovery
+    /// logic in the services decides what to run where).
+    RestartNode(NodeId),
+    /// Fail one network interface of a node.
+    NicDown(NodeId, NicId),
+    /// Repair a network interface.
+    NicUp(NodeId, NicId),
+    /// Partition the link between two nodes (all networks).
+    PartitionLink(NodeId, NodeId),
+    /// Heal a partitioned link.
+    HealLink(NodeId, NodeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_are_comparable() {
+        assert_eq!(Fault::CrashNode(NodeId(1)), Fault::CrashNode(NodeId(1)));
+        assert_ne!(
+            Fault::NicDown(NodeId(1), NicId(0)),
+            Fault::NicUp(NodeId(1), NicId(0))
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! The simulated interconnect.
+//!
+//! The cluster has `k` parallel networks; NIC `i` of every node attaches to
+//! network `i` (mirroring the Dawning 4000A, where each node had three
+//! networks). A message travels over exactly one network, chosen either
+//! explicitly by the sender (heartbeats probe every interface) or by default
+//! routing (first interface healthy on both endpoints).
+//!
+//! Failures modelled here:
+//! * NIC down — messages over that interface are dropped in either direction;
+//! * node crash — handled by the world (all NICs effectively gone);
+//! * link partition — ordered node pairs that cannot exchange messages.
+
+use crate::ids::{NicId, NodeId};
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Latency parameters of the interconnect.
+#[derive(Clone, Debug)]
+pub struct NetParams {
+    /// One-way latency for messages between actors on the same node.
+    pub local_latency: SimDuration,
+    /// Base one-way latency across the LAN.
+    pub lan_latency: SimDuration,
+    /// Uniform jitter added on top of `lan_latency` (0..=jitter).
+    pub jitter: SimDuration,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            // Loopback / unix socket cost.
+            local_latency: SimDuration::from_micros(5),
+            // Typical 2005-era cluster ethernet one-way latency.
+            lan_latency: SimDuration::from_micros(120),
+            jitter: SimDuration::from_micros(30),
+        }
+    }
+}
+
+/// Reasons a message could not be carried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    SenderNicDown,
+    ReceiverNicDown,
+    Partitioned,
+    NodeDown,
+    DeadProcess,
+    NoRoute,
+}
+
+/// Connectivity state of the interconnect (partitions between node pairs).
+#[derive(Debug, Default)]
+pub struct Network {
+    pub params: NetParams,
+    /// Unordered blocked pairs, stored with min id first.
+    blocked: HashSet<(NodeId, NodeId)>,
+}
+
+impl Network {
+    pub fn new(params: NetParams) -> Network {
+        Network {
+            params,
+            blocked: HashSet::new(),
+        }
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Block all traffic between `a` and `b` (both directions, all networks).
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.insert(Self::key(a, b));
+    }
+
+    /// Restore traffic between `a` and `b`.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.remove(&Self::key(a, b));
+    }
+
+    /// Remove every partition.
+    pub fn heal_all(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Is the pair currently partitioned?
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.blocked.contains(&Self::key(a, b))
+    }
+
+    /// Draw the one-way latency for a message from `src` to `dst`.
+    pub fn latency(&self, src: NodeId, dst: NodeId, rng: &mut StdRng) -> SimDuration {
+        if src == dst {
+            self.params.local_latency
+        } else {
+            let jitter_ns = if self.params.jitter.as_nanos() == 0 {
+                0
+            } else {
+                rng.gen_range(0..=self.params.jitter.as_nanos())
+            };
+            self.params.lan_latency + SimDuration::from_nanos(jitter_ns)
+        }
+    }
+
+    /// Decide whether a message may travel from (`src`, `src_nic`) to
+    /// (`dst`, same network). Same-node messages never touch the wire.
+    pub fn route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        nic: NicId,
+        src_nic_up: bool,
+        dst_nic_up: bool,
+    ) -> Result<(), DropReason> {
+        if src == dst {
+            return Ok(());
+        }
+        if !src_nic_up {
+            return Err(DropReason::SenderNicDown);
+        }
+        if !dst_nic_up {
+            return Err(DropReason::ReceiverNicDown);
+        }
+        let _ = nic;
+        if self.is_partitioned(src, dst) {
+            return Err(DropReason::Partitioned);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partition_is_symmetric() {
+        let mut net = Network::new(NetParams::default());
+        net.partition(NodeId(3), NodeId(1));
+        assert!(net.is_partitioned(NodeId(1), NodeId(3)));
+        assert!(net.is_partitioned(NodeId(3), NodeId(1)));
+        net.heal(NodeId(1), NodeId(3));
+        assert!(!net.is_partitioned(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn heal_all_clears_everything() {
+        let mut net = Network::new(NetParams::default());
+        net.partition(NodeId(0), NodeId(1));
+        net.partition(NodeId(2), NodeId(3));
+        net.heal_all();
+        assert!(!net.is_partitioned(NodeId(0), NodeId(1)));
+        assert!(!net.is_partitioned(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn local_latency_is_constant() {
+        let net = Network::new(NetParams::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = net.latency(NodeId(0), NodeId(0), &mut rng);
+        assert_eq!(l, NetParams::default().local_latency);
+    }
+
+    #[test]
+    fn lan_latency_within_bounds() {
+        let p = NetParams::default();
+        let net = Network::new(p.clone());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let l = net.latency(NodeId(0), NodeId(1), &mut rng);
+            assert!(l >= p.lan_latency);
+            assert!(l <= p.lan_latency + p.jitter);
+        }
+    }
+
+    #[test]
+    fn route_drops_on_nic_failure() {
+        let net = Network::new(NetParams::default());
+        assert_eq!(
+            net.route(NodeId(0), NodeId(1), NicId(0), false, true),
+            Err(DropReason::SenderNicDown)
+        );
+        assert_eq!(
+            net.route(NodeId(0), NodeId(1), NicId(0), true, false),
+            Err(DropReason::ReceiverNicDown)
+        );
+        assert_eq!(net.route(NodeId(0), NodeId(1), NicId(0), true, true), Ok(()));
+    }
+
+    #[test]
+    fn route_same_node_ignores_nics() {
+        let net = Network::new(NetParams::default());
+        assert_eq!(
+            net.route(NodeId(0), NodeId(0), NicId(0), false, false),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn route_respects_partition() {
+        let mut net = Network::new(NetParams::default());
+        net.partition(NodeId(0), NodeId(1));
+        assert_eq!(
+            net.route(NodeId(0), NodeId(1), NicId(0), true, true),
+            Err(DropReason::Partitioned)
+        );
+    }
+}

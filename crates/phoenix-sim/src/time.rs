@@ -1,0 +1,259 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulation timestamps are [`SimTime`] values: nanoseconds since the
+//! start of the run. Durations are [`SimDuration`]. Both are thin wrappers
+//! over `u64` so they are `Copy`, totally ordered, and cheap to store in the
+//! event queue.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Virtual seconds since simulation start, as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero if `earlier`
+    /// is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole virtual seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from whole virtual milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole virtual microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from whole virtual nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    /// Construct from fractional virtual seconds. Negative values clamp to 0.
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        if s <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration((s * 1e9).round() as u64)
+        }
+    }
+
+    /// The duration in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional seconds (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == 0 {
+            write!(f, "0s")
+        } else if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2}us", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.2}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime::ZERO + SimDuration::from_secs(30);
+        assert_eq!(t.as_nanos(), 30_000_000_000);
+        assert_eq!(t.as_secs_f64(), 30.0);
+    }
+
+    #[test]
+    fn subtract_times_yields_duration() {
+        let a = SimTime(5_000);
+        let b = SimTime(2_000);
+        assert_eq!(a - b, SimDuration(3_000));
+        // Saturating: earlier - later == 0.
+        assert_eq!(b - a, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(1_000)
+        );
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d * 3, SimDuration::from_secs(30));
+        assert_eq!(d / 2, SimDuration::from_secs(5));
+        assert_eq!(d - SimDuration::from_secs(4), SimDuration::from_secs(6));
+        assert_eq!(
+            SimDuration::from_secs(4).saturating_sub(d),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5.00us");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.00ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.00s");
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime(100);
+        let b = SimTime(300);
+        assert_eq!(b.since(a), SimDuration(200));
+        assert_eq!(a.since(b), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,894 @@
+//! The simulation world: nodes, processes, the event queue, and the run loop.
+
+use crate::actor::{Actor, Command, Ctx, WorldView};
+use crate::fault::Fault;
+use crate::ids::{NicId, NodeId, Pid, TimerId};
+use crate::message::Message;
+use crate::metrics::Metrics;
+use crate::network::{DropReason, NetParams, Network};
+use crate::node::{NodeSpec, NodeState, ResourceUsage};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceLog};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Builder for a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    nodes: Vec<NodeSpec>,
+    net: NetParams,
+    seed: u64,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            nodes: Vec::new(),
+            net: NetParams::default(),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` identical nodes.
+    pub fn nodes(mut self, n: usize, spec: NodeSpec) -> Self {
+        self.nodes.extend(std::iter::repeat(spec).take(n));
+        self
+    }
+
+    /// Add one node with a custom spec.
+    pub fn node(mut self, spec: NodeSpec) -> Self {
+        self.nodes.push(spec);
+        self
+    }
+
+    /// Override network latency parameters.
+    pub fn net(mut self, net: NetParams) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Set the deterministic RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Construct the world.
+    pub fn build<M: Message>(self) -> World<M> {
+        let nodes = self
+            .nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| NodeState::new(NodeId(i as u32), spec))
+            .collect();
+        World {
+            clock: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            procs: HashMap::new(),
+            live: HashMap::new(),
+            pids_by_node: HashMap::new(),
+            nodes,
+            network: Network::new(self.net),
+            metrics: Metrics::default(),
+            trace: TraceLog::default(),
+            rng: StdRng::seed_from_u64(self.seed),
+            next_pid: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            cmdbuf: Vec::new(),
+        }
+    }
+}
+
+enum SimEvent<M: Message> {
+    Start {
+        pid: Pid,
+    },
+    Deliver {
+        to: Pid,
+        from: Pid,
+        msg: M,
+        label: &'static str,
+        bytes: usize,
+    },
+    Timer {
+        id: TimerId,
+        pid: Pid,
+        token: u64,
+    },
+    Fault(Fault),
+}
+
+struct QueueEntry<M: Message> {
+    at: SimTime,
+    seq: u64,
+    ev: SimEvent<M>,
+}
+
+impl<M: Message> PartialEq for QueueEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M: Message> Eq for QueueEntry<M> {}
+impl<M: Message> PartialOrd for QueueEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M: Message> Ord for QueueEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first. Ties broken
+        // by insertion order (seq), giving deterministic FIFO semantics.
+        Reverse((self.at, self.seq)).cmp(&Reverse((other.at, other.seq)))
+    }
+}
+
+struct Proc<M: Message> {
+    node: NodeId,
+    actor: Option<Box<dyn Actor<M>>>,
+}
+
+/// The deterministic discrete-event world. Generic over the message type
+/// exchanged by actors.
+pub struct World<M: Message> {
+    clock: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QueueEntry<M>>,
+    procs: HashMap<Pid, Proc<M>>,
+    /// Parallel liveness map exposed read-only to actor contexts.
+    live: HashMap<Pid, NodeId>,
+    pids_by_node: HashMap<NodeId, HashSet<Pid>>,
+    nodes: Vec<NodeState>,
+    network: Network,
+    metrics: Metrics,
+    trace: TraceLog,
+    rng: StdRng,
+    next_pid: u64,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    cmdbuf: Vec<Command<M>>,
+}
+
+impl<M: Message> World<M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node's state.
+    pub fn node(&self, id: NodeId) -> &NodeState {
+        &self.nodes[id.index()]
+    }
+
+    /// All node states.
+    pub fn nodes(&self) -> &[NodeState] {
+        &self.nodes
+    }
+
+    /// Traffic and event counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The structured trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable trace access (e.g. to clear between experiment phases).
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
+    /// Is the process alive?
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.procs.contains_key(&pid)
+    }
+
+    /// Node a live process runs on.
+    pub fn node_of(&self, pid: Pid) -> Option<NodeId> {
+        self.procs.get(&pid).map(|p| p.node)
+    }
+
+    /// Set a node's resource gauges directly (workload generators).
+    pub fn set_usage(&mut self, node: NodeId, usage: ResourceUsage) {
+        self.nodes[node.index()].usage = usage.clamped();
+    }
+
+    /// Spawn an actor on `node`. Its `on_start` runs at the current virtual
+    /// time once the world advances. Returns the pid (never reused).
+    pub fn spawn(&mut self, node: NodeId, actor: Box<dyn Actor<M>>) -> Pid {
+        self.next_pid += 1;
+        let pid = Pid(self.next_pid);
+        self.register_proc(pid, node, actor);
+        pid
+    }
+
+    fn register_proc(&mut self, pid: Pid, node: NodeId, actor: Box<dyn Actor<M>>) {
+        if !self.nodes[node.index()].up {
+            // Spawning on a dead node silently fails; the pid is never live.
+            return;
+        }
+        self.procs.insert(
+            pid,
+            Proc {
+                node,
+                actor: Some(actor),
+            },
+        );
+        self.live.insert(pid, node);
+        self.pids_by_node.entry(node).or_default().insert(pid);
+        self.metrics.spawns += 1;
+        self.push(self.clock, SimEvent::Start { pid });
+    }
+
+    /// Inject a message from "outside" the cluster (test driver, user
+    /// client). Delivered with local latency, no NIC involved.
+    pub fn inject(&mut self, to: Pid, msg: M) {
+        let label = msg.label();
+        let bytes = msg.wire_size();
+        self.metrics.on_send(label, bytes);
+        let at = self.clock + self.network.params.local_latency;
+        self.push(
+            at,
+            SimEvent::Deliver {
+                to,
+                from: Pid(0),
+                msg,
+                label,
+                bytes,
+            },
+        );
+    }
+
+    /// Send a message on behalf of a live process (driver-side RPC
+    /// initiation: the reply comes back to `from`). Routed like any actor
+    /// send, including NIC and partition checks.
+    pub fn send_from(&mut self, from: Pid, to: Pid, msg: M) {
+        self.do_send(from, to, None, msg);
+    }
+
+    /// Schedule a fault (or repair) at an absolute virtual time.
+    pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
+        assert!(at >= self.clock, "cannot schedule fault in the past");
+        self.push(at, SimEvent::Fault(fault));
+    }
+
+    /// Apply a fault immediately.
+    pub fn apply_fault(&mut self, fault: Fault) {
+        self.do_fault(fault);
+    }
+
+    fn push(&mut self, at: SimTime, ev: SimEvent<M>) {
+        self.seq += 1;
+        self.queue.push(QueueEntry {
+            at,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    /// Run until virtual time `deadline` (inclusive of events at the
+    /// deadline instant). The clock ends at `deadline` even if the queue
+    /// drains early.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(e) if e.at <= deadline => {
+                    let entry = self.queue.pop().unwrap();
+                    self.clock = entry.at;
+                    self.dispatch(entry.ev);
+                }
+                _ => break,
+            }
+        }
+        if self.clock < deadline {
+            self.clock = deadline;
+        }
+    }
+
+    /// Run for a virtual duration from the current clock.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.clock + d;
+        self.run_until(deadline);
+    }
+
+    /// Process a single event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(entry) => {
+                self.clock = entry.at;
+                self.dispatch(entry.ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn dispatch(&mut self, ev: SimEvent<M>) {
+        self.metrics.events_processed += 1;
+        match ev {
+            SimEvent::Start { pid } => {
+                self.with_actor(pid, |actor, ctx| actor.on_start(ctx));
+            }
+            SimEvent::Deliver {
+                to,
+                from,
+                msg,
+                label,
+                bytes,
+            } => {
+                if self.procs.contains_key(&to) {
+                    self.metrics.on_deliver(label, bytes);
+                    self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                } else {
+                    self.metrics.on_drop(label, DropReason::DeadProcess);
+                }
+            }
+            SimEvent::Timer { id, pid, token } => {
+                if self.cancelled.remove(&id) {
+                    return;
+                }
+                if self.procs.contains_key(&pid) {
+                    self.metrics.timers_fired += 1;
+                    self.with_actor(pid, |actor, ctx| actor.on_timer(ctx, token));
+                }
+            }
+            SimEvent::Fault(f) => self.do_fault(f),
+        }
+    }
+
+    fn with_actor<F>(&mut self, pid: Pid, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Actor<M>>, &mut Ctx<'_, M>),
+    {
+        let (node, mut actor) = match self.procs.get_mut(&pid) {
+            Some(p) => match p.actor.take() {
+                Some(a) => (p.node, a),
+                None => return, // re-entrant dispatch; cannot happen in DES
+            },
+            None => return,
+        };
+        let mut buf = std::mem::take(&mut self.cmdbuf);
+        {
+            let mut ctx = Ctx {
+                now: self.clock,
+                self_pid: pid,
+                self_node: node,
+                commands: &mut buf,
+                next_timer: &mut self.next_timer,
+                next_pid: &mut self.next_pid,
+                rng: &mut self.rng,
+                view: WorldView {
+                    nodes: &self.nodes,
+                    live: &self.live,
+                },
+            };
+            f(&mut actor, &mut ctx);
+        }
+        // The actor may have killed itself via a command; put it back first
+        // so the Kill command can find it.
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.actor = Some(actor);
+        }
+        self.apply_commands(pid, &mut buf);
+        self.cmdbuf = buf;
+    }
+
+    fn apply_commands(&mut self, issuer: Pid, buf: &mut Vec<Command<M>>) {
+        for cmd in buf.drain(..) {
+            match cmd {
+                Command::Send { to, via, msg } => self.do_send(issuer, to, via, msg),
+                Command::SetTimer { id, after, token } => {
+                    let at = self.clock + after;
+                    self.push(
+                        at,
+                        SimEvent::Timer {
+                            id,
+                            pid: issuer,
+                            token,
+                        },
+                    );
+                }
+                Command::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+                Command::Spawn { node, actor, pid } => {
+                    self.register_proc(pid, node, actor);
+                }
+                Command::Kill(pid) => self.kill_process(pid),
+                Command::SetUsage(node, usage) => {
+                    if let Some(n) = self.nodes.get_mut(node.index()) {
+                        n.usage = usage.clamped();
+                    }
+                }
+                Command::NodePower { node, up } => {
+                    if up {
+                        self.do_fault(Fault::RestartNode(node));
+                    } else {
+                        self.do_fault(Fault::CrashNode(node));
+                    }
+                }
+                Command::Trace(ev) => self.trace.push(self.clock, ev),
+            }
+        }
+    }
+
+    fn do_send(&mut self, from: Pid, to: Pid, via: Option<NicId>, msg: M) {
+        let label = msg.label();
+        let bytes = msg.wire_size();
+        self.metrics.on_send(label, bytes);
+
+        let src = match self.procs.get(&from) {
+            Some(p) => p.node,
+            None => {
+                // Sender died mid-handler (self-kill ordered before send).
+                self.metrics.on_drop(label, DropReason::DeadProcess);
+                return;
+            }
+        };
+        let dst = match self.procs.get(&to) {
+            Some(p) => p.node,
+            None => {
+                self.metrics.on_drop(label, DropReason::DeadProcess);
+                return;
+            }
+        };
+
+        let route = self.resolve_route(src, dst, via);
+        match route {
+            Ok(_nic) => {
+                let latency = self.network.latency(src, dst, &mut self.rng);
+                let at = self.clock + latency;
+                self.push(
+                    at,
+                    SimEvent::Deliver {
+                        to,
+                        from,
+                        msg,
+                        label,
+                        bytes,
+                    },
+                );
+            }
+            Err(reason) => self.metrics.on_drop(label, reason),
+        }
+    }
+
+    /// Pick the network a message travels over, honouring an explicit NIC
+    /// choice or falling back to the first network healthy at both ends.
+    fn resolve_route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        via: Option<NicId>,
+    ) -> Result<NicId, DropReason> {
+        let src_state = &self.nodes[src.index()];
+        let dst_state = &self.nodes[dst.index()];
+        if !src_state.up || !dst_state.up {
+            return Err(DropReason::NodeDown);
+        }
+        if src == dst {
+            return Ok(NicId(0));
+        }
+        match via {
+            Some(nic) => {
+                self.network
+                    .route(
+                        src,
+                        dst,
+                        nic,
+                        src_state.nic_healthy(nic),
+                        dst_state.nic_healthy(nic),
+                    )
+                    .map(|_| nic)
+            }
+            None => {
+                let nics = src_state.nic_up.len().min(dst_state.nic_up.len());
+                for i in 0..nics {
+                    let nic = NicId(i as u8);
+                    if self
+                        .network
+                        .route(
+                            src,
+                            dst,
+                            nic,
+                            src_state.nic_healthy(nic),
+                            dst_state.nic_healthy(nic),
+                        )
+                        .is_ok()
+                    {
+                        return Ok(nic);
+                    }
+                }
+                Err(DropReason::NoRoute)
+            }
+        }
+    }
+
+    /// Kill one process immediately.
+    pub fn kill_process(&mut self, pid: Pid) {
+        self.live.remove(&pid);
+        if let Some(mut p) = self.procs.remove(&pid) {
+            if let Some(a) = p.actor.as_mut() {
+                a.on_kill(self.clock);
+            }
+            if let Some(set) = self.pids_by_node.get_mut(&p.node) {
+                set.remove(&pid);
+            }
+            self.metrics.kills += 1;
+        }
+    }
+
+    fn do_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::KillProcess(pid) => self.kill_process(pid),
+            Fault::CrashNode(node) => {
+                let n = &mut self.nodes[node.index()];
+                if !n.up {
+                    return;
+                }
+                n.up = false;
+                n.usage = ResourceUsage::IDLE;
+                let pids: Vec<Pid> = self
+                    .pids_by_node
+                    .get(&node)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                for pid in pids {
+                    self.kill_process(pid);
+                }
+            }
+            Fault::RestartNode(node) => {
+                let n = &mut self.nodes[node.index()];
+                n.up = true;
+                for nic in n.nic_up.iter_mut() {
+                    *nic = true;
+                }
+            }
+            Fault::NicDown(node, nic) => {
+                if let Some(up) = self.nodes[node.index()].nic_up.get_mut(nic.0 as usize) {
+                    *up = false;
+                }
+            }
+            Fault::NicUp(node, nic) => {
+                if let Some(up) = self.nodes[node.index()].nic_up.get_mut(nic.0 as usize) {
+                    *up = true;
+                }
+            }
+            Fault::PartitionLink(a, b) => self.network.partition(a, b),
+            Fault::HealLink(a, b) => self.network.heal(a, b),
+        }
+    }
+
+    /// Record a trace event from outside any actor (experiment harnesses).
+    pub fn trace_event(&mut self, ev: TraceEvent) {
+        self.trace.push(self.clock, ev);
+    }
+
+    /// Live process count (for assertions in tests).
+    pub fn live_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Pids currently hosted on `node`.
+    pub fn pids_on(&self, node: NodeId) -> Vec<Pid> {
+        self.pids_by_node
+            .get(&node)
+            .map(|s| {
+                let mut v: Vec<Pid> = s.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every message back to the sender, incremented.
+    struct Echo;
+    impl Actor<u64> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: Pid, msg: u64) {
+            ctx.send(from, msg + 1);
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    /// Sends a message to a peer on start, records replies.
+    struct Pinger {
+        peer: Pid,
+        got: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+    impl Actor<u64> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.send(self.peer, 41);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _from: Pid, msg: u64) {
+            self.got.set(msg);
+        }
+    }
+
+    fn two_node_world() -> World<u64> {
+        ClusterBuilder::new()
+            .nodes(2, NodeSpec::default())
+            .build::<u64>()
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut w = two_node_world();
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let _ping = w.spawn(
+            NodeId(0),
+            Box::new(Pinger {
+                peer: echo,
+                got: got.clone(),
+            }),
+        );
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(got.get(), 42);
+        // Two messages crossed the wire.
+        assert_eq!(w.metrics().total.sent, 2);
+        assert_eq!(w.metrics().total.delivered, 2);
+    }
+
+    #[test]
+    fn clock_advances_to_deadline_even_when_idle() {
+        let mut w = two_node_world();
+        w.run_until(SimTime(1_000_000));
+        assert_eq!(w.now(), SimTime(1_000_000));
+    }
+
+    #[test]
+    fn messages_to_dead_process_are_dropped() {
+        let mut w = two_node_world();
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        w.run_for(SimDuration::from_millis(1));
+        w.kill_process(echo);
+        w.inject(echo, 7);
+        w.run_for(SimDuration::from_millis(1));
+        assert_eq!(w.metrics().total.dropped, 1);
+        assert_eq!(w.metrics().drops_by_reason["dead_process"], 1);
+    }
+
+    #[test]
+    fn node_crash_kills_processes() {
+        let mut w = two_node_world();
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        w.run_for(SimDuration::from_millis(1));
+        assert!(w.is_alive(echo));
+        w.apply_fault(Fault::CrashNode(NodeId(1)));
+        assert!(!w.is_alive(echo));
+        assert!(!w.node(NodeId(1)).up);
+    }
+
+    #[test]
+    fn restart_node_brings_nics_back() {
+        let mut w = two_node_world();
+        w.apply_fault(Fault::NicDown(NodeId(1), NicId(0)));
+        w.apply_fault(Fault::CrashNode(NodeId(1)));
+        w.apply_fault(Fault::RestartNode(NodeId(1)));
+        let n = w.node(NodeId(1));
+        assert!(n.up);
+        assert!(n.nic_up.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn spawn_on_dead_node_never_lives() {
+        let mut w = two_node_world();
+        w.apply_fault(Fault::CrashNode(NodeId(1)));
+        let pid = w.spawn(NodeId(1), Box::new(Echo));
+        w.run_for(SimDuration::from_millis(1));
+        assert!(!w.is_alive(pid));
+    }
+
+    #[test]
+    fn scheduled_fault_fires_at_time() {
+        let mut w = two_node_world();
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        w.schedule_fault(SimTime(5_000_000), Fault::KillProcess(echo));
+        w.run_until(SimTime(4_000_000));
+        assert!(w.is_alive(echo));
+        w.run_until(SimTime(6_000_000));
+        assert!(!w.is_alive(echo));
+    }
+
+    #[test]
+    fn default_route_fails_over_across_nics() {
+        let mut w = two_node_world();
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        w.apply_fault(Fault::NicDown(NodeId(1), NicId(0)));
+        let _p = w.spawn(
+            NodeId(0),
+            Box::new(Pinger {
+                peer: echo,
+                got: got.clone(),
+            }),
+        );
+        w.run_for(SimDuration::from_millis(10));
+        // NIC 0 down at receiver: default routing picks NIC 1; round trip ok.
+        assert_eq!(got.get(), 42);
+    }
+
+    #[test]
+    fn all_nics_down_drops_with_no_route() {
+        let mut w = two_node_world();
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        for i in 0..3 {
+            w.apply_fault(Fault::NicDown(NodeId(1), NicId(i)));
+        }
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let _p = w.spawn(
+            NodeId(0),
+            Box::new(Pinger {
+                peer: echo,
+                got: got.clone(),
+            }),
+        );
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(got.get(), 0);
+        assert_eq!(w.metrics().drops_by_reason["no_route"], 1);
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let mut w = two_node_world();
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        w.apply_fault(Fault::PartitionLink(NodeId(0), NodeId(1)));
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let _p = w.spawn(
+            NodeId(0),
+            Box::new(Pinger {
+                peer: echo,
+                got: got.clone(),
+            }),
+        );
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(got.get(), 0);
+        w.apply_fault(Fault::HealLink(NodeId(0), NodeId(1)));
+        w.inject(echo, 1); // outside injection bypasses the wire
+        w.run_for(SimDuration::from_millis(10));
+        // After heal, echo's reply to pid 0 (external) is dropped as dead
+        // process, but the injected message itself was delivered.
+        assert!(w.metrics().total.delivered >= 1);
+    }
+
+    /// Actor that arms a timer and counts firings; cancels after 3.
+    struct Ticker {
+        fired: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+    impl Actor<u64> for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.set_timer(SimDuration::from_secs(1), 7);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _from: Pid, _msg: u64) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, token: u64) {
+            assert_eq!(token, 7);
+            self.fired.set(self.fired.get() + 1);
+            if self.fired.get() < 3 {
+                ctx.set_timer(SimDuration::from_secs(1), 7);
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_timer_fires_and_stops() {
+        let mut w = two_node_world();
+        let fired = std::rc::Rc::new(std::cell::Cell::new(0));
+        w.spawn(
+            NodeId(0),
+            Box::new(Ticker {
+                fired: fired.clone(),
+            }),
+        );
+        w.run_for(SimDuration::from_secs(10));
+        assert_eq!(fired.get(), 3);
+        assert_eq!(w.metrics().timers_fired, 3);
+    }
+
+    /// Actor that cancels its own timer before it fires.
+    struct Canceller;
+    impl Actor<u64> for Canceller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            let id = ctx.set_timer(SimDuration::from_secs(5), 1);
+            ctx.cancel_timer(id);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _from: Pid, _msg: u64) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u64>, _token: u64) {
+            panic!("cancelled timer fired");
+        }
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut w = two_node_world();
+        w.spawn(NodeId(0), Box::new(Canceller));
+        w.run_for(SimDuration::from_secs(10));
+        assert_eq!(w.metrics().timers_fired, 0);
+    }
+
+    /// Actor that spawns a child on another node when poked.
+    struct Parent {
+        target: NodeId,
+        child: std::rc::Rc<std::cell::Cell<Pid>>,
+    }
+    impl Actor<u64> for Parent {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: Pid, _msg: u64) {
+            let pid = ctx.spawn(self.target, Box::new(Echo));
+            self.child.set(pid);
+        }
+    }
+
+    #[test]
+    fn actors_can_spawn_actors() {
+        let mut w = two_node_world();
+        let child = std::rc::Rc::new(std::cell::Cell::new(Pid(0)));
+        let parent = w.spawn(
+            NodeId(0),
+            Box::new(Parent {
+                target: NodeId(1),
+                child: child.clone(),
+            }),
+        );
+        w.inject(parent, 0);
+        w.run_for(SimDuration::from_millis(1));
+        assert!(w.is_alive(child.get()));
+        assert_eq!(w.node_of(child.get()), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let run = |seed: u64| {
+            let mut w = ClusterBuilder::new()
+                .nodes(4, NodeSpec::default())
+                .seed(seed)
+                .build::<u64>();
+            let e1 = w.spawn(NodeId(1), Box::new(Echo));
+            let got = std::rc::Rc::new(std::cell::Cell::new(0));
+            for n in 0..3 {
+                w.spawn(
+                    NodeId(n),
+                    Box::new(Pinger {
+                        peer: e1,
+                        got: got.clone(),
+                    }),
+                );
+            }
+            w.run_for(SimDuration::from_secs(1));
+            (w.metrics().total.sent, w.metrics().total.delivered, got.get())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn pids_on_node_tracks_spawn_and_kill() {
+        let mut w = two_node_world();
+        let a = w.spawn(NodeId(0), Box::new(Echo));
+        let b = w.spawn(NodeId(0), Box::new(Echo));
+        assert_eq!(w.pids_on(NodeId(0)), vec![a, b]);
+        w.kill_process(a);
+        assert_eq!(w.pids_on(NodeId(0)), vec![b]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # phoenix — the Fire Phoenix cluster operating system (reproduction)
+//!
+//! One-stop facade over the workspace:
+//!
+//! * [`sim`] — deterministic cluster simulator (the "hardware");
+//! * [`proto`] — the kernel wire protocol;
+//! * [`kernel`] — the Phoenix kernel itself (group service & meta-group
+//!   ring, event service, data bulletin, checkpoint, configuration,
+//!   security, detectors, parallel process management, boot);
+//! * [`pws`] — the Phoenix-PWS job-management user environment and the
+//!   PBS baseline;
+//! * [`gridview`] — the monitoring user environment;
+//! * [`hpl`] — the Linpack-class workload for the Table 4 experiment.
+//!
+//! Start with `examples/quickstart.rs`.
+
+pub use phoenix_biz as biz;
+pub use phoenix_gridview as gridview;
+pub use phoenix_hpl as hpl;
+pub use phoenix_kernel as kernel;
+pub use phoenix_proto as proto;
+pub use phoenix_pws as pws;
+pub use phoenix_sim as sim;

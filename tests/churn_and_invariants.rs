@@ -1,0 +1,152 @@
+//! Randomized fault churn: a seeded storm of process kills, node crashes
+//! and NIC flaps against a live cluster, followed by repair — the kernel
+//! must converge back to a fully serving state. This is the "production
+//! soak test" the Dawning 4000A effectively ran for the paper's authors.
+
+use phoenix::kernel::boot::boot_and_stabilize;
+use phoenix::kernel::client::ClientHandle;
+use phoenix::kernel::KernelParams;
+use phoenix::proto::{BulletinQuery, ClusterTopology, KernelMsg, NodeOp, RequestId};
+use phoenix::sim::{Fault, NicId, NodeId, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn complete_query(
+    world: &mut phoenix::sim::World<KernelMsg>,
+    client: &ClientHandle,
+    bulletin: phoenix::sim::Pid,
+    req: u64,
+) -> bool {
+    client.send(
+        world,
+        bulletin,
+        KernelMsg::DbQuery {
+            req: RequestId(req),
+            query: BulletinQuery::Resources,
+        },
+    );
+    world.run_for(SimDuration::from_millis(400));
+    client
+        .drain()
+        .into_iter()
+        .find_map(|(_, m)| match m {
+            KernelMsg::DbResp { complete, .. } => Some(complete),
+            _ => None,
+        })
+        .unwrap_or(false)
+}
+
+fn churn_round(seed: u64) {
+    let topology = ClusterTopology::uniform(3, 5, 1);
+    let (mut world, cluster) = boot_and_stabilize(topology, KernelParams::fast(), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let n = cluster.topology.node_count() as u32;
+    world.run_for(SimDuration::from_secs(2));
+
+    // ---- storm: 10 random faults, spaced ~1 virtual second -----------------
+    let mut crashed: Vec<NodeId> = Vec::new();
+    for _ in 0..10 {
+        match rng.gen_range(0..3) {
+            0 => {
+                // Kill a random process on a random node (whatever lives
+                // there — daemon or service).
+                let node = NodeId(rng.gen_range(0..n));
+                let pids = world.pids_on(node);
+                if let Some(&pid) = pids.get(rng.gen_range(0..pids.len().max(1)).min(pids.len().saturating_sub(1))) {
+                    world.kill_process(pid);
+                }
+            }
+            1 => {
+                // Crash a random *compute* node (keep at least one backup
+                // alive per partition so migration always has a target).
+                let part = &cluster.topology.partitions[rng.gen_range(0..3)];
+                let node = part.compute[rng.gen_range(0..part.compute.len())];
+                if !crashed.contains(&node) {
+                    crashed.push(node);
+                    world.apply_fault(Fault::CrashNode(node));
+                }
+            }
+            _ => {
+                // Flap a NIC.
+                let node = NodeId(rng.gen_range(0..n));
+                let nic = NicId(rng.gen_range(0..3));
+                world.apply_fault(Fault::NicDown(node, nic));
+                world.schedule_fault(
+                    world.now() + SimDuration::from_secs(3),
+                    Fault::NicUp(node, nic),
+                );
+            }
+        }
+        world.run_for(SimDuration::from_secs(1));
+    }
+
+    // ---- repair: bring crashed nodes back, let supervision settle ----------
+    let client = ClientHandle::spawn(&mut world, cluster.topology.partitions[0].server);
+    for (i, &node) in crashed.iter().enumerate() {
+        client.send(
+            &mut world,
+            cluster.config(),
+            KernelMsg::CfgNodeOp {
+                req: RequestId(9_000 + i as u64),
+                node,
+                op: NodeOp::Start,
+            },
+        );
+    }
+    // Generous settle time: several heartbeat intervals + restart costs +
+    // the leader's rescue sweep if a takeover plan was lost.
+    world.run_for(SimDuration::from_secs(40));
+
+    // ---- invariants ----------------------------------------------------------
+    // 1. Every node is powered and carries its three daemons.
+    for node in world.nodes() {
+        assert!(node.up, "seed {seed}: {:?} still down", node.id);
+    }
+    // 2. The bulletin federation answers completely from partition 0's
+    //    current instance (ask config for the live directory first).
+    client.send(
+        &mut world,
+        cluster.config(),
+        KernelMsg::CfgQueryDirectory { req: RequestId(1) },
+    );
+    world.run_for(SimDuration::from_millis(50));
+    let directory = client
+        .drain()
+        .into_iter()
+        .find_map(|(_, m)| match m {
+            KernelMsg::CfgDirectory { directory, .. } => Some(*directory),
+            _ => None,
+        })
+        .expect("config answers");
+    // 3. Every partition has a live GSD in the directory.
+    assert_eq!(directory.partitions.len(), 3, "seed {seed}");
+    for m in &directory.partitions {
+        assert!(
+            world.is_alive(m.gsd),
+            "seed {seed}: {:?} GSD dead in directory",
+            m.partition
+        );
+    }
+    let complete = complete_query(&mut world, &client, directory.partitions[0].bulletin, 2);
+    assert!(complete, "seed {seed}: federation incomplete after repair");
+}
+
+#[test]
+fn churn_seed_1() {
+    churn_round(1);
+}
+
+#[test]
+fn churn_seed_2() {
+    churn_round(2);
+}
+
+#[test]
+fn churn_seed_3() {
+    churn_round(3);
+}
+
+#[test]
+fn churn_seed_4() {
+    churn_round(4);
+}

@@ -1,0 +1,159 @@
+//! Workspace-level end-to-end test: everything the paper's stack does, in
+//! one scenario — boot, monitor, submit jobs, inject faults at every
+//! layer, and verify the system keeps its promises throughout.
+
+use phoenix::gridview::GridView;
+use phoenix::kernel::boot::boot_and_stabilize;
+use phoenix::kernel::client::ClientHandle;
+use phoenix::kernel::KernelParams;
+use phoenix::proto::{
+    BulletinQuery, ClusterTopology, JobSpec, KernelMsg, NodeOp, RequestId, TaskSpec,
+};
+use phoenix::pws::{install_pws, login, queue_status, submit, PolicyKind, PoolConfig};
+use phoenix::sim::{Fault, NodeId, SimDuration, TraceEvent};
+
+#[test]
+fn full_stack_scenario() {
+    // ---- boot ------------------------------------------------------------
+    let topology = ClusterTopology::uniform(3, 6, 1);
+    let (mut world, cluster) = boot_and_stabilize(topology, KernelParams::fast(), 2024);
+    let n_nodes = cluster.topology.node_count();
+    assert_eq!(n_nodes, 18);
+
+    // ---- monitoring online ------------------------------------------------
+    let console = cluster.topology.partitions[0].compute[0];
+    let gv = GridView::spawn(
+        &mut world,
+        console,
+        cluster.bulletin(),
+        cluster.event(),
+        SimDuration::from_millis(700),
+    );
+    world.run_for(SimDuration::from_secs(3));
+    assert_eq!(gv.snapshot().nodes_reporting, n_nodes);
+
+    // ---- job management online ---------------------------------------------
+    let compute: Vec<NodeId> = cluster
+        .topology
+        .partitions
+        .iter()
+        .flat_map(|p| p.compute.iter().copied())
+        .collect();
+    let pws = install_pws(
+        &mut world,
+        &cluster,
+        vec![PoolConfig::new("batch", compute, PolicyKind::Backfill)],
+    );
+    world.run_for(SimDuration::from_millis(300));
+    let sched = pws.scheduler("batch").unwrap();
+    let client = ClientHandle::spawn(&mut world, console);
+    let token = login(&mut world, &cluster, &client, "alice", "alice-secret");
+    for i in 1..=4u64 {
+        let accepted = submit(
+            &mut world,
+            &client,
+            sched,
+            token.clone(),
+            JobSpec {
+                task: TaskSpec {
+                    duration_ns: Some(6_000_000_000),
+                    ..TaskSpec::default()
+                },
+                ..JobSpec::simple(i, "alice", "batch", 2)
+            },
+        );
+        assert!(accepted);
+    }
+    world.run_for(SimDuration::from_secs(1));
+    assert!(
+        !queue_status(&mut world, &client, sched).is_empty(),
+        "jobs running or queued"
+    );
+
+    // ---- fault storm while jobs run -----------------------------------------
+    // 1. compute node crash (kills one job's task),
+    // 2. event-service process kill,
+    // 3. server-node crash (partition services migrate).
+    world.apply_fault(Fault::CrashNode(cluster.topology.partitions[2].compute[0]));
+    world.run_for(SimDuration::from_secs(2));
+    world.kill_process(cluster.event());
+    world.run_for(SimDuration::from_secs(2));
+    world.apply_fault(Fault::CrashNode(cluster.topology.partitions[1].server));
+    world.run_for(SimDuration::from_secs(12));
+
+    // ---- the system healed ----------------------------------------------------
+    // Jobs finished (some possibly failed due to the node crash, but the
+    // scheduler processed all of them).
+    world.run_for(SimDuration::from_secs(15));
+    let rows = queue_status(&mut world, &client, pws.scheduler("batch").unwrap());
+    assert!(rows.is_empty(), "queue drained after faults: {rows:?}");
+    let done = world
+        .trace()
+        .count(|e| matches!(e, TraceEvent::Milestone { label: "job-completed", .. }));
+    let failed = world
+        .trace()
+        .count(|e| matches!(e, TraceEvent::Milestone { label: "job-failed", .. }));
+    assert_eq!(done + failed, 4, "every job reached a terminal state");
+    assert!(done >= 3, "at most one job lost to the crashed node");
+
+    // Monitoring still sees the whole cluster (minus the two dead nodes,
+    // whose stale entries the federation still carries or dropped —
+    // either way queries complete).
+    let (entries, complete) = {
+        client.send(
+            &mut world,
+            cluster.directory.partitions[0].bulletin,
+            KernelMsg::DbQuery {
+                req: RequestId(777),
+                query: BulletinQuery::Resources,
+            },
+        );
+        world.run_for(SimDuration::from_millis(400));
+        let mut out = (0usize, false);
+        for (_, m) in client.drain() {
+            if let KernelMsg::DbResp {
+                entries, complete, ..
+            } = m
+            {
+                out = (entries.len(), complete);
+            }
+        }
+        out
+    };
+    assert!(complete, "bulletin federation healed after migration");
+    assert!(entries >= n_nodes - 2);
+
+    // GridView received fault + recovery events through it all.
+    assert!(gv.events_received() > 0);
+    let feed = gv.feed();
+    assert!(feed
+        .iter()
+        .any(|f| f.etype == phoenix::proto::EventType::NodeFault));
+
+    // ---- bring the dead nodes back ------------------------------------------
+    for node in [
+        cluster.topology.partitions[2].compute[0],
+        cluster.topology.partitions[1].server,
+    ] {
+        client.send(
+            &mut world,
+            cluster.config(),
+            KernelMsg::CfgNodeOp {
+                req: RequestId(800 + node.0 as u64),
+                node,
+                op: NodeOp::Start,
+            },
+        );
+    }
+    world.run_for(SimDuration::from_secs(5));
+    assert!(world.nodes().iter().all(|n| n.up), "whole cluster back up");
+    let recoveries = feed_recoveries(&gv);
+    assert!(recoveries >= 1, "NodeRecovery events reached the console");
+}
+
+fn feed_recoveries(gv: &phoenix::gridview::GridViewHandle) -> usize {
+    gv.feed()
+        .iter()
+        .filter(|f| f.etype == phoenix::proto::EventType::NodeRecovery)
+        .count()
+}
