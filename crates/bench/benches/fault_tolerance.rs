@@ -1,58 +1,49 @@
-//! Criterion benches for the fault-tolerance pipeline (Tables 1–3
+//! Timing benches for the fault-tolerance pipeline (Tables 1–3
 //! machinery): how fast the simulator executes a full failure →
 //! detection → diagnosis → recovery cycle, and how the virtual-time sum
 //! tracks the heartbeat interval (the paper's Sec 5.1 claim).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use phoenix_bench::ft::{run_one, small_testbed, Component, FaultKind};
+use phoenix_bench::timing::bench;
 use phoenix_kernel::KernelParams;
 use phoenix_proto::ClusterTopology;
 use phoenix_sim::SimDuration;
 
-fn bench_pipelines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ft_pipeline");
-    g.sample_size(10);
+fn bench_pipelines() {
     for (component, name) in [
         (Component::Wd, "wd"),
         (Component::Gsd, "gsd"),
         (Component::Es, "es"),
     ] {
-        g.bench_function(BenchmarkId::new("process_fault", name), |b| {
-            b.iter(|| {
-                let (topo, params) = small_testbed();
-                run_one(topo, params, component, FaultKind::Process, 1)
-            })
+        bench("ft_pipeline", &format!("process_fault/{name}"), 10, || {
+            let (topo, params) = small_testbed();
+            run_one(topo, params, component, FaultKind::Process, 1)
         });
     }
-    g.finish();
 }
 
 /// The Sec 5.1 claim: the failure-handling sum is dominated by (and
-/// configurable through) the heartbeat interval. Criterion measures the
-/// wall cost of verifying it at three intervals.
-fn bench_interval_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ft_sum_vs_interval");
-    g.sample_size(10);
+/// configurable through) the heartbeat interval. The shape check rides
+/// along with the wall-cost measurement.
+fn bench_interval_sweep() {
     for interval_ms in [500u64, 1_000, 2_000] {
-        g.bench_function(BenchmarkId::from_parameter(interval_ms), |b| {
-            b.iter(|| {
-                let mut params = KernelParams::fast();
-                params.ft.hb_interval = SimDuration::from_millis(interval_ms);
-                let row = run_one(
-                    ClusterTopology::uniform(2, 4, 1),
-                    params,
-                    Component::Wd,
-                    FaultKind::Process,
-                    7,
-                );
-                // Shape check rides along with the measurement.
-                assert!(row.sum_s < 2.0 * interval_ms as f64 / 1_000.0 + 1.0);
-                row
-            })
+        bench("ft_sum_vs_interval", &interval_ms.to_string(), 10, || {
+            let mut params = KernelParams::fast();
+            params.ft.hb_interval = SimDuration::from_millis(interval_ms);
+            let row = run_one(
+                ClusterTopology::uniform(2, 4, 1),
+                params,
+                Component::Wd,
+                FaultKind::Process,
+                7,
+            );
+            assert!(row.sum_s < 2.0 * interval_ms as f64 / 1_000.0 + 1.0);
+            row
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_pipelines, bench_interval_sweep);
-criterion_main!(benches);
+fn main() {
+    bench_pipelines();
+    bench_interval_sweep();
+}

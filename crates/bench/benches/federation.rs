@@ -1,27 +1,27 @@
-//! Criterion bench for the data-bulletin federation (Fig 5 ablation from
+//! Timing bench for the data-bulletin federation (Fig 5 ablation from
 //! DESIGN.md): cost of a cluster-wide query through the single access
 //! point as the number of partitions (= federation fan-out) grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phoenix_bench::timing::bench;
 use phoenix_kernel::boot::boot_and_stabilize;
 use phoenix_kernel::client::ClientHandle;
 use phoenix_kernel::KernelParams;
 use phoenix_proto::{BulletinQuery, ClusterTopology, KernelMsg, RequestId};
 use phoenix_sim::{NodeId, SimDuration};
 
-fn bench_federated_query(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bulletin_federated_query");
-    g.sample_size(10);
+fn main() {
     for partitions in [2usize, 4, 8] {
-        g.throughput(Throughput::Elements((partitions * 4) as u64));
-        g.bench_function(BenchmarkId::from_parameter(partitions), |b| {
-            // One warm cluster per configuration; iterate queries inside.
-            let topo = ClusterTopology::uniform(partitions, 4, 1);
-            let (mut w, cluster) = boot_and_stabilize(topo, KernelParams::fast(), 9);
-            w.run_for(SimDuration::from_secs(2)); // detectors fill the DB
-            let client = ClientHandle::spawn(&mut w, NodeId(2));
-            let mut req = 0u64;
-            b.iter(|| {
+        // One warm cluster per configuration; iterate queries inside.
+        let topo = ClusterTopology::uniform(partitions, 4, 1);
+        let (mut w, cluster) = boot_and_stabilize(topo, KernelParams::fast(), 9);
+        w.run_for(SimDuration::from_secs(2)); // detectors fill the DB
+        let client = ClientHandle::spawn(&mut w, NodeId(2));
+        let mut req = 0u64;
+        bench(
+            "bulletin_federated_query",
+            &partitions.to_string(),
+            10,
+            || {
                 req += 1;
                 client.send(
                     &mut w,
@@ -35,11 +35,7 @@ fn bench_federated_query(c: &mut Criterion) {
                 let got = client.drain();
                 assert!(!got.is_empty());
                 got
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_federated_query);
-criterion_main!(benches);

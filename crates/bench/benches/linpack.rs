@@ -1,54 +1,35 @@
-//! Criterion benches for the Table 4 compute kernel: blocked LU
+//! Timing benches for the Table 4 compute kernel: blocked LU
 //! throughput, thread scaling, and the with-daemons condition.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phoenix_bench::timing::bench;
 use phoenix_hpl::{lu_factor, start_daemons, DaemonLoad, Matrix, DEFAULT_NB};
 
-fn flops(n: usize) -> u64 {
-    (2.0 / 3.0 * (n as f64).powi(3)) as u64
-}
-
-fn bench_lu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lu_factor");
-    g.sample_size(10);
+fn bench_lu() {
     for n in [128usize, 256] {
-        g.throughput(Throughput::Elements(flops(n)));
         for threads in [1usize, 2] {
-            g.bench_function(BenchmarkId::new(format!("n{n}"), threads), |b| {
-                b.iter_batched(
-                    || Matrix::random(n, 11),
-                    |mut a| lu_factor(&mut a, threads, DEFAULT_NB),
-                    criterion::BatchSize::LargeInput,
-                )
+            bench("lu_factor", &format!("n{n}/t{threads}"), 10, || {
+                let mut a = Matrix::random(n, 11);
+                lu_factor(&mut a, threads, DEFAULT_NB)
             });
         }
     }
-    g.finish();
 }
 
-fn bench_lu_with_daemons(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lu_with_phoenix_daemons");
-    g.sample_size(10);
+fn bench_lu_with_daemons() {
     let n = 256usize;
-    g.throughput(Throughput::Elements(flops(n)));
-    g.bench_function("baseline", |b| {
-        b.iter_batched(
-            || Matrix::random(n, 13),
-            |mut a| lu_factor(&mut a, 1, DEFAULT_NB),
-            criterion::BatchSize::LargeInput,
-        )
+    bench("lu_with_phoenix_daemons", "baseline", 10, || {
+        let mut a = Matrix::random(n, 13);
+        lu_factor(&mut a, 1, DEFAULT_NB)
     });
-    g.bench_function("with_daemons", |b| {
-        let daemons = start_daemons(&DaemonLoad::phoenix_default());
-        b.iter_batched(
-            || Matrix::random(n, 13),
-            |mut a| lu_factor(&mut a, 1, DEFAULT_NB),
-            criterion::BatchSize::LargeInput,
-        );
-        daemons.stop();
+    let daemons = start_daemons(&DaemonLoad::phoenix_default());
+    bench("lu_with_phoenix_daemons", "with_daemons", 10, || {
+        let mut a = Matrix::random(n, 13);
+        lu_factor(&mut a, 1, DEFAULT_NB)
     });
-    g.finish();
+    daemons.stop();
 }
 
-criterion_group!(benches, bench_lu, bench_lu_with_daemons);
-criterion_main!(benches);
+fn main() {
+    bench_lu();
+    bench_lu_with_daemons();
+}

@@ -1,8 +1,8 @@
-//! Criterion bench for parallel process management (DESIGN.md ablation 5):
+//! Timing bench for parallel process management (DESIGN.md ablation 5):
 //! tree fan-out vs sequential remote job loading. The virtual-time launch
 //! latency is asserted inside the measurement (log-depth vs linear).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phoenix_bench::timing::bench;
 use phoenix_kernel::client::ClientHandle;
 use phoenix_kernel::ppm::PpmAgent;
 use phoenix_proto::{JobId, KernelMsg, NodeServices, RequestId, ServiceDirectory, TaskSpec};
@@ -83,17 +83,11 @@ fn launch(n: u32, tree: bool) -> SimTime {
     SimTime(w.now().since(t0).as_nanos())
 }
 
-fn bench_ppm_fanout(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ppm_launch");
-    g.sample_size(10);
+fn main() {
     for n in [64u32, 256] {
-        g.bench_function(BenchmarkId::new("tree", n), |b| b.iter(|| launch(n, true)));
-        g.bench_function(BenchmarkId::new("sequential", n), |b| {
-            b.iter(|| launch(n, false))
+        bench("ppm_launch", &format!("tree/{n}"), 10, || launch(n, true));
+        bench("ppm_launch", &format!("sequential/{n}"), 10, || {
+            launch(n, false)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_ppm_fanout);
-criterion_main!(benches);

@@ -1,28 +1,20 @@
-//! Criterion benches for the Sec 5.4 comparison: wall cost of running the
+//! Timing benches for the Sec 5.4 comparison: wall cost of running the
 //! same job workload under PWS (event-driven) and PBS (polling), with the
 //! HA assertion riding along.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use phoenix_bench::pws_pbs::run;
+use phoenix_bench::timing::bench;
 
-fn bench_job_management(c: &mut Criterion) {
-    let mut g = c.benchmark_group("job_management");
-    g.sample_size(10);
-    g.bench_function("pws_workload", |b| {
-        b.iter(|| run(false, 2, 4, 3, 20, false, 61))
+fn main() {
+    bench("job_management", "pws_workload", 10, || {
+        run(false, 2, 4, 3, 20, false, 61)
     });
-    g.bench_function("pbs_workload", |b| {
-        b.iter(|| run(true, 2, 4, 3, 20, false, 62))
+    bench("job_management", "pbs_workload", 10, || {
+        run(true, 2, 4, 3, 20, false, 62)
     });
-    g.bench_function("pws_with_scheduler_fault", |b| {
-        b.iter(|| {
-            let s = run(false, 2, 4, 2, 15, true, 63);
-            assert!(s.survived_scheduler_fault);
-            s
-        })
+    bench("job_management", "pws_with_scheduler_fault", 10, || {
+        let s = run(false, 2, 4, 2, 15, true, 63);
+        assert!(s.survived_scheduler_fault);
+        s
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_job_management);
-criterion_main!(benches);

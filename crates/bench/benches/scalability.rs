@@ -1,38 +1,36 @@
-//! Criterion benches for Sec 5.3 / Sec 4.3: simulator throughput of the
+//! Timing benches for Sec 5.3 / Sec 4.3: simulator throughput of the
 //! monitoring stack as the cluster grows, and the flat-vs-partitioned
 //! membership ablation (the paper's key scalability design decision).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use phoenix_bench::scale::{membership_compare, monitor_run};
+use phoenix_bench::timing::bench;
 use phoenix_kernel::{FtParams, KernelParams};
 
-fn bench_monitoring(c: &mut Criterion) {
-    let mut g = c.benchmark_group("monitoring_scale");
-    g.sample_size(10);
+fn bench_monitoring() {
     for partitions in [2usize, 4, 8] {
         let nodes = partitions * 16;
-        g.throughput(Throughput::Elements(nodes as u64));
-        g.bench_function(BenchmarkId::from_parameter(nodes), |b| {
-            b.iter(|| monitor_run(partitions, 16, 10, KernelParams::default(), 5))
+        bench("monitoring_scale", &nodes.to_string(), 10, || {
+            monitor_run(partitions, 16, 10, KernelParams::default(), 5)
         });
     }
-    g.finish();
 }
 
-fn bench_membership(c: &mut Criterion) {
-    let mut g = c.benchmark_group("membership_ablation");
-    g.sample_size(10);
+fn bench_membership() {
     for nodes in [32usize, 64] {
-        g.bench_function(BenchmarkId::new("flat_vs_partitioned", nodes), |b| {
-            b.iter(|| {
+        bench(
+            "membership_ablation",
+            &format!("flat_vs_partitioned/{nodes}"),
+            10,
+            || {
                 let p = membership_compare(nodes, FtParams::fast(), 4, 3);
                 assert!(p.ratio > 1.0, "partitioned must win: {p:?}");
                 p
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_monitoring, bench_membership);
-criterion_main!(benches);
+fn main() {
+    bench_monitoring();
+    bench_membership();
+}

@@ -7,12 +7,15 @@
 //! * "If Princess fails, the next member to Princess will take over it."
 //! * "If one of the members fails, the member next to it will take over."
 
+use phoenix_bench::report::{exercise_services, write_report};
 use phoenix_kernel::boot::boot_and_stabilize;
 use phoenix_kernel::KernelParams;
 use phoenix_proto::ClusterTopology;
 use phoenix_sim::{SimDuration, TraceEvent};
+use phoenix_telemetry::Json;
 
 fn main() {
+    phoenix_telemetry::reset();
     // Five partitions of four nodes: five meta-group members, like Fig 3.
     let topo = ClusterTopology::uniform(5, 4, 1);
     let (mut w, cluster) = boot_and_stabilize(topo, KernelParams::fast(), 33);
@@ -58,4 +61,12 @@ fn main() {
         .trace()
         .count(|e| matches!(e, TraceEvent::RoleChange { role: "leader", .. }));
     println!("\nleader role transitions observed: {takeovers}");
+    exercise_services(33);
+    write_report(
+        "fig3_metagroup",
+        vec![(
+            "fig3",
+            Json::obj().set("leader_transitions", Json::UInt(takeovers as u64)),
+        )],
+    );
 }

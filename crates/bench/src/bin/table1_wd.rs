@@ -5,10 +5,15 @@
 //! Paper row shape: detecting ≈ 30 s, diagnosing 0.29 s (process) / 2 s
 //! (node) / 348 µs (network), recovery ≈ 0.
 
-use phoenix_bench::ft::{paper_testbed, print_table, run_table, Component};
+use phoenix_bench::ft::{paper_testbed, print_table, run_table, small_testbed, Component};
+use phoenix_bench::report::{exercise_services, table_json, write_report};
 
 fn main() {
-    let (topo, params) = paper_testbed();
+    phoenix_telemetry::reset();
+    // `--small` runs the same pipeline on the 15-node fast-parameter
+    // testbed (CI / verify.sh smoke); default is the paper's 136 nodes.
+    let small = std::env::args().any(|a| a == "--small");
+    let (topo, params) = if small { small_testbed() } else { paper_testbed() };
     println!(
         "Testbed: {} nodes, {} partitions, heartbeat interval {}",
         topo.node_count(),
@@ -18,4 +23,6 @@ fn main() {
     let rows = run_table(topo, params, Component::Wd);
     print_table("Table 1: Three Unhealthy Situations for WD", &rows);
     println!("\nPaper reference: process 30s/0.29s/0us=30.29s; node 30s/2s/0s=32s; network 30s/348us/0s=30s");
+    exercise_services(41);
+    write_report("table1_wd", vec![("table1", table_json(&rows))]);
 }

@@ -5,8 +5,10 @@
 //! 2.95 s (migration to a backup node); network 30 s / 348 µs / 0.
 
 use phoenix_bench::ft::{paper_testbed, print_table, run_table, Component};
+use phoenix_bench::report::{exercise_services, table_json, write_report};
 
 fn main() {
+    phoenix_telemetry::reset();
     let (topo, params) = paper_testbed();
     println!(
         "Testbed: {} nodes, {} partitions, heartbeat interval {}",
@@ -17,4 +19,6 @@ fn main() {
     let rows = run_table(topo, params, Component::Gsd);
     print_table("Table 2: Three Unhealthy Situations for GSD", &rows);
     println!("\nPaper reference: process 30s/0.29s/2.03s=32.32s; node 30s/0.3s/2.95s=33.25s; network 30s/348us/0s=30s");
+    exercise_services(42);
+    write_report("table2_gsd", vec![("table2", table_json(&rows))]);
 }

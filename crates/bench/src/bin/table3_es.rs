@@ -7,8 +7,10 @@
 //! 2.95 s; network 30 s / 12 µs / 0.
 
 use phoenix_bench::ft::{paper_testbed, print_table, run_table, Component};
+use phoenix_bench::report::{exercise_services, table_json, write_report};
 
 fn main() {
+    phoenix_telemetry::reset();
     let (topo, params) = paper_testbed();
     println!(
         "Testbed: {} nodes, {} partitions, heartbeat interval {}",
@@ -19,4 +21,6 @@ fn main() {
     let rows = run_table(topo, params, Component::Es);
     print_table("Table 3: Three Unhealthy Situations for ES", &rows);
     println!("\nPaper reference: process 30s/12us/0.12s=30.12s; node 30s/0.3s/2.95s=33.25s; network 30s/12us/0s=30s");
+    exercise_services(43);
+    write_report("table3_es", vec![("table3", table_json(&rows))]);
 }

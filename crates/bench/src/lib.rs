@@ -12,8 +12,11 @@
 //! it runs on real threads, not the simulator.
 //!
 //! The `src/bin/` binaries print the corresponding paper artifacts;
-//! `benches/` holds the Criterion microbenches.
+//! `benches/` holds dependency-free timing benches built on [`timing`]
+//! (gated behind the off-by-default `heavy-deps` feature).
 
 pub mod ft;
 pub mod pws_pbs;
+pub mod report;
 pub mod scale;
+pub mod timing;

@@ -1,0 +1,94 @@
+//! Telemetry export glue shared by the bench binaries: a service-exercise
+//! pass that drives every instrumented kernel path on small clusters, and
+//! the registry → `results/BENCH_kernel.json` dump.
+//!
+//! The fault-injection tables alone populate the heartbeat/probe/diagnosis
+//! histograms; the exercise pass adds job fan-out (PWS → PPM tree) and a
+//! federated bulletin query so every exported report carries samples from
+//! all instrumented services regardless of which binary produced it.
+
+use std::path::PathBuf;
+
+use phoenix_kernel::boot::boot_and_stabilize;
+use phoenix_kernel::client::ClientHandle;
+use phoenix_proto::{BulletinQuery, KernelMsg, RequestId};
+use phoenix_sim::SimDuration;
+use phoenix_telemetry::{BenchReport, Json};
+
+use crate::ft::{run_one, small_testbed, Component, FaultKind, FtRow};
+use crate::pws_pbs;
+
+/// Drive every instrumented kernel path at least once on small clusters:
+/// a PWS job workload (PPM tree fan-out + heartbeats + federated job
+/// events), two fault pipelines (probe RTT, detect→diagnose, GSD
+/// takeover), and a federated bulletin query.
+pub fn exercise_services(seed: u64) {
+    // Jobs through PWS → PPM: ppm.fanout.flight, wd/meta heartbeats,
+    // job lifecycle events federated through the event service.
+    pws_pbs::run(false, 2, 4, 3, 2, false, seed);
+
+    // Fault pipelines: gsd.probe.rtt, gsd.detect_to_diagnose, gsd.takeover.
+    let (topo, params) = small_testbed();
+    run_one(topo, params, Component::Wd, FaultKind::Process, seed ^ 1);
+    let (topo, params) = small_testbed();
+    run_one(topo, params, Component::Gsd, FaultKind::Process, seed ^ 2);
+
+    // Federated bulletin query: bulletin.query.fed.
+    let (topo, params) = small_testbed();
+    let (mut w, cluster) = boot_and_stabilize(topo, params, seed ^ 3);
+    w.run_for(SimDuration::from_secs(2));
+    let client = ClientHandle::spawn(&mut w, cluster.topology.partitions[0].server);
+    client.send(
+        &mut w,
+        cluster.directory.partitions[0].bulletin,
+        KernelMsg::DbQuery {
+            req: RequestId(1),
+            query: BulletinQuery::Resources,
+        },
+    );
+    w.run_for(SimDuration::from_millis(400));
+}
+
+/// Render fault-tolerance table rows as a JSON section.
+pub fn table_json(rows: &[FtRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .set("component", Json::str(format!("{:?}", r.component)))
+                    .set("fault", Json::str(format!("{:?}", r.kind)))
+                    .set("detect_s", Json::Num(r.detect_s))
+                    .set("diagnose_s", Json::Num(r.diagnose_s))
+                    .set("recover_s", Json::Num(r.recover_s))
+                    .set("sum_s", Json::Num(r.sum_s))
+            })
+            .collect(),
+    )
+}
+
+/// Dump this thread's registry (plus experiment-specific `sections`) to
+/// `results/BENCH_kernel.json` and print a per-path latency summary.
+pub fn write_report(name: &str, sections: Vec<(&str, Json)>) -> PathBuf {
+    let mut rep = BenchReport::new(name);
+    for (k, v) in sections {
+        rep.section(k, v);
+    }
+    let path = phoenix_telemetry::with(|reg| {
+        let mut paths: Vec<_> = reg
+            .histograms()
+            .map(|(p, st)| (p, st.service, st.hist.summary()))
+            .collect();
+        paths.sort_by_key(|(p, ..)| *p);
+        println!("\nTelemetry: {} instrumented paths", paths.len());
+        for (p, service, s) in paths {
+            println!(
+                "  {p:<28} [{service:<8}] count={:<6} p50={}ns p90={}ns p99={}ns max={}ns",
+                s.count, s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns
+            );
+        }
+        rep.write_default(reg)
+    })
+    .expect("write BENCH_kernel.json");
+    println!("report written: {}", path.display());
+    path
+}

@@ -1,0 +1,102 @@
+//! Minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! The workspace builds with no external dependencies, so the bench
+//! targets use this hand-rolled loop instead of Criterion: warm up once,
+//! run a fixed number of samples, and print min/mean/max per iteration.
+//! The output is line-oriented (`group/name: mean=… min=… max=…`) so runs
+//! can be diffed or grepped; statistical rigor is traded for zero deps,
+//! which is fine for the relative comparisons these benches make.
+
+use std::time::Instant;
+
+/// Result of one benchmark: per-iteration wall times in seconds.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    pub name: String,
+    pub iters: usize,
+    pub min_s: f64,
+    pub mean_s: f64,
+    pub max_s: f64,
+}
+
+impl Sample {
+    fn fmt_s(s: f64) -> String {
+        if s >= 1.0 {
+            format!("{s:.3}s")
+        } else if s >= 1e-3 {
+            format!("{:.3}ms", s * 1e3)
+        } else {
+            format!("{:.1}µs", s * 1e6)
+        }
+    }
+}
+
+impl std::fmt::Display for Sample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: mean={} min={} max={} ({} iters)",
+            self.name,
+            Sample::fmt_s(self.mean_s),
+            Sample::fmt_s(self.min_s),
+            Sample::fmt_s(self.max_s),
+            self.iters
+        )
+    }
+}
+
+/// Time `f` over `iters` samples (plus one untimed warm-up) and print the
+/// summary line. The closure's return value is consumed with
+/// [`std::hint::black_box`] so the work is not optimized away.
+pub fn bench<T>(group: &str, name: &str, iters: usize, mut f: impl FnMut() -> T) -> Sample {
+    assert!(iters >= 1);
+    std::hint::black_box(f()); // warm-up
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min_s = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_s = times.iter().cloned().fold(0.0f64, f64::max);
+    let mean_s = times.iter().sum::<f64>() / times.len() as f64;
+    let sample = Sample {
+        name: format!("{group}/{name}"),
+        iters,
+        min_s,
+        mean_s,
+        max_s,
+    };
+    println!("{sample}");
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut calls = 0u32;
+        let s = bench("t", "noop", 3, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 4, "warm-up + 3 samples");
+        assert_eq!(s.iters, 3);
+        assert!(s.min_s <= s.mean_s && s.mean_s <= s.max_s);
+    }
+
+    #[test]
+    fn display_uses_sensible_units() {
+        let s = Sample {
+            name: "g/n".into(),
+            iters: 1,
+            min_s: 2e-6,
+            mean_s: 2e-3,
+            max_s: 2.0,
+        };
+        let line = s.to_string();
+        assert!(line.contains("µs") && line.contains("ms") && line.contains("2.000s"));
+    }
+}

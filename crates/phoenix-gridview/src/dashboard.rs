@@ -59,6 +59,36 @@ pub fn render(snapshot: &Snapshot, feed: &[FeedItem]) -> String {
     out
 }
 
+/// Render the kernel-telemetry panel from this thread's metrics registry:
+/// one line per instrumented latency path (count, p50/p99 in µs) and one
+/// per counter. The admin console view of `phoenix_telemetry`.
+pub fn render_telemetry() -> String {
+    phoenix_telemetry::with(|reg| {
+        let mut out = String::new();
+        let _ = writeln!(out, "--- kernel telemetry ---");
+        let mut paths: Vec<_> = reg
+            .histograms()
+            .map(|(p, st)| (p, st.service, st.hist.summary()))
+            .collect();
+        paths.sort_by_key(|(p, ..)| *p);
+        for (path, service, s) in paths {
+            let _ = writeln!(
+                out,
+                "{path:<28} [{service:<8}] n={:<6} p50={:>8.1}us p99={:>8.1}us",
+                s.count,
+                s.p50_ns as f64 / 1_000.0,
+                s.p99_ns as f64 / 1_000.0,
+            );
+        }
+        let mut counters: Vec<_> = reg.counters().collect();
+        counters.sort_by_key(|(n, _)| *n);
+        for (name, v) in counters {
+            let _ = writeln!(out, "{name:<40} {v}");
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -96,6 +96,12 @@ impl GridViewHandle {
         let st = self.state.borrow();
         dashboard::render(&st.snapshot, &st.feed)
     }
+
+    /// Dashboard plus the kernel-telemetry panel (latency histograms and
+    /// counters from this thread's `phoenix_telemetry` registry).
+    pub fn render_full(&self) -> String {
+        format!("{}{}", self.render(), dashboard::render_telemetry())
+    }
 }
 
 /// The GridView actor.
@@ -170,6 +176,11 @@ impl GridView {
         }
         self.next_req += 1;
         self.awaiting = Some(self.next_req);
+        phoenix_telemetry::counter_add("gridview.refreshes.requested", 1);
+        phoenix_telemetry::mark(
+            "gridview.refresh.pull",
+            phoenix_telemetry::key(&[ctx.pid().0, self.next_req]),
+        );
         ctx.send(
             self.bulletin,
             KernelMsg::DbQuery {
@@ -274,6 +285,12 @@ impl Actor<KernelMsg> for GridView {
             } => {
                 if self.awaiting == Some(req.0) {
                     self.awaiting = None;
+                    phoenix_telemetry::measure(
+                        "gridview.refresh.pull",
+                        "gridview",
+                        ctx.node().0,
+                        phoenix_telemetry::key(&[ctx.pid().0, req.0]),
+                    );
                 }
                 self.ingest(ctx, entries, complete);
             }
@@ -287,6 +304,7 @@ impl Actor<KernelMsg> for GridView {
                 }
             }
             KernelMsg::EsNotify { event } => {
+                phoenix_telemetry::counter_add("gridview.events.received", 1);
                 let mut st = self.state.borrow_mut();
                 st.events_received += 1;
                 st.feed.push(FeedItem {
@@ -409,5 +427,28 @@ mod tests {
         );
         let rendered = gv.render();
         assert!(rendered.contains("NodeFault"));
+    }
+
+    #[test]
+    fn telemetry_panel_shows_refresh_latency() {
+        phoenix_telemetry::reset();
+        let (mut w, cluster) =
+            boot_and_stabilize(ClusterTopology::uniform(2, 4, 1), KernelParams::fast(), 44);
+        let gv = GridView::spawn(
+            &mut w,
+            NodeId(2),
+            cluster.bulletin(),
+            cluster.event(),
+            SimDuration::from_millis(500),
+        );
+        w.run_for(SimDuration::from_secs(3));
+        let full = gv.render_full();
+        assert!(full.contains("kernel telemetry"));
+        assert!(full.contains("gridview.refresh.pull"));
+        let count = phoenix_telemetry::with(|r| {
+            r.histogram("gridview.refresh.pull").unwrap().summary().count
+        });
+        assert!(count >= 3, "refresh pulls measured: {count}");
+        phoenix_telemetry::reset();
     }
 }

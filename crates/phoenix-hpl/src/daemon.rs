@@ -9,7 +9,7 @@
 //! the knob. The paper's result (Table 4: 97–102 % of baseline, "little
 //! impact") corresponds to a sub-percent duty cycle.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -82,7 +82,7 @@ pub fn start(load: &DaemonLoad) -> DaemonSet {
             let mut acc = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 acc = acc.wrapping_add(busy_work(busy));
-                *work_done.lock() += 1;
+                *work_done.lock().unwrap() += 1;
                 std::thread::sleep(interval);
             }
             acc
@@ -135,7 +135,7 @@ mod tests {
             busy: Duration::from_micros(100),
         });
         std::thread::sleep(Duration::from_millis(60));
-        let done = *set.work_done.lock();
+        let done = *set.work_done.lock().unwrap();
         set.stop();
         assert!(done >= 4, "daemons woke several times, got {done}");
     }

@@ -1,5 +1,5 @@
 //! Blocked LU factorization with partial pivoting, parallelized with
-//! crossbeam scoped threads — the Linpack-class compute kernel used to
+//! std scoped threads — the Linpack-class compute kernel used to
 //! measure Phoenix's performance impact (paper Table 4).
 //!
 //! Right-looking algorithm: factor a `nb`-wide panel sequentially, then
@@ -84,16 +84,15 @@ pub fn lu_factor(a: &mut Matrix, threads: usize, nb: usize) -> LuResult {
             let panel = &head[k * n..]; // columns k..k+kb, read-only
             let workers = threads.min(trail_cols).max(1);
             let per = trail_cols.div_ceil(workers);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for chunk in tail.chunks_mut(per * n) {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for col in chunk.chunks_mut(n) {
                             update_column(panel, col, n, k, kb);
                         }
                     });
                 }
-            })
-            .expect("worker thread panicked");
+            });
         }
 
         k += kb;

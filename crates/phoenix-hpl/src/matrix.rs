@@ -1,7 +1,6 @@
 //! Column-major dense matrices for the Linpack workload.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use phoenix_sim::SimRng;
 
 /// A dense `n × n` matrix in column-major order.
 #[derive(Clone, Debug, PartialEq)]
@@ -23,7 +22,7 @@ impl Matrix {
     /// The HPL-style random test matrix: uniform in (-0.5, 0.5), plus a
     /// diagonal boost for comfortable conditioning of small test sizes.
     pub fn random(n: usize, seed: u64) -> Matrix {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut m = Matrix::zeros(n);
         for v in m.data.iter_mut() {
             *v = rng.gen_range(-0.5..0.5);

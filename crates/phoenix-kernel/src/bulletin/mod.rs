@@ -154,6 +154,15 @@ impl DataBulletin {
 
     fn finish_query(&mut self, ctx: &mut Ctx<'_, KernelMsg>, fed: u64, complete: bool) {
         if let Some(p) = self.pending.remove(&fed) {
+            phoenix_telemetry::measure(
+                "bulletin.query.fed",
+                "bulletin",
+                ctx.node().0,
+                phoenix_telemetry::key(&[self.partition.0 as u64, fed]),
+            );
+            if !complete {
+                phoenix_telemetry::counter_add("bulletin.fed_queries.timed_out", 1);
+            }
             ctx.cancel_timer(p.timer);
             ctx.send(
                 p.client,
@@ -222,11 +231,13 @@ impl Actor<KernelMsg> for DataBulletin {
                 }
             }
             KernelMsg::DbPut { entries } => {
+                phoenix_telemetry::counter_add("bulletin.puts", entries.len() as u64);
                 for e in entries {
                     self.entries.insert(e.key, (e.value, e.stamp_ns));
                 }
             }
             KernelMsg::DbQuery { req, query } => {
+                phoenix_telemetry::counter_add("bulletin.queries", 1);
                 let acc = self.local_matches(query);
                 // Which peers need to contribute?
                 let waiting: Vec<PartitionId> = self
@@ -249,6 +260,10 @@ impl Actor<KernelMsg> for DataBulletin {
                 self.next_fed += 1;
                 let fed = self.next_fed;
                 let fed_req = RequestId(fed);
+                phoenix_telemetry::mark(
+                    "bulletin.query.fed",
+                    phoenix_telemetry::key(&[self.partition.0 as u64, fed]),
+                );
                 for (p, pid) in &self.peers {
                     if query.wants_partition(*p) {
                         ctx.send(*pid, KernelMsg::DbFedQuery { req: fed_req, query });

@@ -21,7 +21,6 @@ use phoenix_proto::{
     EventType, JobId, KernelMsg, PartitionId, TaskSpec,
 };
 use phoenix_sim::{Actor, Ctx, NodeId, Pid, ResourceUsage, TraceEvent};
-use rand::Rng;
 use std::collections::HashMap;
 
 const TOK_SAMPLE: u64 = 1;

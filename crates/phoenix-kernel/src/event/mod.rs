@@ -130,12 +130,15 @@ impl EventService {
     fn notify_local(&self, ctx: &mut Ctx<'_, KernelMsg>, event: &Event) {
         for reg in &self.consumers {
             if reg.filter.accepts(event) {
+                phoenix_telemetry::counter_add("es.notifications.delivered", 1);
                 ctx.send(
                     reg.consumer,
                     KernelMsg::EsNotify {
                         event: event.clone(),
                     },
                 );
+            } else {
+                phoenix_telemetry::counter_add("es.notifications.filtered", 1);
             }
         }
     }
@@ -144,7 +147,16 @@ impl EventService {
         event.partition = self.partition;
         event.seq = self.next_seq;
         self.next_seq += 1;
+        phoenix_telemetry::counter_add("es.events.published", 1);
         self.notify_local(ctx, &event);
+        if !self.peers.is_empty() {
+            // One mark per publish: the first peer to receive the forward
+            // consumes it, giving one federation flight sample per event.
+            phoenix_telemetry::mark(
+                "es.federation.flight",
+                phoenix_telemetry::key(&[event.partition.0 as u64, event.seq]),
+            );
+        }
         for &peer in &self.peers {
             ctx.send(peer, KernelMsg::EsFedForward { event: event.clone() });
         }
@@ -244,6 +256,12 @@ impl Actor<KernelMsg> for EventService {
                 }
             }
             KernelMsg::EsFedForward { event } => {
+                phoenix_telemetry::measure(
+                    "es.federation.flight",
+                    "es",
+                    ctx.node().0,
+                    phoenix_telemetry::key(&[event.partition.0 as u64, event.seq]),
+                );
                 self.notify_local(ctx, &event);
             }
             KernelMsg::CkLoadResp { data, .. } => {

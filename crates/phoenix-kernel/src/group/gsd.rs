@@ -312,6 +312,7 @@ impl Gsd {
 
     fn refresh_roles(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
         self.sorted();
+        phoenix_telemetry::gauge_set("gsd.meta_group.members", self.members.len() as f64);
         for m in &self.members {
             self.last_known.insert(m.partition, *m);
         }
@@ -380,6 +381,7 @@ impl Gsd {
     }
 
     fn push_partition_view(&self, ctx: &mut Ctx<'_, KernelMsg>) {
+        phoenix_telemetry::counter_add("gsd.partition_view.pushes", 1);
         let view = KernelMsg::PartitionView {
             members: self.members.clone(),
             local: self.local,
@@ -671,6 +673,11 @@ impl Gsd {
                     observer: ctx.pid(),
                     target: FaultTarget::Process(wd_pid),
                 });
+                phoenix_telemetry::counter_add("gsd.faults.detected", 1);
+                phoenix_telemetry::mark(
+                    "gsd.detect_to_diagnose",
+                    phoenix_telemetry::key(&[1, node.0 as u64]),
+                );
                 let session = self.start_probe(
                     ctx,
                     ProbeKind::Wd(node),
@@ -729,6 +736,11 @@ impl Gsd {
                 observer: ctx.pid(),
                 target: FaultTarget::Process(member.gsd),
             });
+            phoenix_telemetry::counter_add("gsd.faults.detected", 1);
+            phoenix_telemetry::mark(
+                "gsd.detect_to_diagnose",
+                phoenix_telemetry::key(&[2, member.partition.0 as u64]),
+            );
             let session = self.start_probe(
                 ctx,
                 ProbeKind::Meta(member.partition),
@@ -828,6 +840,8 @@ impl Gsd {
         }
         s.rounds_sent += 1;
         let target = s.target_ppm;
+        phoenix_telemetry::counter_add("gsd.probes.sent", 1);
+        phoenix_telemetry::mark("gsd.probe.rtt", phoenix_telemetry::key(&[session]));
         ctx.send(target, KernelMsg::ProbeReq { req: RequestId(session) });
         let spacing = self.params.ft.probe_round_interval;
         self.schedule_probe_round(ctx, session, spacing);
@@ -840,6 +854,12 @@ impl Gsd {
         if !s.active {
             return;
         }
+        phoenix_telemetry::measure(
+            "gsd.probe.rtt",
+            "gsd",
+            ctx.node().0,
+            phoenix_telemetry::key(&[session]),
+        );
         s.responses += 1;
         if s.responses < self.params.ft.probe_rounds {
             return;
@@ -876,6 +896,12 @@ impl Gsd {
         };
         let wd_pid = t.wd;
         t.probing = None;
+        phoenix_telemetry::measure(
+            "gsd.detect_to_diagnose",
+            "gsd",
+            ctx.node().0,
+            phoenix_telemetry::key(&[1, node.0 as u64]),
+        );
         ctx.trace(TraceEvent::FaultDiagnosed {
             observer: ctx.pid(),
             target: FaultTarget::Process(wd_pid),
@@ -926,6 +952,12 @@ impl Gsd {
             t.probing = None;
             t.node_down = true;
         }
+        phoenix_telemetry::measure(
+            "gsd.detect_to_diagnose",
+            "gsd",
+            ctx.node().0,
+            phoenix_telemetry::key(&[1, node.0 as u64]),
+        );
         ctx.trace(TraceEvent::FaultDiagnosed {
             observer: ctx.pid(),
             target: FaultTarget::Node(node),
@@ -948,6 +980,16 @@ impl Gsd {
         t.probing = None;
         t.down = true;
         let failed = t.member;
+        phoenix_telemetry::measure(
+            "gsd.detect_to_diagnose",
+            "gsd",
+            ctx.node().0,
+            phoenix_telemetry::key(&[2, partition.0 as u64]),
+        );
+        phoenix_telemetry::mark(
+            "gsd.takeover",
+            phoenix_telemetry::key(&[3, partition.0 as u64]),
+        );
         ctx.trace(TraceEvent::FaultDiagnosed {
             observer: ctx.pid(),
             target: FaultTarget::Process(failed.gsd),
@@ -979,6 +1021,16 @@ impl Gsd {
         t.probing = None;
         t.down = true;
         let failed = t.member;
+        phoenix_telemetry::measure(
+            "gsd.detect_to_diagnose",
+            "gsd",
+            ctx.node().0,
+            phoenix_telemetry::key(&[2, partition.0 as u64]),
+        );
+        phoenix_telemetry::mark(
+            "gsd.takeover",
+            phoenix_telemetry::key(&[3, partition.0 as u64]),
+        );
         ctx.trace(TraceEvent::FaultDiagnosed {
             observer: ctx.pid(),
             target: FaultTarget::Node(failed.node),
@@ -1068,6 +1120,13 @@ impl Gsd {
                 if self.members.iter().any(|m| m.partition == hint.partition) {
                     return; // already rejoined (rescued by someone else)
                 }
+                phoenix_telemetry::counter_add("gsd.takeovers", 1);
+                phoenix_telemetry::measure(
+                    "gsd.takeover",
+                    "gsd",
+                    ctx.node().0,
+                    phoenix_telemetry::key(&[3, hint.partition.0 as u64]),
+                );
                 let gsd = Gsd::respawn(
                     hint.partition,
                     self.params.clone(),
@@ -1084,6 +1143,13 @@ impl Gsd {
                 if self.members.iter().any(|m| m.partition == hint.partition) {
                     return;
                 }
+                phoenix_telemetry::counter_add("gsd.takeovers", 1);
+                phoenix_telemetry::measure(
+                    "gsd.takeover",
+                    "gsd",
+                    ctx.node().0,
+                    phoenix_telemetry::key(&[3, hint.partition.0 as u64]),
+                );
                 let gsd = Gsd::respawn(
                     hint.partition,
                     self.params.clone(),
@@ -1129,7 +1195,19 @@ impl Gsd {
 
     fn send_meta_heartbeats(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
         if let Some(succ) = self.successor() {
+            phoenix_telemetry::counter_add(
+                "gsd.meta_heartbeats.sent",
+                self.my_nic_known.len() as u64,
+            );
             for i in 0..self.my_nic_known.len() {
+                // Keyed on (partition, nic, epoch): the successor measures the
+                // same tuple from the message fields. Successive intervals
+                // reuse the key; the overwrite is harmless because the flight
+                // time is far below the heartbeat interval.
+                phoenix_telemetry::mark(
+                    "meta.heartbeat.flight",
+                    phoenix_telemetry::key(&[self.partition.0 as u64, i as u64, self.epoch]),
+                );
                 ctx.send_via(
                     succ.gsd,
                     NicId(i as u8),
@@ -1207,6 +1285,10 @@ impl Gsd {
             .collect();
         for partition in missing {
             self.rescuing.insert(partition);
+            phoenix_telemetry::mark(
+                "gsd.takeover",
+                phoenix_telemetry::key(&[3, partition.0 as u64]),
+            );
             ctx.trace(TraceEvent::Milestone {
                 label: "gsd-rescue-scheduled",
                 value: partition.0 as f64,
@@ -1221,7 +1303,20 @@ impl Gsd {
 
     // ---- heartbeat ingestion -----------------------------------------------
 
-    fn on_wd_heartbeat(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId, nic: NicId) {
+    fn on_wd_heartbeat(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg>,
+        node: NodeId,
+        nic: NicId,
+        seq: u64,
+    ) {
+        phoenix_telemetry::counter_add("gsd.wd_heartbeats.received", 1);
+        phoenix_telemetry::measure(
+            "wd.heartbeat.flight",
+            "wd",
+            node.0,
+            phoenix_telemetry::key(&[node.0 as u64, nic.0 as u64, seq]),
+        );
         let now = ctx.now();
         let mut recovered_node = false;
         let mut recovered_nic = false;
@@ -1256,7 +1351,14 @@ impl Gsd {
         ctx: &mut Ctx<'_, KernelMsg>,
         from_partition: PartitionId,
         nic: NicId,
+        epoch: u64,
     ) {
+        phoenix_telemetry::measure(
+            "meta.heartbeat.flight",
+            "gsd",
+            ctx.node().0,
+            phoenix_telemetry::key(&[from_partition.0 as u64, nic.0 as u64, epoch]),
+        );
         let now = ctx.now();
         let mut recovered_nic = false;
         let mut node = NodeId(0);
@@ -1372,12 +1474,14 @@ impl Actor<KernelMsg> for Gsd {
                     self.wire_from_respawn(ctx, &directory);
                 }
             }
-            KernelMsg::WdHeartbeat { node, nic, .. } => self.on_wd_heartbeat(ctx, node, nic),
+            KernelMsg::WdHeartbeat { node, nic, seq } => {
+                self.on_wd_heartbeat(ctx, node, nic, seq)
+            }
             KernelMsg::MetaHeartbeat {
                 from_partition,
                 nic,
-                ..
-            } => self.on_meta_heartbeat(ctx, from_partition, nic),
+                epoch,
+            } => self.on_meta_heartbeat(ctx, from_partition, nic, epoch),
             KernelMsg::MetaJoin { member } => {
                 if self.role() == "leader" {
                     let old_entry = self

@@ -114,6 +114,7 @@ impl PpmAgent {
             let take = targets.len().div_ceil(2);
             let sub: Vec<NodeId> = targets.split_off(targets.len() - take);
             if let Some(&head_pid) = self.table.get(&sub[0]) {
+                phoenix_telemetry::counter_add("ppm.tree.forwards", 1);
                 ctx.send(head_pid, make(sub));
             }
             // An unknown head silently drops that subtree; the requester's
@@ -164,6 +165,13 @@ impl Actor<KernelMsg> for PpmAgent {
                     }
                 }
                 if mine {
+                    phoenix_telemetry::counter_add("ppm.execs.handled", 1);
+                    phoenix_telemetry::measure(
+                        "ppm.fanout.flight",
+                        "ppm",
+                        self.node.0,
+                        phoenix_telemetry::key(&[req.0, job.0, self.node.0 as u64]),
+                    );
                     let ok = !self.jobs.contains_key(&job);
                     if ok {
                         let app = AppProc::new(job, task.clone(), self.detector, ctx.pid());

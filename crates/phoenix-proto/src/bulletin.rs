@@ -5,10 +5,9 @@
 
 use crate::ids::{JobId, PartitionId};
 use phoenix_sim::{NodeId, ResourceUsage};
-use serde::{Deserialize, Serialize};
 
 /// Application liveness as seen by the application-state detector.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AppStatus {
     Running,
     Exited,
@@ -18,7 +17,7 @@ pub enum AppStatus {
 /// Application state exported by the application-state detector: resources
 /// consumed by a specific application, its living status, and the SLA flag
 /// the paper says business runtimes depend on.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct AppState {
     pub job: JobId,
     pub node: NodeId,
@@ -30,7 +29,7 @@ pub struct AppState {
 }
 
 /// Key of a bulletin entry.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum BulletinKey {
     /// Physical resource gauges of a node.
     Resource(NodeId),
@@ -49,7 +48,7 @@ impl BulletinKey {
 }
 
 /// Value of a bulletin entry.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum BulletinValue {
     Resource(ResourceUsage),
     App(AppState),
@@ -57,7 +56,7 @@ pub enum BulletinValue {
 
 /// One row of the bulletin: key, value, and the virtual time (ns) the
 /// reading was taken, so consumers can ignore stale data.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct BulletinEntry {
     pub key: BulletinKey,
     pub value: BulletinValue,
@@ -65,7 +64,7 @@ pub struct BulletinEntry {
 }
 
 /// Query shapes accepted by the bulletin's single access point.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BulletinQuery {
     /// Everything the federation knows (GridView's cluster-wide pull).
     All,

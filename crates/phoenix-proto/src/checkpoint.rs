@@ -10,10 +10,9 @@ use crate::event::ConsumerReg;
 use crate::ids::JobId;
 use crate::job::JobSpec;
 use phoenix_sim::{NodeId, Pid};
-use serde::{Deserialize, Serialize};
 
 /// State snapshots the kernel services save through the checkpoint service.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum CheckpointData {
     /// Event service: live consumer registrations and the publish cursor.
     EventService {

@@ -7,10 +7,9 @@
 
 use crate::ids::{JobId, PartitionId, ServiceKind};
 use phoenix_sim::{NicId, NodeId, Pid};
-use serde::{Deserialize, Serialize};
 
 /// The classes of event flowing through the Phoenix kernel.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum EventType {
     /// A node stopped responding (GSD diagnosis: node failure).
     NodeFault,
@@ -37,7 +36,7 @@ pub enum EventType {
 }
 
 /// Structured payload attached to an event.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub enum EventPayload {
     #[default]
     None,
@@ -56,7 +55,7 @@ pub enum EventPayload {
 }
 
 /// An event instance published to the event service.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Event {
     pub etype: EventType,
     /// Node the event concerns or originated from.
@@ -83,7 +82,7 @@ impl Event {
 }
 
 /// What a consumer is interested in.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum EventFilter {
     /// Receive every event.
     All,
@@ -108,7 +107,7 @@ impl EventFilter {
 
 /// A consumer registration held by the event service (and checkpointed so
 /// a restarted instance keeps notifying its consumers).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ConsumerReg {
     pub consumer: Pid,
     pub filter: EventFilter,

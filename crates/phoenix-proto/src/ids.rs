@@ -1,13 +1,10 @@
 //! Protocol-level identifiers (on top of the simulator's hardware ids).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A cluster partition: one server node, at least one backup server node,
 /// and a set of computing nodes (paper Sec 4.3).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PartitionId(pub u32);
 
 impl PartitionId {
@@ -30,7 +27,7 @@ impl fmt::Display for PartitionId {
 }
 
 /// The kinds of kernel service the paper's Figure 2 stacks on group service.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ServiceKind {
     Configuration,
     Security,
@@ -64,9 +61,7 @@ impl ServiceKind {
 }
 
 /// A batch job handled by PPM / PWS.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct JobId(pub u64);
 
 impl fmt::Debug for JobId {
@@ -82,7 +77,7 @@ impl fmt::Display for JobId {
 }
 
 /// A user principal known to the security service.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct UserId(pub String);
 
 impl UserId {
@@ -98,9 +93,7 @@ impl fmt::Display for UserId {
 }
 
 /// Correlates a request with its response across the simulated network.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
 pub struct RequestId(pub u64);
 
 #[cfg(test)]

@@ -1,11 +1,10 @@
 //! Job and task descriptions shared by PPM (kernel) and PWS (user env).
 
 use crate::ids::{JobId, UserId};
-use serde::{Deserialize, Serialize};
 
 /// What one task of a job does on a node, in simulation terms: how many
 //  CPUs it pins and what resource load it generates while it runs.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct TaskSpec {
     /// CPUs the task occupies on its node.
     pub cpus: u32,
@@ -29,7 +28,7 @@ impl Default for TaskSpec {
 }
 
 /// A job submitted to the PWS job-management system.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct JobSpec {
     pub id: JobId,
     pub user: UserId,
@@ -61,7 +60,7 @@ impl JobSpec {
 }
 
 /// Lifecycle of a job in the scheduler.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum JobState {
     Queued,
     Running,

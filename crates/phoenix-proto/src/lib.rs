@@ -3,7 +3,7 @@
 //! Shared vocabulary of the reproduction: protocol identifiers, event and
 //! bulletin types, job descriptions, security principals, the cluster
 //! topology, and the [`KernelMsg`] enum every service speaks. Also provides
-//! [`size::encoded_size`], a serde-based byte counter used to charge
+//! [`wire::encoded_size`], a dependency-free byte counter used to charge
 //! realistic wire sizes to the simulated network.
 
 pub mod bulletin;
@@ -13,8 +13,8 @@ pub mod ids;
 pub mod job;
 pub mod msg;
 pub mod security;
-pub mod size;
 pub mod topology;
+pub mod wire;
 
 pub use bulletin::{AppState, AppStatus, BulletinEntry, BulletinKey, BulletinQuery, BulletinValue};
 pub use checkpoint::CheckpointData;
@@ -23,5 +23,5 @@ pub use ids::{JobId, PartitionId, RequestId, ServiceKind, UserId};
 pub use job::{JobSpec, JobState, TaskSpec};
 pub use msg::{KernelMsg, MemberInfo, NodeOp, NodeServices, QueueRow, ServiceDirectory};
 pub use security::{Action, AuthToken, Role};
-pub use size::encoded_size;
 pub use topology::{ClusterTopology, PartitionSpec};
+pub use wire::{encoded_size, Wire};

@@ -12,14 +12,13 @@ use crate::event::{ConsumerReg, Event, EventType};
 use crate::ids::{JobId, PartitionId, RequestId, ServiceKind, UserId};
 use crate::job::{JobSpec, JobState, TaskSpec};
 use crate::security::{Action, AuthToken};
-use crate::size::encoded_size;
+use crate::wire::encoded_size;
 use crate::topology::ClusterTopology;
 use phoenix_sim::{Diagnosis, Message, NicId, NodeId, Pid, ResourceUsage};
-use serde::{Deserialize, Serialize};
 
 /// The per-partition service pids of one meta-group member, as carried in
 /// membership broadcasts. Federation peers find each other through this.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MemberInfo {
     pub partition: PartitionId,
     /// Node currently hosting the partition services.
@@ -34,7 +33,7 @@ pub struct MemberInfo {
 }
 
 /// Per-node daemon pids (watch daemon, detector, PPM agent).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct NodeServices {
     pub node: NodeId,
     pub wd: Pid,
@@ -44,7 +43,7 @@ pub struct NodeServices {
 
 /// The cluster-wide service directory maintained by the configuration
 /// service and distributed at boot.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct ServiceDirectory {
     pub config: Pid,
     pub security: Pid,
@@ -65,7 +64,7 @@ impl ServiceDirectory {
 }
 
 /// A row in a queue-status reply.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct QueueRow {
     pub job: JobId,
     pub pool: String,
@@ -75,14 +74,14 @@ pub struct QueueRow {
 }
 
 /// Administrative node operations (paper Fig 9: start/shutdown nodes).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum NodeOp {
     Start,
     Shutdown,
 }
 
 /// Every message in the Phoenix protocol.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum KernelMsg {
     // ---- boot / wiring -------------------------------------------------
     /// Initial wiring: the full service directory, sent to every service

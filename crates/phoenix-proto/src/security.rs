@@ -6,10 +6,9 @@
 //! stand-in (documented in DESIGN.md).
 
 use crate::ids::UserId;
-use serde::{Deserialize, Serialize};
 
 /// The four user roles Phoenix defines (paper Sec 3) plus a guest.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Role {
     /// "System constructor configures, deploys and boots cluster system."
     SystemConstructor,
@@ -24,7 +23,7 @@ pub enum Role {
 }
 
 /// Actions subject to authorization.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Action {
     SubmitJob,
     CancelJob,
@@ -54,7 +53,7 @@ impl Role {
 /// A signed authentication token. `mac` is a keyed hash over the user and
 /// expiry computed by the security service; services verify it without a
 /// round trip.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AuthToken {
     pub user: UserId,
     pub role: Role,

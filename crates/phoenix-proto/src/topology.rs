@@ -6,12 +6,11 @@
 
 use crate::ids::PartitionId;
 use phoenix_sim::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// One partition: a server node hosting the per-partition services (GSD,
 /// event, bulletin, checkpoint), backup server nodes the GSD can migrate
 /// to, and the computing nodes.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PartitionSpec {
     pub id: PartitionId,
     pub server: NodeId,
@@ -41,7 +40,7 @@ impl PartitionSpec {
 }
 
 /// The whole cluster layout.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct ClusterTopology {
     pub partitions: Vec<PartitionSpec>,
 }

@@ -6,11 +6,10 @@
 //! accounting.
 
 use phoenix_proto::{JobSpec, UserId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The policies a pool can be configured with.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum PolicyKind {
     /// Strict first-come-first-served: only the queue head may start.
     #[default]

@@ -309,6 +309,15 @@ impl PwsScheduler {
         let job = spec.id;
         // Launch through PPM: the tree fan-out starts at the first target.
         if let Some(first) = nodes.first().and_then(|n| self.directory.node(*n)) {
+            phoenix_telemetry::counter_add("pws.jobs.dispatched", 1);
+            // Each target measures its own tree-propagation latency when the
+            // exec reaches it (ppm.fanout.flight in the PPM agent).
+            for &node in &nodes {
+                phoenix_telemetry::mark(
+                    "ppm.fanout.flight",
+                    phoenix_telemetry::key(&[req.0, job.0, node.0 as u64]),
+                );
+            }
             ctx.send(
                 first.ppm,
                 KernelMsg::PpmExec {

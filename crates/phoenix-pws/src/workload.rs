@@ -7,8 +7,7 @@
 //! Deterministic per seed.
 
 use phoenix_proto::{JobSpec, TaskSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use phoenix_sim::SimRng;
 
 /// Parameters of a synthetic job stream.
 #[derive(Clone, Debug)]
@@ -53,7 +52,7 @@ pub struct Arrival {
 pub fn generate(params: &WorkloadParams, count: usize, seed: u64) -> Vec<Arrival> {
     assert!(params.min_nodes >= 1 && params.max_nodes >= params.min_nodes);
     assert!(params.min_runtime_s > 0.0 && params.max_runtime_s >= params.min_runtime_s);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut t_ns = 0u64;
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
@@ -81,7 +80,7 @@ pub fn generate(params: &WorkloadParams, count: usize, seed: u64) -> Vec<Arrival
     out
 }
 
-fn log_uniform_u32(rng: &mut StdRng, lo: u32, hi: u32) -> u32 {
+fn log_uniform_u32(rng: &mut SimRng, lo: u32, hi: u32) -> u32 {
     if lo == hi {
         return lo;
     }
@@ -89,7 +88,7 @@ fn log_uniform_u32(rng: &mut StdRng, lo: u32, hi: u32) -> u32 {
     (x.exp().round() as u32).clamp(lo, hi)
 }
 
-fn log_uniform_f64(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+fn log_uniform_f64(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
     if lo == hi {
         return lo;
     }

@@ -11,8 +11,8 @@ use crate::ids::{NicId, NodeId, Pid, TimerId};
 use crate::message::Message;
 use crate::node::{NodeState, ResourceUsage};
 use crate::time::{SimDuration, SimTime};
+use crate::rng::SimRng;
 use crate::trace::TraceEvent;
-use rand::rngs::StdRng;
 
 /// A simulated process. Handlers run to completion at a virtual instant.
 pub trait Actor<M: Message> {
@@ -74,7 +74,7 @@ pub struct Ctx<'a, M: Message> {
     pub(crate) commands: &'a mut Vec<Command<M>>,
     pub(crate) next_timer: &'a mut u64,
     pub(crate) next_pid: &'a mut u64,
-    pub(crate) rng: &'a mut StdRng,
+    pub(crate) rng: &'a mut SimRng,
     pub(crate) view: WorldView<'a>,
 }
 
@@ -222,7 +222,7 @@ impl<'a, M: Message> Ctx<'a, M> {
     }
 
     /// Deterministic per-world random source.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 }

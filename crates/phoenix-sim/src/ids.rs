@@ -1,12 +1,9 @@
 //! Identifiers for simulated hardware and software entities.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a physical node in the simulated cluster.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -31,9 +28,7 @@ impl fmt::Display for NodeId {
 
 /// Index of a network interface on a node. The Dawning 4000A nodes in the
 /// paper each had three networks, so the default cluster uses NICs 0..3.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NicId(pub u8);
 
 impl fmt::Debug for NicId {
@@ -51,9 +46,7 @@ impl fmt::Display for NicId {
 /// Identifies a simulated process (an actor instance). Process ids are
 /// unique for the lifetime of a simulation and never reused, so a stale
 /// `Pid` can never be confused with a restarted service.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pid(pub u64);
 
 impl fmt::Debug for Pid {

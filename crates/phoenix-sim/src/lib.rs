@@ -35,6 +35,7 @@ pub mod message;
 pub mod metrics;
 pub mod network;
 pub mod node;
+pub mod rng;
 pub mod time;
 pub mod trace;
 pub mod world;
@@ -46,6 +47,7 @@ pub use message::Message;
 pub use metrics::{LabelStats, Metrics};
 pub use network::{DropReason, NetParams, Network};
 pub use node::{NodeSpec, NodeState, ResourceUsage};
+pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Diagnosis, FaultTarget, RecoveryAction, TraceEvent, TraceLog, TraceRecord};
 pub use world::{ClusterBuilder, World};

@@ -12,9 +12,8 @@
 //! * link partition — ordered node pairs that cannot exchange messages.
 
 use crate::ids::{NicId, NodeId};
+use crate::rng::SimRng;
 use crate::time::SimDuration;
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 /// Latency parameters of the interconnect.
@@ -96,7 +95,7 @@ impl Network {
     }
 
     /// Draw the one-way latency for a message from `src` to `dst`.
-    pub fn latency(&self, src: NodeId, dst: NodeId, rng: &mut StdRng) -> SimDuration {
+    pub fn latency(&self, src: NodeId, dst: NodeId, rng: &mut SimRng) -> SimDuration {
         if src == dst {
             self.params.local_latency
         } else {
@@ -139,7 +138,6 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn partition_is_symmetric() {
@@ -164,7 +162,7 @@ mod tests {
     #[test]
     fn local_latency_is_constant() {
         let net = Network::new(NetParams::default());
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let l = net.latency(NodeId(0), NodeId(0), &mut rng);
         assert_eq!(l, NetParams::default().local_latency);
     }
@@ -173,7 +171,7 @@ mod tests {
     fn lan_latency_within_bounds() {
         let p = NetParams::default();
         let net = Network::new(p.clone());
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         for _ in 0..100 {
             let l = net.latency(NodeId(0), NodeId(1), &mut rng);
             assert!(l >= p.lan_latency);

@@ -1,12 +1,11 @@
 //! Simulated nodes: power state, network interfaces, resource gauges.
 
 use crate::ids::{NicId, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Instantaneous resource readings on a node, as fractions in `0.0..=1.0`
 /// (percentages / 100). These are the quantities the paper's physical
 /// resource detector samples: CPU, memory, swap, disk I/O and network I/O.
-#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub struct ResourceUsage {
     pub cpu: f64,
     pub memory: f64,

@@ -7,7 +7,6 @@
 
 use crate::ids::{NicId, NodeId, Pid};
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// What happened. The variants map onto the observable milestones of the
 /// paper's fault-tolerance pipeline plus generic service lifecycle markers.
@@ -51,7 +50,7 @@ pub enum TraceEvent {
 }
 
 /// The entity a fault event refers to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultTarget {
     Process(Pid),
     Node(NodeId),
@@ -59,7 +58,7 @@ pub enum FaultTarget {
 }
 
 /// Classification of an observed failure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Diagnosis {
     ProcessFailure,
     NodeFailure,
@@ -67,7 +66,7 @@ pub enum Diagnosis {
 }
 
 /// How the failure was repaired.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RecoveryAction {
     /// Restarted in place on the same node.
     RestartedInPlace,

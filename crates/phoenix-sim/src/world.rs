@@ -8,9 +8,8 @@ use crate::metrics::Metrics;
 use crate::network::{DropReason, NetParams, Network};
 use crate::node::{NodeSpec, NodeState, ResourceUsage};
 use crate::time::{SimDuration, SimTime};
+use crate::rng::SimRng;
 use crate::trace::{TraceEvent, TraceLog};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -80,7 +79,7 @@ impl ClusterBuilder {
             network: Network::new(self.net),
             metrics: Metrics::default(),
             trace: TraceLog::default(),
-            rng: StdRng::seed_from_u64(self.seed),
+            rng: SimRng::seed_from_u64(self.seed),
             next_pid: 0,
             next_timer: 0,
             cancelled: HashSet::new(),
@@ -152,7 +151,7 @@ pub struct World<M: Message> {
     network: Network,
     metrics: Metrics,
     trace: TraceLog,
-    rng: StdRng,
+    rng: SimRng,
     next_pid: u64,
     next_timer: u64,
     cancelled: HashSet<TimerId>,
@@ -321,6 +320,10 @@ impl<M: Message> World<M> {
     }
 
     fn dispatch(&mut self, ev: SimEvent<M>) {
+        // Publish virtual time to the telemetry layer so spans and
+        // mark/measure pairs opened inside handlers are stamped with the
+        // simulator's clock, not wall time.
+        phoenix_telemetry::clock::set_now(self.clock.0);
         self.metrics.events_processed += 1;
         match ev {
             SimEvent::Start { pid } => {

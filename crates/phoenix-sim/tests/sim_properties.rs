@@ -1,12 +1,16 @@
-//! Property-based tests of the simulator substrate: conservation of
-//! messages, FIFO delivery without jitter, and crash-safety of the world
-//! under arbitrary fault sequences.
+//! Property tests of the simulator substrate: conservation of messages,
+//! FIFO delivery without jitter, and crash-safety of the world under
+//! arbitrary fault sequences.
+//!
+//! Formerly proptest-based; the workspace now builds with no external
+//! crates, so each property is exercised over a deterministic, seeded
+//! sweep of inputs drawn from `SimRng` — same coverage intent, fully
+//! reproducible, zero dependencies.
 
 use phoenix_sim::{
-    Actor, ClusterBuilder, Ctx, Fault, Message, NetParams, NicId, NodeId, NodeSpec, Pid,
-    SimDuration, World,
+    Actor, ClusterBuilder, Ctx, Fault, Message, NetParams, NicId, NodeId, NodeSpec, Pid, SimDuration,
+    SimRng,
 };
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -43,10 +47,12 @@ impl Actor<Seq> for Burst {
     fn on_message(&mut self, _ctx: &mut Ctx<'_, Seq>, _from: Pid, _msg: Seq) {}
 }
 
-proptest! {
-    /// Without jitter, a burst from one sender arrives in FIFO order.
-    #[test]
-    fn fifo_without_jitter(count in 1u64..64) {
+/// Without jitter, a burst from one sender arrives in FIFO order.
+#[test]
+fn fifo_without_jitter() {
+    let mut gen = SimRng::seed_from_u64(0xF1F0);
+    for case in 0..64 {
+        let count = if case < 4 { case + 1 } else { gen.gen_range(1u64..64) };
         let mut net = NetParams::default();
         net.jitter = SimDuration::ZERO;
         let mut w = ClusterBuilder::new()
@@ -58,21 +64,21 @@ proptest! {
         w.spawn(NodeId(0), Box::new(Burst { to: sink, count }));
         w.run_for(SimDuration::from_secs(1));
         let got = got.borrow();
-        prop_assert_eq!(got.len() as u64, count);
-        prop_assert!(got.windows(2).all(|p| p[0] < p[1]), "order: {:?}", &*got);
+        assert_eq!(got.len() as u64, count);
+        assert!(got.windows(2).all(|p| p[0] < p[1]), "order (count={count}): {:?}", &*got);
     }
+}
 
-    /// Message conservation: sent == delivered + dropped + in-flight,
-    /// and after the horizon nothing is in flight.
-    #[test]
-    fn messages_are_conserved(
-        count in 1u64..50,
-        kill_receiver in any::<bool>(),
-        nic_down in any::<bool>(),
-    ) {
-        let mut w = ClusterBuilder::new()
-            .nodes(2, NodeSpec::default())
-            .build::<Seq>();
+/// Message conservation: sent == delivered + dropped, and a dead receiver
+/// or a fully dark NIC set means zero deliveries.
+#[test]
+fn messages_are_conserved() {
+    let mut gen = SimRng::seed_from_u64(0xC0_15E2);
+    for case in 0..64 {
+        let count = gen.gen_range(1u64..50);
+        let kill_receiver = case % 2 == 0;
+        let nic_down = (case / 2) % 2 == 0;
+        let mut w = ClusterBuilder::new().nodes(2, NodeSpec::default()).build::<Seq>();
         let got = Rc::new(RefCell::new(Vec::new()));
         let sink = w.spawn(NodeId(1), Box::new(Recorder { got: got.clone() }));
         if nic_down {
@@ -86,29 +92,33 @@ proptest! {
         w.spawn(NodeId(0), Box::new(Burst { to: sink, count }));
         w.run_for(SimDuration::from_secs(1));
         let m = w.metrics();
-        prop_assert_eq!(m.total.sent, count);
-        prop_assert_eq!(m.total.delivered + m.total.dropped, count);
+        assert_eq!(m.total.sent, count);
+        assert_eq!(m.total.delivered + m.total.dropped, count);
         if kill_receiver || nic_down {
-            prop_assert_eq!(m.total.delivered, 0);
+            assert_eq!(m.total.delivered, 0);
         } else {
-            prop_assert_eq!(m.total.delivered, count);
+            assert_eq!(m.total.delivered, count);
         }
     }
+}
 
-    /// The world never panics and stays consistent under arbitrary fault
-    /// sequences.
-    #[test]
-    fn world_survives_arbitrary_faults(ops in proptest::collection::vec((0u8..6, 0u32..4, 0u8..3), 0..40)) {
-        let mut w = ClusterBuilder::new()
-            .nodes(4, NodeSpec::default())
-            .build::<Seq>();
+/// The world never panics and stays consistent under arbitrary fault
+/// sequences.
+#[test]
+fn world_survives_arbitrary_faults() {
+    let mut gen = SimRng::seed_from_u64(0xFA17);
+    for _case in 0..32 {
+        let mut w = ClusterBuilder::new().nodes(4, NodeSpec::default()).build::<Seq>();
         let got = Rc::new(RefCell::new(Vec::new()));
         let sink = w.spawn(NodeId(0), Box::new(Recorder { got: got.clone() }));
         for n in 1..4u32 {
             w.spawn(NodeId(n), Box::new(Burst { to: sink, count: 5 }));
         }
-        for (op, node, nic) in ops {
-            let node = NodeId(node);
+        let ops = gen.gen_range(0usize..40);
+        for _ in 0..ops {
+            let op = gen.gen_range(0u8..6);
+            let node = NodeId(gen.gen_range(0u32..4));
+            let nic = gen.gen_range(0u8..3);
             match op {
                 0 => w.apply_fault(Fault::CrashNode(node)),
                 1 => w.apply_fault(Fault::RestartNode(node)),
@@ -121,29 +131,32 @@ proptest! {
         }
         w.run_for(SimDuration::from_secs(1));
         let m = w.metrics();
-        prop_assert!(m.total.delivered + m.total.dropped <= m.total.sent);
-        // Node state is well-formed.
+        assert!(m.total.delivered + m.total.dropped <= m.total.sent);
         for n in w.nodes() {
-            prop_assert_eq!(n.nic_up.len(), 3);
+            assert_eq!(n.nic_up.len(), 3);
         }
     }
+}
 
-    /// Same seed ⇒ bit-identical metrics; different seeds may differ.
-    #[test]
-    fn seeded_runs_are_reproducible(seed in any::<u64>()) {
-        let run = |seed: u64| {
-            let mut w = ClusterBuilder::new()
-                .nodes(3, NodeSpec::default())
-                .seed(seed)
-                .build::<Seq>();
-            let got = Rc::new(RefCell::new(Vec::new()));
-            let sink = w.spawn(NodeId(0), Box::new(Recorder { got }));
-            for n in 1..3u32 {
-                w.spawn(NodeId(n), Box::new(Burst { to: sink, count: 10 }));
-            }
-            w.run_for(SimDuration::from_secs(1));
-            (w.metrics().events_processed, w.metrics().total.delivered)
-        };
-        prop_assert_eq!(run(seed), run(seed));
+/// Same seed ⇒ bit-identical metrics; different seeds are allowed to differ.
+#[test]
+fn seeded_runs_are_reproducible() {
+    let run = |seed: u64| {
+        let mut w = ClusterBuilder::new()
+            .nodes(3, NodeSpec::default())
+            .seed(seed)
+            .build::<Seq>();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let sink = w.spawn(NodeId(0), Box::new(Recorder { got }));
+        for n in 1..3u32 {
+            w.spawn(NodeId(n), Box::new(Burst { to: sink, count: 10 }));
+        }
+        w.run_for(SimDuration::from_secs(1));
+        (w.metrics().events_processed, w.metrics().total.delivered)
+    };
+    let mut gen = SimRng::seed_from_u64(0x5EED5);
+    for _ in 0..16 {
+        let seed = gen.next_u64();
+        assert_eq!(run(seed), run(seed), "seed {seed} not reproducible");
     }
 }

@@ -1,0 +1,159 @@
+//! Minimal JSON value + renderer.
+//!
+//! serde is off-limits (the workspace must build with no network access),
+//! and the bench reports only ever *write* JSON, so a small value tree
+//! with a renderer is all we need. Keys keep insertion order — reports
+//! diff cleanly across runs.
+
+/// A JSON value. Build with the constructors, render with [`Json::render`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite f64; NaN/inf render as null.
+    Num(f64),
+    /// Unsigned integer, rendered without a decimal point.
+    UInt(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert (or append) a key; builder-style.
+    pub fn set(mut self, key: impl Into<String>, value: Json) -> Json {
+        if let Json::Obj(ref mut fields) = self {
+            fields.push((key.into(), value));
+        }
+        self
+    }
+
+    /// Render to a pretty-printed string (2-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Keep integral floats readable but unambiguous.
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{:.1}", n));
+                    } else {
+                        out.push_str(&format!("{}", n));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let j = Json::obj()
+            .set("name", Json::str("wd.heartbeat"))
+            .set("count", Json::UInt(3))
+            .set("ratio", Json::Num(0.5))
+            .set("items", Json::Arr(vec![Json::UInt(1), Json::UInt(2)]))
+            .set("none", Json::Null)
+            .set("ok", Json::Bool(true));
+        let s = j.render();
+        assert!(s.contains("\"name\": \"wd.heartbeat\""));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"ratio\": 0.5"));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::str("a\"b\\c\nd\u{1}").render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn integral_floats_keep_decimal_point() {
+        assert_eq!(Json::Num(4.0).render(), "4.0\n");
+        assert_eq!(Json::UInt(4).render(), "4\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+    }
+}

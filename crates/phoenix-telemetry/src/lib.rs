@@ -1,0 +1,156 @@
+//! # phoenix-telemetry — cluster-wide observability subsystem
+//!
+//! The paper evaluates Phoenix almost entirely through timing tables
+//! (Tables 1–3) and latency figures (Figs 3–6); this crate is the
+//! measurement layer that makes those numbers observable from inside the
+//! reproduction rather than mined out of ad-hoc counters.
+//!
+//! Four pieces:
+//!
+//! * [`MetricsRegistry`] — counters, gauges, and log-bucketed latency
+//!   [`Histogram`]s (mergeable, with p50/p90/p99/max summaries).
+//! * **Spans** keyed to the simulator's *virtual* clock ([`clock`]), so a
+//!   trace taken from a seeded run is bit-identical across repetitions.
+//!   Spans nest (parent/child) and carry a service label. Cross-actor
+//!   latencies (a heartbeat in flight, a federated query fan-out) use the
+//!   keyed [`MetricsRegistry::mark`]/[`MetricsRegistry::measure`] pair.
+//! * [`FlightRecorder`] — a bounded per-node ring buffer of recently
+//!   completed spans for post-mortem dumps after fault injection.
+//! * [`BenchReport`] — serializes a run's registry into
+//!   `results/BENCH_kernel.json` with a hand-rolled JSON writer (no serde).
+//!
+//! The registry is **thread-local**: the simulator is single-threaded and
+//! deterministic, and a thread-local global means instrumentation needs no
+//! plumbing through actor constructors while parallel `cargo test` threads
+//! never observe each other's data.
+//!
+//! ```
+//! phoenix_telemetry::reset();
+//! phoenix_telemetry::clock::set_now(1_000);
+//! let span = phoenix_telemetry::span_start("gsd.scan", "gsd", 0);
+//! phoenix_telemetry::clock::set_now(4_000);
+//! phoenix_telemetry::span_end(span);
+//! let s = phoenix_telemetry::with(|r| r.histogram("gsd.scan").unwrap().summary());
+//! assert_eq!(s.count, 1);
+//! assert_eq!(s.max_ns, 3_000);
+//! ```
+
+pub mod clock;
+pub mod hist;
+mod json;
+pub mod recorder;
+pub mod registry;
+pub mod report;
+
+pub use hist::{Histogram, Summary};
+pub use json::Json;
+pub use recorder::{FlightRecorder, SpanRecord};
+pub use registry::{MetricsRegistry, SpanId};
+pub use report::BenchReport;
+
+use std::cell::RefCell;
+
+thread_local! {
+    static REGISTRY: RefCell<MetricsRegistry> = RefCell::new(MetricsRegistry::new());
+}
+
+/// Run `f` against this thread's registry.
+pub fn with<R>(f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+    REGISTRY.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// Drop all recorded data (between experiment runs).
+pub fn reset() {
+    with(|r| *r = MetricsRegistry::new());
+}
+
+/// Increment a named counter.
+pub fn counter_add(name: &'static str, by: u64) {
+    with(|r| r.counter_add(name, by));
+}
+
+/// Set a named gauge.
+pub fn gauge_set(name: &'static str, value: f64) {
+    with(|r| r.gauge_set(name, value));
+}
+
+/// Record a latency observation directly (nanoseconds) under `path`.
+pub fn observe(path: &'static str, service: &'static str, nanos: u64) {
+    with(|r| r.observe(path, service, nanos));
+}
+
+/// Open a root span at the current virtual time.
+pub fn span_start(path: &'static str, service: &'static str, node: u32) -> SpanId {
+    with(|r| r.span_start(path, service, node, SpanId::NONE))
+}
+
+/// Open a child span nested under `parent`.
+pub fn span_child(path: &'static str, service: &'static str, node: u32, parent: SpanId) -> SpanId {
+    with(|r| r.span_start(path, service, node, parent))
+}
+
+/// Close a span: its duration lands in the `path` histogram and the
+/// completed record in the flight recorder.
+pub fn span_end(id: SpanId) {
+    with(|r| r.span_end(id));
+}
+
+/// Start a keyed cross-actor measurement (e.g. heartbeat leaves the WD).
+pub fn mark(path: &'static str, key: u64) {
+    with(|r| r.mark(path, key));
+}
+
+/// Finish a keyed cross-actor measurement (e.g. heartbeat reaches the
+/// GSD); records the elapsed virtual time under `path` and returns it.
+pub fn measure(path: &'static str, service: &'static str, node: u32, key: u64) -> Option<u64> {
+    with(|r| r.measure(path, service, node, key))
+}
+
+/// Mix a set of identifying fields into a single `mark`/`measure` key.
+///
+/// Both sides of a cross-actor measurement must derive the key from fields
+/// present in the message itself (node, nic, sequence number, …); this
+/// folds them through a splitmix64-style finalizer so distinct tuples do
+/// not collide on simple sums.
+pub fn key(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for &p in parts {
+        let mut z = h ^ p.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_separate_tuples() {
+        assert_ne!(key(&[1, 2]), key(&[2, 1]));
+        assert_ne!(key(&[0, 3]), key(&[3, 0]));
+        assert_eq!(key(&[4, 5, 6]), key(&[4, 5, 6]));
+    }
+
+    #[test]
+    fn convenience_api_round_trip() {
+        reset();
+        clock::set_now(0);
+        counter_add("x", 2);
+        counter_add("x", 3);
+        gauge_set("g", 0.5);
+        mark("flight", 7);
+        clock::set_now(250);
+        assert_eq!(measure("flight", "svc", 1, 7), Some(250));
+        assert_eq!(measure("flight", "svc", 1, 7), None, "mark consumed");
+        with(|r| {
+            assert_eq!(r.counter("x"), 5);
+            assert_eq!(r.gauge("g"), Some(0.5));
+            assert_eq!(r.histogram("flight").unwrap().summary().count, 1);
+        });
+        reset();
+        with(|r| assert_eq!(r.counter("x"), 0));
+    }
+}

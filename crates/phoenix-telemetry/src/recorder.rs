@@ -1,0 +1,131 @@
+//! Flight recorder: bounded per-node rings of recently completed spans.
+//!
+//! After a fault-injection run the interesting question is "what was the
+//! kernel doing on node N right before/after the fault" — the recorder
+//! keeps the last `capacity` completed spans per node and evicts the
+//! oldest, black-box style. BTreeMap keyed by node id keeps dump order
+//! deterministic.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::registry::SpanId;
+
+/// A completed span as stored in the flight recorder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub id: SpanId,
+    /// `SpanId::NONE` for root spans.
+    pub parent: SpanId,
+    pub path: &'static str,
+    pub service: &'static str,
+    pub node: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    rings: BTreeMap<u32, VecDeque<SpanRecord>>,
+    evicted: u64,
+}
+
+/// Default per-node ring capacity.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder { capacity: capacity.max(1), rings: BTreeMap::new(), evicted: 0 }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total spans evicted across all nodes since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    pub fn push(&mut self, record: SpanRecord) {
+        let ring = self.rings.entry(record.node).or_default();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.evicted += 1;
+        }
+        ring.push_back(record);
+    }
+
+    /// Recent spans for one node, oldest first.
+    pub fn node(&self, node: u32) -> impl Iterator<Item = &SpanRecord> {
+        self.rings.get(&node).into_iter().flatten()
+    }
+
+    /// All retained spans, grouped by node id ascending, oldest first
+    /// within a node.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.rings.values().flatten()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rings.values().map(|r| r.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(node: u32, id: u64, start: u64) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: SpanId::NONE,
+            path: "p",
+            service: "s",
+            node,
+            start_ns: start,
+            end_ns: start + 10,
+        }
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut fr = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            fr.push(rec(0, i + 1, i * 100));
+        }
+        let kept: Vec<u64> = fr.node(0).map(|r| r.id.0).collect();
+        assert_eq!(kept, vec![3, 4, 5]);
+        assert_eq!(fr.evicted(), 2);
+        assert_eq!(fr.len(), 3);
+    }
+
+    #[test]
+    fn rings_are_per_node() {
+        let mut fr = FlightRecorder::with_capacity(2);
+        fr.push(rec(1, 1, 0));
+        fr.push(rec(2, 2, 0));
+        fr.push(rec(1, 3, 50));
+        fr.push(rec(1, 4, 90));
+        assert_eq!(fr.node(1).count(), 2, "node 1 ring evicted independently");
+        assert_eq!(fr.node(2).count(), 1);
+        let all: Vec<u32> = fr.iter().map(|r| r.node).collect();
+        assert_eq!(all, vec![1, 1, 2], "dump order: node id ascending");
+    }
+}

@@ -1,0 +1,250 @@
+//! The metrics registry: counters, gauges, latency histograms, spans, and
+//! cross-actor mark/measure pairs.
+//!
+//! All names are `&'static str` — instrumentation sites use literals, so
+//! the registry never allocates for keys and map order (BTreeMap) is the
+//! literal's lexicographic order, keeping report output deterministic.
+//!
+//! Two latency idioms:
+//!
+//! * **Spans** ([`MetricsRegistry::span_start`]/[`span_end`]) for regions
+//!   whose start and end the *same* actor observes — e.g. a GSD membership
+//!   scan that begins on one timer event and concludes on a later one.
+//!   Closing a span records its virtual-time duration into the `path`
+//!   histogram and appends a [`SpanRecord`] to the flight recorder.
+//! * **Mark/measure** ([`MetricsRegistry::mark`]/[`measure`]) for
+//!   latencies that cross actors — a heartbeat in flight, a federated
+//!   query fan-out — where no span id can ride along in the message; the
+//!   two sides agree on a `u64` key derived from message fields.
+//!
+//! [`span_end`]: MetricsRegistry::span_end
+//! [`measure`]: MetricsRegistry::measure
+
+use std::collections::BTreeMap;
+
+use crate::clock;
+use crate::hist::Histogram;
+use crate::recorder::{FlightRecorder, SpanRecord};
+
+/// Opaque span handle. `SpanId::NONE` (0) means "no parent".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    pub const NONE: SpanId = SpanId(0);
+}
+
+#[derive(Clone, Debug)]
+struct OpenSpan {
+    parent: SpanId,
+    path: &'static str,
+    service: &'static str,
+    node: u32,
+    start_ns: u64,
+}
+
+/// A histogram plus the service label it was first recorded under.
+#[derive(Clone, Debug)]
+pub struct PathStats {
+    pub service: &'static str,
+    pub hist: Histogram,
+}
+
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, PathStats>,
+    marks: BTreeMap<(&'static str, u64), u64>,
+    open: BTreeMap<SpanId, OpenSpan>,
+    next_span: u64,
+    recorder: FlightRecorder,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry { next_span: 1, ..Default::default() }
+    }
+
+    // --- counters / gauges -------------------------------------------------
+
+    pub fn counter_add(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    // --- histograms --------------------------------------------------------
+
+    /// Record a raw latency observation (nanoseconds) under `path`.
+    pub fn observe(&mut self, path: &'static str, service: &'static str, nanos: u64) {
+        self.hists
+            .entry(path)
+            .or_insert_with(|| PathStats { service, hist: Histogram::new() })
+            .hist
+            .record(nanos);
+    }
+
+    pub fn histogram(&self, path: &str) -> Option<&Histogram> {
+        self.hists.get(path).map(|p| &p.hist)
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &PathStats)> + '_ {
+        self.hists.iter().map(|(&k, v)| (k, v))
+    }
+
+    // --- spans -------------------------------------------------------------
+
+    /// Open a span at the current virtual time ([`clock::now`]).
+    pub fn span_start(
+        &mut self,
+        path: &'static str,
+        service: &'static str,
+        node: u32,
+        parent: SpanId,
+    ) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.open.insert(id, OpenSpan { parent, path, service, node, start_ns: clock::now() });
+        id
+    }
+
+    /// Close a span. Unknown ids (double-close, or a span opened before a
+    /// `reset`) are ignored.
+    pub fn span_end(&mut self, id: SpanId) {
+        let Some(span) = self.open.remove(&id) else { return };
+        let end_ns = clock::now();
+        self.observe(span.path, span.service, end_ns.saturating_sub(span.start_ns));
+        self.recorder.push(SpanRecord {
+            id,
+            parent: span.parent,
+            path: span.path,
+            service: span.service,
+            node: span.node,
+            start_ns: span.start_ns,
+            end_ns,
+        });
+    }
+
+    /// Spans opened but not yet closed (leak detector for tests).
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
+    }
+
+    // --- cross-actor mark/measure ------------------------------------------
+
+    /// Stamp the current virtual time under `(path, key)`. A second mark
+    /// with the same key overwrites (latest send wins — matches
+    /// retransmission semantics).
+    pub fn mark(&mut self, path: &'static str, key: u64) {
+        self.marks.insert((path, key), clock::now());
+    }
+
+    /// Consume the mark for `(path, key)`: records `now - mark` under
+    /// `path` and returns the elapsed nanoseconds. `None` if no mark is
+    /// outstanding (e.g. the originating message was dropped or the mark
+    /// was already measured).
+    pub fn measure(
+        &mut self,
+        path: &'static str,
+        service: &'static str,
+        node: u32,
+        key: u64,
+    ) -> Option<u64> {
+        let start = self.marks.remove(&(path, key))?;
+        let end = clock::now();
+        let elapsed = end.saturating_sub(start);
+        self.observe(path, service, elapsed);
+        self.recorder.push(SpanRecord {
+            id: SpanId(self.next_span),
+            parent: SpanId::NONE,
+            path,
+            service,
+            node,
+            start_ns: start,
+            end_ns: end,
+        });
+        self.next_span += 1;
+        Some(elapsed)
+    }
+
+    /// Marks stamped but never measured (messages still in flight or lost).
+    pub fn outstanding_marks(&self) -> usize {
+        self.marks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_land_in_histogram_and_recorder() {
+        let mut r = MetricsRegistry::new();
+        clock::set_now(100);
+        let root = r.span_start("outer", "gsd", 3, SpanId::NONE);
+        clock::set_now(150);
+        let child = r.span_start("inner", "gsd", 3, root);
+        clock::set_now(180);
+        r.span_end(child);
+        clock::set_now(300);
+        r.span_end(root);
+
+        assert_eq!(r.histogram("inner").unwrap().summary().max_ns, 30);
+        assert_eq!(r.histogram("outer").unwrap().summary().max_ns, 200);
+        assert_eq!(r.open_spans(), 0);
+
+        let recs: Vec<_> = r.recorder().node(3).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].path, "inner");
+        assert_eq!(recs[0].parent, root);
+        assert_eq!(recs[1].path, "outer");
+        assert_eq!(recs[1].parent, SpanId::NONE);
+    }
+
+    #[test]
+    fn span_ids_are_sequential_and_double_close_is_ignored() {
+        let mut r = MetricsRegistry::new();
+        clock::set_now(0);
+        let a = r.span_start("p", "s", 0, SpanId::NONE);
+        let b = r.span_start("p", "s", 0, SpanId::NONE);
+        assert_eq!(b.0, a.0 + 1);
+        r.span_end(a);
+        r.span_end(a);
+        assert_eq!(r.histogram("p").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn measure_without_mark_is_none() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.measure("p", "s", 0, 9), None);
+        r.mark("p", 9);
+        assert_eq!(r.outstanding_marks(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Repo verification: tier-1 (build + tests) plus a telemetry smoke run.
+#
+#   sh scripts/verify.sh
+#
+# The smoke run drives table1_wd on the tiny testbed and asserts that the
+# telemetry export landed in results/BENCH_kernel.json with latency
+# percentiles for the instrumented kernel paths.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --offline
+
+echo "== smoke: table1_wd (--small) writes results/BENCH_kernel.json =="
+rm -f results/BENCH_kernel.json
+cargo run --release --offline -p phoenix-bench --bin table1_wd -- --small
+
+test -s results/BENCH_kernel.json || {
+    echo "FAIL: results/BENCH_kernel.json missing or empty" >&2
+    exit 1
+}
+for needle in '"p50_ns"' '"p99_ns"' '"wd.heartbeat.flight"' '"counters"' '"table1"'; do
+    grep -q "$needle" results/BENCH_kernel.json || {
+        echo "FAIL: $needle not found in results/BENCH_kernel.json" >&2
+        exit 1
+    }
+done
+
+echo "verify: OK"

@@ -8,8 +8,7 @@ use phoenix::kernel::client::ClientHandle;
 use phoenix::kernel::KernelParams;
 use phoenix::proto::{BulletinQuery, ClusterTopology, KernelMsg, NodeOp, RequestId};
 use phoenix::sim::{Fault, NicId, NodeId, SimDuration};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use phoenix::sim::SimRng;
 
 fn complete_query(
     world: &mut phoenix::sim::World<KernelMsg>,
@@ -39,7 +38,7 @@ fn complete_query(
 fn churn_round(seed: u64) {
     let topology = ClusterTopology::uniform(3, 5, 1);
     let (mut world, cluster) = boot_and_stabilize(topology, KernelParams::fast(), seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xC0FFEE);
     let n = cluster.topology.node_count() as u32;
     world.run_for(SimDuration::from_secs(2));
 
@@ -59,7 +58,7 @@ fn churn_round(seed: u64) {
             1 => {
                 // Crash a random *compute* node (keep at least one backup
                 // alive per partition so migration always has a target).
-                let part = &cluster.topology.partitions[rng.gen_range(0..3)];
+                let part = &cluster.topology.partitions[rng.gen_range(0usize..3)];
                 let node = part.compute[rng.gen_range(0..part.compute.len())];
                 if !crashed.contains(&node) {
                     crashed.push(node);
@@ -69,7 +68,7 @@ fn churn_round(seed: u64) {
             _ => {
                 // Flap a NIC.
                 let node = NodeId(rng.gen_range(0..n));
-                let nic = NicId(rng.gen_range(0..3));
+                let nic = NicId(rng.gen_range(0u8..3));
                 world.apply_fault(Fault::NicDown(node, nic));
                 world.schedule_fault(
                     world.now() + SimDuration::from_secs(3),

@@ -1,84 +1,126 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants of the reproduction.
+//! Property-style tests over the core data structures and invariants of
+//! the reproduction. Each property is exercised over many seeded-random
+//! cases drawn from the workspace's own [`SimRng`] — deterministic,
+//! offline, and reproducible by seed.
 
 use phoenix::hpl::{lu_factor, lu_solve, vec_norm_inf, Matrix, DEFAULT_NB};
 use phoenix::kernel::security::{keyed_hash, xor_stream};
 use phoenix::proto::{encoded_size, ClusterTopology, EventFilter, EventType, JobSpec};
 use phoenix::pws::{pick, PolicyCtx, PolicyKind};
-use phoenix::sim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use phoenix::sim::{SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
 
-proptest! {
-    // ---- virtual time ------------------------------------------------------
+const CASES: usize = 128;
 
-    #[test]
-    fn time_addition_is_monotone(base in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+// ---- virtual time ----------------------------------------------------------
+
+#[test]
+fn time_addition_is_monotone() {
+    let mut rng = SimRng::seed_from_u64(0x7141);
+    for _ in 0..CASES {
+        let base = rng.gen_range(0..u64::MAX / 4);
+        let d = rng.gen_range(0..u64::MAX / 4);
         let t = SimTime(base);
         let later = t + SimDuration(d);
-        prop_assert!(later >= t);
-        prop_assert_eq!(later.since(t), SimDuration(d));
+        assert!(later >= t);
+        assert_eq!(later.since(t), SimDuration(d));
     }
+}
 
-    #[test]
-    fn duration_sub_saturates(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn duration_sub_saturates() {
+    let mut rng = SimRng::seed_from_u64(0xD0_0D);
+    for _ in 0..CASES {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let d = SimDuration(a).saturating_sub(SimDuration(b));
-        prop_assert_eq!(d.as_nanos(), a.saturating_sub(b));
+        assert_eq!(d.as_nanos(), a.saturating_sub(b));
     }
+}
 
-    // ---- wire-size estimator -------------------------------------------------
+// ---- wire-size estimator ---------------------------------------------------
 
-    #[test]
-    fn encoded_size_grows_with_string_payload(s in ".{0,64}", extra in ".{1,16}") {
+#[test]
+fn encoded_size_grows_with_string_payload() {
+    let mut rng = SimRng::seed_from_u64(0x5712);
+    for _ in 0..CASES {
+        let s: String = (0..rng.gen_range(0usize..64)).map(|_| 'x').collect();
+        let extra: String = (0..rng.gen_range(1usize..=16)).map(|_| 'y').collect();
         let small = encoded_size(&s);
         let big = encoded_size(&format!("{s}{extra}"));
-        prop_assert!(big > small);
+        assert!(big > small);
     }
+}
 
-    #[test]
-    fn encoded_size_of_vec_is_linear(v in proptest::collection::vec(any::<u32>(), 0..100)) {
-        prop_assert_eq!(encoded_size(&v), 8 + 4 * v.len());
+#[test]
+fn encoded_size_of_vec_is_linear() {
+    let mut rng = SimRng::seed_from_u64(0x11EC);
+    for _ in 0..CASES {
+        let v: Vec<u32> = (0..rng.gen_range(0usize..100)).map(|_| rng.next_u64() as u32).collect();
+        assert_eq!(encoded_size(&v), 8 + 4 * v.len());
     }
+}
 
-    // ---- topology ---------------------------------------------------------------
+// ---- topology --------------------------------------------------------------
 
-    #[test]
-    fn uniform_topology_partitions_all_nodes(
-        parts in 1usize..8,
-        per in 2usize..12,
-    ) {
+#[test]
+fn uniform_topology_partitions_all_nodes() {
+    let mut rng = SimRng::seed_from_u64(0x7090);
+    for _ in 0..32 {
+        let parts = rng.gen_range(1usize..8);
+        let per = rng.gen_range(2usize..12);
         let t = ClusterTopology::uniform(parts, per, 1);
-        prop_assert_eq!(t.node_count(), parts * per);
+        assert_eq!(t.node_count(), parts * per);
         // Every node id in range belongs to exactly one partition.
         for i in 0..(parts * per) as u32 {
-            let p = t.partition_of(phoenix::sim::NodeId(i));
-            prop_assert!(p.is_some());
+            assert!(t.partition_of(phoenix::sim::NodeId(i)).is_some());
         }
         // And ids outside do not.
-        prop_assert!(t.partition_of(phoenix::sim::NodeId((parts * per) as u32)).is_none());
+        assert!(t.partition_of(phoenix::sim::NodeId((parts * per) as u32)).is_none());
     }
+}
 
-    // ---- security primitives -------------------------------------------------------
+// ---- security primitives ---------------------------------------------------
 
-    #[test]
-    fn xor_stream_is_an_involution(key in any::<u64>(), mut data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn xor_stream_is_an_involution() {
+    let mut rng = SimRng::seed_from_u64(0x5EC1);
+    for _ in 0..CASES {
+        let key = rng.next_u64();
+        let mut data: Vec<u8> =
+            (0..rng.gen_range(0usize..256)).map(|_| rng.next_u64() as u8).collect();
         let orig = data.clone();
         xor_stream(key, &mut data);
         xor_stream(key, &mut data);
-        prop_assert_eq!(data, orig);
+        assert_eq!(data, orig);
     }
+}
 
-    #[test]
-    fn keyed_hash_separates_keys(a in any::<u64>(), b in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 1..64)) {
-        prop_assume!(a != b);
+#[test]
+fn keyed_hash_separates_keys() {
+    let mut rng = SimRng::seed_from_u64(0x5EC2);
+    for _ in 0..CASES {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        if a == b {
+            continue;
+        }
+        let data: Vec<u8> =
+            (0..rng.gen_range(1usize..64)).map(|_| rng.next_u64() as u8).collect();
         // Not a cryptographic claim — just no trivial key-independence.
-        prop_assert_ne!(keyed_hash(a, &data), keyed_hash(b, &data));
+        assert_ne!(keyed_hash(a, &data), keyed_hash(b, &data));
     }
+}
 
-    // ---- event filtering ----------------------------------------------------------
+// ---- event filtering -------------------------------------------------------
 
-    #[test]
-    fn filter_types_accept_exactly_their_types(codes in proptest::collection::vec(0u16..8, 0..5), probe in 0u16..8) {
+#[test]
+fn filter_types_accept_exactly_their_types() {
+    let mut rng = SimRng::seed_from_u64(0xF117);
+    for _ in 0..CASES {
+        let codes: Vec<u16> =
+            (0..rng.gen_range(0usize..5)).map(|_| rng.gen_range(0u16..8)).collect();
+        let probe = rng.gen_range(0u16..8);
         let types: Vec<EventType> = codes.iter().map(|&c| EventType::Custom(c)).collect();
         let f = EventFilter::Types(types);
         let ev = phoenix::proto::Event::new(
@@ -86,18 +128,25 @@ proptest! {
             phoenix::sim::NodeId(0),
             phoenix::proto::EventPayload::None,
         );
-        prop_assert_eq!(f.accepts(&ev), codes.contains(&probe));
+        assert_eq!(f.accepts(&ev), codes.contains(&probe));
     }
+}
 
-    // ---- scheduling policies ---------------------------------------------------------
+// ---- scheduling policies ---------------------------------------------------
 
-    #[test]
-    fn picked_job_always_fits(
-        sizes in proptest::collection::vec(1u32..10, 1..12),
-        free in 0usize..12,
-        policy_ix in 0usize..4,
-    ) {
-        let policy = [PolicyKind::Fifo, PolicyKind::Priority, PolicyKind::FairShare, PolicyKind::Backfill][policy_ix];
+#[test]
+fn picked_job_always_fits() {
+    let mut rng = SimRng::seed_from_u64(0x9011C4);
+    for _ in 0..CASES {
+        let sizes: Vec<u32> =
+            (0..rng.gen_range(1usize..12)).map(|_| rng.gen_range(1u32..10)).collect();
+        let free = rng.gen_range(0usize..12);
+        let policy = [
+            PolicyKind::Fifo,
+            PolicyKind::Priority,
+            PolicyKind::FairShare,
+            PolicyKind::Backfill,
+        ][rng.gen_range(0usize..4)];
         let queued: Vec<JobSpec> = sizes
             .iter()
             .enumerate()
@@ -106,22 +155,27 @@ proptest! {
         let usage = HashMap::new();
         let ctx = PolicyCtx { free_nodes: free, usage: &usage };
         if let Some(i) = pick(policy, &queued, &ctx) {
-            prop_assert!(i < queued.len());
-            prop_assert!(queued[i].nodes as usize <= free);
+            assert!(i < queued.len());
+            assert!(queued[i].nodes as usize <= free);
             // Strict FIFO may only ever pick the head.
             if policy == PolicyKind::Fifo {
-                prop_assert_eq!(i, 0);
+                assert_eq!(i, 0);
             }
         } else if policy == PolicyKind::Backfill {
             // Backfill returning None means nothing fits.
-            prop_assert!(queued.iter().all(|j| j.nodes as usize > free));
+            assert!(queued.iter().all(|j| j.nodes as usize > free));
         }
     }
+}
 
-    // ---- LU factorization ---------------------------------------------------------------
+// ---- LU factorization ------------------------------------------------------
 
-    #[test]
-    fn lu_solves_diagonally_dominant_systems(n in 2usize..24, seed in 0u64..500) {
+#[test]
+fn lu_solves_diagonally_dominant_systems() {
+    let mut rng = SimRng::seed_from_u64(0x10_F4C7);
+    for _ in 0..24 {
+        let n = rng.gen_range(2usize..24);
+        let seed = rng.gen_range(0u64..500);
         let mut a = Matrix::random(n, seed);
         // Make it comfortably non-singular.
         for i in 0..n {
@@ -134,25 +188,30 @@ proptest! {
         let r = lu_factor(&mut lu, 1, DEFAULT_NB.min(n));
         let x = lu_solve(&lu, &r.pivots, &b);
         let err: Vec<f64> = x.iter().zip(&x_true).map(|(p, q)| p - q).collect();
-        prop_assert!(vec_norm_inf(&err) < 1e-8, "residual too large: {:?}", vec_norm_inf(&err));
+        assert!(vec_norm_inf(&err) < 1e-8, "residual too large: {:?}", vec_norm_inf(&err));
     }
+}
 
-    #[test]
-    fn lu_parallel_equals_sequential(n in 4usize..32, seed in 0u64..100) {
+#[test]
+fn lu_parallel_equals_sequential() {
+    let mut rng = SimRng::seed_from_u64(0x10_9A6);
+    for _ in 0..16 {
+        let n = rng.gen_range(4usize..32);
+        let seed = rng.gen_range(0u64..100);
         let a = Matrix::random(n, seed);
         let mut s = a.clone();
         let mut p = a.clone();
         let rs = lu_factor(&mut s, 1, 8);
         let rp = lu_factor(&mut p, 3, 8);
-        prop_assert_eq!(rs.pivots, rp.pivots);
+        assert_eq!(rs.pivots, rp.pivots);
         for (x, y) in s.data.iter().zip(p.data.iter()) {
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y);
         }
     }
 }
 
-// ---- determinism of the whole simulated kernel (not inside proptest's
-// macro because each case is expensive; three seeds suffice) -------------
+// ---- determinism of the whole simulated kernel (three seeds suffice;
+// each case is expensive) ----------------------------------------------------
 
 #[test]
 fn booted_cluster_is_deterministic() {
