@@ -1,0 +1,147 @@
+//! Chaos-testing sweep with a JSON report: runs N random fault schedules
+//! through `phoenix-chaos`, shrinks any failures, and records schedule /
+//! fault / shrink statistics to `results/BENCH_chaos.json`.
+//!
+//! This is the bench-suite face of the chaos harness: where the `chaos`
+//! binary is the interactive explore/replay tool, this bin produces the
+//! machine-readable artifact the verify pipeline asserts on.
+//!
+//! ```text
+//! chaos_sweep [--seeds N] [--seed-base S] [--small|--paper]
+//! ```
+
+use std::path::PathBuf;
+
+use phoenix_chaos::{full_mask, replay_command, run_schedule, shrink, ChaosConfig};
+use phoenix_telemetry::Json;
+
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        }
+    }
+}
+
+fn main() {
+    phoenix_telemetry::reset();
+    let mut seeds = 50u64;
+    let mut seed_base = 1u64;
+    let mut cfg = ChaosConfig::small();
+    let mut shape = "small";
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => seeds = args.next().and_then(|v| v.parse().ok()).expect("--seeds N"),
+            "--seed-base" => {
+                seed_base = args.next().and_then(|v| v.parse().ok()).expect("--seed-base S")
+            }
+            "--small" => {
+                cfg = ChaosConfig::small();
+                shape = "small";
+            }
+            "--paper" => {
+                cfg = ChaosConfig::paper();
+                shape = "paper";
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    println!(
+        "chaos_sweep: {seeds} schedules ({shape} topology {}x{}), seeds {seed_base}..{}",
+        cfg.partitions,
+        cfg.nodes_per_partition,
+        seed_base + seeds - 1
+    );
+
+    let mut schedules = Vec::new();
+    let mut total_faults = 0usize;
+    let mut total_steps = 0usize;
+    let mut failures = 0u64;
+    let mut shrink_runs = 0usize;
+    let mut shrunk_steps = 0usize;
+    for seed in seed_base..seed_base + seeds {
+        let out = run_schedule(seed, &cfg, u64::MAX, false);
+        total_faults += out.faults_injected;
+        total_steps += out.applied_steps;
+        let mut row = Json::obj()
+            .set("seed", Json::Num(seed as f64))
+            .set("steps", Json::Num(out.applied_steps as f64))
+            .set("faults", Json::Num(out.faults_injected as f64))
+            .set("gsd_died", Json::Bool(out.gsd_died))
+            .set("quiesced", Json::Bool(out.quiesced))
+            .set("virtual_s", Json::Num(out.virtual_ns as f64 / 1e9))
+            .set("violations", Json::Num(out.violations.len() as f64));
+        if out.failed() {
+            failures += 1;
+            let s = shrink(seed, &cfg, full_mask(out.total_steps), out.total_steps);
+            shrink_runs += s.runs;
+            shrunk_steps += s.steps;
+            println!(
+                "  seed {seed}: FAIL — {} violation(s), shrunk {} -> {} steps in {} runs",
+                out.violations.len(),
+                out.total_steps,
+                s.steps,
+                s.runs
+            );
+            for v in &out.violations {
+                println!("    {v}");
+            }
+            let cmd = replay_command(seed, s.mask, out.total_steps, shape == "small");
+            println!("    replay: {cmd}");
+            row = row
+                .set(
+                    "violation_details",
+                    Json::Arr(
+                        out.violations
+                            .iter()
+                            .map(|v| Json::str(format!("{v}")))
+                            .collect(),
+                    ),
+                )
+                .set("shrunk_mask", Json::str(format!("{:#x}", s.mask)))
+                .set("shrunk_steps", Json::Num(s.steps as f64))
+                .set("shrink_runs", Json::Num(s.runs as f64))
+                .set("replay", Json::str(cmd));
+        }
+        schedules.push(row);
+    }
+
+    let summary = Json::obj()
+        .set("shape", Json::str(shape))
+        .set("schedules_run", Json::Num(seeds as f64))
+        .set("steps_applied", Json::Num(total_steps as f64))
+        .set("faults_injected", Json::Num(total_faults as f64))
+        .set("violating_schedules", Json::Num(failures as f64))
+        .set(
+            "shrink",
+            Json::obj()
+                .set("schedules_shrunk", Json::Num(failures as f64))
+                .set("total_shrink_runs", Json::Num(shrink_runs as f64))
+                .set("minimal_steps_total", Json::Num(shrunk_steps as f64)),
+        );
+
+    let mut rep = phoenix_telemetry::BenchReport::new("chaos_sweep");
+    rep.section("chaos", summary);
+    rep.section("schedules", Json::Arr(schedules));
+    let path = phoenix_telemetry::with(|reg| {
+        rep.write_to(reg, workspace_root().join("results/BENCH_chaos.json"))
+    })
+    .expect("write BENCH_chaos.json");
+    println!(
+        "chaos_sweep done: {}/{} schedules clean, {} faults injected; report: {}",
+        seeds - failures,
+        seeds,
+        total_faults,
+        path.display()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,7 @@
 //! (node) / 348 µs (network), recovery ≈ 0.
 
 use phoenix_bench::ft::{paper_testbed, print_table, run_table, small_testbed, Component};
-use phoenix_bench::report::{exercise_services, table_json, write_report};
+use phoenix_bench::report::{cross_check_histograms, exercise_services, table_json, write_report};
 
 fn main() {
     phoenix_telemetry::reset();
@@ -23,6 +23,9 @@ fn main() {
     let rows = run_table(topo, params, Component::Wd);
     print_table("Table 1: Three Unhealthy Situations for WD", &rows);
     println!("\nPaper reference: process 30s/0.29s/0us=30.29s; node 30s/2s/0s=32s; network 30s/348us/0s=30s");
+    // Before the exercise pass adds more fault samples: the trace-mined
+    // rows must agree with the kernel's own histograms.
+    cross_check_histograms(&rows, Component::Wd);
     exercise_services(41);
     write_report("table1_wd", vec![("table1", table_json(&rows))]);
 }

@@ -4,12 +4,15 @@
 //! Paper row shape: process 30 s / 0.29 s / 2.03 s; node 30 s / 0.3 s /
 //! 2.95 s (migration to a backup node); network 30 s / 348 µs / 0.
 
-use phoenix_bench::ft::{paper_testbed, print_table, run_table, Component};
-use phoenix_bench::report::{exercise_services, table_json, write_report};
+use phoenix_bench::ft::{paper_testbed, print_table, run_table, small_testbed, Component};
+use phoenix_bench::report::{cross_check_histograms, exercise_services, table_json, write_report};
 
 fn main() {
     phoenix_telemetry::reset();
-    let (topo, params) = paper_testbed();
+    // `--small` runs the same pipeline on the 15-node fast-parameter
+    // testbed (CI / verify.sh smoke); default is the paper's 136 nodes.
+    let small = std::env::args().any(|a| a == "--small");
+    let (topo, params) = if small { small_testbed() } else { paper_testbed() };
     println!(
         "Testbed: {} nodes, {} partitions, heartbeat interval {}",
         topo.node_count(),
@@ -19,6 +22,9 @@ fn main() {
     let rows = run_table(topo, params, Component::Gsd);
     print_table("Table 2: Three Unhealthy Situations for GSD", &rows);
     println!("\nPaper reference: process 30s/0.29s/2.03s=32.32s; node 30s/0.3s/2.95s=33.25s; network 30s/348us/0s=30s");
+    // Before the exercise pass adds more fault samples: the trace-mined
+    // rows must agree with the kernel's own histograms.
+    cross_check_histograms(&rows, Component::Gsd);
     exercise_services(42);
     write_report("table2_gsd", vec![("table2", table_json(&rows))]);
 }

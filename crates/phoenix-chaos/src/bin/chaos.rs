@@ -1,0 +1,162 @@
+//! Chaos sweep / replay driver.
+//!
+//! Sweep mode: run N random fault schedules and check invariants:
+//!
+//! ```text
+//! chaos --seeds 100 --small
+//! ```
+//!
+//! Any violation is shrunk to a minimal schedule and reported with the
+//! exact `--replay SEED[:MASK]` command that reproduces it. Replay mode
+//! re-runs one schedule verbosely and dumps the telemetry flight recorder:
+//!
+//! ```text
+//! chaos --small --replay 1337:2c
+//! ```
+//!
+//! Exit status is non-zero iff any schedule violated an invariant.
+
+use phoenix_chaos::{
+    dump_flight_recorder, full_mask, generate_schedule, parse_replay, replay_command,
+    run_schedule, shrink, ChaosConfig,
+};
+use phoenix_kernel::boot_cluster;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--seeds N] [--seed-base S] [--small] [--paper] \
+         [--max-faults K] [--replay SEED[:MASK_HEX]]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut seeds = 50u64;
+    let mut seed_base = 1u64;
+    let mut cfg = ChaosConfig::small();
+    let mut small = true;
+    let mut replay: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                seeds = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--seed-base" => {
+                seed_base = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--small" => {
+                cfg = ChaosConfig::small();
+                small = true;
+            }
+            "--paper" => {
+                cfg = ChaosConfig::paper();
+                small = false;
+            }
+            "--max-faults" => {
+                cfg.max_faults =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--replay" => replay = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    if let Some(spec) = replay {
+        let (seed, mask) = match parse_replay(&spec) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("chaos: {e}");
+                std::process::exit(2);
+            }
+        };
+        std::process::exit(run_replay(seed, mask, &cfg));
+    }
+
+    println!(
+        "chaos sweep: {seeds} schedules, seeds {seed_base}..{}, topology {}x{} \
+         ({} faults max per schedule)",
+        seed_base + seeds - 1,
+        cfg.partitions,
+        cfg.nodes_per_partition,
+        cfg.max_faults
+    );
+    let mut failures = 0u64;
+    let mut total_faults = 0usize;
+    for seed in seed_base..seed_base + seeds {
+        let out = run_schedule(seed, &cfg, u64::MAX, false);
+        total_faults += out.faults_injected;
+        if !out.failed() {
+            println!(
+                "  seed {seed:>5}: ok   ({} steps, {} faults, settled at {:.1}s virtual)",
+                out.applied_steps,
+                out.faults_injected,
+                out.virtual_ns as f64 / 1e9
+            );
+            continue;
+        }
+        failures += 1;
+        println!(
+            "  seed {seed:>5}: FAIL ({} steps, {} faults) — {} violation(s):",
+            out.applied_steps,
+            out.faults_injected,
+            out.violations.len()
+        );
+        for v in &out.violations {
+            println!("      {v}");
+        }
+        let start = full_mask(out.total_steps);
+        let s = shrink(seed, &cfg, start, out.total_steps);
+        println!(
+            "      shrunk {} -> {} steps in {} runs; minimal mask {:#x}",
+            out.total_steps, s.steps, s.runs, s.mask
+        );
+        println!(
+            "      replay: {}",
+            replay_command(seed, s.mask, out.total_steps, small)
+        );
+    }
+    println!(
+        "chaos sweep done: {}/{} schedules clean, {} faults injected",
+        seeds - failures,
+        seeds,
+        total_faults
+    );
+    std::process::exit(if failures > 0 { 1 } else { 0 });
+}
+
+fn run_replay(seed: u64, mask: Option<u64>, cfg: &ChaosConfig) -> i32 {
+    // Print the schedule first so the operator sees what will be applied.
+    let (_world, cluster) = boot_cluster(cfg.topology(), cfg.params.clone(), seed);
+    let steps = generate_schedule(seed, cfg, &cluster);
+    let mask = mask.unwrap_or_else(|| full_mask(steps.len()));
+    println!("replay seed {seed} mask {mask:#x} — schedule ({} steps):", steps.len());
+    for (i, step) in steps.iter().enumerate() {
+        let selected = mask & (1u64 << i) != 0;
+        println!("  {} [{i:>2}] {step}", if selected { "*" } else { " " });
+    }
+    println!("running:");
+    let out = run_schedule(seed, cfg, mask, true);
+    println!(
+        "result: {} steps applied, {} faults, quiesced={}, {:.1}s virtual",
+        out.applied_steps,
+        out.faults_injected,
+        out.quiesced,
+        out.virtual_ns as f64 / 1e9
+    );
+    if out.violations.is_empty() {
+        println!("no invariant violations.");
+    } else {
+        for v in &out.violations {
+            println!("VIOLATION {v}");
+        }
+    }
+    println!("flight recorder (most recent spans):");
+    dump_flight_recorder(40);
+    if out.failed() {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,993 @@
+//! Deterministic chaos testing for the Phoenix kernel.
+//!
+//! The paper evaluates the kernel by injecting single, hand-picked faults
+//! (Tables 1-3). This crate explores the space the paper could not: random
+//! *schedules* of overlapping faults — process kills, node crashes and
+//! restarts, NIC failures, link partitions and heals — generated from a
+//! seed, applied to a booted simulated cluster, and checked against
+//! kernel-level invariants once the fault cascade quiesces.
+//!
+//! Because the simulator is fully deterministic (one `SimRng`, a virtual
+//! clock, FIFO tie-breaking), a seed *is* a reproducer: any violation can
+//! be replayed bit-for-bit with `chaos --replay SEED[:MASK]`, and a failing
+//! schedule is greedily shrunk (drop one step at a time, keep the drop if
+//! the violation persists) to a minimal mask before being reported.
+//!
+//! Invariants checked after quiescence:
+//!
+//! 1. **meta-leader** — every partition runs exactly one live GSD, exactly
+//!    one GSD in the whole cluster holds the meta-group Leader role, and
+//!    all live GSDs agree on who that is.
+//! 2. **wd-convergence** — the WD of every live node heartbeats a live GSD
+//!    of its own partition (detection would silently stop otherwise).
+//! 3. **takeover** — the `gsd.takeover` histogram grew iff a GSD actually
+//!    died (no missed takeovers; no spurious ones on clean networks).
+//! 4. **bulletin** — the single-access-point resource query completes and
+//!    covers every live node.
+//! 5. **event-delivery** — a consumer registered on every partition's event
+//!    service receives a freshly published event (federation forwards it).
+//! 6. **quiescence** — the cluster reaches trace silence at all: a cascade
+//!    that never settles is itself a bug.
+
+use std::fmt;
+
+use phoenix_kernel::group::{Gsd, Wd};
+use phoenix_kernel::{boot_cluster, ClientHandle, KernelParams, PhoenixCluster};
+use phoenix_proto::{
+    BulletinKey, BulletinQuery, ClusterTopology, ConsumerReg, Event, EventFilter, EventPayload,
+    EventType, KernelMsg, NodeOp, PartitionId, RequestId, ServiceDirectory,
+};
+use phoenix_sim::{Fault, NicId, NodeId, Pid, SimDuration, SimRng, SimTime, World};
+
+/// Salt mixed into the schedule RNG so the schedule stream is independent
+/// of the boot/network RNG stream seeded from the same user-facing seed.
+const SCHEDULE_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Schedules are capped at 64 steps so a subset is a `u64` bitmask.
+pub const MAX_STEPS: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Everything that shapes a chaos run besides the seed.
+#[derive(Clone)]
+pub struct ChaosConfig {
+    pub partitions: usize,
+    pub nodes_per_partition: usize,
+    pub backups: usize,
+    /// Upper bound on primary faults per schedule (repairs/heals ride along).
+    pub max_faults: usize,
+    /// Virtual-time window over which fault offsets are drawn.
+    pub horizon: SimDuration,
+    /// Trace-silence window that counts as quiescent.
+    pub settle_window: SimDuration,
+    /// Give up waiting for quiescence after this much extra virtual time.
+    pub settle_deadline: SimDuration,
+    pub params: KernelParams,
+}
+
+impl ChaosConfig {
+    /// 3 partitions x 5 nodes, fast fault-tolerance parameters. This is the
+    /// tier-1 / smoke configuration (`chaos --small`).
+    pub fn small() -> ChaosConfig {
+        ChaosConfig {
+            partitions: 3,
+            nodes_per_partition: 5,
+            backups: 1,
+            max_faults: 6,
+            horizon: SimDuration::from_secs(10),
+            settle_window: SimDuration::from_secs(8),
+            settle_deadline: SimDuration::from_secs(120),
+            params: KernelParams::fast(),
+        }
+    }
+
+    /// The paper's testbed shape (8 partitions x 17 nodes) with the paper's
+    /// 30 s heartbeat. Virtual time is cheap; wall-clock cost comes from
+    /// node count, so this is the `--seeds`-few deep configuration.
+    pub fn paper() -> ChaosConfig {
+        ChaosConfig {
+            partitions: 8,
+            nodes_per_partition: 17,
+            backups: 1,
+            max_faults: 8,
+            horizon: SimDuration::from_secs(120),
+            settle_window: SimDuration::from_secs(70),
+            settle_deadline: SimDuration::from_secs(1200),
+            params: KernelParams::default(),
+        }
+    }
+
+    pub fn topology(&self) -> ClusterTopology {
+        ClusterTopology::uniform(self.partitions, self.nodes_per_partition, self.backups)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedules
+// ---------------------------------------------------------------------------
+
+/// One scheduled action: a simulator fault, or a repair request sent to the
+/// configuration service (paper Sec 3: node management via the config
+/// service's single access point).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum StepAction {
+    Fault(Fault),
+    RepairNode(NodeId),
+}
+
+/// An action at a virtual-time offset from the end of stabilization.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Step {
+    pub offset: SimDuration,
+    pub action: StepAction,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.offset.as_nanos() / 1_000_000;
+        match self.action {
+            StepAction::Fault(fault) => write!(f, "+{ms:>6}ms  {fault:?}"),
+            StepAction::RepairNode(n) => write!(f, "+{ms:>6}ms  RepairNode({})", n.0),
+        }
+    }
+}
+
+/// Generate the fault schedule for `seed`. Deterministic: the same seed and
+/// config always produce the same schedule, and the pids it references are
+/// the boot-time pids (boot is itself deterministic per seed).
+pub fn generate_schedule(seed: u64, cfg: &ChaosConfig, cluster: &PhoenixCluster) -> Vec<Step> {
+    let mut rng = SimRng::seed_from_u64(seed ^ SCHEDULE_SALT);
+    let dir = &cluster.directory;
+    let topo = &cluster.topology;
+    let horizon_ms = (cfg.horizon.as_nanos() / 1_000_000).max(1);
+
+    // Node-crash candidates: compute nodes anywhere, plus servers of
+    // partitions >= 1. Partition 0's server hosts the config and security
+    // services (single-instance by design, paper Sec 3.1) and backup nodes
+    // are the migration targets the takeover invariant depends on.
+    let mut crashable: Vec<NodeId> = Vec::new();
+    for (i, p) in topo.partitions.iter().enumerate() {
+        if i > 0 {
+            crashable.push(p.server);
+        }
+        crashable.extend(p.compute.iter().copied());
+    }
+
+    // Killable pids: per-node daemons and per-partition services. Config and
+    // security are deliberately excluded (single-instance services; their
+    // loss is a different experiment than kernel self-healing).
+    let mut killable: Vec<Pid> = Vec::new();
+    for ns in &dir.nodes {
+        killable.extend([ns.wd, ns.detector, ns.ppm]);
+    }
+    for m in &dir.partitions {
+        killable.extend([m.gsd, m.event, m.bulletin, m.checkpoint]);
+    }
+
+    let all_nodes: Vec<NodeId> = topo
+        .partitions
+        .iter()
+        .flat_map(|p| p.all_nodes())
+        .collect();
+
+    let n_faults = rng.gen_range(1..=cfg.max_faults.min(16) as u64) as usize;
+    let mut steps: Vec<Step> = Vec::new();
+    let mut crashed: Vec<NodeId> = Vec::new();
+    for _ in 0..n_faults {
+        if steps.len() + 2 > MAX_STEPS {
+            break;
+        }
+        let at = SimDuration::from_millis(rng.gen_range(0..horizon_ms));
+        match rng.gen_range(0..4u64) {
+            0 => {
+                let pid = killable[rng.gen_range(0..killable.len() as u64) as usize];
+                steps.push(Step {
+                    offset: at,
+                    action: StepAction::Fault(Fault::KillProcess(pid)),
+                });
+            }
+            1 => {
+                let node = crashable[rng.gen_range(0..crashable.len() as u64) as usize];
+                if crashed.contains(&node) {
+                    continue;
+                }
+                crashed.push(node);
+                steps.push(Step {
+                    offset: at,
+                    action: StepAction::Fault(Fault::CrashNode(node)),
+                });
+                // Usually repair the node later so schedules also exercise
+                // the config-service restart path (and WD re-wiring).
+                if rng.gen_range(0..10u64) < 7 {
+                    let delay = SimDuration::from_millis(rng.gen_range(2_000u64..20_000));
+                    steps.push(Step {
+                        offset: at + delay,
+                        action: StepAction::RepairNode(node),
+                    });
+                }
+            }
+            2 => {
+                let node = all_nodes[rng.gen_range(0..all_nodes.len() as u64) as usize];
+                let nic = NicId(rng.gen_range(0..3u64) as u8);
+                steps.push(Step {
+                    offset: at,
+                    action: StepAction::Fault(Fault::NicDown(node, nic)),
+                });
+                let delay = SimDuration::from_millis(rng.gen_range(1_000u64..4_000));
+                steps.push(Step {
+                    offset: at + delay,
+                    action: StepAction::Fault(Fault::NicUp(node, nic)),
+                });
+            }
+            _ => {
+                let a = all_nodes[rng.gen_range(0..all_nodes.len() as u64) as usize];
+                let mut b = all_nodes[rng.gen_range(0..all_nodes.len() as u64) as usize];
+                if a == b {
+                    b = all_nodes[(a.0 as usize + 1) % all_nodes.len()];
+                }
+                steps.push(Step {
+                    offset: at,
+                    action: StepAction::Fault(Fault::PartitionLink(a, b)),
+                });
+                let delay = SimDuration::from_millis(rng.gen_range(1_000u64..5_000));
+                steps.push(Step {
+                    offset: at + delay,
+                    action: StepAction::Fault(Fault::HealLink(a, b)),
+                });
+            }
+        }
+    }
+    steps.sort_by_key(|s| s.offset.as_nanos());
+    steps
+}
+
+/// Bitmask selecting every step of a schedule of `n` steps.
+pub fn full_mask(n: usize) -> u64 {
+    debug_assert!(n <= MAX_STEPS);
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule classification (used by the pinned regression scenarios to prove
+// a seed still exhibits the shape it was pinned for)
+// ---------------------------------------------------------------------------
+
+/// Partitions whose boot-time GSD the schedule kills — directly via
+/// `KillProcess`, or by crashing the node hosting it.
+pub fn gsd_kills(steps: &[Step], cluster: &PhoenixCluster) -> Vec<PartitionId> {
+    let mut out = Vec::new();
+    for m in &cluster.directory.partitions {
+        let hit = steps.iter().any(|s| match s.action {
+            StepAction::Fault(Fault::KillProcess(pid)) => pid == m.gsd,
+            StepAction::Fault(Fault::CrashNode(node)) => node == m.node,
+            _ => false,
+        });
+        if hit && !out.contains(&m.partition) {
+            out.push(m.partition);
+        }
+    }
+    out
+}
+
+/// Nodes with two overlapping NIC-outage windows (a second interface fails
+/// while another is still down — the diagnosis ambiguity case).
+pub fn double_nic_nodes(steps: &[Step], horizon: SimDuration) -> Vec<NodeId> {
+    let mut windows: Vec<(NodeId, NicId, u64, u64)> = Vec::new();
+    for s in steps {
+        if let StepAction::Fault(Fault::NicDown(node, nic)) = s.action {
+            let down = s.offset.as_nanos();
+            let up = steps
+                .iter()
+                .filter_map(|t| match t.action {
+                    StepAction::Fault(Fault::NicUp(n, c)) if n == node && c == nic => {
+                        Some(t.offset.as_nanos())
+                    }
+                    _ => None,
+                })
+                .find(|&u| u > down)
+                .unwrap_or(horizon.as_nanos());
+            windows.push((node, nic, down, up));
+        }
+    }
+    let mut out = Vec::new();
+    for (i, &(node, nic, d0, u0)) in windows.iter().enumerate() {
+        for &(n2, c2, d1, u1) in &windows[i + 1..] {
+            let overlaps = d0 < u1 && d1 < u0;
+            if node == n2 && nic != c2 && overlaps && !out.contains(&node) {
+                out.push(node);
+            }
+        }
+    }
+    out
+}
+
+/// Number of link-partition faults in the schedule.
+pub fn link_partitions(steps: &[Step]) -> usize {
+    steps
+        .iter()
+        .filter(|s| matches!(s.action, StepAction::Fault(Fault::PartitionLink(..))))
+        .count()
+}
+
+/// Crash/repair pairs: nodes the schedule crashes and later repairs through
+/// the configuration service.
+pub fn crash_repair_nodes(steps: &[Step]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for s in steps {
+        if let StepAction::Fault(Fault::CrashNode(node)) = s.action {
+            let repaired = steps.iter().any(|t| {
+                matches!(t.action, StepAction::RepairNode(n) if n == node)
+                    && t.offset.as_nanos() > s.offset.as_nanos()
+            });
+            if repaired && !out.contains(&node) {
+                out.push(node);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Running a schedule
+// ---------------------------------------------------------------------------
+
+/// A single invariant violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub invariant: &'static str,
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Everything a schedule run produced.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    pub seed: u64,
+    pub total_steps: usize,
+    pub applied_steps: usize,
+    pub faults_injected: usize,
+    /// A step killed a live GSD (directly or by crashing its node).
+    pub gsd_died: bool,
+    pub quiesced: bool,
+    /// Virtual time consumed by the whole run.
+    pub virtual_ns: u64,
+    pub violations: Vec<Violation>,
+}
+
+impl RunOutcome {
+    pub fn failed(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+fn takeover_count() -> u64 {
+    phoenix_telemetry::with(|reg| {
+        reg.histogram("gsd.takeover").map(|h| h.count()).unwrap_or(0)
+    })
+}
+
+/// Does applying `fault` right now kill a live GSD?
+fn kills_live_gsd(world: &World<KernelMsg>, fault: Fault) -> bool {
+    match fault {
+        Fault::KillProcess(pid) => world.actor_as::<Gsd>(pid).is_some(),
+        Fault::CrashNode(node) => world
+            .pids_on(node)
+            .iter()
+            .any(|&p| world.actor_as::<Gsd>(p).is_some()),
+        _ => false,
+    }
+}
+
+/// Boot a cluster, apply the masked subset of the seed's schedule, wait for
+/// quiescence, and check every invariant.
+pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> RunOutcome {
+    let (mut world, cluster) = boot_cluster(cfg.topology(), cfg.params.clone(), seed);
+    let hb = cfg.params.ft.hb_interval;
+    world.run_until(SimTime::ZERO + hb * 2 + SimDuration::from_millis(10));
+
+    let steps = generate_schedule(seed, cfg, &cluster);
+    let t0 = world.now();
+    let client = ClientHandle::spawn(&mut world, cluster.topology.partitions[0].server);
+    world.run_for(SimDuration::from_millis(1));
+
+    let takeovers_before = takeover_count();
+    let mut applied = 0usize;
+    let mut faults_injected = 0usize;
+    let mut gsd_died = false;
+    let mut clean_network = true;
+
+    for (i, step) in steps.iter().enumerate() {
+        if mask & (1u64 << i) == 0 {
+            continue;
+        }
+        world.run_until(t0 + step.offset);
+        match step.action {
+            StepAction::Fault(fault) => {
+                if kills_live_gsd(&world, fault) {
+                    gsd_died = true;
+                }
+                if matches!(fault, Fault::NicDown(..) | Fault::PartitionLink(..)) {
+                    clean_network = false;
+                }
+                if verbose {
+                    println!("  t={:>9} apply {:?}", fmt_ns(world.now().0), fault);
+                }
+                world.apply_fault(fault);
+                faults_injected += 1;
+            }
+            StepAction::RepairNode(node) => {
+                // The config service spawns fresh daemons unconditionally;
+                // repairing a node that is already up would duplicate them.
+                if world.node(node).up {
+                    continue;
+                }
+                if verbose {
+                    println!("  t={:>9} repair node {}", fmt_ns(world.now().0), node.0);
+                }
+                client.send(
+                    &mut world,
+                    cluster.config(),
+                    KernelMsg::CfgNodeOp {
+                        req: RequestId(90_000 + i as u64),
+                        node,
+                        op: NodeOp::Start,
+                    },
+                );
+            }
+        }
+        applied += 1;
+    }
+
+    let deadline = world.now() + cfg.settle_deadline;
+    let quiesced = world.run_until_quiet(cfg.settle_window, deadline);
+    client.drain(); // discard CfgAcks before the invariant queries
+
+    let mut violations = Vec::new();
+    if !quiesced {
+        violations.push(Violation {
+            invariant: "quiescence",
+            detail: format!(
+                "trace never went quiet for {} within {} after last step",
+                fmt_ns(cfg.settle_window.as_nanos()),
+                fmt_ns(cfg.settle_deadline.as_nanos())
+            ),
+        });
+    }
+    let takeover_delta = takeover_count() - takeovers_before;
+    check_invariants(
+        &mut world,
+        &cluster,
+        &client,
+        gsd_died,
+        clean_network,
+        takeover_delta,
+        &mut violations,
+    );
+
+    RunOutcome {
+        seed,
+        total_steps: steps.len(),
+        applied_steps: applied,
+        faults_injected,
+        gsd_died,
+        quiesced,
+        virtual_ns: world.now().0,
+        violations,
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    format!("{:.3}s", ns as f64 / 1e9)
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+struct GsdView {
+    pid: Pid,
+    node: NodeId,
+    partition: PartitionId,
+    role: &'static str,
+    leader: Option<PartitionId>,
+}
+
+fn live_gsds(world: &World<KernelMsg>) -> Vec<GsdView> {
+    let mut out = Vec::new();
+    for node in 0..world.node_count() {
+        let node = NodeId(node as u32);
+        for pid in world.pids_on(node) {
+            if let Some(g) = world.actor_as::<Gsd>(pid) {
+                out.push(GsdView {
+                    pid,
+                    node,
+                    partition: g.partition_id(),
+                    role: g.role_name(),
+                    leader: g.leader_view(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn check_invariants(
+    world: &mut World<KernelMsg>,
+    cluster: &PhoenixCluster,
+    client: &ClientHandle,
+    gsd_died: bool,
+    clean_network: bool,
+    takeover_delta: u64,
+    violations: &mut Vec<Violation>,
+) {
+    // -- 1. meta-leader ----------------------------------------------------
+    let gsds = live_gsds(world);
+    for p in 0..cluster.topology.partitions.len() {
+        let n = gsds
+            .iter()
+            .filter(|g| g.partition == PartitionId(p as u32))
+            .count();
+        if n != 1 {
+            violations.push(Violation {
+                invariant: "meta-leader",
+                detail: format!("partition {p} has {n} live GSDs (want exactly 1)"),
+            });
+        }
+    }
+    let leaders: Vec<&GsdView> = gsds.iter().filter(|g| g.role == "leader").collect();
+    if leaders.len() != 1 {
+        violations.push(Violation {
+            invariant: "meta-leader",
+            detail: format!(
+                "{} meta-group leaders among {} live GSDs: {:?}",
+                leaders.len(),
+                gsds.len(),
+                leaders.iter().map(|g| g.partition.0).collect::<Vec<_>>()
+            ),
+        });
+    } else {
+        let lead = leaders[0].partition;
+        for g in &gsds {
+            if g.role == "orphan" {
+                violations.push(Violation {
+                    invariant: "meta-leader",
+                    detail: format!(
+                        "GSD of partition {} (pid {} on node {}) is still an orphan \
+                         after quiescence",
+                        g.partition.0, g.pid.0, g.node.0
+                    ),
+                });
+            } else if g.leader != Some(lead) {
+                violations.push(Violation {
+                    invariant: "meta-leader",
+                    detail: format!(
+                        "GSD of partition {} thinks leader is {:?}, cluster leader is {}",
+                        g.partition.0,
+                        g.leader.map(|p| p.0),
+                        lead.0
+                    ),
+                });
+            }
+        }
+    }
+
+    // A fresh directory from the config service underpins invariants 2-5.
+    let Some(dir) = query_directory(world, client, cluster) else {
+        violations.push(Violation {
+            invariant: "wd-convergence",
+            detail: "config service did not answer CfgQueryDirectory".into(),
+        });
+        return;
+    };
+
+    // -- 2. wd-convergence -------------------------------------------------
+    for state in world.nodes() {
+        if !state.up {
+            continue;
+        }
+        let node = state.id;
+        let Some(ns) = dir.node(node) else {
+            violations.push(Violation {
+                invariant: "wd-convergence",
+                detail: format!("live node {} missing from the service directory", node.0),
+            });
+            continue;
+        };
+        let Some(wd) = world.actor_as::<Wd>(ns.wd) else {
+            violations.push(Violation {
+                invariant: "wd-convergence",
+                detail: format!("WD {} of live node {} is dead", ns.wd.0, node.0),
+            });
+            continue;
+        };
+        let gsd_pid = wd.gsd_pid();
+        let part = cluster.topology.partition_of(node);
+        match world.actor_as::<Gsd>(gsd_pid) {
+            None => violations.push(Violation {
+                invariant: "wd-convergence",
+                detail: format!(
+                    "WD on node {} heartbeats pid {} which is not a live GSD",
+                    node.0, gsd_pid.0
+                ),
+            }),
+            Some(g) if Some(g.partition_id()) != part => violations.push(Violation {
+                invariant: "wd-convergence",
+                detail: format!(
+                    "WD on node {} (partition {:?}) heartbeats the GSD of partition {}",
+                    node.0,
+                    part.map(|p| p.0),
+                    g.partition_id().0
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    // -- 3. takeover -------------------------------------------------------
+    if gsd_died && takeover_delta == 0 {
+        violations.push(Violation {
+            invariant: "takeover",
+            detail: "a GSD died but the gsd.takeover histogram never grew".into(),
+        });
+    }
+    // On a clean network a takeover without a GSD death is a false positive
+    // in the detection pipeline. With NIC/link faults in the schedule,
+    // takeovers triggered by (legitimate) network-failure suspicion are
+    // expected, so the spurious check only runs on clean-network schedules.
+    if !gsd_died && clean_network && takeover_delta > 0 {
+        violations.push(Violation {
+            invariant: "takeover",
+            detail: format!(
+                "{takeover_delta} takeover(s) recorded with no GSD death and no network faults"
+            ),
+        });
+    }
+
+    // -- 4. bulletin -------------------------------------------------------
+    check_bulletin(world, client, &dir, violations);
+
+    // -- 5. event-delivery -------------------------------------------------
+    check_event_delivery(world, &dir, violations);
+}
+
+fn query_directory(
+    world: &mut World<KernelMsg>,
+    client: &ClientHandle,
+    cluster: &PhoenixCluster,
+) -> Option<ServiceDirectory> {
+    client.send(
+        &mut *world,
+        cluster.config(),
+        KernelMsg::CfgQueryDirectory {
+            req: RequestId(91_000),
+        },
+    );
+    world.run_for(SimDuration::from_millis(200));
+    for (_, msg) in client.drain() {
+        if let KernelMsg::CfgDirectory { directory, .. } = msg {
+            return Some(*directory);
+        }
+    }
+    None
+}
+
+fn check_bulletin(
+    world: &mut World<KernelMsg>,
+    client: &ClientHandle,
+    dir: &ServiceDirectory,
+    violations: &mut Vec<Violation>,
+) {
+    let bulletin = dir.partitions[0].bulletin;
+    client.send(
+        &mut *world,
+        bulletin,
+        KernelMsg::DbQuery {
+            req: RequestId(92_000),
+            query: BulletinQuery::Resources,
+        },
+    );
+    world.run_for(SimDuration::from_millis(500));
+    let mut seen: Vec<NodeId> = Vec::new();
+    let mut answered = false;
+    for (_, msg) in client.drain() {
+        if let KernelMsg::DbResp {
+            entries, complete, ..
+        } = msg
+        {
+            answered = true;
+            if !complete {
+                violations.push(Violation {
+                    invariant: "bulletin",
+                    detail: "single-access-point Resources query returned complete=false \
+                             after quiescence"
+                        .into(),
+                });
+            }
+            for e in entries {
+                if let BulletinKey::Resource(n) = e.key {
+                    seen.push(n);
+                }
+            }
+        }
+    }
+    if !answered {
+        violations.push(Violation {
+            invariant: "bulletin",
+            detail: format!("bulletin {} never answered the Resources query", bulletin.0),
+        });
+        return;
+    }
+    for state in world.nodes() {
+        if state.up && !seen.contains(&state.id) {
+            violations.push(Violation {
+                invariant: "bulletin",
+                detail: format!(
+                    "live node {} has no resource entry in the federated bulletin",
+                    state.id.0
+                ),
+            });
+        }
+    }
+}
+
+fn check_event_delivery(
+    world: &mut World<KernelMsg>,
+    dir: &ServiceDirectory,
+    violations: &mut Vec<Violation>,
+) {
+    let etype = EventType::Custom(4242);
+    // One consumer per partition, registered at that partition's ES on the
+    // node the directory says hosts it.
+    let mut consumers: Vec<(PartitionId, ClientHandle)> = Vec::new();
+    for m in &dir.partitions {
+        if !world.is_alive(m.event) || !world.node(m.node).up {
+            continue;
+        }
+        let c = ClientHandle::spawn(world, m.node);
+        world.run_for(SimDuration::from_millis(1));
+        c.send(
+            &mut *world,
+            m.event,
+            KernelMsg::EsRegisterConsumer {
+                reg: ConsumerReg {
+                    consumer: c.pid,
+                    filter: EventFilter::Types(vec![etype]),
+                },
+            },
+        );
+        consumers.push((m.partition, c));
+    }
+    if consumers.is_empty() {
+        violations.push(Violation {
+            invariant: "event-delivery",
+            detail: "no live event service found in any partition".into(),
+        });
+        return;
+    }
+    world.run_for(SimDuration::from_millis(100));
+    let publisher = &consumers[0].1;
+    publisher.send(
+        &mut *world,
+        dir.partitions[0].event,
+        KernelMsg::EsPublish {
+            event: Event::new(etype, NodeId(0), EventPayload::Text("chaos-probe".into())),
+        },
+    );
+    world.run_for(SimDuration::from_millis(500));
+    for (partition, c) in &consumers {
+        let got = c
+            .drain()
+            .into_iter()
+            .any(|(_, m)| matches!(m, KernelMsg::EsNotify { event } if event.etype == etype));
+        if !got {
+            violations.push(Violation {
+                invariant: "event-delivery",
+                detail: format!(
+                    "consumer registered at partition {}'s event service missed the \
+                     published event",
+                    partition.0
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+/// Result of greedily shrinking a failing schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct ShrinkOutcome {
+    /// Minimal failing mask found.
+    pub mask: u64,
+    /// Steps remaining in the minimal schedule.
+    pub steps: usize,
+    /// Schedule executions spent shrinking.
+    pub runs: usize,
+}
+
+/// Greedy ddmin-lite: repeatedly try dropping one selected step; keep the
+/// drop if the run still violates an invariant; stop at a fixpoint. The
+/// result is 1-minimal with respect to single-step removal.
+pub fn shrink(seed: u64, cfg: &ChaosConfig, start_mask: u64, total_steps: usize) -> ShrinkOutcome {
+    let mut mask = start_mask;
+    let mut runs = 0usize;
+    loop {
+        let mut improved = false;
+        for i in 0..total_steps.min(MAX_STEPS) {
+            let bit = 1u64 << i;
+            if mask & bit == 0 {
+                continue;
+            }
+            let candidate = mask & !bit;
+            runs += 1;
+            if run_schedule(seed, cfg, candidate, false).failed() {
+                mask = candidate;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    ShrinkOutcome {
+        mask,
+        steps: mask.count_ones() as usize,
+        runs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay support
+// ---------------------------------------------------------------------------
+
+/// Parse a `SEED` or `SEED:MASK_HEX` replay spec.
+pub fn parse_replay(spec: &str) -> Result<(u64, Option<u64>), String> {
+    let mut parts = spec.splitn(2, ':');
+    let seed = parts
+        .next()
+        .unwrap_or("")
+        .parse::<u64>()
+        .map_err(|_| format!("bad seed in replay spec {spec:?}"))?;
+    match parts.next() {
+        None => Ok((seed, None)),
+        Some(hex) => {
+            let mask = u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+                .map_err(|_| format!("bad hex mask in replay spec {spec:?}"))?;
+            Ok((seed, Some(mask)))
+        }
+    }
+}
+
+/// The exact command that reproduces a (possibly shrunk) failure.
+pub fn replay_command(seed: u64, mask: u64, total_steps: usize, small: bool) -> String {
+    let flag = if small { " --small" } else { "" };
+    if mask == full_mask(total_steps) {
+        format!("cargo run --release -p phoenix-chaos --bin chaos --{flag} --replay {seed}")
+    } else {
+        format!(
+            "cargo run --release -p phoenix-chaos --bin chaos --{flag} --replay {seed}:{mask:x}"
+        )
+    }
+}
+
+/// Dump the tail of the telemetry flight recorder (most recent spans first
+/// in wall order), for replay-mode post-mortems.
+pub fn dump_flight_recorder(limit: usize) {
+    phoenix_telemetry::with(|reg| {
+        let mut spans: Vec<_> = reg.recorder().iter().collect();
+        spans.sort_by_key(|s| s.end_ns);
+        let skip = spans.len().saturating_sub(limit);
+        if skip > 0 || reg.recorder().evicted() > 0 {
+            println!(
+                "  ... ({} earlier spans not shown, {} evicted from rings)",
+                skip,
+                reg.recorder().evicted()
+            );
+        }
+        for s in spans.into_iter().skip(skip) {
+            println!(
+                "  [{:>10} - {:>10}] node {:>2} {:<12} {}",
+                fmt_ns(s.start_ns),
+                fmt_ns(s.end_ns),
+                s.node,
+                s.service,
+                s.path
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let cfg = ChaosConfig::small();
+        let (_w1, c1) = boot_cluster(cfg.topology(), cfg.params.clone(), 7);
+        let (_w2, c2) = boot_cluster(cfg.topology(), cfg.params.clone(), 7);
+        let s1 = generate_schedule(7, &cfg, &c1);
+        let s2 = generate_schedule(7, &cfg, &c2);
+        assert!(!s1.is_empty());
+        assert_eq!(s1, s2);
+        let other = generate_schedule(8, &cfg, &c1);
+        assert_ne!(s1, other, "different seeds should differ");
+    }
+
+    #[test]
+    fn empty_mask_runs_clean() {
+        let cfg = ChaosConfig::small();
+        let out = run_schedule(3, &cfg, 0, false);
+        assert_eq!(out.faults_injected, 0);
+        assert!(out.quiesced, "fault-free cluster must quiesce");
+        assert!(
+            out.violations.is_empty(),
+            "fault-free run violated invariants: {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn replay_spec_round_trips() {
+        assert_eq!(parse_replay("42").unwrap(), (42, None));
+        assert_eq!(parse_replay("42:1f").unwrap(), (42, Some(0x1f)));
+        assert_eq!(parse_replay("42:0x1f").unwrap(), (42, Some(0x1f)));
+        assert!(parse_replay("x").is_err());
+        assert!(parse_replay("1:zz").is_err());
+    }
+
+    /// Not a test: a helper scan for maintainers picking new pinned seeds
+    /// for `tests/chaos_regressions.rs`. Run with
+    /// `cargo test -p phoenix-chaos --release -- --ignored --nocapture scan`.
+    #[test]
+    #[ignore]
+    fn scan_for_interesting_seeds() {
+        let cfg = ChaosConfig::small();
+        for seed in 1..=3000u64 {
+            let (_w, cluster) = boot_cluster(cfg.topology(), cfg.params.clone(), seed);
+            let steps = generate_schedule(seed, &cfg, &cluster);
+            let gsd = gsd_kills(&steps, &cluster);
+            let nic = double_nic_nodes(&steps, cfg.horizon);
+            let links = link_partitions(&steps);
+            let repairs = crash_repair_nodes(&steps);
+            let mut tags = Vec::new();
+            if gsd.contains(&PartitionId(0)) && gsd.len() >= 2 {
+                tags.push("leader+gsd-kill".to_string());
+            } else if gsd.contains(&PartitionId(0)) {
+                tags.push("leader-kill".to_string());
+            }
+            if !nic.is_empty() {
+                tags.push(format!("double-nic(n{})", nic[0].0));
+            }
+            if links >= 2 {
+                tags.push(format!("links({links})"));
+            }
+            if !repairs.is_empty() {
+                tags.push(format!("crash-repair({})", repairs.len()));
+            }
+            if !tags.is_empty() {
+                println!("seed {seed:>4}: {} steps  {}", steps.len(), tags.join(" "));
+            }
+        }
+    }
+
+    #[test]
+    fn full_mask_covers_schedule() {
+        assert_eq!(full_mask(0), 0);
+        assert_eq!(full_mask(3), 0b111);
+        assert_eq!(full_mask(64), u64::MAX);
+    }
+}

@@ -152,6 +152,24 @@ impl DataBulletin {
         );
     }
 
+    /// Read-only snapshot of the locally stored entries (introspection
+    /// for the chaos harness's ground-truth comparison).
+    pub fn snapshot(&self) -> Vec<BulletinEntry> {
+        self.entries
+            .iter()
+            .map(|(&key, &(ref value, stamp_ns))| BulletinEntry {
+                key,
+                value: value.clone(),
+                stamp_ns,
+            })
+            .collect()
+    }
+
+    /// Partition this instance serves.
+    pub fn partition_id(&self) -> PartitionId {
+        self.partition
+    }
+
     fn finish_query(&mut self, ctx: &mut Ctx<'_, KernelMsg>, fed: u64, complete: bool) {
         if let Some(p) = self.pending.remove(&fed) {
             phoenix_telemetry::measure(
@@ -352,6 +370,10 @@ impl Actor<KernelMsg> for DataBulletin {
 
     fn name(&self) -> &str {
         "bulletin"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -126,6 +126,12 @@ impl EventService {
         );
     }
 
+    /// Pids of the currently registered consumers (read-only
+    /// introspection for the chaos harness's delivery invariant).
+    pub fn consumer_pids(&self) -> Vec<Pid> {
+        self.consumers.iter().map(|r| r.consumer).collect()
+    }
+
     /// Deliver to local consumers whose filter accepts the event.
     fn notify_local(&self, ctx: &mut Ctx<'_, KernelMsg>, event: &Event) {
         for reg in &self.consumers {
@@ -291,6 +297,10 @@ impl Actor<KernelMsg> for EventService {
 
     fn name(&self) -> &str {
         "event"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

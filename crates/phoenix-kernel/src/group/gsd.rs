@@ -310,6 +310,38 @@ impl Gsd {
         self.members.first().copied()
     }
 
+    // ---- read-only introspection (chaos / invariant harnesses) ----------
+    //
+    // Reached from outside the simulation through
+    // `World::actor_as::<Gsd>(pid)`; nothing here mutates state.
+
+    /// Partition this GSD serves.
+    pub fn partition_id(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// Current ring role: "leader" / "princess" / "member" / "orphan".
+    pub fn role_name(&self) -> &'static str {
+        self.role()
+    }
+
+    /// Partitions in this GSD's current membership view, sorted.
+    pub fn meta_view(&self) -> Vec<PartitionId> {
+        let mut v: Vec<PartitionId> = self.members.iter().map(|m| m.partition).collect();
+        v.sort();
+        v
+    }
+
+    /// The partition this GSD believes leads the meta-group.
+    pub fn leader_view(&self) -> Option<PartitionId> {
+        self.leader().map(|m| m.partition)
+    }
+
+    /// Current membership epoch.
+    pub fn meta_epoch(&self) -> u64 {
+        self.epoch
+    }
+
     fn refresh_roles(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
         self.sorted();
         phoenix_telemetry::gauge_set("gsd.meta_group.members", self.members.len() as f64);
@@ -1729,5 +1761,9 @@ impl Actor<KernelMsg> for Gsd {
 
     fn name(&self) -> &str {
         "gsd"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }

@@ -80,6 +80,12 @@ impl Wd {
         }
         ctx.set_timer(self.params.hb_interval, TOK_HB);
     }
+
+    /// The GSD this WD currently heartbeats (read-only introspection for
+    /// the chaos harness's convergence invariant). `Pid(0)` before boot.
+    pub fn gsd_pid(&self) -> Pid {
+        self.gsd
+    }
 }
 
 impl Actor<KernelMsg> for Wd {
@@ -138,6 +144,10 @@ impl Actor<KernelMsg> for Wd {
 
     fn name(&self) -> &str {
         "wd"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

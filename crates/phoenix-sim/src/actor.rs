@@ -34,6 +34,14 @@ pub trait Actor<M: Message> {
     fn name(&self) -> &str {
         "actor"
     }
+
+    /// Downcast hook for read-only introspection from outside the
+    /// simulation (invariant checkers, chaos harnesses). Actors that want
+    /// to expose state return `Some(self)`; the default opts out. See
+    /// [`World::actor_as`](crate::World::actor_as).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Side effects an actor may request; applied by the world after the

@@ -15,6 +15,7 @@
 //! Start with `examples/quickstart.rs`.
 
 pub use phoenix_biz as biz;
+pub use phoenix_chaos as chaos;
 pub use phoenix_telemetry as telemetry;
 pub use phoenix_gridview as gridview;
 pub use phoenix_hpl as hpl;

@@ -1,11 +1,24 @@
 #!/usr/bin/env sh
-# Repo verification: tier-1 (build + tests) plus a telemetry smoke run.
+# Repo verification: tier-1 (build + tests) plus telemetry and chaos smoke
+# runs.
 #
 #   sh scripts/verify.sh
 #
-# The smoke run drives table1_wd on the tiny testbed and asserts that the
-# telemetry export landed in results/BENCH_kernel.json with latency
-# percentiles for the instrumented kernel paths.
+# The telemetry smoke drives table1_wd on the tiny testbed and asserts that
+# the export landed in results/BENCH_kernel.json with latency percentiles
+# for the instrumented kernel paths, and that the service-exercise pass
+# shares a single booted world (it used to boot four).
+#
+# The chaos smoke runs 25 seeded random fault schedules against the kernel
+# and fails on any invariant violation. Every violation the chaos binary
+# reports comes with a shrunk reproducer and a ready-to-paste replay
+# command of the form:
+#
+#   cargo run --release -p phoenix-chaos --bin chaos -- --small --replay SEED:MASKHEX
+#
+# which re-runs exactly the minimal failing subset of that seed's schedule
+# (verbose, with a flight-recorder dump). Seeds are deterministic: the same
+# seed generates the same schedule on every machine.
 
 set -eu
 
@@ -19,7 +32,8 @@ cargo test -q --offline
 
 echo "== smoke: table1_wd (--small) writes results/BENCH_kernel.json =="
 rm -f results/BENCH_kernel.json
-cargo run --release --offline -p phoenix-bench --bin table1_wd -- --small
+cargo run --release --offline -p phoenix-bench --bin table1_wd -- --small \
+    | tee /tmp/table1_wd.out
 
 test -s results/BENCH_kernel.json || {
     echo "FAIL: results/BENCH_kernel.json missing or empty" >&2
@@ -28,6 +42,44 @@ test -s results/BENCH_kernel.json || {
 for needle in '"p50_ns"' '"p99_ns"' '"wd.heartbeat.flight"' '"counters"' '"table1"'; do
     grep -q "$needle" results/BENCH_kernel.json || {
         echo "FAIL: $needle not found in results/BENCH_kernel.json" >&2
+        exit 1
+    }
+done
+
+# The trace-mined table rows must agree with the kernel's own histograms
+# (the bin panics on divergence, but assert the check actually ran).
+grep -q 'telemetry cross-check' /tmp/table1_wd.out || {
+    echo "FAIL: telemetry cross-check did not run" >&2
+    exit 1
+}
+
+# The service-exercise pass must share ONE world (the pre-refactor pass
+# booted four for the same path coverage) and stay fast: generous 10 s
+# bound vs ~tens of ms observed.
+grep -q 'exercise pass: 1 world' /tmp/table1_wd.out || {
+    echo "FAIL: exercise pass no longer shares a single world" >&2
+    exit 1
+}
+wall_ms=$(sed -n 's/.*exercise pass: 1 world.*, \([0-9]*\) ms wall/\1/p' /tmp/table1_wd.out)
+[ -n "$wall_ms" ] && [ "$wall_ms" -lt 10000 ] || {
+    echo "FAIL: exercise pass took ${wall_ms:-?} ms (speedup regressed)" >&2
+    exit 1
+}
+
+echo "== smoke: chaos, 25 seeded fault schedules =="
+cargo run --release --offline -p phoenix-chaos --bin chaos -- --seeds 25 --small
+
+echo "== smoke: chaos_sweep writes results/BENCH_chaos.json =="
+rm -f results/BENCH_chaos.json
+cargo run --release --offline -p phoenix-bench --bin chaos_sweep -- --seeds 25 --small
+
+test -s results/BENCH_chaos.json || {
+    echo "FAIL: results/BENCH_chaos.json missing or empty" >&2
+    exit 1
+}
+for needle in '"schedules_run"' '"faults_injected"' '"violating_schedules"' '"shrink"' '"schedules"'; do
+    grep -q "$needle" results/BENCH_chaos.json || {
+        echo "FAIL: $needle not found in results/BENCH_chaos.json" >&2
         exit 1
     }
 done

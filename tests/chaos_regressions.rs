@@ -1,0 +1,118 @@
+//! Pinned chaos scenarios, replayed deterministically in tier-1.
+//!
+//! Each test pins a seed whose generated schedule exhibits a specific
+//! hard shape (found with `cargo test -p phoenix-chaos --release --
+//! --ignored scan`). Because schedule generation is deterministic per
+//! seed, these run bit-for-bit identically on every machine; each test
+//! first *proves* the seed still exhibits the shape it was pinned for
+//! (so a generator change cannot silently turn it into a no-op) and then
+//! asserts the full invariant suite passes.
+//!
+//! Failures are reproducible outside the test harness with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p phoenix-chaos --bin chaos -- --small --replay 2881
+//! ```
+
+use phoenix::chaos::{
+    crash_repair_nodes, double_nic_nodes, generate_schedule, gsd_kills, link_partitions,
+    run_schedule, ChaosConfig,
+};
+use phoenix::kernel::boot_cluster;
+use phoenix::proto::PartitionId;
+
+/// Run a pinned seed end-to-end and assert a clean outcome.
+fn assert_clean(seed: u64) {
+    let cfg = ChaosConfig::small();
+    let out = run_schedule(seed, &cfg, u64::MAX, false);
+    assert!(out.quiesced, "seed {seed}: cluster never quiesced");
+    assert!(
+        out.violations.is_empty(),
+        "seed {seed} violated invariants: {:#?}\nreplay: cargo run --release -p \
+         phoenix-chaos --bin chaos -- --small --replay {seed}",
+        out.violations
+    );
+}
+
+fn schedule_of(seed: u64) -> (Vec<phoenix::chaos::Step>, phoenix::kernel::PhoenixCluster) {
+    let cfg = ChaosConfig::small();
+    let (_world, cluster) = boot_cluster(cfg.topology(), cfg.params.clone(), seed);
+    (generate_schedule(seed, &cfg, &cluster), cluster)
+}
+
+/// The meta-group leader's GSD is killed first; while the ring is still
+/// absorbing that takeover, a partition server crashes (taking its GSD
+/// with it) and a second daemon dies. Exercises leader re-election
+/// overlapping a member takeover.
+#[test]
+fn leader_kill_during_takeover() {
+    const SEED: u64 = 2881;
+    let (steps, cluster) = schedule_of(SEED);
+    let killed = gsd_kills(&steps, &cluster);
+    assert!(
+        killed.contains(&PartitionId(0)) && killed.len() >= 2,
+        "pin drifted: seed {SEED} no longer kills the leader GSD plus another \
+         GSD (kills: {killed:?}) — re-run the scan and re-pin"
+    );
+    assert_clean(SEED);
+}
+
+/// Two NICs of the same node fail with overlapping outage windows — the
+/// diagnosis-ambiguity case between network failure and node failure
+/// (paper Table 1 distinguishes them by per-NIC heartbeat silence).
+#[test]
+fn double_nic_failure() {
+    const SEED: u64 = 137;
+    let cfg = ChaosConfig::small();
+    let (steps, _cluster) = schedule_of(SEED);
+    assert!(
+        !double_nic_nodes(&steps, cfg.horizon).is_empty(),
+        "pin drifted: seed {SEED} no longer has overlapping NIC outages — \
+         re-run the scan and re-pin"
+    );
+    assert_clean(SEED);
+}
+
+/// Three link partitions opened and healed in sequence; the detection
+/// pipeline must ride out the suspicion windows without splitting the
+/// meta group for good.
+#[test]
+fn partition_then_heal() {
+    const SEED: u64 = 82;
+    let (steps, _cluster) = schedule_of(SEED);
+    assert!(
+        link_partitions(&steps) >= 3,
+        "pin drifted: seed {SEED} no longer partitions 3 links — re-run the \
+         scan and re-pin"
+    );
+    assert_clean(SEED);
+}
+
+/// Two nodes crash back-to-back (≈130 ms apart), a third follows later;
+/// all three are repaired through the configuration service's node-start
+/// path while recovery from the earlier crashes is still in flight.
+#[test]
+fn crash_then_repair_storm() {
+    const SEED: u64 = 62;
+    let (steps, _cluster) = schedule_of(SEED);
+    assert!(
+        crash_repair_nodes(&steps).len() >= 3,
+        "pin drifted: seed {SEED} no longer crash+repairs 3 nodes — re-run \
+         the scan and re-pin"
+    );
+    assert_clean(SEED);
+}
+
+/// A 12-step mixed schedule: node crashes, a NIC outage, two link
+/// partitions and three repairs, all overlapping.
+#[test]
+fn mixed_fault_storm() {
+    const SEED: u64 = 66;
+    let (steps, _cluster) = schedule_of(SEED);
+    assert!(
+        steps.len() >= 12 && link_partitions(&steps) >= 2 && crash_repair_nodes(&steps).len() >= 3,
+        "pin drifted: seed {SEED} lost its mixed-storm shape — re-run the \
+         scan and re-pin"
+    );
+    assert_clean(SEED);
+}

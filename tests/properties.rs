@@ -210,6 +210,337 @@ fn lu_parallel_equals_sequential() {
     }
 }
 
+// ---- wire format: full KernelMsg surface -----------------------------------
+
+/// One exemplar of every `KernelMsg` variant, with non-default payloads so
+/// field transposition bugs cannot cancel out.
+fn kernel_msg_surface() -> Vec<phoenix::proto::KernelMsg> {
+    use phoenix::proto::checkpoint::CheckpointData;
+    use phoenix::proto::{
+        Action, AppState, AppStatus, AuthToken, BulletinEntry, BulletinKey, BulletinQuery,
+        BulletinValue, ConsumerReg, Event, EventFilter, EventPayload, EventType, JobId, JobSpec,
+        JobState, KernelMsg, MemberInfo, NodeOp, NodeServices, PartitionId, QueueRow, RequestId,
+        Role, ServiceDirectory, ServiceKind, TaskSpec, UserId,
+    };
+    use phoenix::sim::{Diagnosis, NicId, NodeId, Pid, ResourceUsage};
+
+    let member = MemberInfo {
+        partition: PartitionId(2),
+        node: NodeId(7),
+        gsd: Pid(31),
+        event: Pid(32),
+        bulletin: Pid(33),
+        checkpoint: Pid(34),
+        host_ppm: Pid(35),
+    };
+    let services = NodeServices {
+        node: NodeId(9),
+        wd: Pid(41),
+        detector: Pid(42),
+        ppm: Pid(43),
+    };
+    let directory = ServiceDirectory {
+        config: Pid(1),
+        security: Pid(2),
+        partitions: vec![member],
+        nodes: vec![services],
+    };
+    let usage = ResourceUsage {
+        cpu: 0.25,
+        memory: 0.5,
+        swap: 0.125,
+        disk_io: 0.75,
+        net_io: 0.0625,
+    };
+    let entry = BulletinEntry {
+        key: BulletinKey::Resource(NodeId(3)),
+        value: BulletinValue::Resource(usage),
+        stamp_ns: 12_345,
+    };
+    let app_entry = BulletinEntry {
+        key: BulletinKey::App(NodeId(4), JobId(77)),
+        value: BulletinValue::App(AppState {
+            job: JobId(77),
+            node: NodeId(4),
+            cpu: 0.5,
+            memory: 0.25,
+            status: AppStatus::Running,
+            sla_ok: true,
+        }),
+        stamp_ns: 67_890,
+    };
+    let event = Event {
+        etype: EventType::Custom(513),
+        origin: NodeId(6),
+        partition: PartitionId(1),
+        seq: 99,
+        payload: EventPayload::Text("probe".into()),
+    };
+    let token = AuthToken {
+        user: UserId::new("ops"),
+        role: Role::SystemAdministrator,
+        expires_ns: 5_000_000_000,
+        mac: 0xDEAD_BEEF_u64,
+    };
+    let task = TaskSpec {
+        cpus: 2,
+        cpu_load: 0.8,
+        mem_load: 0.3,
+        duration_ns: Some(7_000_000),
+    };
+    let spec = JobSpec::simple(11, "alice", "hpc", 4);
+
+    vec![
+        KernelMsg::Boot(Box::new(directory.clone())),
+        KernelMsg::WdHeartbeat { node: NodeId(3), nic: NicId(1), seq: 99 },
+        KernelMsg::ProbeReq { req: RequestId(5) },
+        KernelMsg::ProbeResp { req: RequestId(5) },
+        KernelMsg::MetaHeartbeat {
+            from_partition: PartitionId(2),
+            nic: NicId(2),
+            epoch: 17,
+        },
+        KernelMsg::MetaJoin { member },
+        KernelMsg::MetaMembership { epoch: 18, members: vec![member, member] },
+        KernelMsg::MetaMemberDown {
+            partition: PartitionId(1),
+            diagnosis: Diagnosis::NetworkFailure,
+        },
+        KernelMsg::SvcRegister {
+            kind: ServiceKind::Event,
+            pid: Pid(50),
+            factory: "es".into(),
+        },
+        KernelMsg::SvcHeartbeat { kind: ServiceKind::DataBulletin, pid: Pid(51), seq: 3 },
+        KernelMsg::PartitionView { members: vec![member], local: member },
+        KernelMsg::EsRegisterConsumer {
+            reg: ConsumerReg {
+                consumer: Pid(60),
+                filter: EventFilter::Types(vec![EventType::Custom(1), EventType::Custom(2)]),
+            },
+        },
+        KernelMsg::EsUnregisterConsumer { consumer: Pid(60) },
+        KernelMsg::EsRegisterSupplier {
+            supplier: Pid(61),
+            types: vec![EventType::Custom(4)],
+        },
+        KernelMsg::EsPublish { event: event.clone() },
+        KernelMsg::EsNotify { event: event.clone() },
+        KernelMsg::EsFedForward { event },
+        KernelMsg::DbPut { entries: vec![entry.clone(), app_entry.clone()] },
+        KernelMsg::DbQuery { req: RequestId(7), query: BulletinQuery::Node(NodeId(3)) },
+        KernelMsg::DbResp {
+            req: RequestId(7),
+            entries: vec![entry.clone()],
+            complete: false,
+        },
+        KernelMsg::DbFedQuery { req: RequestId(8), query: BulletinQuery::Apps },
+        KernelMsg::DbFedResp {
+            req: RequestId(8),
+            partition: PartitionId(2),
+            entries: vec![app_entry],
+        },
+        KernelMsg::CkSave {
+            service: ServiceKind::Event,
+            partition: PartitionId(1),
+            data: CheckpointData::EventService {
+                consumers: vec![ConsumerReg { consumer: Pid(70), filter: EventFilter::All }],
+                next_seq: 12,
+            },
+        },
+        KernelMsg::CkLoad {
+            req: RequestId(9),
+            service: ServiceKind::DataBulletin,
+            partition: PartitionId(0),
+        },
+        KernelMsg::CkLoadResp {
+            req: RequestId(9),
+            data: Some(CheckpointData::Bulletin { entries: vec![entry] }),
+        },
+        KernelMsg::CkDelete { service: ServiceKind::Group, partition: PartitionId(2) },
+        KernelMsg::CkReplicate {
+            service: ServiceKind::UserEnvironment,
+            partition: PartitionId(1),
+            data: CheckpointData::Scheduler {
+                queued: vec![spec.clone()],
+                running: vec![(JobId(11), vec![NodeId(1), NodeId(2)])],
+            },
+        },
+        KernelMsg::CkSyncReq { req: RequestId(10) },
+        KernelMsg::CkSyncResp {
+            req: RequestId(10),
+            items: vec![(
+                ServiceKind::Group,
+                PartitionId(1),
+                CheckpointData::Supervision { entries: vec![("pws".into(), Pid(80))] },
+            )],
+        },
+        KernelMsg::CfgQueryTopology { req: RequestId(11) },
+        KernelMsg::CfgTopology {
+            req: RequestId(11),
+            topology: Box::new(ClusterTopology::uniform(2, 4, 1)),
+        },
+        KernelMsg::CfgQueryDirectory { req: RequestId(12) },
+        KernelMsg::CfgDirectory {
+            req: RequestId(12),
+            directory: Box::new(directory),
+        },
+        KernelMsg::CfgSetParam {
+            req: RequestId(13),
+            key: "hb_interval_ms".into(),
+            value: "250".into(),
+        },
+        KernelMsg::CfgAck { req: RequestId(13), ok: true },
+        KernelMsg::DirectoryUpdate { partition: PartitionId(2), member },
+        KernelMsg::DirectoryUpdateNode { services },
+        KernelMsg::CfgNodeOp { req: RequestId(14), node: NodeId(5), op: NodeOp::Shutdown },
+        KernelMsg::SecLogin {
+            req: RequestId(15),
+            user: UserId::new("alice"),
+            secret: "hunter2".into(),
+        },
+        KernelMsg::SecLoginResp { req: RequestId(15), token: Some(token.clone()) },
+        KernelMsg::SecCheck {
+            req: RequestId(16),
+            token: token.clone(),
+            action: Action::Reconfigure,
+        },
+        KernelMsg::SecCheckResp { req: RequestId(16), allowed: false },
+        KernelMsg::PpmExec {
+            req: RequestId(17),
+            job: JobId(21),
+            task: task.clone(),
+            targets: vec![NodeId(1), NodeId(3), NodeId(5)],
+            reply_to: Pid(90),
+        },
+        KernelMsg::PpmExecAck {
+            req: RequestId(17),
+            job: JobId(21),
+            node: NodeId(3),
+            ok: true,
+        },
+        KernelMsg::PpmDelete {
+            req: RequestId(18),
+            job: JobId(21),
+            targets: vec![NodeId(1)],
+            reply_to: Pid(90),
+        },
+        KernelMsg::PpmDeleteAck { req: RequestId(18), job: JobId(21), node: NodeId(1) },
+        KernelMsg::AppStarted { job: JobId(21), pid: Pid(91), task },
+        KernelMsg::AppExited { job: JobId(21), pid: Pid(91), failed: true },
+        KernelMsg::PwsSubmit { req: RequestId(19), token: token.clone(), spec: spec.clone() },
+        KernelMsg::PwsSubmitResp {
+            req: RequestId(19),
+            accepted: false,
+            reason: "pool full".into(),
+        },
+        KernelMsg::PwsCancel { req: RequestId(20), token, job: JobId(11) },
+        KernelMsg::PwsCancelResp { req: RequestId(20), ok: true },
+        KernelMsg::PwsJobStatus { req: RequestId(21), job: JobId(11) },
+        KernelMsg::PwsJobStatusResp {
+            req: RequestId(21),
+            state: Some(JobState::Running),
+            nodes: vec![NodeId(2), NodeId(4)],
+        },
+        KernelMsg::PwsQueueStatus { req: RequestId(22), pool: Some("hpc".into()) },
+        KernelMsg::PwsQueueStatusResp {
+            req: RequestId(22),
+            rows: vec![QueueRow {
+                job: JobId(11),
+                pool: "hpc".into(),
+                user: UserId::new("alice"),
+                state: JobState::Queued,
+                nodes: vec![NodeId(2)],
+            }],
+        },
+        KernelMsg::PoolLeaseReq { req: RequestId(23), from_pool: "biz".into(), nodes: 3 },
+        KernelMsg::PoolLeaseResp {
+            req: RequestId(23),
+            granted: vec![NodeId(10), NodeId(11)],
+        },
+        KernelMsg::PoolLeaseReturn { nodes: vec![NodeId(10)] },
+        KernelMsg::PbsPoll { req: RequestId(24) },
+        KernelMsg::PbsPollResp {
+            req: RequestId(24),
+            node: NodeId(6),
+            usage,
+            jobs: vec![JobId(11), JobId(12)],
+        },
+    ]
+}
+
+/// Round-trip every `KernelMsg` variant through the wire format, checking
+/// the size estimator agrees with the actual encoding.
+#[test]
+fn kernel_msg_full_surface_round_trips() {
+    use phoenix::proto::wire::{decode, encode};
+    use phoenix::proto::KernelMsg;
+    let msgs = kernel_msg_surface();
+    // Every variant exactly once — a duplicate here means a copy/paste slip
+    // left some variant uncovered.
+    let mut seen = Vec::new();
+    for m in &msgs {
+        let d = std::mem::discriminant(m);
+        assert!(!seen.contains(&d), "duplicate variant in surface: {m:?}");
+        seen.push(d);
+    }
+    assert_eq!(msgs.len(), 61, "KernelMsg variant count changed — extend the surface");
+    for msg in msgs {
+        let bytes = encode(&msg);
+        assert_eq!(
+            bytes.len(),
+            encoded_size(&msg),
+            "size estimator disagrees for {msg:?}"
+        );
+        let back: KernelMsg = decode(&bytes).expect("decode");
+        assert_eq!(back, msg);
+    }
+}
+
+/// Decoding must be total: random byte mutations, truncations and garbage
+/// may fail, but must never panic and never round-trip to different bytes.
+#[test]
+fn kernel_msg_decode_survives_random_mutations() {
+    use phoenix::proto::wire::{decode, encode};
+    use phoenix::proto::KernelMsg;
+    let mut rng = SimRng::seed_from_u64(0xFA22_u64);
+    let msgs = kernel_msg_surface();
+    for msg in &msgs {
+        let clean = encode(msg);
+        for _ in 0..CASES / 4 {
+            let mut bytes = clean.clone();
+            // 1-4 random single-byte corruptions.
+            for _ in 0..rng.gen_range(1usize..=4) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let i = rng.gen_range(0usize..bytes.len());
+                bytes[i] ^= (rng.gen_range(1u64..256)) as u8;
+            }
+            // Occasionally truncate too.
+            if rng.gen_range(0u64..4) == 0 {
+                bytes.truncate(rng.gen_range(0usize..=bytes.len()));
+            }
+            match decode::<KernelMsg>(&bytes) {
+                // A mutation may land in a don't-care position (e.g. a
+                // float payload, or a lenient bool byte) and still parse;
+                // whatever parses must itself round-trip losslessly.
+                Ok(back) => {
+                    let re: KernelMsg = decode(&encode(&back)).expect("re-decode");
+                    assert_eq!(re, back);
+                }
+                Err(_) => {}
+            }
+        }
+    }
+    // Pure garbage of random lengths.
+    for _ in 0..CASES {
+        let bytes: Vec<u8> =
+            (0..rng.gen_range(0usize..200)).map(|_| rng.next_u64() as u8).collect();
+        let _ = decode::<KernelMsg>(&bytes);
+    }
+}
+
 // ---- determinism of the whole simulated kernel (three seeds suffice;
 // each case is expensive) ----------------------------------------------------
 
