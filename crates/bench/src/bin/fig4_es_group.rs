@@ -11,7 +11,7 @@ use phoenix_kernel::boot::boot_and_stabilize;
 use phoenix_kernel::client::ClientHandle;
 use phoenix_kernel::KernelParams;
 use phoenix_proto::{
-    ClusterTopology, ConsumerReg, EventFilter, EventType, KernelMsg,
+    ClusterTopology, ConsumerReg, EventFilter, EventType, KernelMsg, RequestId,
 };
 use phoenix_sim::{Fault, NodeId, SimDuration, TraceEvent};
 
@@ -27,6 +27,7 @@ fn main() {
         &mut w,
         es1,
         KernelMsg::EsRegisterConsumer {
+            req: RequestId(0),
             reg: ConsumerReg {
                 consumer: consumer.pid,
                 filter: EventFilter::types(&[EventType::NodeFault, EventType::NodeRecovery]),

@@ -1,0 +1,217 @@
+//! Loss sweep: kernel behaviour as a function of network loss rate.
+//!
+//! The paper evaluated the kernel on reliable switched Ethernet; this
+//! bench asks what the same protocols do when the wire drops, duplicates
+//! and reorders messages. For each loss rate (0–10%) it measures, with
+//! the loss-tolerant parameter profile (`KernelParams::fast_lossy`):
+//!
+//! * **detection time** — a WD process is killed and the virtual time
+//!   until the supervising GSD diagnoses the failure is mined from the
+//!   trace (averaged over several seeds);
+//! * **spurious takeovers** — fault-free runs must record zero GSD
+//!   takeovers at every swept rate (seq-dedup + K-of-N suspicion +
+//!   probe-freshness aborts absorb random loss);
+//! * **retry / dedup counters** — `rpc.retries`, `net.loss.dropped`,
+//!   `net.dup.delivered` and `gsd.dedup.dropped` per fault-free run.
+//!
+//! Results go to `results/BENCH_loss.json` (section `loss_curve`); the
+//! exit status is non-zero if any spurious takeover fired, which lets
+//! `scripts/verify.sh` gate on it.
+//!
+//! ```text
+//! loss_sweep [--small]
+//! ```
+
+use std::path::PathBuf;
+
+use phoenix_kernel::boot::boot_cluster_with_net;
+use phoenix_kernel::KernelParams;
+use phoenix_proto::{ClusterTopology, KernelMsg};
+use phoenix_sim::{FaultTarget, NetParams, SimDuration, TraceEvent, World};
+use phoenix_telemetry::Json;
+
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        }
+    }
+}
+
+fn boot(seed: u64, loss_permille: u16) -> (World<KernelMsg>, phoenix_kernel::PhoenixCluster) {
+    let topo = ClusterTopology::uniform(3, 5, 1);
+    boot_cluster_with_net(
+        topo,
+        KernelParams::fast_lossy(),
+        seed,
+        NetParams::unreliable(loss_permille),
+    )
+}
+
+/// Kill one WD and mine the trace for kill → `FaultDiagnosed` latency,
+/// plus the `rpc.retries` the recovery needed (fault paths are where the
+/// retrying request helpers actually fire). Under loss the diagnosis can
+/// degrade from process-failure to node-failure (every probe reply for the
+/// dead WD's node dropped), so both targets count as detection; the bool
+/// reports whether the diagnosis degraded.
+fn detection_ms(seed: u64, loss_permille: u16) -> (Option<f64>, bool, u64) {
+    phoenix_telemetry::reset();
+    let (mut w, cluster) = boot(seed, loss_permille);
+    w.run_for(SimDuration::from_secs(2));
+    // A compute node's WD in partition 1 (not the meta leader's server).
+    let victim = cluster.directory.nodes[6].wd;
+    let victim_node = cluster.directory.nodes[6].node;
+    let t_kill = w.now();
+    w.kill_process(victim);
+    w.run_for(SimDuration::from_secs(10));
+    let retries = phoenix_telemetry::with(|reg| reg.counter("rpc.retries"));
+    let hit = w.trace().records().iter().find(|r| {
+        r.at >= t_kill
+            && match r.event {
+                TraceEvent::FaultDiagnosed { target: FaultTarget::Process(p), .. } => p == victim,
+                TraceEvent::FaultDiagnosed { target: FaultTarget::Node(n), .. } => n == victim_node,
+                _ => false,
+            }
+    });
+    let ms = hit.map(|rec| rec.at.since(t_kill).as_nanos() as f64 / 1e6);
+    let degraded = matches!(
+        hit.map(|rec| &rec.event),
+        Some(TraceEvent::FaultDiagnosed { target: FaultTarget::Node(_), .. })
+    );
+    (ms, degraded, retries)
+}
+
+struct FaultFreeStats {
+    spurious_takeovers: u64,
+    rpc_retries: u64,
+    loss_dropped: u64,
+    dup_delivered: u64,
+    dedup_dropped: u64,
+}
+
+/// Run a fault-free cluster for 20 virtual seconds and read the counters.
+fn fault_free(seed: u64, loss_permille: u16) -> FaultFreeStats {
+    phoenix_telemetry::reset();
+    let (mut w, _cluster) = boot(seed, loss_permille);
+    w.run_for(SimDuration::from_secs(20));
+    phoenix_telemetry::with(|reg| FaultFreeStats {
+        spurious_takeovers: reg.counter("gsd.takeovers")
+            + reg.histogram("gsd.takeover").map(|h| h.count()).unwrap_or(0),
+        rpc_retries: reg.counter("rpc.retries"),
+        loss_dropped: reg.counter("net.loss.dropped"),
+        dup_delivered: reg.counter("net.dup.delivered"),
+        dedup_dropped: reg.counter("gsd.dedup.dropped"),
+    })
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let rates: &[u16] = if small {
+        &[0, 20, 50]
+    } else {
+        &[0, 5, 10, 20, 50, 100]
+    };
+    let (detect_seeds, clean_seeds) = if small { (2u64, 3u64) } else { (5, 10) };
+    println!(
+        "loss_sweep: rates {rates:?}‰, {detect_seeds} detection seeds + \
+         {clean_seeds} fault-free seeds per rate (15-node testbed, lossy profile)"
+    );
+
+    let mut curve = Vec::new();
+    let mut total_spurious = 0u64;
+    for &rate in rates {
+        // Detection time under loss: mean over seeds (a rate where the
+        // diagnosis never lands would surface as a missing sample).
+        let mut detect: Vec<f64> = Vec::new();
+        let mut missed = 0u64;
+        let mut degraded = 0u64;
+        let mut detect_retries = 0u64;
+        for seed in 1..=detect_seeds {
+            let (ms, deg, r) = detection_ms(seed, rate);
+            detect_retries += r;
+            degraded += deg as u64;
+            match ms {
+                Some(ms) => detect.push(ms),
+                None => missed += 1,
+            }
+        }
+        let detect_mean = if detect.is_empty() {
+            f64::NAN
+        } else {
+            detect.iter().sum::<f64>() / detect.len() as f64
+        };
+
+        let mut spurious = 0u64;
+        let mut retries = 0u64;
+        let mut dropped = 0u64;
+        let mut dups = 0u64;
+        let mut dedup = 0u64;
+        for seed in 100..100 + clean_seeds {
+            let s = fault_free(seed, rate);
+            spurious += s.spurious_takeovers;
+            retries += s.rpc_retries;
+            dropped += s.loss_dropped;
+            dups += s.dup_delivered;
+            dedup += s.dedup_dropped;
+        }
+        total_spurious += spurious;
+
+        println!(
+            "  {:>4}‰: detect {:>8.1} ms (n={}, missed={}, node-diag={}) | \
+             spurious {} | retries {:>4}+{} | dropped {:>6} | dup {:>4} | \
+             hb-dedup {:>4}",
+            rate,
+            detect_mean,
+            detect.len(),
+            missed,
+            degraded,
+            spurious,
+            retries,
+            detect_retries,
+            dropped,
+            dups,
+            dedup
+        );
+        curve.push(
+            Json::obj()
+                .set("loss_permille", Json::Num(rate as f64))
+                .set("detect_ms_mean", Json::Num(detect_mean))
+                .set("detect_samples", Json::Num(detect.len() as f64))
+                .set("detect_missed", Json::Num(missed as f64))
+                .set("detect_node_diagnosed", Json::Num(degraded as f64))
+                .set("spurious_takeovers", Json::Num(spurious as f64))
+                .set("rpc_retries", Json::Num(retries as f64))
+                .set("detect_rpc_retries", Json::Num(detect_retries as f64))
+                .set("net_loss_dropped", Json::Num(dropped as f64))
+                .set("net_dup_delivered", Json::Num(dups as f64))
+                .set("gsd_dedup_dropped", Json::Num(dedup as f64)),
+        );
+    }
+
+    let summary = Json::obj()
+        .set("shape", Json::str(if small { "small" } else { "full" }))
+        .set("rates_permille", Json::Arr(rates.iter().map(|&r| Json::Num(r as f64)).collect()))
+        .set("detect_seeds_per_rate", Json::Num(detect_seeds as f64))
+        .set("clean_seeds_per_rate", Json::Num(clean_seeds as f64))
+        .set("spurious_takeovers", Json::Num(total_spurious as f64));
+
+    let mut rep = phoenix_telemetry::BenchReport::new("loss_sweep");
+    rep.section("loss", summary);
+    rep.section("loss_curve", Json::Arr(curve));
+    let path = phoenix_telemetry::with(|reg| {
+        rep.write_to(reg, workspace_root().join("results/BENCH_loss.json"))
+    })
+    .expect("write BENCH_loss.json");
+    println!("report written: {}", path.display());
+
+    if total_spurious > 0 {
+        eprintln!("loss_sweep: {total_spurious} spurious takeover(s) — loss hardening regressed");
+        std::process::exit(1);
+    }
+}

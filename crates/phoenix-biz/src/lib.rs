@@ -318,6 +318,7 @@ impl Actor<KernelMsg> for BizRuntime {
         ctx.send(
             self.event,
             KernelMsg::EsRegisterConsumer {
+                req: RequestId(0),
                 reg: ConsumerReg {
                     consumer: ctx.pid(),
                     filter: EventFilter::types(&[

@@ -25,7 +25,7 @@ use phoenix_kernel::boot_cluster;
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seeds N] [--seed-base S] [--small] [--paper] \
-         [--max-faults K] [--replay SEED[:MASK_HEX]]"
+         [--lossy PERMILLE] [--max-faults K] [--replay SEED[:MASK_HEX]]"
     );
     std::process::exit(2);
 }
@@ -35,6 +35,7 @@ fn main() {
     let mut seed_base = 1u64;
     let mut cfg = ChaosConfig::small();
     let mut small = true;
+    let mut lossy: Option<u16> = None;
     let mut replay: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -54,6 +55,9 @@ fn main() {
                 cfg = ChaosConfig::paper();
                 small = false;
             }
+            "--lossy" => {
+                lossy = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
             "--max-faults" => {
                 cfg.max_faults =
                     args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
@@ -61,6 +65,14 @@ fn main() {
             "--replay" => replay = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
+    }
+    // Applied after the parse loop: --small/--paper replace the whole
+    // config, so the lossy overlay must win regardless of flag order.
+    if let Some(permille) = lossy {
+        let max_faults = cfg.max_faults;
+        cfg = ChaosConfig::small_lossy(permille);
+        cfg.max_faults = max_faults;
+        small = true;
     }
 
     if let Some(spec) = replay {
@@ -82,6 +94,12 @@ fn main() {
         cfg.nodes_per_partition,
         cfg.max_faults
     );
+    if cfg.net.loss_permille > 0 {
+        println!(
+            "  unreliable network: {}‰ loss, {}‰ duplication, loss bursts in schedules",
+            cfg.net.loss_permille, cfg.net.dup_permille
+        );
+    }
     let mut failures = 0u64;
     let mut total_faults = 0usize;
     for seed in seed_base..seed_base + seeds {

@@ -32,12 +32,12 @@
 use std::fmt;
 
 use phoenix_kernel::group::{Gsd, Wd};
-use phoenix_kernel::{boot_cluster, ClientHandle, KernelParams, PhoenixCluster};
+use phoenix_kernel::{boot_cluster_with_net, ClientHandle, KernelParams, PhoenixCluster};
 use phoenix_proto::{
     BulletinKey, BulletinQuery, ClusterTopology, ConsumerReg, Event, EventFilter, EventPayload,
     EventType, KernelMsg, NodeOp, PartitionId, RequestId, ServiceDirectory,
 };
-use phoenix_sim::{Fault, NicId, NodeId, Pid, SimDuration, SimRng, SimTime, World};
+use phoenix_sim::{Fault, NetParams, NicId, NodeId, Pid, SimDuration, SimRng, SimTime, World};
 
 /// Salt mixed into the schedule RNG so the schedule stream is independent
 /// of the boot/network RNG stream seeded from the same user-facing seed.
@@ -65,6 +65,15 @@ pub struct ChaosConfig {
     /// Give up waiting for quiescence after this much extra virtual time.
     pub settle_deadline: SimDuration,
     pub params: KernelParams,
+    /// Baseline network unreliability for the whole run (loss, duplication,
+    /// reordering). All-zero by default, which keeps every pre-existing
+    /// schedule byte-for-byte identical.
+    pub net: NetParams,
+    /// Include loss-burst steps in generated schedules. Off by default:
+    /// enabling it widens the fault-kind draw, which changes the schedule
+    /// of every seed — pinned regression seeds rely on it staying off for
+    /// the small/paper configurations.
+    pub loss_steps: bool,
 }
 
 impl ChaosConfig {
@@ -80,6 +89,20 @@ impl ChaosConfig {
             settle_window: SimDuration::from_secs(8),
             settle_deadline: SimDuration::from_secs(120),
             params: KernelParams::fast(),
+            net: NetParams::default(),
+            loss_steps: false,
+        }
+    }
+
+    /// The small topology on an unreliable network: a baseline random-loss
+    /// rate, loss-tolerant kernel parameters (retrying RPCs, K-of-N
+    /// suspicion), and loss-burst steps mixed into the schedules.
+    pub fn small_lossy(loss_permille: u16) -> ChaosConfig {
+        ChaosConfig {
+            params: KernelParams::fast_lossy(),
+            net: NetParams::unreliable(loss_permille),
+            loss_steps: true,
+            ..ChaosConfig::small()
         }
     }
 
@@ -96,6 +119,8 @@ impl ChaosConfig {
             settle_window: SimDuration::from_secs(70),
             settle_deadline: SimDuration::from_secs(1200),
             params: KernelParams::default(),
+            net: NetParams::default(),
+            loss_steps: false,
         }
     }
 
@@ -180,7 +205,10 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig, cluster: &PhoenixCluster)
             break;
         }
         let at = SimDuration::from_millis(rng.gen_range(0..horizon_ms));
-        match rng.gen_range(0..4u64) {
+        // The extra loss-burst kind is only in the draw when enabled, so
+        // schedules of the default configurations are unchanged.
+        let kinds = if cfg.loss_steps { 5u64 } else { 4 };
+        match rng.gen_range(0..kinds) {
             0 => {
                 let pid = killable[rng.gen_range(0..killable.len() as u64) as usize];
                 steps.push(Step {
@@ -221,7 +249,7 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig, cluster: &PhoenixCluster)
                     action: StepAction::Fault(Fault::NicUp(node, nic)),
                 });
             }
-            _ => {
+            3 => {
                 let a = all_nodes[rng.gen_range(0..all_nodes.len() as u64) as usize];
                 let mut b = all_nodes[rng.gen_range(0..all_nodes.len() as u64) as usize];
                 if a == b {
@@ -235,6 +263,21 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig, cluster: &PhoenixCluster)
                 steps.push(Step {
                     offset: at + delay,
                     action: StepAction::Fault(Fault::HealLink(a, b)),
+                });
+            }
+            _ => {
+                // A cluster-wide loss burst (congestion spike): random loss
+                // jumps to 5-30% for a bounded window, then clears back to
+                // the configured baseline.
+                let permille = 50 + rng.gen_range(0..251u64) as u16;
+                steps.push(Step {
+                    offset: at,
+                    action: StepAction::Fault(Fault::LossBurst { permille }),
+                });
+                let delay = SimDuration::from_millis(rng.gen_range(1_000u64..6_000));
+                steps.push(Step {
+                    offset: at + delay,
+                    action: StepAction::Fault(Fault::LossClear),
                 });
             }
         }
@@ -305,6 +348,14 @@ pub fn double_nic_nodes(steps: &[Step], horizon: SimDuration) -> Vec<NodeId> {
         }
     }
     out
+}
+
+/// Number of loss-burst faults in the schedule.
+pub fn loss_bursts(steps: &[Step]) -> usize {
+    steps
+        .iter()
+        .filter(|s| matches!(s.action, StepAction::Fault(Fault::LossBurst { .. })))
+        .count()
 }
 
 /// Number of link-partition faults in the schedule.
@@ -392,7 +443,8 @@ fn kills_live_gsd(world: &World<KernelMsg>, fault: Fault) -> bool {
 /// Boot a cluster, apply the masked subset of the seed's schedule, wait for
 /// quiescence, and check every invariant.
 pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> RunOutcome {
-    let (mut world, cluster) = boot_cluster(cfg.topology(), cfg.params.clone(), seed);
+    let (mut world, cluster) =
+        boot_cluster_with_net(cfg.topology(), cfg.params.clone(), seed, cfg.net.clone());
     let hb = cfg.params.ft.hb_interval;
     world.run_until(SimTime::ZERO + hb * 2 + SimDuration::from_millis(10));
 
@@ -405,7 +457,9 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
     let mut applied = 0usize;
     let mut faults_injected = 0usize;
     let mut gsd_died = false;
-    let mut clean_network = true;
+    // Baseline random loss already makes the network "dirty": a lost
+    // heartbeat run can legitimately raise suspicion.
+    let mut clean_network = cfg.net.loss_permille == 0;
 
     for (i, step) in steps.iter().enumerate() {
         if mask & (1u64 << i) == 0 {
@@ -417,7 +471,10 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
                 if kills_live_gsd(&world, fault) {
                     gsd_died = true;
                 }
-                if matches!(fault, Fault::NicDown(..) | Fault::PartitionLink(..)) {
+                if matches!(
+                    fault,
+                    Fault::NicDown(..) | Fault::PartitionLink(..) | Fault::LossBurst { .. }
+                ) {
                     clean_network = false;
                 }
                 if verbose {
@@ -666,17 +723,22 @@ fn query_directory(
     client: &ClientHandle,
     cluster: &PhoenixCluster,
 ) -> Option<ServiceDirectory> {
-    client.send(
-        &mut *world,
-        cluster.config(),
-        KernelMsg::CfgQueryDirectory {
-            req: RequestId(91_000),
-        },
-    );
-    world.run_for(SimDuration::from_millis(200));
-    for (_, msg) in client.drain() {
-        if let KernelMsg::CfgDirectory { directory, .. } = msg {
-            return Some(*directory);
+    // The harness query itself crosses the (possibly lossy) network, so it
+    // retries; on a reliable network the first attempt always answers and
+    // the extra attempts send nothing.
+    for attempt in 0..3u64 {
+        client.send(
+            &mut *world,
+            cluster.config(),
+            KernelMsg::CfgQueryDirectory {
+                req: RequestId(91_000 + attempt),
+            },
+        );
+        world.run_for(SimDuration::from_millis(200));
+        for (_, msg) in client.drain() {
+            if let KernelMsg::CfgDirectory { directory, .. } = msg {
+                return Some(*directory);
+            }
         }
     }
     None
@@ -689,37 +751,47 @@ fn check_bulletin(
     violations: &mut Vec<Violation>,
 ) {
     let bulletin = dir.partitions[0].bulletin;
-    client.send(
-        &mut *world,
-        bulletin,
-        KernelMsg::DbQuery {
-            req: RequestId(92_000),
-            query: BulletinQuery::Resources,
-        },
-    );
-    world.run_for(SimDuration::from_millis(500));
     let mut seen: Vec<NodeId> = Vec::new();
     let mut answered = false;
-    for (_, msg) in client.drain() {
-        if let KernelMsg::DbResp {
-            entries, complete, ..
-        } = msg
-        {
-            answered = true;
-            if !complete {
-                violations.push(Violation {
-                    invariant: "bulletin",
-                    detail: "single-access-point Resources query returned complete=false \
-                             after quiescence"
-                        .into(),
-                });
-            }
-            for e in entries {
-                if let BulletinKey::Resource(n) = e.key {
-                    seen.push(n);
+    let mut complete_seen = false;
+    // Retried like the directory query: a lost DbQuery or DbResp must not
+    // read as a bulletin failure. Only the last answer's completeness
+    // counts (earlier attempts may have been cut short by loss).
+    for attempt in 0..3u64 {
+        client.send(
+            &mut *world,
+            bulletin,
+            KernelMsg::DbQuery {
+                req: RequestId(92_000 + attempt),
+                query: BulletinQuery::Resources,
+            },
+        );
+        world.run_for(SimDuration::from_millis(500));
+        for (_, msg) in client.drain() {
+            if let KernelMsg::DbResp {
+                entries, complete, ..
+            } = msg
+            {
+                answered = true;
+                complete_seen = complete;
+                for e in entries {
+                    if let BulletinKey::Resource(n) = e.key {
+                        seen.push(n);
+                    }
                 }
             }
         }
+        if answered {
+            break;
+        }
+    }
+    if answered && !complete_seen {
+        violations.push(Violation {
+            invariant: "bulletin",
+            detail: "single-access-point Resources query returned complete=false \
+                     after quiescence"
+                .into(),
+        });
     }
     if !answered {
         violations.push(Violation {
@@ -748,25 +820,17 @@ fn check_event_delivery(
 ) {
     let etype = EventType::Custom(4242);
     // One consumer per partition, registered at that partition's ES on the
-    // node the directory says hosts it.
-    let mut consumers: Vec<(PartitionId, ClientHandle)> = Vec::new();
+    // node the directory says hosts it. Registrations are acknowledged
+    // (req != 0) and re-sent until acked so a lost registration does not
+    // read as a federation failure; registration is idempotent server-side.
+    let mut consumers: Vec<(PartitionId, Pid, ClientHandle)> = Vec::new();
     for m in &dir.partitions {
         if !world.is_alive(m.event) || !world.node(m.node).up {
             continue;
         }
         let c = ClientHandle::spawn(world, m.node);
         world.run_for(SimDuration::from_millis(1));
-        c.send(
-            &mut *world,
-            m.event,
-            KernelMsg::EsRegisterConsumer {
-                reg: ConsumerReg {
-                    consumer: c.pid,
-                    filter: EventFilter::Types(vec![etype]),
-                },
-            },
-        );
-        consumers.push((m.partition, c));
+        consumers.push((m.partition, m.event, c));
     }
     if consumers.is_empty() {
         violations.push(Violation {
@@ -775,22 +839,64 @@ fn check_event_delivery(
         });
         return;
     }
-    world.run_for(SimDuration::from_millis(100));
-    let publisher = &consumers[0].1;
-    publisher.send(
-        &mut *world,
-        dir.partitions[0].event,
-        KernelMsg::EsPublish {
-            event: Event::new(etype, NodeId(0), EventPayload::Text("chaos-probe".into())),
-        },
-    );
-    world.run_for(SimDuration::from_millis(500));
-    for (partition, c) in &consumers {
-        let got = c
-            .drain()
-            .into_iter()
-            .any(|(_, m)| matches!(m, KernelMsg::EsNotify { event } if event.etype == etype));
-        if !got {
+    let mut acked = vec![false; consumers.len()];
+    for attempt in 0..3u64 {
+        for (i, (_, es, c)) in consumers.iter().enumerate() {
+            if acked[i] {
+                continue;
+            }
+            c.send(
+                &mut *world,
+                *es,
+                KernelMsg::EsRegisterConsumer {
+                    req: RequestId(93_000 + attempt),
+                    reg: ConsumerReg {
+                        consumer: c.pid,
+                        filter: EventFilter::Types(vec![etype]),
+                    },
+                },
+            );
+        }
+        world.run_for(SimDuration::from_millis(100));
+        for (i, (_, _, c)) in consumers.iter().enumerate() {
+            if c.drain()
+                .into_iter()
+                .any(|(_, m)| matches!(m, KernelMsg::EsRegisterAck { .. }))
+            {
+                acked[i] = true;
+            }
+        }
+        if acked.iter().all(|&a| a) {
+            break;
+        }
+    }
+    // Publish (re-publishing if loss swallowed the probe); a consumer
+    // counts as served once it sees any copy of the event.
+    let mut got = vec![false; consumers.len()];
+    for _attempt in 0..3 {
+        let publisher = &consumers[0].2;
+        publisher.send(
+            &mut *world,
+            dir.partitions[0].event,
+            KernelMsg::EsPublish {
+                event: Event::new(etype, NodeId(0), EventPayload::Text("chaos-probe".into())),
+            },
+        );
+        world.run_for(SimDuration::from_millis(500));
+        for (i, (_, _, c)) in consumers.iter().enumerate() {
+            if c.drain()
+                .into_iter()
+                .any(|(_, m)| matches!(m, KernelMsg::EsNotify { event } if event.etype == etype))
+            {
+                got[i] = true;
+            }
+        }
+        if got.iter().all(|&g| g) {
+            break;
+        }
+    }
+    for (i, (partition, _, _)) in consumers.iter().enumerate() {
+        if !got[i] {
             violations.push(Violation {
                 invariant: "event-delivery",
                 detail: format!(
@@ -913,6 +1019,7 @@ pub fn dump_flight_recorder(limit: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phoenix_kernel::boot_cluster;
 
     #[test]
     fn schedules_are_deterministic_per_seed() {
@@ -980,6 +1087,30 @@ mod tests {
             }
             if !tags.is_empty() {
                 println!("seed {seed:>4}: {} steps  {}", steps.len(), tags.join(" "));
+            }
+        }
+    }
+
+    /// Not a test: scan for lossy-mode pin candidates (a loss burst in the
+    /// same schedule as a GSD kill). Run with
+    /// `cargo test -p phoenix-chaos --release -- --ignored --nocapture lossy_scan`.
+    #[test]
+    #[ignore]
+    fn lossy_scan_for_interesting_seeds() {
+        let cfg = ChaosConfig::small_lossy(20);
+        for seed in 1..=400u64 {
+            let (_w, cluster) =
+                boot_cluster_with_net(cfg.topology(), cfg.params.clone(), seed, cfg.net.clone());
+            let steps = generate_schedule(seed, &cfg, &cluster);
+            let gsd = gsd_kills(&steps, &cluster);
+            let bursts = loss_bursts(&steps);
+            if bursts > 0 && !gsd.is_empty() {
+                println!(
+                    "seed {seed:>4}: {} steps, {} burst(s), gsd kills {:?}",
+                    steps.len(),
+                    bursts,
+                    gsd.iter().map(|p| p.0).collect::<Vec<_>>()
+                );
             }
         }
     }

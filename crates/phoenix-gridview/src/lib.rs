@@ -195,6 +195,7 @@ impl GridView {
         ctx.send(
             self.event,
             KernelMsg::EsRegisterConsumer {
+                req: RequestId(0),
                 reg: ConsumerReg {
                     consumer: ctx.pid(),
                     filter: EventFilter::types(&[

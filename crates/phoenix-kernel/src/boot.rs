@@ -76,9 +76,20 @@ pub fn boot_cluster(
     params: KernelParams,
     seed: u64,
 ) -> (World<KernelMsg>, PhoenixCluster) {
+    boot_cluster_with_net(topology, params, seed, NetParams::default())
+}
+
+/// [`boot_cluster`] with explicit interconnect parameters — the way lossy
+/// experiments configure message loss, duplication and reorder jitter.
+pub fn boot_cluster_with_net(
+    topology: ClusterTopology,
+    params: KernelParams,
+    seed: u64,
+    net: NetParams,
+) -> (World<KernelMsg>, PhoenixCluster) {
     let world = ClusterBuilder::new()
         .nodes(topology.node_count(), NodeSpec::default())
-        .net(NetParams::default())
+        .net(net)
         .seed(seed)
         .build::<KernelMsg>();
     boot_onto(world, topology, params)

@@ -32,6 +32,9 @@ struct PendingQuery {
     acc: Vec<BulletinEntry>,
     waiting: Vec<PartitionId>,
     timer: TimerId,
+    /// Federation-timeout fires so far; under a retrying policy each fire
+    /// short of the budget re-asks the peers that have not answered.
+    attempts: u32,
 }
 
 /// The data-bulletin actor.
@@ -298,6 +301,7 @@ impl Actor<KernelMsg> for DataBulletin {
                         acc,
                         waiting,
                         timer,
+                        attempts: 0,
                     },
                 );
             }
@@ -319,8 +323,16 @@ impl Actor<KernelMsg> for DataBulletin {
             } => {
                 let fed = req.0;
                 let done = if let Some(p) = self.pending.get_mut(&fed) {
-                    p.acc.extend(entries);
-                    p.waiting.retain(|&w| w != partition);
+                    // A partition no longer in `waiting` already answered:
+                    // this copy is a duplicate (network duplication, or a
+                    // retry racing the original) — merging it again would
+                    // double its entries in the reply.
+                    if p.waiting.contains(&partition) {
+                        p.acc.extend(entries);
+                        p.waiting.retain(|&w| w != partition);
+                    } else {
+                        phoenix_telemetry::counter_add("rpc.dedup.hits", 1);
+                    }
                     p.waiting.is_empty()
                 } else {
                     false
@@ -357,11 +369,39 @@ impl Actor<KernelMsg> for DataBulletin {
                 ctx.set_timer(self.params.detector_sample * 2, TOK_CKPT);
             }
             t if t >= TOK_FED_BASE => {
-                // Federation timeout: answer with what we have.
                 let fed = t - TOK_FED_BASE;
+                // Federation timeout. Under a retrying policy, re-ask the
+                // peers that have not answered before giving up — the
+                // fan-out request or its reply may simply have been lost.
+                let retry = if self.params.rpc.retries_enabled() {
+                    self.pending.get_mut(&fed).and_then(|p| {
+                        p.attempts += 1;
+                        (p.attempts < self.params.rpc.max_attempts)
+                            .then(|| (p.query, p.waiting.clone()))
+                    })
+                } else {
+                    None
+                };
+                if let Some((query, waiting)) = retry {
+                    phoenix_telemetry::counter_add("rpc.retries", 1);
+                    let targets: Vec<Pid> = self
+                        .peers
+                        .iter()
+                        .filter(|(p, _)| waiting.contains(p))
+                        .map(|&(_, pid)| pid)
+                        .collect();
+                    for pid in targets {
+                        ctx.send(pid, KernelMsg::DbFedQuery { req: RequestId(fed), query });
+                    }
+                    let timer =
+                        ctx.set_timer(self.params.fed_query_timeout, TOK_FED_BASE + fed);
+                    if let Some(p) = self.pending.get_mut(&fed) {
+                        p.timer = timer;
+                    }
+                    return;
+                }
                 // Partial data: the paper's "only the state of one
                 // partition can't be obtained".
-                let _ = &self.pending.get(&fed).map(|p| p.query);
                 self.finish_query(ctx, fed, false);
             }
             _ => {}

@@ -18,6 +18,8 @@ use std::collections::BTreeMap;
 
 const TOK_HB: u64 = 1;
 const TOK_SYNC_TIMEOUT: u64 = 2;
+/// Backoff timer for re-sending `CkSyncReq` while still unsynced.
+const TOK_SYNC_RETRY: u64 = 3;
 
 /// Key of a checkpointed snapshot: which service instance saved it.
 pub type CkKey = (ServiceKind, PartitionId);
@@ -34,6 +36,9 @@ pub struct CheckpointService {
     pending_loads: Vec<(Pid, RequestId, CkKey)>,
     hb_seq: u64,
     recovery: Option<RecoveryAction>,
+    /// Send attempts for the post-migration sync fan-out (a lost request
+    /// or reply is retried with backoff under a retrying policy).
+    sync_attempts: u32,
 }
 
 impl CheckpointService {
@@ -50,6 +55,7 @@ impl CheckpointService {
             pending_loads: Vec::new(),
             hb_seq: 0,
             recovery: None,
+            sync_attempts: 0,
         }
     }
 
@@ -74,6 +80,7 @@ impl CheckpointService {
             pending_loads: Vec::new(),
             hb_seq: 0,
             recovery: Some(action),
+            sync_attempts: 0,
         }
     }
 
@@ -86,6 +93,25 @@ impl CheckpointService {
         let pending = std::mem::take(&mut self.pending_loads);
         for (to, req, key) in pending {
             self.answer(ctx, to, req, key);
+        }
+    }
+
+    /// Fan the sync request to every surviving peer. Under a retrying
+    /// policy the fan-out re-fires with backoff until a response lands or
+    /// the attempt budget is spent; the give-up timer remains the final
+    /// fallback either way.
+    fn send_sync_reqs(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        for &p in &self.peers.clone() {
+            ctx.send(p, KernelMsg::CkSyncReq { req: RequestId(0) });
+        }
+        self.sync_attempts += 1;
+        if self.sync_attempts > 1 {
+            phoenix_telemetry::counter_add("rpc.retries", 1);
+        }
+        if self.params.rpc.retries_enabled() {
+            if let Some(delay) = self.params.rpc.delay(self.sync_attempts, ctx.rng()) {
+                ctx.set_timer(delay, TOK_SYNC_RETRY);
+            }
         }
     }
 
@@ -124,9 +150,7 @@ impl Actor<KernelMsg> for CheckpointService {
         if !self.synced {
             // Pull the federation's replicated state from every peer; the
             // first answer wins, the rest merge idempotently.
-            for &p in &self.peers.clone() {
-                ctx.send(p, KernelMsg::CkSyncReq { req: RequestId(0) });
-            }
+            self.send_sync_reqs(ctx);
             // Give up after a bounded wait (all peers dead): serve empty.
             ctx.set_timer(self.params.fed_query_timeout * 4, TOK_SYNC_TIMEOUT);
         }
@@ -252,6 +276,11 @@ impl Actor<KernelMsg> for CheckpointService {
                 if !self.synced {
                     self.synced = true;
                     self.flush_pending(ctx);
+                }
+            }
+            TOK_SYNC_RETRY => {
+                if !self.synced {
+                    self.send_sync_reqs(ctx);
                 }
             }
             _ => {}

@@ -16,6 +16,7 @@ use crate::detect::Detector;
 use crate::group::Wd;
 use crate::params::KernelParams;
 use crate::ppm::PpmAgent;
+use crate::rpc::DedupWindow;
 use phoenix_proto::{
     ClusterTopology, Event, EventPayload, EventType, KernelMsg, NodeOp, NodeServices,
     RequestId, ServiceDirectory,
@@ -30,6 +31,10 @@ pub struct ConfigService {
     directory: ServiceDirectory,
     /// Dynamic key/value parameters set through `CfgSetParam`.
     kv: HashMap<String, String>,
+    /// Idempotency window for `CfgNodeOp`: `start_node` spawns daemons and
+    /// fans directory updates cluster-wide, so a retried request must
+    /// replay the cached ack instead of re-executing.
+    node_ops_seen: DedupWindow<(Pid, RequestId), bool>,
 }
 
 impl ConfigService {
@@ -39,6 +44,7 @@ impl ConfigService {
             params,
             directory: ServiceDirectory::default(),
             kv: HashMap::new(),
+            node_ops_seen: DedupWindow::new(64),
         }
     }
 
@@ -181,9 +187,20 @@ impl Actor<KernelMsg> for ConfigService {
                 self.directory.nodes.push(services);
             }
             KernelMsg::CfgNodeOp { req, node, op } => {
+                // Retried request (req 0 marks fire-and-forget callers that
+                // never retry): replay the ack without re-running the op.
+                if req != RequestId(0) {
+                    if let Some(&ok) = self.node_ops_seen.replay(&(from, req)) {
+                        ctx.send(from, KernelMsg::CfgAck { req, ok });
+                        return;
+                    }
+                }
                 match op {
                     NodeOp::Start => self.start_node(ctx, node),
                     NodeOp::Shutdown => self.shutdown_node(ctx, node),
+                }
+                if req != RequestId(0) {
+                    self.node_ops_seen.record((from, req), true);
                 }
                 ctx.send(from, KernelMsg::CfgAck { req, ok: true });
             }
@@ -276,5 +293,40 @@ mod tests {
             .filter(|(_, m)| matches!(m, KernelMsg::CfgAck { ok: true, .. }))
             .count();
         assert_eq!(acks, 2);
+    }
+
+    #[test]
+    fn duplicate_node_op_replays_ack_without_reexecuting() {
+        let mut w = ClusterBuilder::new()
+            .nodes(4, NodeSpec::default())
+            .build::<KernelMsg>();
+        let topo = ClusterTopology::uniform(1, 4, 1);
+        let cfg = w.spawn(
+            NodeId(0),
+            Box::new(ConfigService::new(topo, KernelParams::fast())),
+        );
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        let op = KernelMsg::CfgNodeOp {
+            req: RequestId(7),
+            node: NodeId(3),
+            op: NodeOp::Start,
+        };
+        // The same request arrives twice (a retry after a lost ack).
+        client.send(&mut w, cfg, op.clone());
+        client.send(&mut w, cfg, op);
+        w.run_for(SimDuration::from_millis(5));
+        // Both copies are acked, but the node was started only once: a
+        // re-executed start would spawn a second set of daemons.
+        let acks = client
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, KernelMsg::CfgAck { ok: true, .. }))
+            .count();
+        assert_eq!(acks, 2);
+        assert_eq!(w.pids_on(NodeId(3)).len(), 3);
+        let starts = w.trace().count(|e| {
+            matches!(e, phoenix_sim::TraceEvent::Milestone { label: "node-started", .. })
+        });
+        assert_eq!(starts, 1);
     }
 }

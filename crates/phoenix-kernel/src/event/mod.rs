@@ -242,10 +242,15 @@ impl Actor<KernelMsg> for EventService {
                     self.register_with_gsd(ctx);
                 }
             }
-            KernelMsg::EsRegisterConsumer { reg } => {
+            KernelMsg::EsRegisterConsumer { req, reg } => {
+                // Idempotent: re-registration replaces the previous filter,
+                // so a retried registration is harmless.
                 self.consumers.retain(|r| r.consumer != reg.consumer);
                 self.consumers.push(reg);
                 self.save_state(ctx);
+                if req != RequestId(0) {
+                    ctx.send(from, KernelMsg::EsRegisterAck { req });
+                }
             }
             KernelMsg::EsUnregisterConsumer { consumer } => {
                 self.consumers.retain(|r| r.consumer != consumer);
@@ -352,6 +357,7 @@ mod tests {
             &mut w,
             es0,
             KernelMsg::EsRegisterConsumer {
+                req: RequestId(0),
                 reg: ConsumerReg {
                     consumer: client.pid,
                     filter: EventFilter::types(&[EventType::NodeFault]),
@@ -390,6 +396,7 @@ mod tests {
             &mut w,
             es1,
             KernelMsg::EsRegisterConsumer {
+                req: RequestId(0),
                 reg: ConsumerReg {
                     consumer: client.pid,
                     filter: EventFilter::All,
@@ -416,6 +423,7 @@ mod tests {
             &mut w,
             es0,
             KernelMsg::EsRegisterConsumer {
+                req: RequestId(0),
                 reg: ConsumerReg {
                     consumer: client.pid,
                     filter: EventFilter::All,
@@ -454,6 +462,7 @@ mod tests {
             &mut w,
             es0,
             KernelMsg::EsRegisterConsumer {
+                req: RequestId(0),
                 reg: ConsumerReg {
                     consumer: client.pid,
                     filter: EventFilter::All,

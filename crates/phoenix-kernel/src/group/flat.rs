@@ -50,6 +50,7 @@ impl FlatMember {
                         from_partition: PartitionId(0),
                         nic: NicId(0),
                         epoch: self.epoch,
+                        seq: self.epoch,
                     },
                 );
             }

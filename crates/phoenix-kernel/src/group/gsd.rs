@@ -34,7 +34,24 @@ use std::collections::HashMap;
 
 const TOK_SCAN: u64 = 1;
 const TOK_TICK: u64 = 2;
+/// Retry timer for the directory query a respawned GSD sends to config.
+const TOK_DIR_RETRY: u64 = 3;
+/// Ticks over which a changed directory entry is re-asserted to config
+/// under a retrying policy (~2 s at the fast heartbeat interval — enough
+/// to straddle any loss burst a chaos schedule can generate).
+const DIR_RESEND_TICKS: u32 = 20;
 const OP_BASE: u64 = 100;
+
+/// A heartbeat seq at or below the last seen one within this window is a
+/// duplicate (network-level duplication or reordering) and is dropped. A
+/// backward jump of the window or more means the sender restarted and its
+/// counter reset — accept and resynchronize.
+const SEQ_RESTART_WINDOW: u64 = 64;
+
+/// Duplicate / stale-reorder check shared by WD and meta heartbeats.
+fn is_dup_seq(last: u64, seq: u64) -> bool {
+    seq <= last && last - seq < SEQ_RESTART_WINDOW
+}
 
 /// How this GSD instance came to exist.
 enum GsdInit {
@@ -52,6 +69,8 @@ enum GsdInit {
 struct WdTrack {
     wd: Pid,
     last: Vec<SimTime>,
+    /// Highest heartbeat seq seen per NIC (duplicate suppression).
+    last_seq: Vec<u64>,
     nic_down: Vec<bool>,
     node_down: bool,
     probing: Option<u64>,
@@ -62,6 +81,7 @@ impl WdTrack {
         WdTrack {
             wd,
             last: vec![now; nics],
+            last_seq: vec![0; nics],
             nic_down: vec![false; nics],
             node_down: false,
             probing: None,
@@ -80,6 +100,8 @@ struct SvcTrack {
 struct PredTrack {
     member: MemberInfo,
     last: Vec<SimTime>,
+    /// Highest ring-heartbeat seq seen per NIC (duplicate suppression).
+    last_seq: Vec<u64>,
     nic_down: Vec<bool>,
     probing: Option<u64>,
     down: bool,
@@ -177,6 +199,22 @@ pub struct Gsd {
     /// Re-announce ourselves to the leader at the next tick (set when a
     /// membership broadcast was missing us).
     needs_rejoin: bool,
+    /// Ring-heartbeat sequence counter (bumped once per tick; carried in
+    /// every `MetaHeartbeat` so successors can discard duplicates).
+    hb_seq: u64,
+    /// Send attempts for the respawn-time directory query (retried with
+    /// backoff when the retry policy allows — a lost query or reply must
+    /// not strand the takeover forever).
+    dir_attempts: u32,
+    /// Node-daemon directory entries this GSD changed (WD restarts),
+    /// re-asserted to config for a bounded number of ticks under a
+    /// retrying policy: the `DirectoryUpdateNode` push is fire-and-forget,
+    /// and a lost one would leave the config directory pointing at a dead
+    /// pid forever. Entries are dropped when config pushes a fresher one.
+    dir_resend_nodes: HashMap<NodeId, (NodeServices, u32)>,
+    /// Remaining ticks over which our own `DirectoryUpdate` (membership
+    /// announce after a takeover/migration) is re-asserted to config.
+    dir_resend_local: u32,
 }
 
 impl Gsd {
@@ -260,6 +298,10 @@ impl Gsd {
             last_known: HashMap::new(),
             rescuing: std::collections::HashSet::new(),
             needs_rejoin: false,
+            hb_seq: 0,
+            dir_attempts: 0,
+            dir_resend_nodes: HashMap::new(),
+            dir_resend_local: 0,
         }
     }
 
@@ -370,6 +412,7 @@ impl Gsd {
             self.pred = pred.map(|member| PredTrack {
                 member,
                 last: vec![ctx.now(); self.my_nic_known.len().max(1)],
+                last_seq: vec![0; self.my_nic_known.len().max(1)],
                 nic_down: vec![false; self.my_nic_known.len().max(1)],
                 probing: None,
                 down: false,
@@ -460,6 +503,9 @@ impl Gsd {
                 member: self.local,
             },
         );
+        if self.params.rpc.retries_enabled() {
+            self.dir_resend_local = DIR_RESEND_TICKS;
+        }
         self.push_partition_view(ctx);
     }
 
@@ -482,6 +528,22 @@ impl Gsd {
     }
 
     // ---- wiring ----------------------------------------------------------
+
+    /// Ask config for the current directory (respawn wiring). Under a
+    /// retrying policy a lost query or reply re-sends with backoff —
+    /// otherwise the takeover would stall forever on a single lost message.
+    fn send_directory_query(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        ctx.send(self.config, KernelMsg::CfgQueryDirectory { req: RequestId(0) });
+        self.dir_attempts += 1;
+        if self.dir_attempts > 1 {
+            phoenix_telemetry::counter_add("rpc.retries", 1);
+        }
+        if self.params.rpc.retries_enabled() {
+            if let Some(delay) = self.params.rpc.delay(self.dir_attempts, ctx.rng()) {
+                ctx.set_timer(delay, TOK_DIR_RETRY);
+            }
+        }
+    }
 
     fn wire_from_boot(&mut self, ctx: &mut Ctx<'_, KernelMsg>, dir: &phoenix_proto::ServiceDirectory) {
         if let Some(me) = dir.partition(self.partition) {
@@ -654,7 +716,52 @@ impl Gsd {
     // ---- scanning --------------------------------------------------------
 
     fn stale(&self, now: SimTime, last: SimTime) -> bool {
-        now.since(last) > self.params.ft.hb_interval + self.params.ft.hb_grace
+        // K-of-N suspicion: with `suspect_beats` > 1 a peer is only
+        // suspected after that many consecutive intervals of silence, so a
+        // single heartbeat lost to the network never starts a diagnosis.
+        let window = self.params.ft.hb_interval * self.params.ft.suspect_beats as u64
+            + self.params.ft.hb_grace;
+        now.since(last) > window
+    }
+
+    /// Has any (locally reachable) NIC of the probed peer produced a fresh
+    /// heartbeat since the probe started? Used by the probe-abort path.
+    fn probe_target_fresh(&self, kind: ProbeKind, now: SimTime) -> bool {
+        match kind {
+            ProbeKind::Wd(node) => self
+                .wd_tracks
+                .get(&node)
+                .map(|t| t.last.iter().any(|&l| !self.stale(now, l)))
+                .unwrap_or(false),
+            ProbeKind::Meta(partition) => self
+                .pred
+                .as_ref()
+                .filter(|t| t.member.partition == partition)
+                .map(|t| t.last.iter().any(|&l| !self.stale(now, l)))
+                .unwrap_or(false),
+        }
+    }
+
+    /// Suspicion cleared: beats resumed while the probe was in flight, so
+    /// they were lost in the network, not stopped at the source. Ends the
+    /// session without a diagnosis (no trace events — the paper pipeline
+    /// never reaches this state, so traces stay byte-identical).
+    fn abort_probe(&mut self, kind: ProbeKind) {
+        phoenix_telemetry::counter_add("gsd.suspicion.aborted", 1);
+        match kind {
+            ProbeKind::Wd(node) => {
+                if let Some(t) = self.wd_tracks.get_mut(&node) {
+                    t.probing = None;
+                }
+            }
+            ProbeKind::Meta(partition) => {
+                if let Some(t) = &mut self.pred {
+                    if t.member.partition == partition {
+                        t.probing = None;
+                    }
+                }
+            }
+        }
     }
 
     fn scan(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
@@ -706,6 +813,7 @@ impl Gsd {
                     target: FaultTarget::Process(wd_pid),
                 });
                 phoenix_telemetry::counter_add("gsd.faults.detected", 1);
+                phoenix_telemetry::counter_add("gsd.suspicion.raised", 1);
                 phoenix_telemetry::mark(
                     "gsd.detect_to_diagnose",
                     phoenix_telemetry::key(&[1, node.0 as u64]),
@@ -769,6 +877,7 @@ impl Gsd {
                 target: FaultTarget::Process(member.gsd),
             });
             phoenix_telemetry::counter_add("gsd.faults.detected", 1);
+            phoenix_telemetry::counter_add("gsd.suspicion.raised", 1);
             phoenix_telemetry::mark(
                 "gsd.detect_to_diagnose",
                 phoenix_telemetry::key(&[2, member.partition.0 as u64]),
@@ -898,6 +1007,10 @@ impl Gsd {
         }
         s.active = false;
         let kind = s.kind;
+        if self.params.ft.probe_abort_on_fresh && self.probe_target_fresh(kind, ctx.now()) {
+            self.abort_probe(kind);
+            return;
+        }
         // Node is alive, daemon silent: process failure.
         match kind {
             ProbeKind::Wd(node) => self.diagnose_wd_process(ctx, node),
@@ -914,6 +1027,10 @@ impl Gsd {
         }
         s.active = false;
         let kind = s.kind;
+        if self.params.ft.probe_abort_on_fresh && self.probe_target_fresh(kind, ctx.now()) {
+            self.abort_probe(kind);
+            return;
+        }
         match kind {
             ProbeKind::Wd(node) => self.diagnose_wd_node(ctx, node),
             ProbeKind::Meta(partition) => self.diagnose_gsd_node(ctx, partition),
@@ -967,6 +1084,9 @@ impl Gsd {
             ns.wd = new_pid;
             let updated = *ns;
             ctx.send(self.config, KernelMsg::DirectoryUpdateNode { services: updated });
+            if self.params.rpc.retries_enabled() {
+                self.dir_resend_nodes.insert(node, (updated, DIR_RESEND_TICKS));
+            }
         }
         let now = ctx.now();
         let nics = self.my_nic_known.len();
@@ -1227,18 +1347,18 @@ impl Gsd {
 
     fn send_meta_heartbeats(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
         if let Some(succ) = self.successor() {
+            self.hb_seq += 1;
             phoenix_telemetry::counter_add(
                 "gsd.meta_heartbeats.sent",
                 self.my_nic_known.len() as u64,
             );
             for i in 0..self.my_nic_known.len() {
-                // Keyed on (partition, nic, epoch): the successor measures the
-                // same tuple from the message fields. Successive intervals
-                // reuse the key; the overwrite is harmless because the flight
-                // time is far below the heartbeat interval.
+                // Keyed on (partition, nic, seq): the successor measures the
+                // same tuple from the message fields, and the per-beat seq
+                // keeps duplicated deliveries from re-measuring a stale mark.
                 phoenix_telemetry::mark(
                     "meta.heartbeat.flight",
-                    phoenix_telemetry::key(&[self.partition.0 as u64, i as u64, self.epoch]),
+                    phoenix_telemetry::key(&[self.partition.0 as u64, i as u64, self.hb_seq]),
                 );
                 ctx.send_via(
                     succ.gsd,
@@ -1247,6 +1367,7 @@ impl Gsd {
                         from_partition: self.partition,
                         nic: NicId(i as u8),
                         epoch: self.epoch,
+                        seq: self.hb_seq,
                     },
                 );
             }
@@ -1280,9 +1401,43 @@ impl Gsd {
         }
     }
 
+    /// Re-assert recently changed directory entries to config. Only active
+    /// under a retrying policy; a bounded number of repeats per change.
+    fn directory_anti_entropy(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        if self.dir_resend_local > 0 {
+            self.dir_resend_local -= 1;
+            ctx.send(
+                self.config,
+                KernelMsg::DirectoryUpdate {
+                    partition: self.partition,
+                    member: self.local,
+                },
+            );
+        }
+        if self.dir_resend_nodes.is_empty() {
+            return;
+        }
+        // Sorted so send order (and thus the event queue) is deterministic.
+        let mut nodes: Vec<NodeId> = self.dir_resend_nodes.keys().copied().collect();
+        nodes.sort_by_key(|n| n.0);
+        for node in nodes {
+            let Some((ns, left)) = self.dir_resend_nodes.get_mut(&node) else {
+                continue;
+            };
+            let services = *ns;
+            *left -= 1;
+            let done = *left == 0;
+            ctx.send(self.config, KernelMsg::DirectoryUpdateNode { services });
+            if done {
+                self.dir_resend_nodes.remove(&node);
+            }
+        }
+    }
+
     fn tick(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
         self.send_meta_heartbeats(ctx);
         self.introspect_own_nics(ctx);
+        self.directory_anti_entropy(ctx);
         if self.supervision_dirty {
             self.save_supervision(ctx);
         }
@@ -1342,6 +1497,19 @@ impl Gsd {
         nic: NicId,
         seq: u64,
     ) {
+        // Duplicate suppression before any bookkeeping: a beat already seen
+        // on this NIC (network duplication, or an old reordered copy) must
+        // not refresh liveness or count in telemetry. A seq far below the
+        // window means the WD restarted and its counter reset — accept it.
+        if let Some(t) = self.wd_tracks.get_mut(&node) {
+            if let Some(last_seq) = t.last_seq.get_mut(nic.0 as usize) {
+                if is_dup_seq(*last_seq, seq) {
+                    phoenix_telemetry::counter_add("gsd.dedup.dropped", 1);
+                    return;
+                }
+                *last_seq = seq;
+            }
+        }
         phoenix_telemetry::counter_add("gsd.wd_heartbeats.received", 1);
         phoenix_telemetry::measure(
             "wd.heartbeat.flight",
@@ -1383,13 +1551,26 @@ impl Gsd {
         ctx: &mut Ctx<'_, KernelMsg>,
         from_partition: PartitionId,
         nic: NicId,
-        epoch: u64,
+        seq: u64,
     ) {
+        // Duplicate suppression, same contract as WD beats: a replayed seq
+        // must not refresh the predecessor's liveness window.
+        if let Some(t) = &mut self.pred {
+            if t.member.partition == from_partition {
+                if let Some(last_seq) = t.last_seq.get_mut(nic.0 as usize) {
+                    if is_dup_seq(*last_seq, seq) {
+                        phoenix_telemetry::counter_add("gsd.dedup.dropped", 1);
+                        return;
+                    }
+                    *last_seq = seq;
+                }
+            }
+        }
         phoenix_telemetry::measure(
             "meta.heartbeat.flight",
             "gsd",
             ctx.node().0,
-            phoenix_telemetry::key(&[from_partition.0 as u64, nic.0 as u64, epoch]),
+            phoenix_telemetry::key(&[from_partition.0 as u64, nic.0 as u64, seq]),
         );
         let now = ctx.now();
         let mut recovered_nic = false;
@@ -1489,7 +1670,7 @@ impl Actor<KernelMsg> for Gsd {
         self.local.node = ctx.node();
         if matches!(self.init, Some(GsdInit::Respawn { .. })) {
             // Need the current node-daemon directory before wiring.
-            ctx.send(self.config, KernelMsg::CfgQueryDirectory { req: RequestId(0) });
+            self.send_directory_query(ctx);
         }
     }
 
@@ -1512,8 +1693,9 @@ impl Actor<KernelMsg> for Gsd {
             KernelMsg::MetaHeartbeat {
                 from_partition,
                 nic,
-                epoch,
-            } => self.on_meta_heartbeat(ctx, from_partition, nic, epoch),
+                seq,
+                ..
+            } => self.on_meta_heartbeat(ctx, from_partition, nic, seq),
             KernelMsg::MetaJoin { member } => {
                 if self.role() == "leader" {
                     let old_entry = self
@@ -1685,6 +1867,8 @@ impl Actor<KernelMsg> for Gsd {
             KernelMsg::DirectoryUpdateNode { services } => {
                 // Config respawned a node's daemons (node brought back up).
                 let node = services.node;
+                // Config's push supersedes anything we were re-asserting.
+                self.dir_resend_nodes.remove(&node);
                 self.node_daemons.insert(node, services);
                 let was_down = self
                     .wd_tracks
@@ -1748,6 +1932,13 @@ impl Actor<KernelMsg> for Gsd {
             TOK_TICK => {
                 if self.monitoring {
                     self.tick(ctx);
+                }
+            }
+            TOK_DIR_RETRY => {
+                // Still waiting for the respawn directory: the query or its
+                // reply was lost — ask again.
+                if matches!(self.init, Some(GsdInit::Respawn { .. })) {
+                    self.send_directory_query(ctx);
                 }
             }
             t if t > OP_BASE => {

@@ -30,8 +30,12 @@ pub mod event;
 pub mod group;
 pub mod params;
 pub mod ppm;
+pub mod rpc;
 pub mod security;
 
-pub use boot::{boot_and_stabilize, boot_cluster, boot_onto, PhoenixCluster};
+pub use boot::{
+    boot_and_stabilize, boot_cluster, boot_cluster_with_net, boot_onto, PhoenixCluster,
+};
 pub use client::ClientHandle;
 pub use params::{FtParams, KernelParams};
+pub use rpc::{DedupWindow, Retrier, RetryPolicy};

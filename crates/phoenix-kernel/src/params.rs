@@ -8,6 +8,7 @@
 //! stresses that "the interval for sending heartbeat can be configured as a
 //! system parameter".
 
+use crate::rpc::RetryPolicy;
 use phoenix_sim::SimDuration;
 
 /// Fault-tolerance timing parameters (paper Sec 5.1).
@@ -53,6 +54,15 @@ pub struct FtParams {
     pub ck_restart_cost: SimDuration,
     /// Cost to restart a user-environment service (PWS scheduler) in place.
     pub userenv_restart_cost: SimDuration,
+    /// How many consecutive heartbeats must go missing (on every NIC)
+    /// before the GSD suspects a peer. 1 reproduces the paper's
+    /// single-deadline detector exactly; loss-tolerant profiles raise it so
+    /// one dropped beat never starts a diagnosis.
+    pub suspect_beats: u32,
+    /// Re-check heartbeat freshness when a probe concludes and abort the
+    /// diagnosis if beats resumed meanwhile (they were merely lost, not
+    /// stopped). Off by default to keep the paper pipeline byte-identical.
+    pub probe_abort_on_fresh: bool,
 }
 
 impl Default for FtParams {
@@ -74,6 +84,8 @@ impl Default for FtParams {
             db_restart_cost: SimDuration::from_millis(150),
             ck_restart_cost: SimDuration::from_millis(150),
             userenv_restart_cost: SimDuration::from_millis(200),
+            suspect_beats: 1,
+            probe_abort_on_fresh: false,
         }
     }
 }
@@ -91,6 +103,16 @@ impl FtParams {
             wd_node_probe_timeout: SimDuration::from_millis(200),
             meta_node_probe_timeout: SimDuration::from_millis(100),
             ..FtParams::default()
+        }
+    }
+
+    /// Fast profile hardened for a lossy network: suspicion only after
+    /// several silent beats, and probes that abort when beats resume.
+    pub fn fast_lossy() -> FtParams {
+        FtParams {
+            suspect_beats: 3,
+            probe_abort_on_fresh: true,
+            ..FtParams::fast()
         }
     }
 }
@@ -113,6 +135,10 @@ pub struct KernelParams {
     /// Baseline swap usage (fraction); the paper's Fig 6 snapshot shows
     /// 0.72 % average swap.
     pub base_swap_load: f64,
+    /// Retry policy for kernel request/reply paths (config, checkpoint,
+    /// bulletin federation, event registration). The default policy makes
+    /// no retries, preserving the original single-shot behaviour.
+    pub rpc: RetryPolicy,
 }
 
 impl Default for KernelParams {
@@ -125,6 +151,7 @@ impl Default for KernelParams {
             base_cpu_load: 0.02,
             base_mem_load: 0.15,
             base_swap_load: 0.0072,
+            rpc: RetryPolicy::none(),
         }
     }
 }
@@ -137,6 +164,17 @@ impl KernelParams {
             detector_sample: SimDuration::from_millis(500),
             fed_query_timeout: SimDuration::from_millis(100),
             ..KernelParams::default()
+        }
+    }
+
+    /// Fast profile hardened for a lossy network: K-of-N suspicion,
+    /// probe-freshness aborts and bounded retries with backoff on every
+    /// request/reply path.
+    pub fn fast_lossy() -> KernelParams {
+        KernelParams {
+            ft: FtParams::fast_lossy(),
+            rpc: RetryPolicy::lossy(),
+            ..KernelParams::fast()
         }
     }
 }
@@ -160,5 +198,19 @@ mod tests {
         let f = FtParams::fast();
         assert!(f.hb_interval < FtParams::default().hb_interval);
         assert!(f.wd_node_probe_timeout < FtParams::default().wd_node_probe_timeout);
+    }
+
+    #[test]
+    fn defaults_disable_loss_hardening() {
+        // The paper pipeline must stay byte-identical: no K-of-N widening,
+        // no probe aborts, no retries unless a lossy profile opts in.
+        let p = KernelParams::default();
+        assert_eq!(p.ft.suspect_beats, 1);
+        assert!(!p.ft.probe_abort_on_fresh);
+        assert!(!p.rpc.retries_enabled());
+        let l = KernelParams::fast_lossy();
+        assert!(l.ft.suspect_beats > 1);
+        assert!(l.ft.probe_abort_on_fresh);
+        assert!(l.rpc.retries_enabled());
     }
 }

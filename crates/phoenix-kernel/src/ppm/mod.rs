@@ -14,6 +14,7 @@
 //! that register with the node's application-state detector, drive their
 //! configured resource load, and exit after their run time.
 
+use crate::rpc::DedupWindow;
 use phoenix_proto::{JobId, KernelMsg, NodeServices, TaskSpec};
 use phoenix_sim::{Actor, Ctx, NodeId, Pid, SimDuration, TraceEvent};
 use std::collections::HashMap;
@@ -82,6 +83,10 @@ pub struct PpmAgent {
     detector: Pid,
     /// Local app processes by job.
     jobs: HashMap<JobId, Pid>,
+    /// Requests already processed, with the ack sent for them (if this
+    /// node was a target). A duplicated tree message replays the ack and
+    /// is not re-executed or re-forwarded.
+    seen: DedupWindow<(Pid, u64), Option<KernelMsg>>,
 }
 
 impl PpmAgent {
@@ -91,6 +96,7 @@ impl PpmAgent {
             table: HashMap::new(),
             detector: Pid(0),
             jobs: HashMap::new(),
+            seen: DedupWindow::new(64),
         }
     }
 
@@ -101,6 +107,7 @@ impl PpmAgent {
             table,
             detector,
             jobs: HashMap::new(),
+            seen: DedupWindow::new(64),
         }
     }
 
@@ -155,6 +162,15 @@ impl Actor<KernelMsg> for PpmAgent {
                 targets,
                 reply_to,
             } => {
+                // Duplicate tree message (network duplication or an
+                // upstream retry): replay the recorded ack, never
+                // re-execute or re-forward.
+                if let Some(cached) = self.seen.replay(&(reply_to, req.0)) {
+                    if let Some(ack) = cached.clone() {
+                        ctx.send(reply_to, ack);
+                    }
+                    return;
+                }
                 let mut rest: Vec<NodeId> = Vec::with_capacity(targets.len());
                 let mut mine = false;
                 for t in targets {
@@ -164,6 +180,7 @@ impl Actor<KernelMsg> for PpmAgent {
                         rest.push(t);
                     }
                 }
+                let mut ack = None;
                 if mine {
                     phoenix_telemetry::counter_add("ppm.execs.handled", 1);
                     phoenix_telemetry::measure(
@@ -178,16 +195,16 @@ impl Actor<KernelMsg> for PpmAgent {
                         let pid = ctx.spawn(self.node, Box::new(app));
                         self.jobs.insert(job, pid);
                     }
-                    ctx.send(
-                        reply_to,
-                        KernelMsg::PpmExecAck {
-                            req,
-                            job,
-                            node: self.node,
-                            ok,
-                        },
-                    );
+                    let msg = KernelMsg::PpmExecAck {
+                        req,
+                        job,
+                        node: self.node,
+                        ok,
+                    };
+                    ctx.send(reply_to, msg.clone());
+                    ack = Some(msg);
                 }
+                self.seen.record((reply_to, req.0), ack);
                 let task2 = task;
                 self.forward(ctx, rest, move |sub| KernelMsg::PpmExec {
                     req,
@@ -203,6 +220,12 @@ impl Actor<KernelMsg> for PpmAgent {
                 targets,
                 reply_to,
             } => {
+                if let Some(cached) = self.seen.replay(&(reply_to, req.0)) {
+                    if let Some(ack) = cached.clone() {
+                        ctx.send(reply_to, ack);
+                    }
+                    return;
+                }
                 let mut rest: Vec<NodeId> = Vec::with_capacity(targets.len());
                 let mut mine = false;
                 for t in targets {
@@ -212,6 +235,7 @@ impl Actor<KernelMsg> for PpmAgent {
                         rest.push(t);
                     }
                 }
+                let mut ack = None;
                 if mine {
                     // Kill the task and clean up: the detector is told the
                     // app is gone so resource accounting resets.
@@ -226,15 +250,15 @@ impl Actor<KernelMsg> for PpmAgent {
                             },
                         );
                     }
-                    ctx.send(
-                        reply_to,
-                        KernelMsg::PpmDeleteAck {
-                            req,
-                            job,
-                            node: self.node,
-                        },
-                    );
+                    let msg = KernelMsg::PpmDeleteAck {
+                        req,
+                        job,
+                        node: self.node,
+                    };
+                    ctx.send(reply_to, msg.clone());
+                    ack = Some(msg);
                 }
+                self.seen.record((reply_to, req.0), ack);
                 self.forward(ctx, rest, move |sub| KernelMsg::PpmDelete {
                     req,
                     job,
@@ -422,6 +446,44 @@ mod tests {
             .collect();
         assert_eq!(oks.len(), 2);
         assert!(oks.contains(&true) && oks.contains(&false));
+    }
+
+    /// A duplicated tree message (same req, e.g. network duplication or an
+    /// upstream retry) replays the recorded ack without re-executing.
+    #[test]
+    fn duplicate_delivery_replays_ack_once() {
+        let (mut w, agents, det) = setup(2);
+        let client = ClientHandle::spawn(&mut w, NodeId(0));
+        let exec = KernelMsg::PpmExec {
+            req: RequestId(5),
+            job: JobId(1),
+            task: TaskSpec {
+                duration_ns: None,
+                ..TaskSpec::default()
+            },
+            targets: vec![NodeId(1)],
+            reply_to: client.pid,
+        };
+        client.send(&mut w, agents[1], exec.clone());
+        client.send(&mut w, agents[1], exec);
+        w.run_for(SimDuration::from_millis(50));
+        // Both deliveries are acked (the retry got its answer), but the
+        // app process was only spawned once and both acks say ok.
+        let oks: Vec<bool> = client
+            .drain()
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                KernelMsg::PpmExecAck { ok, .. } => Some(ok),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(oks, vec![true, true]);
+        let started = det
+            .drain()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, KernelMsg::AppStarted { job: JobId(1), .. }))
+            .count();
+        assert_eq!(started, 1);
     }
 
     #[test]

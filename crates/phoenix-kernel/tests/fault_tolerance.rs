@@ -182,6 +182,7 @@ fn server_node_crash_migrates_gsd_and_services_to_backup() {
         &mut w,
         es1,
         KernelMsg::EsRegisterConsumer {
+            req: RequestId(0),
             reg: ConsumerReg {
                 consumer: consumer.pid,
                 filter: EventFilter::types(&[EventType::NodeRecovery]),
@@ -277,6 +278,7 @@ fn es_process_failure_restarts_with_state() {
         &mut w,
         es0,
         KernelMsg::EsRegisterConsumer {
+            req: RequestId(0),
             reg: ConsumerReg {
                 consumer: consumer.pid,
                 filter: EventFilter::All,

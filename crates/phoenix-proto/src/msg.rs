@@ -102,10 +102,14 @@ pub enum KernelMsg {
     // ---- group service: meta-group ring ("meta") ------------------------
     /// Ring heartbeat from a GSD to its successor, sent over every NIC so
     /// the observer can tell a network failure from a daemon failure.
+    /// `seq` counts beats (per sender) so a lossy network's duplicates and
+    /// stragglers can be deduplicated; `epoch` only moves on membership
+    /// changes.
     MetaHeartbeat {
         from_partition: PartitionId,
         nic: NicId,
         epoch: u64,
+        seq: u64,
     },
     /// A (re)started GSD announces itself to the meta-group leader.
     MetaJoin { member: MemberInfo },
@@ -143,7 +147,10 @@ pub enum KernelMsg {
     },
 
     // ---- event service ("event") ----------------------------------------
-    EsRegisterConsumer { reg: ConsumerReg },
+    /// Register a consumer. `req` of zero keeps the legacy fire-and-forget
+    /// behaviour; a non-zero `req` asks for an `EsRegisterAck` so the
+    /// caller can retry registration over a lossy network.
+    EsRegisterConsumer { req: RequestId, reg: ConsumerReg },
     EsUnregisterConsumer { consumer: Pid },
     EsRegisterSupplier {
         supplier: Pid,
@@ -155,6 +162,8 @@ pub enum KernelMsg {
     EsNotify { event: Event },
     /// Federation forward to peer ES instances.
     EsFedForward { event: Event },
+    /// Acknowledges an `EsRegisterConsumer` carrying a non-zero request id.
+    EsRegisterAck { req: RequestId },
 
     // ---- data bulletin ("bulletin") --------------------------------------
     /// Detector export of fresh readings to its partition bulletin.
@@ -375,7 +384,8 @@ impl KernelMsg {
             | EsRegisterSupplier { .. }
             | EsPublish { .. }
             | EsNotify { .. }
-            | EsFedForward { .. } => "event",
+            | EsFedForward { .. }
+            | EsRegisterAck { .. } => "event",
             DbPut { .. } | DbQuery { .. } | DbResp { .. } | DbFedQuery { .. }
             | DbFedResp { .. } => "bulletin",
             CkSave { .. } | CkLoad { .. } | CkLoadResp { .. } | CkDelete { .. }
@@ -463,7 +473,8 @@ mod tests {
             KernelMsg::MetaHeartbeat {
                 from_partition: PartitionId(0),
                 nic: NicId(0),
-                epoch: 0
+                epoch: 0,
+                seq: 0
             }
             .label(),
             "meta"

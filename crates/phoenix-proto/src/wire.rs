@@ -564,14 +564,14 @@ wire_enum! { KernelMsg {
     1 => WdHeartbeat { node, nic, seq },
     2 => ProbeReq { req },
     3 => ProbeResp { req },
-    4 => MetaHeartbeat { from_partition, nic, epoch },
+    4 => MetaHeartbeat { from_partition, nic, epoch, seq },
     5 => MetaJoin { member },
     6 => MetaMembership { epoch, members },
     7 => MetaMemberDown { partition, diagnosis },
     8 => SvcRegister { kind, pid, factory },
     9 => SvcHeartbeat { kind, pid, seq },
     10 => PartitionView { members, local },
-    11 => EsRegisterConsumer { reg },
+    11 => EsRegisterConsumer { req, reg },
     12 => EsUnregisterConsumer { consumer },
     13 => EsRegisterSupplier { supplier, types },
     14 => EsPublish { event },
@@ -621,6 +621,7 @@ wire_enum! { KernelMsg {
     58 => PoolLeaseReturn { nodes },
     59 => PbsPoll { req },
     60 => PbsPollResp { req, node, usage, jobs },
+    61 => EsRegisterAck { req },
 }}
 
 #[cfg(test)]

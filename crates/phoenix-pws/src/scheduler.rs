@@ -493,6 +493,7 @@ impl Actor<KernelMsg> for PwsScheduler {
         ctx.send(
             self.event,
             KernelMsg::EsRegisterConsumer {
+                req: RequestId(0),
                 reg: ConsumerReg {
                     consumer: ctx.pid(),
                     filter: EventFilter::types(&[

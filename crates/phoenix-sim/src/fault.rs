@@ -26,6 +26,11 @@ pub enum Fault {
     PartitionLink(NodeId, NodeId),
     /// Heal a partitioned link.
     HealLink(NodeId, NodeId),
+    /// Degrade the whole interconnect to at least `permille` message loss
+    /// (0..=1000) until `LossClear`.
+    LossBurst { permille: u16 },
+    /// End a loss burst; any configured base loss rate stays in effect.
+    LossClear,
 }
 
 #[cfg(test)]

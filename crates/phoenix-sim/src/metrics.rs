@@ -57,6 +57,7 @@ impl Metrics {
             DropReason::NodeDown => "node_down",
             DropReason::DeadProcess => "dead_process",
             DropReason::NoRoute => "no_route",
+            DropReason::RandomLoss => "random_loss",
         };
         *self.drops_by_reason.entry(key).or_default() += 1;
     }
@@ -108,6 +109,17 @@ mod tests {
         assert_eq!(m.total.sent, 2);
         assert_eq!(m.drops_by_reason["node_down"], 1);
         assert_eq!(m.wire_bytes(), 64);
+    }
+
+    #[test]
+    fn random_loss_has_its_own_drop_bucket() {
+        let mut m = Metrics::default();
+        m.on_drop("hb", DropReason::RandomLoss);
+        m.on_drop("hb", DropReason::RandomLoss);
+        m.on_drop("hb", DropReason::Partitioned);
+        assert_eq!(m.drops_by_reason["random_loss"], 2);
+        assert_eq!(m.drops_by_reason["partitioned"], 1);
+        assert_eq!(m.label("hb").dropped, 3);
     }
 
     #[test]

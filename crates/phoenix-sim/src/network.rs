@@ -9,14 +9,17 @@
 //! Failures modelled here:
 //! * NIC down — messages over that interface are dropped in either direction;
 //! * node crash — handled by the world (all NICs effectively gone);
-//! * link partition — ordered node pairs that cannot exchange messages.
+//! * link partition — ordered node pairs that cannot exchange messages;
+//! * probabilistic unreliability — uniform message loss, duplication and
+//!   extra reorder jitter, driven by the world's seeded RNG so lossy runs
+//!   stay deterministic and replayable.
 
 use crate::ids::{NicId, NodeId};
 use crate::rng::SimRng;
 use crate::time::SimDuration;
 use std::collections::HashSet;
 
-/// Latency parameters of the interconnect.
+/// Latency and unreliability parameters of the interconnect.
 #[derive(Clone, Debug)]
 pub struct NetParams {
     /// One-way latency for messages between actors on the same node.
@@ -25,6 +28,17 @@ pub struct NetParams {
     pub lan_latency: SimDuration,
     /// Uniform jitter added on top of `lan_latency` (0..=jitter).
     pub jitter: SimDuration,
+    /// Probability (in permille, 0..=1000) that a cross-node message is
+    /// silently lost. Zero (the default) draws no randomness at all, so
+    /// pre-existing seeded runs reproduce byte-for-byte.
+    pub loss_permille: u16,
+    /// Probability (in permille) that a cross-node message is delivered
+    /// twice, the copy with an independently drawn latency.
+    pub dup_permille: u16,
+    /// Extra uniform jitter (0..=reorder_extra) added per cross-node
+    /// message when non-zero: widens the reorder window well beyond the
+    /// base `jitter` without shifting the latency floor.
+    pub reorder_extra: SimDuration,
 }
 
 impl Default for NetParams {
@@ -35,6 +49,23 @@ impl Default for NetParams {
             // Typical 2005-era cluster ethernet one-way latency.
             lan_latency: SimDuration::from_micros(120),
             jitter: SimDuration::from_micros(30),
+            loss_permille: 0,
+            dup_permille: 0,
+            reorder_extra: SimDuration::ZERO,
+        }
+    }
+}
+
+impl NetParams {
+    /// A lossy profile: `loss_permille` uniform loss, a quarter of that as
+    /// duplication, and a reorder window an order of magnitude wider than
+    /// the base jitter.
+    pub fn unreliable(loss_permille: u16) -> NetParams {
+        NetParams {
+            loss_permille,
+            dup_permille: loss_permille / 4,
+            reorder_extra: SimDuration::from_micros(300),
+            ..NetParams::default()
         }
     }
 }
@@ -48,6 +79,9 @@ pub enum DropReason {
     NodeDown,
     DeadProcess,
     NoRoute,
+    /// Probabilistic loss from the unreliability model (base rate or an
+    /// injected loss burst).
+    RandomLoss,
 }
 
 /// Connectivity state of the interconnect (partitions between node pairs).
@@ -56,6 +90,9 @@ pub struct Network {
     pub params: NetParams,
     /// Unordered blocked pairs, stored with min id first.
     blocked: HashSet<(NodeId, NodeId)>,
+    /// Transient loss burst (`Fault::LossBurst`); the effective loss rate
+    /// is the max of this and the configured base rate.
+    burst_permille: u16,
 }
 
 impl Network {
@@ -63,6 +100,7 @@ impl Network {
         Network {
             params,
             blocked: HashSet::new(),
+            burst_permille: 0,
         }
     }
 
@@ -92,6 +130,48 @@ impl Network {
     /// Is the pair currently partitioned?
     pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
         self.blocked.contains(&Self::key(a, b))
+    }
+
+    /// Degrade the whole interconnect to at least `permille` loss
+    /// (`Fault::LossBurst`).
+    pub fn set_loss_burst(&mut self, permille: u16) {
+        self.burst_permille = permille.min(1000);
+    }
+
+    /// End a loss burst (`Fault::LossClear`); the configured base rate
+    /// stays in effect.
+    pub fn clear_loss_burst(&mut self) {
+        self.burst_permille = 0;
+    }
+
+    /// Loss probability currently in effect, in permille.
+    pub fn effective_loss_permille(&self) -> u16 {
+        self.params.loss_permille.max(self.burst_permille)
+    }
+
+    /// Roll the dice for one cross-node message: `true` means the message
+    /// is lost. Draws from the RNG only when a loss rate is in effect, so
+    /// reliable runs consume exactly the same random stream as before the
+    /// unreliability model existed.
+    pub fn loss_roll(&self, rng: &mut SimRng) -> bool {
+        let permille = self.effective_loss_permille();
+        permille > 0 && rng.gen_range(0..1000u64) < permille as u64
+    }
+
+    /// Roll for duplication: `true` means deliver a second copy.
+    pub fn dup_roll(&self, rng: &mut SimRng) -> bool {
+        let permille = self.params.dup_permille.min(1000);
+        permille > 0 && rng.gen_range(0..1000u64) < permille as u64
+    }
+
+    /// Extra reorder jitter for one cross-node message (ZERO when the
+    /// model is off; no RNG draw in that case).
+    pub fn reorder_extra(&self, rng: &mut SimRng) -> SimDuration {
+        if self.params.reorder_extra.as_nanos() == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(rng.gen_range(0..=self.params.reorder_extra.as_nanos()))
+        }
     }
 
     /// Draw the one-way latency for a message from `src` to `dst`.
@@ -210,5 +290,51 @@ mod tests {
             net.route(NodeId(0), NodeId(1), NicId(0), true, true),
             Err(DropReason::Partitioned)
         );
+    }
+
+    #[test]
+    fn zero_rates_draw_no_randomness() {
+        let net = Network::new(NetParams::default());
+        let mut rng = SimRng::seed_from_u64(11);
+        let before = rng.next_u64();
+        let mut rng = SimRng::seed_from_u64(11);
+        assert!(!net.loss_roll(&mut rng));
+        assert!(!net.dup_roll(&mut rng));
+        assert_eq!(net.reorder_extra(&mut rng), SimDuration::ZERO);
+        // The rolls consumed nothing: the next draw matches a fresh rng.
+        assert_eq!(rng.next_u64(), before);
+    }
+
+    #[test]
+    fn loss_roll_tracks_configured_rate() {
+        let net = Network::new(NetParams {
+            loss_permille: 100, // 10%
+            ..NetParams::default()
+        });
+        let mut rng = SimRng::seed_from_u64(42);
+        let lost = (0..10_000).filter(|_| net.loss_roll(&mut rng)).count();
+        assert!((800..1200).contains(&lost), "10% loss drew {lost}/10000");
+    }
+
+    #[test]
+    fn burst_overrides_lower_base_rate() {
+        let mut net = Network::new(NetParams::default());
+        assert_eq!(net.effective_loss_permille(), 0);
+        net.set_loss_burst(300);
+        assert_eq!(net.effective_loss_permille(), 300);
+        net.clear_loss_burst();
+        assert_eq!(net.effective_loss_permille(), 0);
+        // A burst never lowers a higher base rate.
+        net.params.loss_permille = 500;
+        net.set_loss_burst(300);
+        assert_eq!(net.effective_loss_permille(), 500);
+    }
+
+    #[test]
+    fn unreliable_profile_scales_with_loss() {
+        let p = NetParams::unreliable(80);
+        assert_eq!(p.loss_permille, 80);
+        assert_eq!(p.dup_permille, 20);
+        assert!(p.reorder_extra > SimDuration::ZERO);
     }
 }

@@ -478,8 +478,39 @@ impl<M: Message> World<M> {
         let route = self.resolve_route(src, dst, via);
         match route {
             Ok(_nic) => {
+                // Unreliability model: only cross-node messages touch the
+                // wire, and every roll below draws from the RNG only when
+                // its rate is non-zero — a fully reliable network consumes
+                // exactly the same random stream as before the model
+                // existed, keeping old seeded runs byte-for-byte identical.
+                let crossing = src != dst;
+                if crossing && self.network.loss_roll(&mut self.rng) {
+                    self.metrics.on_drop(label, DropReason::RandomLoss);
+                    phoenix_telemetry::counter_add("net.loss.dropped", 1);
+                    return;
+                }
                 let latency = self.network.latency(src, dst, &mut self.rng);
-                let at = self.clock + latency;
+                let extra = if crossing {
+                    self.network.reorder_extra(&mut self.rng)
+                } else {
+                    SimDuration::ZERO
+                };
+                if crossing && self.network.dup_roll(&mut self.rng) {
+                    let dup_latency =
+                        self.network.latency(src, dst, &mut self.rng) + extra;
+                    phoenix_telemetry::counter_add("net.dup.delivered", 1);
+                    self.push(
+                        self.clock + dup_latency,
+                        SimEvent::Deliver {
+                            to,
+                            from,
+                            msg: msg.clone(),
+                            label,
+                            bytes,
+                        },
+                    );
+                }
+                let at = self.clock + latency + extra;
                 self.push(
                     at,
                     SimEvent::Deliver {
@@ -598,6 +629,8 @@ impl<M: Message> World<M> {
             }
             Fault::PartitionLink(a, b) => self.network.partition(a, b),
             Fault::HealLink(a, b) => self.network.heal(a, b),
+            Fault::LossBurst { permille } => self.network.set_loss_burst(permille),
+            Fault::LossClear => self.network.clear_loss_burst(),
         }
     }
 
@@ -931,6 +964,102 @@ mod tests {
             (w.metrics().total.sent, w.metrics().total.delivered, got.get())
         };
         assert_eq!(run(42), run(42));
+    }
+
+    /// Fires `n` one-way messages at a peer on start.
+    struct Flood {
+        peer: Pid,
+        n: u64,
+    }
+    impl Actor<u64> for Flood {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            for i in 0..self.n {
+                ctx.send(self.peer, i);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _from: Pid, _msg: u64) {}
+    }
+
+    /// Swallows everything.
+    struct Sink;
+    impl Actor<u64> for Sink {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _from: Pid, _msg: u64) {}
+    }
+
+    fn lossy_world(params: NetParams, seed: u64) -> (World<u64>, Pid) {
+        let mut w = ClusterBuilder::new()
+            .nodes(2, NodeSpec::default())
+            .net(params)
+            .seed(seed)
+            .build::<u64>();
+        let sink = w.spawn(NodeId(1), Box::new(Sink));
+        (w, sink)
+    }
+
+    #[test]
+    fn random_loss_is_counted_and_deterministic() {
+        let run = |seed: u64| {
+            let (mut w, sink) = lossy_world(
+                NetParams {
+                    loss_permille: 200, // 20%
+                    ..NetParams::default()
+                },
+                seed,
+            );
+            w.spawn(NodeId(0), Box::new(Flood { peer: sink, n: 500 }));
+            w.run_for(SimDuration::from_secs(1));
+            let m = w.metrics();
+            let lost = m.drops_by_reason["random_loss"];
+            assert!(m.total.delivered + lost == m.total.sent);
+            assert!((50..200).contains(&lost), "20% of 500 lost, got {lost}");
+            lost
+        };
+        assert_eq!(run(9), run(9), "same seed, same losses");
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let (mut w, sink) = lossy_world(
+            NetParams {
+                dup_permille: 1000, // every message duplicated
+                ..NetParams::default()
+            },
+            3,
+        );
+        w.spawn(NodeId(0), Box::new(Flood { peer: sink, n: 10 }));
+        w.run_for(SimDuration::from_secs(1));
+        assert_eq!(w.metrics().total.sent, 10);
+        assert_eq!(w.metrics().total.delivered, 20);
+    }
+
+    #[test]
+    fn loss_burst_fault_degrades_then_clears() {
+        let (mut w, sink) = lossy_world(NetParams::default(), 5);
+        w.apply_fault(Fault::LossBurst { permille: 1000 });
+        w.spawn(NodeId(0), Box::new(Flood { peer: sink, n: 5 }));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.metrics().total.delivered, 0);
+        assert_eq!(w.metrics().drops_by_reason["random_loss"], 5);
+        w.apply_fault(Fault::LossClear);
+        w.spawn(NodeId(0), Box::new(Flood { peer: sink, n: 5 }));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.metrics().total.delivered, 5);
+    }
+
+    #[test]
+    fn local_messages_never_roll_for_loss() {
+        // Same-node traffic bypasses the wire: even 100% loss delivers.
+        let mut w = ClusterBuilder::new()
+            .nodes(1, NodeSpec::default())
+            .net(NetParams {
+                loss_permille: 1000,
+                ..NetParams::default()
+            })
+            .build::<u64>();
+        let sink = w.spawn(NodeId(0), Box::new(Sink));
+        w.spawn(NodeId(0), Box::new(Flood { peer: sink, n: 5 }));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.metrics().total.delivered, 5);
     }
 
     /// Actor exposing its state through the introspection hook.

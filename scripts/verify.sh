@@ -18,7 +18,13 @@
 #
 # which re-runs exactly the minimal failing subset of that seed's schedule
 # (verbose, with a flight-recorder dump). Seeds are deterministic: the same
-# seed generates the same schedule on every machine.
+# seed generates the same schedule on every machine. A second chaos pass
+# re-runs 25 seeds on a 2% random-loss network (--lossy 20: baseline loss
+# plus generated loss bursts) with the loss-tolerant kernel profile.
+#
+# The loss_sweep smoke sweeps loss rates on a fault-free and a WD-kill
+# cluster; the bin exits non-zero if any spurious takeover fires, and the
+# export is asserted to land in results/BENCH_loss.json.
 
 set -eu
 
@@ -68,6 +74,26 @@ wall_ms=$(sed -n 's/.*exercise pass: 1 world.*, \([0-9]*\) ms wall/\1/p' /tmp/ta
 
 echo "== smoke: chaos, 25 seeded fault schedules =="
 cargo run --release --offline -p phoenix-chaos --bin chaos -- --seeds 25 --small
+
+echo "== smoke: chaos, 25 seeded fault schedules on a 2% lossy network =="
+cargo run --release --offline -p phoenix-chaos --bin chaos -- --seeds 25 --lossy 20
+
+echo "== smoke: loss_sweep (--small) writes results/BENCH_loss.json =="
+rm -f results/BENCH_loss.json
+# The bin itself exits non-zero on any spurious takeover, so this line is
+# the zero-spurious gate; the greps below assert the export landed.
+cargo run --release --offline -p phoenix-bench --bin loss_sweep -- --small
+
+test -s results/BENCH_loss.json || {
+    echo "FAIL: results/BENCH_loss.json missing or empty" >&2
+    exit 1
+}
+for needle in '"loss_curve"' '"spurious_takeovers"' '"detect_ms_mean"' '"net_loss_dropped"'; do
+    grep -q "$needle" results/BENCH_loss.json || {
+        echo "FAIL: $needle not found in results/BENCH_loss.json" >&2
+        exit 1
+    }
+done
 
 echo "== smoke: chaos_sweep writes results/BENCH_chaos.json =="
 rm -f results/BENCH_chaos.json

@@ -16,7 +16,7 @@
 
 use phoenix::chaos::{
     crash_repair_nodes, double_nic_nodes, generate_schedule, gsd_kills, link_partitions,
-    run_schedule, ChaosConfig,
+    loss_bursts, run_schedule, ChaosConfig,
 };
 use phoenix::kernel::boot_cluster;
 use phoenix::proto::PartitionId;
@@ -101,6 +101,41 @@ fn crash_then_repair_storm() {
          the scan and re-pin"
     );
     assert_clean(SEED);
+}
+
+/// Lossy-mode pin: the whole run sits on a 2% random-loss network, three
+/// loss bursts (up to 25%) open and close around two daemon kills — one of
+/// them a GSD — plus a NIC outage. The retry/dedup/suspicion machinery must
+/// carry detection and takeover through the bursts without a spurious
+/// takeover elsewhere or a stale config directory.
+///
+/// Replay: `cargo run --release -p phoenix-chaos --bin chaos -- --lossy 20 --replay 178`
+#[test]
+fn loss_burst_during_gsd_kill() {
+    const SEED: u64 = 178;
+    let cfg = ChaosConfig::small_lossy(20);
+    let (_world, cluster) = phoenix::kernel::boot_cluster_with_net(
+        cfg.topology(),
+        cfg.params.clone(),
+        SEED,
+        cfg.net.clone(),
+    );
+    let steps = generate_schedule(SEED, &cfg, &cluster);
+    let killed = gsd_kills(&steps, &cluster);
+    assert!(
+        loss_bursts(&steps) >= 3 && !killed.is_empty(),
+        "pin drifted: seed {SEED} no longer mixes >=3 loss bursts with a GSD \
+         kill (bursts: {}, kills: {killed:?}) — re-run the lossy scan and re-pin",
+        loss_bursts(&steps)
+    );
+    let out = run_schedule(SEED, &cfg, u64::MAX, false);
+    assert!(out.quiesced, "seed {SEED}: lossy cluster never quiesced");
+    assert!(
+        out.violations.is_empty(),
+        "seed {SEED} violated invariants under loss: {:#?}\nreplay: cargo run \
+         --release -p phoenix-chaos --bin chaos -- --lossy 20 --replay {SEED}",
+        out.violations
+    );
 }
 
 /// A 12-step mixed schedule: node crashes, a NIC outage, two link

@@ -299,6 +299,7 @@ fn kernel_msg_surface() -> Vec<phoenix::proto::KernelMsg> {
             from_partition: PartitionId(2),
             nic: NicId(2),
             epoch: 17,
+            seq: 41,
         },
         KernelMsg::MetaJoin { member },
         KernelMsg::MetaMembership { epoch: 18, members: vec![member, member] },
@@ -314,11 +315,13 @@ fn kernel_msg_surface() -> Vec<phoenix::proto::KernelMsg> {
         KernelMsg::SvcHeartbeat { kind: ServiceKind::DataBulletin, pid: Pid(51), seq: 3 },
         KernelMsg::PartitionView { members: vec![member], local: member },
         KernelMsg::EsRegisterConsumer {
+            req: RequestId(55),
             reg: ConsumerReg {
                 consumer: Pid(60),
                 filter: EventFilter::Types(vec![EventType::Custom(1), EventType::Custom(2)]),
             },
         },
+        KernelMsg::EsRegisterAck { req: RequestId(55) },
         KernelMsg::EsUnregisterConsumer { consumer: Pid(60) },
         KernelMsg::EsRegisterSupplier {
             supplier: Pid(61),
@@ -484,7 +487,7 @@ fn kernel_msg_full_surface_round_trips() {
         assert!(!seen.contains(&d), "duplicate variant in surface: {m:?}");
         seen.push(d);
     }
-    assert_eq!(msgs.len(), 61, "KernelMsg variant count changed — extend the surface");
+    assert_eq!(msgs.len(), 62, "KernelMsg variant count changed — extend the surface");
     for msg in msgs {
         let bytes = encode(&msg);
         assert_eq!(
