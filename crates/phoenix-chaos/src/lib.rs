@@ -43,6 +43,11 @@ use phoenix_sim::{Fault, NetParams, NicId, NodeId, Pid, SimDuration, SimRng, Sim
 /// of the boot/network RNG stream seeded from the same user-facing seed.
 const SCHEDULE_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
+/// Salt for the flapping-NIC step stream. Flap steps are drawn from their
+/// own RNG and *appended* to the schedule, so enabling them leaves every
+/// seed's pre-existing steps (and the main schedule stream) untouched.
+const FLAP_SALT: u64 = 0x6c62_272e_07bb_0142;
+
 /// Schedules are capped at 64 steps so a subset is a `u64` bitmask.
 pub const MAX_STEPS: usize = 64;
 
@@ -74,6 +79,10 @@ pub struct ChaosConfig {
     /// of every seed — pinned regression seeds rely on it staying off for
     /// the small/paper configurations.
     pub loss_steps: bool,
+    /// Append flapping-NIC storms (degrade/restore cycles on one interface
+    /// of one node) to generated schedules. Drawn from a separate salted
+    /// RNG stream, so the main schedule steps stay identical per seed.
+    pub nic_flap_steps: bool,
 }
 
 impl ChaosConfig {
@@ -91,6 +100,7 @@ impl ChaosConfig {
             params: KernelParams::fast(),
             net: NetParams::default(),
             loss_steps: false,
+            nic_flap_steps: false,
         }
     }
 
@@ -102,6 +112,7 @@ impl ChaosConfig {
             params: KernelParams::fast_lossy(),
             net: NetParams::unreliable(loss_permille),
             loss_steps: true,
+            nic_flap_steps: true,
             ..ChaosConfig::small()
         }
     }
@@ -121,6 +132,7 @@ impl ChaosConfig {
             params: KernelParams::default(),
             net: NetParams::default(),
             loss_steps: false,
+            nic_flap_steps: false,
         }
     }
 
@@ -282,6 +294,43 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig, cluster: &PhoenixCluster)
             }
         }
     }
+    // Flapping-NIC storms: one interface of one node oscillates between
+    // heavy loss and clean several times — the adversarial input for the
+    // NIC-health hysteresis (a naive scorer would flip routing every
+    // cycle; a naive detector would declare the NIC down). Drawn from a
+    // separate salted stream and appended, so the steps above are
+    // byte-identical whether or not flaps are enabled.
+    if cfg.nic_flap_steps {
+        let mut frng = SimRng::seed_from_u64(seed ^ FLAP_SALT);
+        let storms = 1 + frng.gen_range(0..2u64);
+        for _ in 0..storms {
+            if steps.len() + 2 > MAX_STEPS {
+                break;
+            }
+            let node = all_nodes[frng.gen_range(0..all_nodes.len() as u64) as usize];
+            let nic = NicId(frng.gen_range(0..3u64) as u8);
+            let mut at = SimDuration::from_millis(frng.gen_range(0..horizon_ms));
+            let cycles = 2 + frng.gen_range(0..3u64);
+            for _ in 0..cycles {
+                if steps.len() + 2 > MAX_STEPS {
+                    break;
+                }
+                // 10-50% loss while degraded: bad enough to bleed through
+                // K-of-N suspicion if routing ignores it, not a hard outage.
+                let permille = 100 + frng.gen_range(0..401u64) as u16;
+                steps.push(Step {
+                    offset: at,
+                    action: StepAction::Fault(Fault::NicDegrade(node, nic, permille)),
+                });
+                let hold = SimDuration::from_millis(frng.gen_range(300..2_000u64));
+                steps.push(Step {
+                    offset: at + hold,
+                    action: StepAction::Fault(Fault::NicRestore(node, nic)),
+                });
+                at = at + hold + SimDuration::from_millis(frng.gen_range(200..1_500u64));
+            }
+        }
+    }
     steps.sort_by_key(|s| s.offset.as_nanos());
     steps
 }
@@ -348,6 +397,14 @@ pub fn double_nic_nodes(steps: &[Step], horizon: SimDuration) -> Vec<NodeId> {
         }
     }
     out
+}
+
+/// Number of NIC-degrade faults (flapping-NIC storm steps) in the schedule.
+pub fn nic_flaps(steps: &[Step]) -> usize {
+    steps
+        .iter()
+        .filter(|s| matches!(s.action, StepAction::Fault(Fault::NicDegrade(..))))
+        .count()
 }
 
 /// Number of loss-burst faults in the schedule.
@@ -473,7 +530,10 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
                 }
                 if matches!(
                     fault,
-                    Fault::NicDown(..) | Fault::PartitionLink(..) | Fault::LossBurst { .. }
+                    Fault::NicDown(..)
+                        | Fault::PartitionLink(..)
+                        | Fault::LossBurst { .. }
+                        | Fault::NicDegrade(..)
                 ) {
                     clean_network = false;
                 }

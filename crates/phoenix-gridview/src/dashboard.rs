@@ -85,6 +85,34 @@ pub fn render_telemetry() -> String {
         for (name, v) in counters {
             let _ = writeln!(out, "{name:<40} {v}");
         }
+        // Per-NIC interface panel: EWMA health scores (gauges the GSD
+        // publishes when adaptive multi-NIC routing is enabled) next to
+        // the simulator's per-interface routed/dropped counters, so a
+        // degraded interface is visible at a glance.
+        const NIC_ROWS: [(&str, &str, &str, &str); 3] = [
+            ("nic0", "nic.health.nic0", "net.routed.nic0", "net.loss.dropped.nic0"),
+            ("nic1", "nic.health.nic1", "net.routed.nic1", "net.loss.dropped.nic1"),
+            ("nic2", "nic.health.nic2", "net.routed.nic2", "net.loss.dropped.nic2"),
+        ];
+        let mut nic_lines = String::new();
+        for (label, health, routed, dropped) in NIC_ROWS {
+            let score = reg.gauge(health);
+            let routed = reg.counter(routed);
+            let dropped = reg.counter(dropped);
+            if score.is_none() && routed == 0 && dropped == 0 {
+                continue;
+            }
+            let score = score.unwrap_or(1.0);
+            let _ = writeln!(
+                nic_lines,
+                "{label}  health {score:>5.3} {}  routed {routed:<8} dropped {dropped}",
+                bar(score.clamp(0.0, 1.0), 10),
+            );
+        }
+        if !nic_lines.is_empty() {
+            let _ = writeln!(out, "--- network interfaces ---");
+            out.push_str(&nic_lines);
+        }
         out
     })
 }
@@ -125,6 +153,23 @@ mod tests {
         assert!(s.contains("0.72%"));
         assert!(s.contains("NodeFault"));
         assert!(s.contains("complete"));
+    }
+
+    #[test]
+    fn telemetry_panel_renders_per_nic_health() {
+        phoenix_telemetry::reset();
+        phoenix_telemetry::gauge_set("nic.health.nic0", 0.412);
+        phoenix_telemetry::gauge_set("nic.health.nic1", 1.0);
+        phoenix_telemetry::counter_add("net.routed.nic0", 120);
+        phoenix_telemetry::counter_add("net.loss.dropped.nic0", 13);
+        let s = render_telemetry();
+        assert!(s.contains("--- network interfaces ---"));
+        assert!(s.contains("nic0  health 0.412"));
+        assert!(s.contains("dropped 13"));
+        assert!(s.contains("nic1  health 1.000"));
+        // No evidence for nic2: the row is omitted, not rendered as clean.
+        assert!(!s.contains("nic2"));
+        phoenix_telemetry::reset();
     }
 
     #[test]

@@ -21,8 +21,18 @@ use phoenix_proto::{
     ClusterTopology, Event, EventPayload, EventType, KernelMsg, NodeOp, NodeServices,
     RequestId, ServiceDirectory,
 };
-use phoenix_sim::{Actor, Ctx, NodeId, Pid, TraceEvent};
+use phoenix_sim::{Actor, Ctx, NodeId, Pid, SimDuration, TraceEvent};
 use std::collections::HashMap;
+
+/// Under a retrying profile, a restarted node's wiring pushes (`Boot` to
+/// its daemons, `DirectoryUpdateNode` to the GSD and PPM agents) are
+/// re-asserted this many times: each push is fire-and-forget, and a single
+/// lost `Boot` otherwise leaves the fresh WD pointed at `Pid(0)` forever.
+/// Every push is idempotent, so blind re-sends are safe.
+const REWIRE_RESENDS: u32 = 3;
+
+/// Timer-token namespace for per-node rewire timers (token = base + node).
+const REWIRE_TOK_BASE: u64 = 1 << 32;
 
 /// The configuration-service actor.
 pub struct ConfigService {
@@ -35,6 +45,8 @@ pub struct ConfigService {
     /// fans directory updates cluster-wide, so a retried request must
     /// replay the cached ack instead of re-executing.
     node_ops_seen: DedupWindow<(Pid, RequestId), bool>,
+    /// Remaining wiring re-assertions per recently started node.
+    rewire: HashMap<NodeId, u32>,
 }
 
 impl ConfigService {
@@ -45,6 +57,35 @@ impl ConfigService {
             directory: ServiceDirectory::default(),
             kv: HashMap::new(),
             node_ops_seen: DedupWindow::new(64),
+            rewire: HashMap::new(),
+        }
+    }
+
+    /// Spacing between wiring re-assertions: 4× the retry base keeps them
+    /// off the hot retry path but well inside the detection window.
+    fn rewire_interval(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            self.params.rpc.base.as_nanos().saturating_mul(4).max(1_000_000),
+        )
+    }
+
+    /// (Re-)send the full wiring batch for a node's daemons: `Boot` with
+    /// the current directory to WD/detector/PPM, and the directory update
+    /// to the supervising GSD and every other PPM agent.
+    fn wire_node(&self, ctx: &mut Ctx<'_, KernelMsg>, services: NodeServices) {
+        let boot = KernelMsg::Boot(Box::new(self.directory.clone()));
+        ctx.send(services.wd, boot.clone());
+        ctx.send(services.detector, boot.clone());
+        ctx.send(services.ppm, boot);
+        if let Some(partition) = self.topology.partition_of(services.node) {
+            if let Some(member) = self.directory.partition(partition) {
+                ctx.send(member.gsd, KernelMsg::DirectoryUpdateNode { services });
+            }
+        }
+        for ns in &self.directory.nodes {
+            if ns.node != services.node {
+                ctx.send(ns.ppm, KernelMsg::DirectoryUpdateNode { services });
+            }
         }
     }
 
@@ -83,20 +124,14 @@ impl ConfigService {
         // Update the directory.
         self.directory.nodes.retain(|n| n.node != node);
         self.directory.nodes.push(services);
-        // Wire the new daemons.
-        let boot = KernelMsg::Boot(Box::new(self.directory.clone()));
-        ctx.send(wd, boot.clone());
-        ctx.send(detector, boot.clone());
-        ctx.send(ppm, boot);
-        // Tell the supervising GSD (resumes monitoring, publishes
-        // NodeRecovery) and every PPM agent (routing tables).
-        if let Some(member) = self.directory.partition(partition) {
-            ctx.send(member.gsd, KernelMsg::DirectoryUpdateNode { services });
-        }
-        for ns in &self.directory.nodes {
-            if ns.node != node {
-                ctx.send(ns.ppm, KernelMsg::DirectoryUpdateNode { services });
-            }
+        // Wire the new daemons: `Boot` for them, directory updates for the
+        // supervising GSD (resumes monitoring, publishes NodeRecovery) and
+        // every PPM agent (routing tables).
+        self.wire_node(ctx, services);
+        if self.params.rpc.retries_enabled() {
+            // Lossy profile: any wiring push may be dropped; re-assert.
+            self.rewire.insert(node, REWIRE_RESENDS);
+            ctx.set_timer(self.rewire_interval(), REWIRE_TOK_BASE + node.0 as u64);
         }
         ctx.trace(TraceEvent::Milestone {
             label: "node-started",
@@ -104,7 +139,8 @@ impl ConfigService {
         });
     }
 
-    fn shutdown_node(&self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) {
+    fn shutdown_node(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) {
+        self.rewire.remove(&node);
         ctx.set_node_power(node, false);
         ctx.trace(TraceEvent::Milestone {
             label: "node-shutdown",
@@ -205,6 +241,36 @@ impl Actor<KernelMsg> for ConfigService {
                 ctx.send(from, KernelMsg::CfgAck { req, ok: true });
             }
             _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, KernelMsg>, token: u64) {
+        if token < REWIRE_TOK_BASE {
+            return;
+        }
+        let node = NodeId((token - REWIRE_TOK_BASE) as u32);
+        let Some(left) = self.rewire.get_mut(&node) else {
+            return;
+        };
+        *left -= 1;
+        let again = *left > 0;
+        if !again {
+            self.rewire.remove(&node);
+        }
+        // Re-send with the *current* directory entry: the GSD may have
+        // restarted the WD (new pid) since the node came up.
+        let Some(services) = self
+            .directory
+            .nodes
+            .iter()
+            .find(|n| n.node == node)
+            .copied()
+        else {
+            return;
+        };
+        self.wire_node(ctx, services);
+        if again {
+            ctx.set_timer(self.rewire_interval(), token);
         }
     }
 

@@ -22,6 +22,7 @@
 
 use crate::group::registry::{kernel_factory_key, RespawnArgs, SharedRegistry};
 use crate::group::wd::Wd;
+use crate::nic_health::{HealthTransition, NicHealth};
 use crate::params::KernelParams;
 use phoenix_proto::{
     CheckpointData, ClusterTopology, Event, EventPayload, EventType, KernelMsg, MemberInfo,
@@ -51,6 +52,33 @@ const SEQ_RESTART_WINDOW: u64 = 64;
 /// Duplicate / stale-reorder check shared by WD and meta heartbeats.
 fn is_dup_seq(last: u64, seq: u64) -> bool {
     seq <= last && last - seq < SEQ_RESTART_WINDOW
+}
+
+/// Per-NIC loss evidence from a heartbeat seq: how many beats on this
+/// interface silently died between the previous one and this one. Zero for
+/// duplicates, restarts (backward jumps past the window) and absurd
+/// forward jumps (a long partition is one fault, not `gap` loss events —
+/// the EWMA cap bounds it further, this bounds the loop).
+fn seq_gap(last: u64, seq: u64) -> u64 {
+    if last == 0 || seq <= last {
+        return 0;
+    }
+    let gap = seq - last - 1;
+    if gap >= SEQ_RESTART_WINDOW {
+        return 0;
+    }
+    gap
+}
+
+/// Fixed-literal gauge keys (the telemetry registry requires `&'static
+/// str`); clusters model up to a handful of parallel networks.
+fn nic_health_gauge(nic: NicId) -> &'static str {
+    match nic.0 {
+        0 => "nic.health.nic0",
+        1 => "nic.health.nic1",
+        2 => "nic.health.nic2",
+        _ => "nic.health.nicN",
+    }
 }
 
 /// How this GSD instance came to exist.
@@ -184,6 +212,9 @@ pub struct Gsd {
     svc_tracks: HashMap<Pid, SvcTrack>,
     pred: Option<PredTrack>,
     my_nic_known: Vec<bool>,
+    /// EWMA delivery-health per parallel network, fed by heartbeat seq
+    /// gaps (WD and meta-ring). Inert unless `params.ft.nic.enabled`.
+    nic_health: NicHealth,
 
     probes: HashMap<u64, ProbeSession>,
     ops: HashMap<u64, DelayedOp>,
@@ -265,6 +296,7 @@ impl Gsd {
         registry: SharedRegistry,
         init: GsdInit,
     ) -> Self {
+        let nic_health = NicHealth::new(params.ft.nic.clone(), 0);
         Gsd {
             partition,
             params,
@@ -288,6 +320,7 @@ impl Gsd {
             svc_tracks: HashMap::new(),
             pred: None,
             my_nic_known: Vec::new(),
+            nic_health,
             probes: HashMap::new(),
             ops: HashMap::new(),
             next_id: 0,
@@ -384,6 +417,20 @@ impl Gsd {
         self.epoch
     }
 
+    /// Per-NIC EWMA health scores (all 1.0 when the layer is disabled).
+    pub fn nic_health_scores(&self) -> Vec<f64> {
+        (0..self.nic_health.nic_count())
+            .map(|i| self.nic_health.score(NicId(i as u8)))
+            .collect()
+    }
+
+    /// Which NICs this GSD has demoted (degraded, not down).
+    pub fn nic_demoted(&self) -> Vec<bool> {
+        (0..self.nic_health.nic_count())
+            .map(|i| self.nic_health.is_demoted(NicId(i as u8)))
+            .collect()
+    }
+
     fn refresh_roles(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
         self.sorted();
         phoenix_telemetry::gauge_set("gsd.meta_group.members", self.members.len() as f64);
@@ -447,10 +494,31 @@ impl Gsd {
         );
     }
 
+    /// The healthiest interface usable toward `peer` (up at both ends), or
+    /// `None` when the NIC-health layer is disabled — callers then fall
+    /// back to `ctx.send`'s default first-up-NIC routing, keeping the
+    /// paper pipeline byte-identical.
+    fn best_nic_for(&self, ctx: &Ctx<'_, KernelMsg>, peer: NodeId) -> Option<NicId> {
+        if !self.nic_health.enabled() {
+            return None;
+        }
+        let own = ctx.node();
+        self.nic_health
+            .best_where(|nic| ctx.nic_is_up(own, nic) && ctx.nic_is_up(peer, nic))
+    }
+
+    /// Single-path control-plane send preferring the healthiest NIC.
+    fn send_routed(&self, ctx: &mut Ctx<'_, KernelMsg>, to: Pid, peer: NodeId, msg: KernelMsg) {
+        match self.best_nic_for(ctx, peer) {
+            Some(nic) => ctx.send_via(to, nic, msg),
+            None => ctx.send(to, msg),
+        }
+    }
+
     fn broadcast_meta(&self, ctx: &mut Ctx<'_, KernelMsg>, msg: KernelMsg) {
         for m in &self.members {
             if m.partition != self.partition {
-                ctx.send(m.gsd, msg.clone());
+                self.send_routed(ctx, m.gsd, m.node, msg.clone());
             }
         }
     }
@@ -493,7 +561,12 @@ impl Gsd {
                 };
                 self.broadcast_meta(ctx, msg);
             } else {
-                ctx.send(leader.gsd, KernelMsg::MetaJoin { member: self.local });
+                self.send_routed(
+                    ctx,
+                    leader.gsd,
+                    leader.node,
+                    KernelMsg::MetaJoin { member: self.local },
+                );
             }
         }
         ctx.send(
@@ -533,7 +606,21 @@ impl Gsd {
     /// retrying policy a lost query or reply re-sends with backoff —
     /// otherwise the takeover would stall forever on a single lost message.
     fn send_directory_query(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
-        ctx.send(self.config, KernelMsg::CfgQueryDirectory { req: RequestId(0) });
+        // Under NIC-health routing each resend rotates one step down the
+        // health ranking (same contract as `Retrier::nic_for_attempt`): a
+        // query whose preferred path eats packets escapes to an independent
+        // network instead of re-rolling the same dice.
+        let via = if self.nic_health.enabled() && self.nic_health.nic_count() > 0 {
+            let ranked = self.nic_health.ranked();
+            Some(ranked[self.dir_attempts as usize % ranked.len()])
+        } else {
+            None
+        };
+        let query = KernelMsg::CfgQueryDirectory { req: RequestId(0) };
+        match via {
+            Some(nic) => ctx.send_via(self.config, nic, query),
+            None => ctx.send(self.config, query),
+        }
         self.dir_attempts += 1;
         if self.dir_attempts > 1 {
             phoenix_telemetry::counter_add("rpc.retries", 1);
@@ -578,6 +665,9 @@ impl Gsd {
         self.my_nic_known = (0..nics)
             .map(|i| ctx.nic_is_up(ctx.node(), NicId(i as u8)))
             .collect();
+        if self.nic_health.nic_count() != nics {
+            self.nic_health = NicHealth::new(self.params.ft.nic.clone(), nics);
+        }
         if let Some(ns) = self.node_daemons.get(&ctx.node()) {
             self.local.host_ppm = ns.ppm;
         }
@@ -610,6 +700,7 @@ impl Gsd {
                     EventType::NodeRecovery,
                     EventType::NetworkFault,
                     EventType::NetworkRecovery,
+                    EventType::NetworkDegraded,
                     EventType::ServiceFault,
                     EventType::ServiceRecovery,
                 ],
@@ -981,9 +1072,25 @@ impl Gsd {
         }
         s.rounds_sent += 1;
         let target = s.target_ppm;
+        let kind = s.kind;
         phoenix_telemetry::counter_add("gsd.probes.sent", 1);
         phoenix_telemetry::mark("gsd.probe.rtt", phoenix_telemetry::key(&[session]));
-        ctx.send(target, KernelMsg::ProbeReq { req: RequestId(session) });
+        // Probes are single-path: route them over the healthiest usable
+        // interface so a degraded NIC cannot eat the very traffic that
+        // decides whether a silent peer is dead.
+        let peer = match kind {
+            ProbeKind::Wd(node) => Some(node),
+            ProbeKind::Meta(partition) => self
+                .pred
+                .as_ref()
+                .filter(|t| t.member.partition == partition)
+                .map(|t| t.member.node),
+        };
+        let req = KernelMsg::ProbeReq { req: RequestId(session) };
+        match peer.and_then(|p| self.best_nic_for(ctx, p)) {
+            Some(nic) => ctx.send_via(target, nic, req),
+            None => ctx.send(target, req),
+        }
         let spacing = self.params.ft.probe_round_interval;
         self.schedule_probe_round(ctx, session, spacing);
     }
@@ -1027,8 +1134,23 @@ impl Gsd {
         }
         s.active = false;
         let kind = s.kind;
+        let responses = s.responses;
         if self.params.ft.probe_abort_on_fresh && self.probe_target_fresh(kind, ctx.now()) {
             self.abort_probe(kind);
+            return;
+        }
+        if responses > 0 {
+            // The target's PPM answered at least one round before the
+            // deadline: the node is provably reachable, so the missing
+            // rounds are packet loss, not a dead machine. Diagnosing node
+            // death here would strand a live node without a WD (the node
+            // path never restarts daemons). On a clean network all rounds
+            // complete long before the timeout, so this arm never fires.
+            phoenix_telemetry::counter_add("gsd.probes.partial", 1);
+            match kind {
+                ProbeKind::Wd(node) => self.diagnose_wd_process(ctx, node),
+                ProbeKind::Meta(partition) => self.diagnose_gsd_process(ctx, partition),
+            }
             return;
         }
         match kind {
@@ -1437,6 +1559,12 @@ impl Gsd {
     fn tick(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
         self.send_meta_heartbeats(ctx);
         self.introspect_own_nics(ctx);
+        if self.nic_health.enabled() {
+            for i in 0..self.nic_health.nic_count() {
+                let nic = NicId(i as u8);
+                phoenix_telemetry::gauge_set(nic_health_gauge(nic), self.nic_health.score(nic));
+            }
+        }
         self.directory_anti_entropy(ctx);
         if self.supervision_dirty {
             self.save_supervision(ctx);
@@ -1446,7 +1574,12 @@ impl Gsd {
             self.needs_rejoin = false;
             if let Some(leader) = self.leader() {
                 if leader.partition != self.partition {
-                    ctx.send(leader.gsd, KernelMsg::MetaJoin { member: self.local });
+                    self.send_routed(
+                        ctx,
+                        leader.gsd,
+                        leader.node,
+                        KernelMsg::MetaJoin { member: self.local },
+                    );
                 }
             }
         }
@@ -1493,6 +1626,7 @@ impl Gsd {
     fn on_wd_heartbeat(
         &mut self,
         ctx: &mut Ctx<'_, KernelMsg>,
+        from: Pid,
         node: NodeId,
         nic: NicId,
         seq: u64,
@@ -1501,15 +1635,29 @@ impl Gsd {
         // on this NIC (network duplication, or an old reordered copy) must
         // not refresh liveness or count in telemetry. A seq far below the
         // window means the WD restarted and its counter reset — accept it.
+        let mut transitions: Vec<HealthTransition> = Vec::new();
         if let Some(t) = self.wd_tracks.get_mut(&node) {
             if let Some(last_seq) = t.last_seq.get_mut(nic.0 as usize) {
                 if is_dup_seq(*last_seq, seq) {
                     phoenix_telemetry::counter_add("gsd.dedup.dropped", 1);
                     return;
                 }
+                // The seq jump on this interface is per-NIC loss evidence;
+                // the arrival itself is delivery evidence.
+                let gap = seq_gap(*last_seq, seq);
+                if gap > 0 {
+                    transitions.extend(self.nic_health.observe_misses(nic, gap));
+                }
+                transitions.extend(self.nic_health.observe_delivery(nic));
                 *last_seq = seq;
             }
         }
+        if self.nic_health.enabled() {
+            // Echo the beat over the same interface — the WD's only window
+            // onto its per-NIC round trips (it sends, we receive).
+            ctx.send_via(from, nic, KernelMsg::WdHeartbeatAck { nic, seq });
+        }
+        self.apply_health_transitions(ctx, transitions);
         phoenix_telemetry::counter_add("gsd.wd_heartbeats.received", 1);
         phoenix_telemetry::measure(
             "wd.heartbeat.flight",
@@ -1555,6 +1703,7 @@ impl Gsd {
     ) {
         // Duplicate suppression, same contract as WD beats: a replayed seq
         // must not refresh the predecessor's liveness window.
+        let mut transitions: Vec<HealthTransition> = Vec::new();
         if let Some(t) = &mut self.pred {
             if t.member.partition == from_partition {
                 if let Some(last_seq) = t.last_seq.get_mut(nic.0 as usize) {
@@ -1562,10 +1711,18 @@ impl Gsd {
                         phoenix_telemetry::counter_add("gsd.dedup.dropped", 1);
                         return;
                     }
+                    // Ring beats feed the same per-NIC evidence stream as
+                    // WD beats: network `i` is shared infrastructure.
+                    let gap = seq_gap(*last_seq, seq);
+                    if gap > 0 {
+                        transitions.extend(self.nic_health.observe_misses(nic, gap));
+                    }
+                    transitions.extend(self.nic_health.observe_delivery(nic));
                     *last_seq = seq;
                 }
             }
         }
+        self.apply_health_transitions(ctx, transitions);
         phoenix_telemetry::measure(
             "meta.heartbeat.flight",
             "gsd",
@@ -1594,6 +1751,48 @@ impl Gsd {
                 node,
                 EventPayload::Nic(node, nic),
             );
+        }
+    }
+
+    /// Publish a demotion/promotion edge through the event service. A
+    /// demoted interface is *degraded* — lossy but not down: WD heartbeats
+    /// still fan out over it (paper semantics), but single-path traffic
+    /// avoids it until the hysteresis window of clean deliveries closes.
+    fn apply_health_transitions(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg>,
+        transitions: Vec<HealthTransition>,
+    ) {
+        let own = ctx.node();
+        for tr in transitions {
+            match tr {
+                HealthTransition::Demoted(nic) => {
+                    phoenix_telemetry::counter_add("gsd.nic.demotions", 1);
+                    ctx.trace(TraceEvent::Milestone {
+                        label: "nic-degraded",
+                        value: nic.0 as f64,
+                    });
+                    self.publish(
+                        ctx,
+                        EventType::NetworkDegraded,
+                        own,
+                        EventPayload::Nic(own, nic),
+                    );
+                }
+                HealthTransition::Promoted(nic) => {
+                    phoenix_telemetry::counter_add("gsd.nic.promotions", 1);
+                    ctx.trace(TraceEvent::Milestone {
+                        label: "nic-repromoted",
+                        value: nic.0 as f64,
+                    });
+                    self.publish(
+                        ctx,
+                        EventType::NetworkRecovery,
+                        own,
+                        EventPayload::Nic(own, nic),
+                    );
+                }
+            }
         }
     }
 
@@ -1688,7 +1887,7 @@ impl Actor<KernelMsg> for Gsd {
                 }
             }
             KernelMsg::WdHeartbeat { node, nic, seq } => {
-                self.on_wd_heartbeat(ctx, node, nic, seq)
+                self.on_wd_heartbeat(ctx, from, node, nic, seq)
             }
             KernelMsg::MetaHeartbeat {
                 from_partition,
@@ -1729,7 +1928,7 @@ impl Actor<KernelMsg> for Gsd {
                     }
                     self.push_partition_view(ctx);
                 } else if let Some(leader) = self.leader() {
-                    ctx.send(leader.gsd, KernelMsg::MetaJoin { member });
+                    self.send_routed(ctx, leader.gsd, leader.node, KernelMsg::MetaJoin { member });
                 }
             }
             KernelMsg::MetaMembership { epoch, members } => {

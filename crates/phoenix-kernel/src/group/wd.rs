@@ -6,6 +6,7 @@
 //! node. Through receiving and analyzing heartbeat from WD, GSD can
 //! monitor status of nodes and networks in a partition."
 
+use crate::nic_health::NicHealth;
 use crate::params::FtParams;
 use phoenix_proto::{KernelMsg, PartitionId};
 use phoenix_sim::{
@@ -21,20 +22,37 @@ pub struct Wd {
     gsd: Pid,
     params: FtParams,
     seq: u64,
+    /// Whether the heartbeat timer chain is running. `Boot` may arrive
+    /// more than once (config re-asserts node wiring under a lossy
+    /// profile); only the first may start the chain or beats double up.
+    beating: bool,
     /// Set on a respawned instance; emits the recovery trace on start.
     recovery: Option<RecoveryAction>,
+    /// Per-NIC delivery evidence from GSD heartbeat acks (only fed when
+    /// the NIC-health layer is enabled; otherwise permanently pristine).
+    nic_health: NicHealth,
+    /// Highest acked heartbeat seq per NIC, for gap detection.
+    acked_seq: Vec<u64>,
 }
+
+/// A round-trip seq this far behind the current beat is a stale straggler
+/// (or an ack for a previous WD incarnation), not loss evidence.
+const ACK_RESTART_WINDOW: u64 = 64;
 
 impl Wd {
     /// Boot-time WD; the GSD pid arrives via `Boot`.
     pub fn new(node: NodeId, partition: PartitionId, params: FtParams) -> Self {
+        let nic = params.nic.clone();
         Wd {
             node,
             partition,
             gsd: Pid(0),
             params,
             seq: 0,
+            beating: false,
             recovery: None,
+            nic_health: NicHealth::new(nic, 0),
+            acked_seq: Vec::new(),
         }
     }
 
@@ -46,22 +64,24 @@ impl Wd {
         gsd: Pid,
         action: RecoveryAction,
     ) -> Self {
-        Wd {
-            node,
-            partition,
-            gsd,
-            params,
-            seq: 0,
-            recovery: Some(action),
-        }
+        let mut wd = Wd::new(node, partition, params);
+        wd.gsd = gsd;
+        wd.recovery = Some(action);
+        wd
     }
 
     /// Send one heartbeat over every network interface of the node. The
     /// per-NIC fan-out is what lets the GSD distinguish a NIC failure
     /// (some interfaces silent) from a node failure (all silent).
     fn beat(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        self.beating = true;
         self.seq += 1;
         let nics = ctx.nic_count(self.node);
+        if self.nic_health.nic_count() < nics {
+            // Sized on first beat, when the node's NIC count is known.
+            self.nic_health = NicHealth::new(self.params.nic.clone(), nics);
+            self.acked_seq = vec![0; nics];
+        }
         phoenix_telemetry::counter_add("wd.heartbeats.sent", nics as u64);
         for i in 0..nics {
             phoenix_telemetry::mark(
@@ -85,6 +105,36 @@ impl Wd {
     /// the chaos harness's convergence invariant). `Pid(0)` before boot.
     pub fn gsd_pid(&self) -> Pid {
         self.gsd
+    }
+
+    /// Per-NIC health scores as observed from this WD's ack stream
+    /// (read-only introspection; all 1.0 when the layer is disabled).
+    pub fn nic_scores(&self) -> Vec<f64> {
+        (0..self.nic_health.nic_count())
+            .map(|i| self.nic_health.score(NicId(i as u8)))
+            .collect()
+    }
+
+    /// An ack for heartbeat `seq` came back over `nic`: the round trip on
+    /// that interface worked. A gap since the last acked seq on the same
+    /// interface means earlier beats (or their acks) died on that wire —
+    /// per-NIC loss evidence the WD gets without any extra probe traffic.
+    fn on_ack(&mut self, nic: NicId, seq: u64) {
+        if !self.nic_health.enabled() {
+            return;
+        }
+        let Some(last) = self.acked_seq.get_mut(nic.0 as usize) else {
+            return;
+        };
+        if seq <= *last || seq > self.seq {
+            return; // duplicate, reordered straggler, or foreign incarnation
+        }
+        let gap = seq - *last - 1;
+        if *last > 0 && gap > 0 && gap < ACK_RESTART_WINDOW {
+            self.nic_health.observe_misses(nic, gap);
+        }
+        *last = seq;
+        self.nic_health.observe_delivery(nic);
     }
 }
 
@@ -112,7 +162,9 @@ impl Actor<KernelMsg> for Wd {
                 if let Some(me) = dir.partition(self.partition) {
                     self.gsd = me.gsd;
                 }
-                self.beat(ctx);
+                if !self.beating {
+                    self.beat(ctx);
+                }
             }
             KernelMsg::PartitionView { local, .. } => {
                 // A restarted or migrated GSD announces itself here.
@@ -120,6 +172,9 @@ impl Actor<KernelMsg> for Wd {
             }
             KernelMsg::ProbeReq { req } => {
                 ctx.send(from, KernelMsg::ProbeResp { req });
+            }
+            KernelMsg::WdHeartbeatAck { nic, seq } => {
+                self.on_ack(nic, seq);
             }
             KernelMsg::CfgSetParam { key, value, .. } => {
                 // Dynamic reconfiguration pushed by the config service.
@@ -213,6 +268,41 @@ mod tests {
             .collect();
         assert!(!nics.contains(&0), "NIC 0 heartbeats must be dropped");
         assert!(nics.contains(&1) && nics.contains(&2));
+    }
+
+    #[test]
+    fn acks_feed_per_nic_health() {
+        let mut w = ClusterBuilder::new()
+            .nodes(2, NodeSpec::default())
+            .build::<KernelMsg>();
+        let gsd = ClientHandle::spawn(&mut w, NodeId(0));
+        let wd_pid = w.spawn(
+            NodeId(1),
+            Box::new(Wd::respawn(
+                NodeId(1),
+                PartitionId(0),
+                FtParams::fast_lossy(),
+                gsd.pid,
+                RecoveryAction::NoneNeeded,
+            )),
+        );
+        w.run_for(SimDuration::from_millis(10_500)); // seq reaches 11
+        gsd.drain();
+        // NIC 0: every beat acked. NIC 1: only 1, 5 and 11 came back —
+        // the gaps are loss evidence against that interface. Spaced out in
+        // virtual time so latency jitter cannot reorder them.
+        for seq in 1..=11u64 {
+            gsd.send(&mut w, wd_pid, KernelMsg::WdHeartbeatAck { nic: NicId(0), seq });
+            w.run_for(SimDuration::from_millis(5));
+        }
+        for seq in [1u64, 5, 11] {
+            gsd.send(&mut w, wd_pid, KernelMsg::WdHeartbeatAck { nic: NicId(1), seq });
+            w.run_for(SimDuration::from_millis(5));
+        }
+        let scores = w.actor_as::<Wd>(wd_pid).unwrap().nic_scores();
+        assert_eq!(scores[0], 1.0, "fully acked NIC stays perfect");
+        assert!(scores[1] < scores[0], "gappy NIC scores below: {scores:?}");
+        assert_eq!(scores[2], 1.0, "no evidence, no penalty");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod config;
 pub mod detect;
 pub mod event;
 pub mod group;
+pub mod nic_health;
 pub mod params;
 pub mod ppm;
 pub mod rpc;
@@ -37,5 +38,6 @@ pub use boot::{
     boot_and_stabilize, boot_cluster, boot_cluster_with_net, boot_onto, PhoenixCluster,
 };
 pub use client::ClientHandle;
+pub use nic_health::{HealthTransition, NicHealth, NicHealthParams};
 pub use params::{FtParams, KernelParams};
 pub use rpc::{DedupWindow, Retrier, RetryPolicy};

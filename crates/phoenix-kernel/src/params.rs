@@ -8,6 +8,7 @@
 //! stresses that "the interval for sending heartbeat can be configured as a
 //! system parameter".
 
+use crate::nic_health::NicHealthParams;
 use crate::rpc::RetryPolicy;
 use phoenix_sim::SimDuration;
 
@@ -63,6 +64,10 @@ pub struct FtParams {
     /// diagnosis if beats resumed meanwhile (they were merely lost, not
     /// stopped). Off by default to keep the paper pipeline byte-identical.
     pub probe_abort_on_fresh: bool,
+    /// Per-NIC health scoring and adaptive routing (heartbeat acks, EWMA
+    /// scores, best-NIC preference for probes/meta-ring traffic). Disabled
+    /// by default so the paper pipeline stays byte-identical.
+    pub nic: NicHealthParams,
 }
 
 impl Default for FtParams {
@@ -86,6 +91,7 @@ impl Default for FtParams {
             userenv_restart_cost: SimDuration::from_millis(200),
             suspect_beats: 1,
             probe_abort_on_fresh: false,
+            nic: NicHealthParams::default(),
         }
     }
 }
@@ -112,6 +118,7 @@ impl FtParams {
         FtParams {
             suspect_beats: 3,
             probe_abort_on_fresh: true,
+            nic: NicHealthParams::lossy(),
             ..FtParams::fast()
         }
     }
@@ -208,9 +215,12 @@ mod tests {
         assert_eq!(p.ft.suspect_beats, 1);
         assert!(!p.ft.probe_abort_on_fresh);
         assert!(!p.rpc.retries_enabled());
+        assert!(!p.ft.nic.enabled, "NIC-health layer must default off");
+        assert!(!KernelParams::fast().ft.nic.enabled);
         let l = KernelParams::fast_lossy();
         assert!(l.ft.suspect_beats > 1);
         assert!(l.ft.probe_abort_on_fresh);
         assert!(l.rpc.retries_enabled());
+        assert!(l.ft.nic.enabled);
     }
 }

@@ -14,7 +14,7 @@
 //! module behave exactly as before unless a lossy profile opts in
 //! (`KernelParams::fast_lossy`).
 
-use phoenix_sim::{SimDuration, SimRng};
+use phoenix_sim::{NicId, SimDuration, SimRng};
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 
@@ -126,6 +126,23 @@ impl<K: Hash + Eq + Clone> Retrier<K> {
     /// Attempts made so far for `key` (0 if unknown).
     pub fn attempts(&self, key: &K) -> u32 {
         self.attempts.get(key).copied().unwrap_or(0)
+    }
+
+    /// NIC-selection hook for adaptive multi-NIC routing: given the
+    /// health-ranked interface list (best first, from
+    /// [`crate::nic_health::NicHealth::ranked`]), pick the NIC for the next
+    /// send of `key`. The first attempt goes over the healthiest
+    /// interface; each retry rotates one step down the ranking, so a
+    /// request whose preferred path is silently eating packets escapes to
+    /// an independent network instead of re-rolling the same dice.
+    /// `None` when no ranking is available (caller falls back to default
+    /// routing).
+    pub fn nic_for_attempt(&self, key: &K, ranked: &[NicId]) -> Option<NicId> {
+        if ranked.is_empty() {
+            return None;
+        }
+        let attempt = self.attempts(key) as usize;
+        Some(ranked[attempt % ranked.len()])
     }
 }
 
@@ -247,6 +264,24 @@ mod tests {
         assert!(r.next_backoff(2, &mut rng).is_some());
         r.done(&1);
         assert_eq!(r.attempts(&1), 0);
+    }
+
+    #[test]
+    fn nic_for_attempt_rotates_down_the_ranking() {
+        let mut r: Retrier<u64> = Retrier::new(RetryPolicy::lossy());
+        let mut rng = SimRng::seed_from_u64(4);
+        let ranked = [NicId(2), NicId(0), NicId(1)];
+        // Before the first send: best NIC.
+        assert_eq!(r.nic_for_attempt(&1, &ranked), Some(NicId(2)));
+        r.next_backoff(1, &mut rng);
+        assert_eq!(r.nic_for_attempt(&1, &ranked), Some(NicId(0)));
+        r.next_backoff(1, &mut rng);
+        assert_eq!(r.nic_for_attempt(&1, &ranked), Some(NicId(1)));
+        r.next_backoff(1, &mut rng);
+        // Wraps around once the ranking is exhausted.
+        assert_eq!(r.nic_for_attempt(&1, &ranked), Some(NicId(2)));
+        // Unranked callers keep default routing.
+        assert_eq!(r.nic_for_attempt(&1, &[]), None);
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub enum EventType {
     NetworkFault,
     /// A network interface recovered.
     NetworkRecovery,
+    /// A network interface is degraded (lossy) but not down: heartbeats
+    /// still arrive on it, just with a loss share high enough that the
+    /// NIC-health layer stopped preferring it for routed traffic.
+    NetworkDegraded,
     /// A kernel or user-environment service instance failed.
     ServiceFault,
     /// A failed service instance was restarted or migrated.

@@ -98,6 +98,11 @@ pub enum KernelMsg {
     /// Liveness probe used during fault diagnosis.
     ProbeReq { req: RequestId },
     ProbeResp { req: RequestId },
+    /// GSD acknowledgement of a WD heartbeat, echoed back over the same
+    /// NIC the beat arrived on. Only sent when NIC-health scoring is
+    /// enabled: the ack stream gives the WD per-interface delivery
+    /// evidence without changing the fan-out-over-all-NICs semantics.
+    WdHeartbeatAck { nic: NicId, seq: u64 },
 
     // ---- group service: meta-group ring ("meta") ------------------------
     /// Ring heartbeat from a GSD to its successor, sent over every NIC so
@@ -374,7 +379,7 @@ impl KernelMsg {
         use KernelMsg::*;
         match self {
             Boot(_) => "boot",
-            WdHeartbeat { .. } => "hb",
+            WdHeartbeat { .. } | WdHeartbeatAck { .. } => "hb",
             ProbeReq { .. } | ProbeResp { .. } => "probe",
             MetaHeartbeat { .. } | MetaJoin { .. } | MetaMembership { .. }
             | MetaMemberDown { .. } => "meta",

@@ -456,6 +456,7 @@ wire_enum! { EventType {
     8 => ConfigChange,
     9 => ResourceAlarm,
     10 => Custom(code),
+    11 => NetworkDegraded,
 }}
 
 wire_enum! { EventPayload {
@@ -622,6 +623,7 @@ wire_enum! { KernelMsg {
     59 => PbsPoll { req },
     60 => PbsPollResp { req, node, usage, jobs },
     61 => EsRegisterAck { req },
+    62 => WdHeartbeatAck { nic, seq },
 }}
 
 #[cfg(test)]

@@ -31,6 +31,12 @@ pub enum Fault {
     LossBurst { permille: u16 },
     /// End a loss burst; any configured base loss rate stays in effect.
     LossClear,
+    /// Degrade one interface of one node: it stays up, but every path
+    /// touching it loses at least `permille` (0..=1000) until restored.
+    /// The flapping-NIC chaos steps are built from degrade/restore pairs.
+    NicDegrade(NodeId, NicId, u16),
+    /// End an interface degradation.
+    NicRestore(NodeId, NicId),
 }
 
 #[cfg(test)]

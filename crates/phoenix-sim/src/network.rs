@@ -17,7 +17,7 @@
 use crate::ids::{NicId, NodeId};
 use crate::rng::SimRng;
 use crate::time::SimDuration;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Latency and unreliability parameters of the interconnect.
 #[derive(Clone, Debug)]
@@ -39,6 +39,13 @@ pub struct NetParams {
     /// message when non-zero: widens the reorder window well beyond the
     /// base `jitter` without shifting the latency floor.
     pub reorder_extra: SimDuration,
+    /// Per-network loss overrides: index `i` replaces `loss_permille` for
+    /// messages carried over network `i`. Networks beyond the vector's
+    /// length keep the uniform base rate, so the empty default changes
+    /// nothing.
+    pub nic_loss_permille: Vec<u16>,
+    /// Per-network duplication overrides, same indexing rules.
+    pub nic_dup_permille: Vec<u16>,
 }
 
 impl Default for NetParams {
@@ -52,6 +59,8 @@ impl Default for NetParams {
             loss_permille: 0,
             dup_permille: 0,
             reorder_extra: SimDuration::ZERO,
+            nic_loss_permille: Vec::new(),
+            nic_dup_permille: Vec::new(),
         }
     }
 }
@@ -68,6 +77,50 @@ impl NetParams {
             ..NetParams::default()
         }
     }
+
+    /// Override the loss rate of network `nic` only (other networks keep
+    /// their current rate). The asymmetric-NIC benchmarks are built on
+    /// this: one lossy interface, the rest clean.
+    pub fn with_nic_loss(mut self, nic: NicId, permille: u16) -> NetParams {
+        let i = nic.0 as usize;
+        if self.nic_loss_permille.len() <= i {
+            self.nic_loss_permille.resize(i + 1, self.loss_permille);
+        }
+        self.nic_loss_permille[i] = permille;
+        // Lossy interfaces duplicate in proportion, like `unreliable`.
+        if self.nic_dup_permille.len() <= i {
+            self.nic_dup_permille.resize(i + 1, self.dup_permille);
+        }
+        self.nic_dup_permille[i] = permille / 4;
+        if permille > 0 && self.reorder_extra.as_nanos() == 0 {
+            self.reorder_extra = SimDuration::from_micros(300);
+        }
+        self
+    }
+
+    /// Base loss rate of network `nic` (override if set, uniform otherwise).
+    pub fn nic_loss(&self, nic: NicId) -> u16 {
+        *self
+            .nic_loss_permille
+            .get(nic.0 as usize)
+            .unwrap_or(&self.loss_permille)
+    }
+
+    /// Base duplication rate of network `nic`.
+    pub fn nic_dup(&self, nic: NicId) -> u16 {
+        *self
+            .nic_dup_permille
+            .get(nic.0 as usize)
+            .unwrap_or(&self.dup_permille)
+    }
+}
+
+/// Unreliability of one routed path: the rates the world rolls against for
+/// a message that crossed the wire on a specific network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct LinkQuality {
+    pub loss_permille: u16,
+    pub dup_permille: u16,
 }
 
 /// Reasons a message could not be carried.
@@ -93,6 +146,10 @@ pub struct Network {
     /// Transient loss burst (`Fault::LossBurst`); the effective loss rate
     /// is the max of this and the configured base rate.
     burst_permille: u16,
+    /// Degraded interfaces (`Fault::NicDegrade`): the NIC stays up but any
+    /// path touching it loses at least this rate. Keyed per endpoint, so a
+    /// degraded NIC hurts both directions of every link it carries.
+    degraded: HashMap<(NodeId, NicId), u16>,
 }
 
 impl Network {
@@ -101,6 +158,7 @@ impl Network {
             params,
             blocked: HashSet::new(),
             burst_permille: 0,
+            degraded: HashMap::new(),
         }
     }
 
@@ -144,24 +202,46 @@ impl Network {
         self.burst_permille = 0;
     }
 
-    /// Loss probability currently in effect, in permille.
+    /// Loss probability currently in effect for a path with no per-NIC
+    /// override or degradation, in permille.
     pub fn effective_loss_permille(&self) -> u16 {
         self.params.loss_permille.max(self.burst_permille)
     }
 
-    /// Roll the dice for one cross-node message: `true` means the message
-    /// is lost. Draws from the RNG only when a loss rate is in effect, so
-    /// reliable runs consume exactly the same random stream as before the
-    /// unreliability model existed.
-    pub fn loss_roll(&self, rng: &mut SimRng) -> bool {
-        let permille = self.effective_loss_permille();
-        permille > 0 && rng.gen_range(0..1000u64) < permille as u64
+    /// Degrade one interface of one node to at least `permille` loss on
+    /// every path that touches it (`Fault::NicDegrade`). The NIC stays up:
+    /// routing still succeeds, messages just die more often.
+    pub fn degrade_nic(&mut self, node: NodeId, nic: NicId, permille: u16) {
+        self.degraded.insert((node, nic), permille.min(1000));
     }
 
-    /// Roll for duplication: `true` means deliver a second copy.
+    /// End an interface degradation (`Fault::NicRestore`).
+    pub fn restore_nic(&mut self, node: NodeId, nic: NicId) {
+        self.degraded.remove(&(node, nic));
+    }
+
+    /// Current degradation of an interface (0 when healthy).
+    pub fn nic_degradation(&self, node: NodeId, nic: NicId) -> u16 {
+        *self.degraded.get(&(node, nic)).unwrap_or(&0)
+    }
+
+    /// Roll one permille-probability event. Draws from the RNG only when
+    /// the rate is non-zero, so reliable runs consume exactly the same
+    /// random stream as before the unreliability model existed.
+    pub fn roll(permille: u16, rng: &mut SimRng) -> bool {
+        permille > 0 && rng.gen_range(0..1000u64) < permille.min(1000) as u64
+    }
+
+    /// Roll the dice for one cross-node message over a path with no
+    /// per-NIC override: `true` means the message is lost.
+    pub fn loss_roll(&self, rng: &mut SimRng) -> bool {
+        Self::roll(self.effective_loss_permille(), rng)
+    }
+
+    /// Roll for duplication at the uniform base rate: `true` means deliver
+    /// a second copy.
     pub fn dup_roll(&self, rng: &mut SimRng) -> bool {
-        let permille = self.params.dup_permille.min(1000);
-        permille > 0 && rng.gen_range(0..1000u64) < permille as u64
+        Self::roll(self.params.dup_permille, rng)
     }
 
     /// Extra reorder jitter for one cross-node message (ZERO when the
@@ -189,7 +269,11 @@ impl Network {
     }
 
     /// Decide whether a message may travel from (`src`, `src_nic`) to
-    /// (`dst`, same network). Same-node messages never touch the wire.
+    /// (`dst`, same network), and with what unreliability. Same-node
+    /// messages never touch the wire (zero rates). The loss rate of a
+    /// routed path is the worst of: the network's configured rate (per-NIC
+    /// override or uniform base), an active cluster-wide loss burst, and
+    /// any degradation of the two endpoint interfaces.
     pub fn route(
         &self,
         src: NodeId,
@@ -197,9 +281,9 @@ impl Network {
         nic: NicId,
         src_nic_up: bool,
         dst_nic_up: bool,
-    ) -> Result<(), DropReason> {
+    ) -> Result<LinkQuality, DropReason> {
         if src == dst {
-            return Ok(());
+            return Ok(LinkQuality::default());
         }
         if !src_nic_up {
             return Err(DropReason::SenderNicDown);
@@ -207,11 +291,19 @@ impl Network {
         if !dst_nic_up {
             return Err(DropReason::ReceiverNicDown);
         }
-        let _ = nic;
         if self.is_partitioned(src, dst) {
             return Err(DropReason::Partitioned);
         }
-        Ok(())
+        let loss = self
+            .params
+            .nic_loss(nic)
+            .max(self.burst_permille)
+            .max(self.nic_degradation(src, nic))
+            .max(self.nic_degradation(dst, nic));
+        Ok(LinkQuality {
+            loss_permille: loss,
+            dup_permille: self.params.nic_dup(nic),
+        })
     }
 }
 
@@ -270,7 +362,10 @@ mod tests {
             net.route(NodeId(0), NodeId(1), NicId(0), true, false),
             Err(DropReason::ReceiverNicDown)
         );
-        assert_eq!(net.route(NodeId(0), NodeId(1), NicId(0), true, true), Ok(()));
+        assert_eq!(
+            net.route(NodeId(0), NodeId(1), NicId(0), true, true),
+            Ok(LinkQuality::default())
+        );
     }
 
     #[test]
@@ -278,8 +373,54 @@ mod tests {
         let net = Network::new(NetParams::default());
         assert_eq!(
             net.route(NodeId(0), NodeId(0), NicId(0), false, false),
-            Ok(())
+            Ok(LinkQuality::default())
         );
+    }
+
+    #[test]
+    fn route_reports_per_nic_rates() {
+        let params = NetParams::unreliable(20).with_nic_loss(NicId(0), 100);
+        let net = Network::new(params);
+        let q0 = net.route(NodeId(0), NodeId(1), NicId(0), true, true).unwrap();
+        assert_eq!(q0.loss_permille, 100);
+        assert_eq!(q0.dup_permille, 25);
+        // Networks without an override keep the uniform base rates.
+        let q1 = net.route(NodeId(0), NodeId(1), NicId(1), true, true).unwrap();
+        assert_eq!(q1.loss_permille, 20);
+        assert_eq!(q1.dup_permille, 5);
+        // Out-of-range indices fall back to the base too.
+        let q7 = net.route(NodeId(0), NodeId(1), NicId(7), true, true).unwrap();
+        assert_eq!(q7.loss_permille, 20);
+    }
+
+    #[test]
+    fn degraded_nic_raises_loss_both_directions() {
+        let mut net = Network::new(NetParams::default());
+        net.degrade_nic(NodeId(1), NicId(2), 400);
+        let fwd = net.route(NodeId(0), NodeId(1), NicId(2), true, true).unwrap();
+        let rev = net.route(NodeId(1), NodeId(0), NicId(2), true, true).unwrap();
+        assert_eq!(fwd.loss_permille, 400);
+        assert_eq!(rev.loss_permille, 400);
+        // Other interfaces of the same node are untouched.
+        let other = net.route(NodeId(0), NodeId(1), NicId(0), true, true).unwrap();
+        assert_eq!(other.loss_permille, 0);
+        net.restore_nic(NodeId(1), NicId(2));
+        let fwd = net.route(NodeId(0), NodeId(1), NicId(2), true, true).unwrap();
+        assert_eq!(fwd.loss_permille, 0);
+    }
+
+    #[test]
+    fn burst_floors_per_nic_rates() {
+        let params = NetParams::default().with_nic_loss(NicId(0), 100);
+        let mut net = Network::new(params);
+        net.set_loss_burst(300);
+        let q0 = net.route(NodeId(0), NodeId(1), NicId(0), true, true).unwrap();
+        let q1 = net.route(NodeId(0), NodeId(1), NicId(1), true, true).unwrap();
+        assert_eq!(q0.loss_permille, 300);
+        assert_eq!(q1.loss_permille, 300);
+        net.clear_loss_burst();
+        let q0 = net.route(NodeId(0), NodeId(1), NicId(0), true, true).unwrap();
+        assert_eq!(q0.loss_permille, 100);
     }
 
     #[test]

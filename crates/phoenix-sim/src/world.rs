@@ -5,7 +5,7 @@ use crate::fault::Fault;
 use crate::ids::{NicId, NodeId, Pid, TimerId};
 use crate::message::Message;
 use crate::metrics::Metrics;
-use crate::network::{DropReason, NetParams, Network};
+use crate::network::{DropReason, LinkQuality, NetParams, Network};
 use crate::node::{NodeSpec, NodeState, ResourceUsage};
 use crate::time::{SimDuration, SimTime};
 use crate::rng::SimRng;
@@ -477,16 +477,23 @@ impl<M: Message> World<M> {
 
         let route = self.resolve_route(src, dst, via);
         match route {
-            Ok(_nic) => {
+            Ok((nic, quality)) => {
                 // Unreliability model: only cross-node messages touch the
                 // wire, and every roll below draws from the RNG only when
                 // its rate is non-zero — a fully reliable network consumes
                 // exactly the same random stream as before the model
                 // existed, keeping old seeded runs byte-for-byte identical.
+                // The rates come from the resolved path, so a lossy or
+                // degraded interface punishes exactly the traffic routed
+                // over it.
                 let crossing = src != dst;
-                if crossing && self.network.loss_roll(&mut self.rng) {
+                if crossing {
+                    phoenix_telemetry::counter_add(nic_routed_counter(nic), 1);
+                }
+                if crossing && Network::roll(quality.loss_permille, &mut self.rng) {
                     self.metrics.on_drop(label, DropReason::RandomLoss);
                     phoenix_telemetry::counter_add("net.loss.dropped", 1);
+                    phoenix_telemetry::counter_add(nic_drop_counter(nic), 1);
                     return;
                 }
                 let latency = self.network.latency(src, dst, &mut self.rng);
@@ -495,7 +502,7 @@ impl<M: Message> World<M> {
                 } else {
                     SimDuration::ZERO
                 };
-                if crossing && self.network.dup_roll(&mut self.rng) {
+                if crossing && Network::roll(quality.dup_permille, &mut self.rng) {
                     let dup_latency =
                         self.network.latency(src, dst, &mut self.rng) + extra;
                     phoenix_telemetry::counter_add("net.dup.delivered", 1);
@@ -528,48 +535,44 @@ impl<M: Message> World<M> {
 
     /// Pick the network a message travels over, honouring an explicit NIC
     /// choice or falling back to the first network healthy at both ends.
+    /// On success, also report the unreliability of the chosen path.
     fn resolve_route(
         &self,
         src: NodeId,
         dst: NodeId,
         via: Option<NicId>,
-    ) -> Result<NicId, DropReason> {
+    ) -> Result<(NicId, LinkQuality), DropReason> {
         let src_state = &self.nodes[src.index()];
         let dst_state = &self.nodes[dst.index()];
         if !src_state.up || !dst_state.up {
             return Err(DropReason::NodeDown);
         }
         if src == dst {
-            return Ok(NicId(0));
+            return Ok((NicId(0), LinkQuality::default()));
         }
         match via {
-            Some(nic) => {
-                self.network
-                    .route(
+            Some(nic) => self
+                .network
+                .route(
+                    src,
+                    dst,
+                    nic,
+                    src_state.nic_healthy(nic),
+                    dst_state.nic_healthy(nic),
+                )
+                .map(|quality| (nic, quality)),
+            None => {
+                let nics = src_state.nic_up.len().min(dst_state.nic_up.len());
+                for i in 0..nics {
+                    let nic = NicId(i as u8);
+                    if let Ok(quality) = self.network.route(
                         src,
                         dst,
                         nic,
                         src_state.nic_healthy(nic),
                         dst_state.nic_healthy(nic),
-                    )
-                    .map(|_| nic)
-            }
-            None => {
-                let nics = src_state.nic_up.len().min(dst_state.nic_up.len());
-                for i in 0..nics {
-                    let nic = NicId(i as u8);
-                    if self
-                        .network
-                        .route(
-                            src,
-                            dst,
-                            nic,
-                            src_state.nic_healthy(nic),
-                            dst_state.nic_healthy(nic),
-                        )
-                        .is_ok()
-                    {
-                        return Ok(nic);
+                    ) {
+                        return Ok((nic, quality));
                     }
                 }
                 Err(DropReason::NoRoute)
@@ -631,6 +634,10 @@ impl<M: Message> World<M> {
             Fault::HealLink(a, b) => self.network.heal(a, b),
             Fault::LossBurst { permille } => self.network.set_loss_burst(permille),
             Fault::LossClear => self.network.clear_loss_burst(),
+            Fault::NicDegrade(node, nic, permille) => {
+                self.network.degrade_nic(node, nic, permille)
+            }
+            Fault::NicRestore(node, nic) => self.network.restore_nic(node, nic),
         }
     }
 
@@ -680,6 +687,27 @@ impl<M: Message> World<M> {
                 v
             })
             .unwrap_or_default()
+    }
+}
+
+/// Telemetry requires `&'static str` keys, so per-NIC counter names are a
+/// fixed family (three networks mirror the Dawning 4000A testbed; anything
+/// wider shares a bucket).
+fn nic_drop_counter(nic: NicId) -> &'static str {
+    match nic.0 {
+        0 => "net.loss.dropped.nic0",
+        1 => "net.loss.dropped.nic1",
+        2 => "net.loss.dropped.nic2",
+        _ => "net.loss.dropped.nicN",
+    }
+}
+
+fn nic_routed_counter(nic: NicId) -> &'static str {
+    match nic.0 {
+        0 => "net.routed.nic0",
+        1 => "net.routed.nic1",
+        2 => "net.routed.nic2",
+        _ => "net.routed.nicN",
     }
 }
 
@@ -1044,6 +1072,48 @@ mod tests {
         w.spawn(NodeId(0), Box::new(Flood { peer: sink, n: 5 }));
         w.run_for(SimDuration::from_millis(10));
         assert_eq!(w.metrics().total.delivered, 5);
+    }
+
+    #[test]
+    fn nic_degrade_fault_drops_then_restores() {
+        phoenix_telemetry::reset();
+        let (mut w, sink) = lossy_world(NetParams::default(), 5);
+        // Degrade NIC 0 of the receiver to 100% loss. Default routing still
+        // picks NIC 0 (the interface is up, just lossy), so everything dies.
+        w.apply_fault(Fault::NicDegrade(NodeId(1), NicId(0), 1000));
+        w.spawn(NodeId(0), Box::new(Flood { peer: sink, n: 5 }));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.metrics().total.delivered, 0);
+        assert_eq!(w.metrics().drops_by_reason["random_loss"], 5);
+        let nic0_drops = phoenix_telemetry::with(|reg| reg.counter("net.loss.dropped.nic0"));
+        assert_eq!(nic0_drops, 5, "drops attributed to the degraded NIC");
+        w.apply_fault(Fault::NicRestore(NodeId(1), NicId(0)));
+        w.spawn(NodeId(0), Box::new(Flood { peer: sink, n: 5 }));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.metrics().total.delivered, 5);
+    }
+
+    #[test]
+    fn per_nic_loss_only_hits_that_network() {
+        phoenix_telemetry::reset();
+        // NIC 0 always loses; NICs 1-2 are clean. Default routing still
+        // prefers NIC 0, so drops land there and nowhere else.
+        let params = NetParams::default().with_nic_loss(NicId(0), 1000);
+        let (mut w, sink) = lossy_world(params, 8);
+        w.spawn(NodeId(0), Box::new(Flood { peer: sink, n: 10 }));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.metrics().total.delivered, 0);
+        // Pinned sends over a clean NIC get through untouched.
+        w.apply_fault(Fault::NicDown(NodeId(1), NicId(0)));
+        w.spawn(NodeId(0), Box::new(Flood { peer: sink, n: 10 }));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.metrics().total.delivered, 10);
+        phoenix_telemetry::with(|reg| {
+            assert_eq!(reg.counter("net.loss.dropped.nic0"), 10);
+            assert_eq!(reg.counter("net.loss.dropped.nic1"), 0);
+            assert_eq!(reg.counter("net.routed.nic0"), 10);
+            assert_eq!(reg.counter("net.routed.nic1"), 10);
+        });
     }
 
     #[test]

@@ -25,6 +25,12 @@
 # The loss_sweep smoke sweeps loss rates on a fault-free and a WD-kill
 # cluster; the bin exits non-zero if any spurious takeover fires, and the
 # export is asserted to land in results/BENCH_loss.json.
+#
+# The nic_asymmetry smoke degrades NIC 0 only (NICs 1-2 clean) and gates
+# the adaptive multi-NIC routing acceptance criteria: zero spurious
+# takeovers and detection within 25% of the clean baseline
+# (results/BENCH_nic.json); the flapping-NIC pin replays chaos seed 4's
+# NIC degrade/restore storms end-to-end first.
 
 set -eu
 
@@ -91,6 +97,36 @@ test -s results/BENCH_loss.json || {
 for needle in '"loss_curve"' '"spurious_takeovers"' '"detect_ms_mean"' '"net_loss_dropped"'; do
     grep -q "$needle" results/BENCH_loss.json || {
         echo "FAIL: $needle not found in results/BENCH_loss.json" >&2
+        exit 1
+    }
+done
+
+echo "== smoke: flapping-NIC chaos pin (seed 4, lossy) =="
+# Replays the pinned flapping-NIC storm end-to-end (exit 1 on violation).
+cargo run --release --offline -p phoenix-chaos --bin chaos -- --lossy 20 --replay 4 \
+    > /tmp/chaos_flap.out || {
+    cat /tmp/chaos_flap.out >&2
+    echo "FAIL: flapping-NIC replay (seed 4) violated invariants" >&2
+    exit 1
+}
+grep -q 'NicDegrade' /tmp/chaos_flap.out || {
+    echo "FAIL: seed 4 schedule no longer contains NIC flaps — re-pin" >&2
+    exit 1
+}
+
+echo "== smoke: nic_asymmetry (--small) writes results/BENCH_nic.json =="
+rm -f results/BENCH_nic.json
+# The bin exits non-zero on any spurious takeover or a detection mean more
+# than 25% above the clean baseline — the adaptive-routing acceptance gate.
+cargo run --release --offline -p phoenix-bench --bin nic_asymmetry -- --small
+
+test -s results/BENCH_nic.json || {
+    echo "FAIL: results/BENCH_nic.json missing or empty" >&2
+    exit 1
+}
+for needle in '"nic_curve"' '"spurious_takeovers"' '"detect_ratio_vs_clean"' '"worst_detect_ratio"' '"nic0_routed_share"'; do
+    grep -q "$needle" results/BENCH_nic.json || {
+        echo "FAIL: $needle not found in results/BENCH_nic.json" >&2
         exit 1
     }
 done

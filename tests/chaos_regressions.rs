@@ -16,7 +16,7 @@
 
 use phoenix::chaos::{
     crash_repair_nodes, double_nic_nodes, generate_schedule, gsd_kills, link_partitions,
-    loss_bursts, run_schedule, ChaosConfig,
+    loss_bursts, nic_flaps, run_schedule, ChaosConfig,
 };
 use phoenix::kernel::boot_cluster;
 use phoenix::proto::PartitionId;
@@ -134,6 +134,41 @@ fn loss_burst_during_gsd_kill() {
         out.violations.is_empty(),
         "seed {SEED} violated invariants under loss: {:#?}\nreplay: cargo run \
          --release -p phoenix-chaos --bin chaos -- --lossy 20 --replay {SEED}",
+        out.violations
+    );
+}
+
+/// Flapping-NIC pin: eight NIC degrade/restore cycles across two nodes'
+/// interfaces overlap two daemon kills and two loss bursts, all on a 2%
+/// random-loss network. The per-NIC health layer must ride the flaps —
+/// demote a degraded interface, re-promote it only after the hysteresis
+/// window — without a spurious takeover or a permanently demoted NIC.
+///
+/// Replay: `cargo run --release -p phoenix-chaos --bin chaos -- --lossy 20 --replay 4`
+#[test]
+fn flapping_nic_storm() {
+    const SEED: u64 = 4;
+    let cfg = ChaosConfig::small_lossy(20);
+    let (_world, cluster) = phoenix::kernel::boot_cluster_with_net(
+        cfg.topology(),
+        cfg.params.clone(),
+        SEED,
+        cfg.net.clone(),
+    );
+    let steps = generate_schedule(SEED, &cfg, &cluster);
+    assert!(
+        nic_flaps(&steps) >= 8 && loss_bursts(&steps) >= 2,
+        "pin drifted: seed {SEED} no longer mixes >=8 NIC flaps with loss \
+         bursts (flaps: {}, bursts: {}) — re-run the lossy scan and re-pin",
+        nic_flaps(&steps),
+        loss_bursts(&steps)
+    );
+    let out = run_schedule(SEED, &cfg, u64::MAX, false);
+    assert!(out.quiesced, "seed {SEED}: flapping cluster never quiesced");
+    assert!(
+        out.violations.is_empty(),
+        "seed {SEED} violated invariants under NIC flapping: {:#?}\nreplay: \
+         cargo run --release -p phoenix-chaos --bin chaos -- --lossy 20 --replay {SEED}",
         out.violations
     );
 }

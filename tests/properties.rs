@@ -295,6 +295,7 @@ fn kernel_msg_surface() -> Vec<phoenix::proto::KernelMsg> {
         KernelMsg::WdHeartbeat { node: NodeId(3), nic: NicId(1), seq: 99 },
         KernelMsg::ProbeReq { req: RequestId(5) },
         KernelMsg::ProbeResp { req: RequestId(5) },
+        KernelMsg::WdHeartbeatAck { nic: NicId(1), seq: 99 },
         KernelMsg::MetaHeartbeat {
             from_partition: PartitionId(2),
             nic: NicId(2),
@@ -487,7 +488,7 @@ fn kernel_msg_full_surface_round_trips() {
         assert!(!seen.contains(&d), "duplicate variant in surface: {m:?}");
         seen.push(d);
     }
-    assert_eq!(msgs.len(), 62, "KernelMsg variant count changed — extend the surface");
+    assert_eq!(msgs.len(), 63, "KernelMsg variant count changed — extend the surface");
     for msg in msgs {
         let bytes = encode(&msg);
         assert_eq!(
