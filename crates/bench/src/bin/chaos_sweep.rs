@@ -6,12 +6,18 @@
 //! binary is the interactive explore/replay tool, this bin produces the
 //! machine-readable artifact the verify pipeline asserts on.
 //!
+//! Seeds run through the parallel sweep runner (`phoenix_bench::sweep`):
+//! each seeded schedule (plus its shrink, if it fails) is one work item
+//! under its own registry shard, merged in seed order, so the report is
+//! byte-identical to a `--serial` run.
+//!
 //! ```text
-//! chaos_sweep [--seeds N] [--seed-base S] [--small|--paper]
+//! chaos_sweep [--seeds N] [--seed-base S] [--small|--paper] [--serial]
 //! ```
 
 use std::path::PathBuf;
 
+use phoenix_bench::sweep::run_sweep;
 use phoenix_chaos::{full_mask, replay_command, run_schedule, shrink, ChaosConfig};
 use phoenix_telemetry::Json;
 
@@ -30,11 +36,11 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() {
-    phoenix_telemetry::reset();
     let mut seeds = 50u64;
     let mut seed_base = 1u64;
     let mut cfg = ChaosConfig::small();
     let mut shape = "small";
+    let mut serial = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,6 +56,7 @@ fn main() {
                 cfg = ChaosConfig::paper();
                 shape = "paper";
             }
+            "--serial" => serial = true,
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -60,14 +67,34 @@ fn main() {
         seed_base + seeds - 1
     );
 
+    // One work item per seed: run the schedule and, if it fails, shrink it
+    // in the same job (the shrink re-runs are deterministic per seed).
+    // Printing happens after the join, in seed order.
+    let seed_list: Vec<u64> = (seed_base..seed_base + seeds).collect();
+    let cfg_ref = &cfg;
+    let outcome = run_sweep(&seed_list, serial, |&seed| {
+        let out = run_schedule(seed, cfg_ref, u64::MAX, false);
+        let shrunk = if out.failed() {
+            Some(shrink(seed, cfg_ref, full_mask(out.total_steps), out.total_steps))
+        } else {
+            None
+        };
+        (out, shrunk)
+    });
+    println!(
+        "sweep: {} schedules on {} thread(s), {} ms wall",
+        seed_list.len(),
+        outcome.threads,
+        outcome.wall.as_millis()
+    );
+
     let mut schedules = Vec::new();
     let mut total_faults = 0usize;
     let mut total_steps = 0usize;
     let mut failures = 0u64;
     let mut shrink_runs = 0usize;
     let mut shrunk_steps = 0usize;
-    for seed in seed_base..seed_base + seeds {
-        let out = run_schedule(seed, &cfg, u64::MAX, false);
+    for (&seed, (out, shrunk)) in seed_list.iter().zip(&outcome.results) {
         total_faults += out.faults_injected;
         total_steps += out.applied_steps;
         let mut row = Json::obj()
@@ -78,9 +105,8 @@ fn main() {
             .set("quiesced", Json::Bool(out.quiesced))
             .set("virtual_s", Json::Num(out.virtual_ns as f64 / 1e9))
             .set("violations", Json::Num(out.violations.len() as f64));
-        if out.failed() {
+        if let Some(s) = shrunk {
             failures += 1;
-            let s = shrink(seed, &cfg, full_mask(out.total_steps), out.total_steps);
             shrink_runs += s.runs;
             shrunk_steps += s.steps;
             println!(
@@ -130,10 +156,9 @@ fn main() {
     let mut rep = phoenix_telemetry::BenchReport::new("chaos_sweep");
     rep.section("chaos", summary);
     rep.section("schedules", Json::Arr(schedules));
-    let path = phoenix_telemetry::with(|reg| {
-        rep.write_to(reg, workspace_root().join("results/BENCH_chaos.json"))
-    })
-    .expect("write BENCH_chaos.json");
+    let path = rep
+        .write_to(&outcome.merged, workspace_root().join("results/BENCH_chaos.json"))
+        .expect("write BENCH_chaos.json");
     println!(
         "chaos_sweep done: {}/{} schedules clean, {} faults injected; report: {}",
         seeds - failures,

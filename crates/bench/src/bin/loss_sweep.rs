@@ -18,12 +18,19 @@
 //! exit status is non-zero if any spurious takeover fired, which lets
 //! `scripts/verify.sh` gate on it.
 //!
+//! All `(rate, seed)` runs execute through the parallel sweep runner
+//! (`phoenix_bench::sweep`): one registry shard per run, shards merged in
+//! work-item order, so the report is byte-identical to `--serial` for the
+//! same seed set (verify.sh diffs the two). Wall-clock and thread counts
+//! go to stdout only.
+//!
 //! ```text
-//! loss_sweep [--small]
+//! loss_sweep [--small] [--serial]
 //! ```
 
 use std::path::PathBuf;
 
+use phoenix_bench::sweep::run_sweep;
 use phoenix_kernel::boot::boot_cluster_with_net;
 use phoenix_kernel::KernelParams;
 use phoenix_proto::{ClusterTopology, KernelMsg};
@@ -61,7 +68,6 @@ fn boot(seed: u64, loss_permille: u16) -> (World<KernelMsg>, phoenix_kernel::Pho
 /// dead WD's node dropped), so both targets count as detection; the bool
 /// reports whether the diagnosis degraded.
 fn detection_ms(seed: u64, loss_permille: u16) -> (Option<f64>, bool, u64) {
-    phoenix_telemetry::reset();
     let (mut w, cluster) = boot(seed, loss_permille);
     w.run_for(SimDuration::from_secs(2));
     // A compute node's WD in partition 1 (not the meta leader's server).
@@ -97,7 +103,6 @@ struct FaultFreeStats {
 
 /// Run a fault-free cluster for 20 virtual seconds and read the counters.
 fn fault_free(seed: u64, loss_permille: u16) -> FaultFreeStats {
-    phoenix_telemetry::reset();
     let (mut w, _cluster) = boot(seed, loss_permille);
     w.run_for(SimDuration::from_secs(20));
     phoenix_telemetry::with(|reg| FaultFreeStats {
@@ -110,8 +115,20 @@ fn fault_free(seed: u64, loss_permille: u16) -> FaultFreeStats {
     })
 }
 
+/// One sweep work item: a seeded run at one loss rate.
+enum Job {
+    Detect { rate: u16, seed: u64 },
+    Clean { rate: u16, seed: u64 },
+}
+
+enum JobOut {
+    Detect { ms: Option<f64>, degraded: bool, retries: u64 },
+    Clean(FaultFreeStats),
+}
+
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
+    let serial = std::env::args().any(|a| a == "--serial");
     let rates: &[u16] = if small {
         &[0, 20, 50]
     } else {
@@ -123,6 +140,32 @@ fn main() {
          {clean_seeds} fault-free seeds per rate (15-node testbed, lossy profile)"
     );
 
+    // Flatten the whole sweep into one work list; item order (not
+    // completion order) drives the telemetry merge, so serial and
+    // parallel runs produce byte-identical reports.
+    let mut jobs = Vec::new();
+    for &rate in rates {
+        for seed in 1..=detect_seeds {
+            jobs.push(Job::Detect { rate, seed });
+        }
+        for seed in 100..100 + clean_seeds {
+            jobs.push(Job::Clean { rate, seed });
+        }
+    }
+    let outcome = run_sweep(&jobs, serial, |job| match *job {
+        Job::Detect { rate, seed } => {
+            let (ms, degraded, retries) = detection_ms(seed, rate);
+            JobOut::Detect { ms, degraded, retries }
+        }
+        Job::Clean { rate, seed } => JobOut::Clean(fault_free(seed, rate)),
+    });
+    println!(
+        "sweep: {} runs on {} thread(s), {} ms wall",
+        jobs.len(),
+        outcome.threads,
+        outcome.wall.as_millis()
+    );
+
     let mut curve = Vec::new();
     let mut total_spurious = 0u64;
     for &rate in rates {
@@ -132,13 +175,31 @@ fn main() {
         let mut missed = 0u64;
         let mut degraded = 0u64;
         let mut detect_retries = 0u64;
-        for seed in 1..=detect_seeds {
-            let (ms, deg, r) = detection_ms(seed, rate);
-            detect_retries += r;
-            degraded += deg as u64;
-            match ms {
-                Some(ms) => detect.push(ms),
-                None => missed += 1,
+        let mut spurious = 0u64;
+        let mut retries = 0u64;
+        let mut dropped = 0u64;
+        let mut dups = 0u64;
+        let mut dedup = 0u64;
+        for (job, out) in jobs.iter().zip(&outcome.results) {
+            match (job, out) {
+                (Job::Detect { rate: r, .. }, JobOut::Detect { ms, degraded: deg, retries: rr })
+                    if *r == rate =>
+                {
+                    detect_retries += rr;
+                    degraded += *deg as u64;
+                    match ms {
+                        Some(ms) => detect.push(*ms),
+                        None => missed += 1,
+                    }
+                }
+                (Job::Clean { rate: r, .. }, JobOut::Clean(s)) if *r == rate => {
+                    spurious += s.spurious_takeovers;
+                    retries += s.rpc_retries;
+                    dropped += s.loss_dropped;
+                    dups += s.dup_delivered;
+                    dedup += s.dedup_dropped;
+                }
+                _ => {}
             }
         }
         let detect_mean = if detect.is_empty() {
@@ -146,20 +207,6 @@ fn main() {
         } else {
             detect.iter().sum::<f64>() / detect.len() as f64
         };
-
-        let mut spurious = 0u64;
-        let mut retries = 0u64;
-        let mut dropped = 0u64;
-        let mut dups = 0u64;
-        let mut dedup = 0u64;
-        for seed in 100..100 + clean_seeds {
-            let s = fault_free(seed, rate);
-            spurious += s.spurious_takeovers;
-            retries += s.rpc_retries;
-            dropped += s.loss_dropped;
-            dups += s.dup_delivered;
-            dedup += s.dedup_dropped;
-        }
         total_spurious += spurious;
 
         println!(
@@ -204,10 +251,12 @@ fn main() {
     let mut rep = phoenix_telemetry::BenchReport::new("loss_sweep");
     rep.section("loss", summary);
     rep.section("loss_curve", Json::Arr(curve));
-    let path = phoenix_telemetry::with(|reg| {
-        rep.write_to(reg, workspace_root().join("results/BENCH_loss.json"))
-    })
-    .expect("write BENCH_loss.json");
+    // The merged registry holds every run's telemetry (shards merged in
+    // item order), not just the last run's — and is identical either way
+    // the sweep was scheduled.
+    let path = rep
+        .write_to(&outcome.merged, workspace_root().join("results/BENCH_loss.json"))
+        .expect("write BENCH_loss.json");
     println!("report written: {}", path.display());
 
     if total_spurious > 0 {

@@ -22,12 +22,18 @@
 //! detection mean drifted past the 25% bar, which lets `scripts/verify.sh`
 //! gate on it.
 //!
+//! All `(rate, seed)` runs execute through the parallel sweep runner
+//! (`phoenix_bench::sweep`) with per-run registry shards merged in
+//! work-item order; `--serial` runs the same items on one thread and
+//! produces a byte-identical report.
+//!
 //! ```text
-//! nic_asymmetry [--small]
+//! nic_asymmetry [--small] [--serial]
 //! ```
 
 use std::path::PathBuf;
 
+use phoenix_bench::sweep::run_sweep;
 use phoenix_kernel::boot::boot_cluster_with_net;
 use phoenix_kernel::KernelParams;
 use phoenix_proto::{ClusterTopology, KernelMsg};
@@ -59,7 +65,6 @@ fn boot(seed: u64, nic0_permille: u16) -> (World<KernelMsg>, phoenix_kernel::Pho
 /// latency. Detection must ride the clean interfaces, so the diagnosis is
 /// expected to land (and stay a process diagnosis) at every swept rate.
 fn detection_ms(seed: u64, nic0_permille: u16) -> Option<f64> {
-    phoenix_telemetry::reset();
     let (mut w, cluster) = boot(seed, nic0_permille);
     w.run_for(SimDuration::from_secs(2));
     // A compute node's WD in partition 1 (not the meta leader's server).
@@ -89,7 +94,6 @@ struct CleanStats {
 
 /// Run a fault-free cluster for 20 virtual seconds and read the counters.
 fn fault_free(seed: u64, nic0_permille: u16) -> CleanStats {
-    phoenix_telemetry::reset();
     let (mut w, _cluster) = boot(seed, nic0_permille);
     w.run_for(SimDuration::from_secs(20));
     phoenix_telemetry::with(|reg| CleanStats {
@@ -106,8 +110,20 @@ fn fault_free(seed: u64, nic0_permille: u16) -> CleanStats {
     })
 }
 
+/// One sweep work item: a seeded run at one NIC0 loss rate.
+enum Job {
+    Detect { rate: u16, seed: u64 },
+    Clean { rate: u16, seed: u64 },
+}
+
+enum JobOut {
+    Detect(Option<f64>),
+    Clean(CleanStats),
+}
+
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
+    let serial = std::env::args().any(|a| a == "--serial");
     let rates: &[u16] = if small {
         &[0, 50, 100]
     } else {
@@ -120,6 +136,26 @@ fn main() {
          (15-node testbed, lossy profile)"
     );
 
+    let mut jobs = Vec::new();
+    for &rate in rates {
+        for seed in 1..=detect_seeds {
+            jobs.push(Job::Detect { rate, seed });
+        }
+        for seed in 100..100 + clean_seeds {
+            jobs.push(Job::Clean { rate, seed });
+        }
+    }
+    let outcome = run_sweep(&jobs, serial, |job| match *job {
+        Job::Detect { rate, seed } => JobOut::Detect(detection_ms(seed, rate)),
+        Job::Clean { rate, seed } => JobOut::Clean(fault_free(seed, rate)),
+    });
+    println!(
+        "sweep: {} runs on {} thread(s), {} ms wall",
+        jobs.len(),
+        outcome.threads,
+        outcome.wall.as_millis()
+    );
+
     let mut curve = Vec::new();
     let mut total_spurious = 0u64;
     let mut baseline_ms = f64::NAN;
@@ -127,10 +163,27 @@ fn main() {
     for &rate in rates {
         let mut detect: Vec<f64> = Vec::new();
         let mut missed = 0u64;
-        for seed in 1..=detect_seeds {
-            match detection_ms(seed, rate) {
-                Some(ms) => detect.push(ms),
-                None => missed += 1,
+        let mut spurious = 0u64;
+        let mut routed = [0u64; 3];
+        let mut dropped = 0u64;
+        let mut demotions = 0u64;
+        let mut promotions = 0u64;
+        for (job, out) in jobs.iter().zip(&outcome.results) {
+            match (job, out) {
+                (Job::Detect { rate: r, .. }, JobOut::Detect(ms)) if *r == rate => match ms {
+                    Some(ms) => detect.push(*ms),
+                    None => missed += 1,
+                },
+                (Job::Clean { rate: r, .. }, JobOut::Clean(s)) if *r == rate => {
+                    spurious += s.spurious_takeovers;
+                    for (acc, r) in routed.iter_mut().zip(s.routed) {
+                        *acc += r;
+                    }
+                    dropped += s.dropped_nic0;
+                    demotions += s.demotions;
+                    promotions += s.promotions;
+                }
+                _ => {}
             }
         }
         let detect_mean = if detect.is_empty() {
@@ -143,22 +196,6 @@ fn main() {
         }
         let ratio = detect_mean / baseline_ms;
         worst_ratio = worst_ratio.max(ratio);
-
-        let mut spurious = 0u64;
-        let mut routed = [0u64; 3];
-        let mut dropped = 0u64;
-        let mut demotions = 0u64;
-        let mut promotions = 0u64;
-        for seed in 100..100 + clean_seeds {
-            let s = fault_free(seed, rate);
-            spurious += s.spurious_takeovers;
-            for (acc, r) in routed.iter_mut().zip(s.routed) {
-                *acc += r;
-            }
-            dropped += s.dropped_nic0;
-            demotions += s.demotions;
-            promotions += s.promotions;
-        }
         total_spurious += spurious;
         let routed_total: u64 = routed.iter().sum();
         let nic0_share = if routed_total > 0 {
@@ -216,10 +253,9 @@ fn main() {
     let mut rep = phoenix_telemetry::BenchReport::new("nic_asymmetry");
     rep.section("nic", summary);
     rep.section("nic_curve", Json::Arr(curve));
-    let path = phoenix_telemetry::with(|reg| {
-        rep.write_to(reg, workspace_root().join("results/BENCH_nic.json"))
-    })
-    .expect("write BENCH_nic.json");
+    let path = rep
+        .write_to(&outcome.merged, workspace_root().join("results/BENCH_nic.json"))
+        .expect("write BENCH_nic.json");
     println!("report written: {}", path.display());
 
     if total_spurious > 0 {

@@ -776,6 +776,42 @@ fn check_invariants(
 
     // -- 5. event-delivery -------------------------------------------------
     check_event_delivery(world, &dir, violations);
+
+    // -- 6. telemetry-leak -------------------------------------------------
+    // The measurement layer itself must not leak across fault schedules:
+    // every span opened on a node that died must have been closed or
+    // aborted (open_spans == 0 — post-quiescence no probe is legitimately
+    // mid-flight), and outstanding marks must be bounded by what can be in
+    // flight *right now*, not by the run's history of lost messages. The
+    // background TTL is 120 virtual seconds; here we force a much tighter
+    // sweep — any mark older than 5 virtual seconds is a lost flight (the
+    // longest legitimate flight, a detect→diagnose episode, resolves
+    // within a probe timeout, ~2 s) — and bound what remains.
+    let node_count = world.node_count();
+    let (open_spans, recent_marks) = phoenix_telemetry::with(|reg| {
+        reg.expire_marks_older_than(5_000_000_000);
+        (reg.open_spans(), reg.outstanding_marks())
+    });
+    if open_spans != 0 {
+        violations.push(Violation {
+            invariant: "telemetry-leak",
+            detail: format!(
+                "{open_spans} span(s) still open after quiescence (spans on killed \
+                 nodes must be aborted, not leaked)"
+            ),
+        });
+    }
+    let mark_bound = node_count * 4 + 32;
+    if recent_marks > mark_bound {
+        violations.push(Violation {
+            invariant: "telemetry-leak",
+            detail: format!(
+                "{recent_marks} marks outstanding within the 5s in-flight window \
+                 (bound {mark_bound} for {node_count} nodes) — mark/measure pairs \
+                 are leaking"
+            ),
+        });
+    }
 }
 
 fn query_directory(
@@ -1065,12 +1101,13 @@ pub fn dump_flight_recorder(limit: usize) {
         }
         for s in spans.into_iter().skip(skip) {
             println!(
-                "  [{:>10} - {:>10}] node {:>2} {:<12} {}",
+                "  [{:>10} - {:>10}] node {:>2} {:<12} {}{}",
                 fmt_ns(s.start_ns),
                 fmt_ns(s.end_ns),
                 s.node,
                 s.service,
-                s.path
+                s.path,
+                if s.aborted { " (aborted: node died)" } else { "" }
             );
         }
     });

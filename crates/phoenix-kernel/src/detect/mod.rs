@@ -81,7 +81,13 @@ impl Detector {
         let mut cpu = self.params.base_cpu_load + jitter;
         let mut mem = self.params.base_mem_load;
         let swap = self.params.base_swap_load;
-        for app in self.apps.values() {
+        // Summed in job order: float addition is order-sensitive and
+        // `apps` is a HashMap, so hash order would make usage (and every
+        // decision derived from it) differ run to run.
+        let mut jobs: Vec<JobId> = self.apps.keys().copied().collect();
+        jobs.sort_unstable();
+        for job in jobs {
+            let app = &self.apps[&job];
             if app.status == AppStatus::Running {
                 cpu += app.task.cpu_load;
                 mem += app.task.mem_load;
@@ -106,6 +112,7 @@ impl Detector {
                 failed.push(job);
             }
         }
+        failed.sort_unstable();
         for job in failed {
             if let Some(app) = self.apps.get_mut(&job) {
                 app.status = AppStatus::Failed;
@@ -137,7 +144,10 @@ impl Detector {
             value: BulletinValue::Resource(usage),
             stamp_ns,
         }];
-        for (&job, app) in &self.apps {
+        let mut jobs: Vec<JobId> = self.apps.keys().copied().collect();
+        jobs.sort_unstable();
+        for job in jobs {
+            let app = &self.apps[&job];
             entries.push(BulletinEntry {
                 key: BulletinKey::App(self.node, job),
                 value: BulletinValue::App(AppState {
@@ -232,7 +242,8 @@ impl Actor<KernelMsg> for Detector {
             KernelMsg::PbsPoll { req } => {
                 // PBS-baseline resource poll: answer directly.
                 let usage = self.compute_usage(ctx);
-                let jobs: Vec<JobId> = self.apps.keys().copied().collect();
+                let mut jobs: Vec<JobId> = self.apps.keys().copied().collect();
+                jobs.sort_unstable();
                 ctx.send(
                     from,
                     KernelMsg::PbsPollResp {

@@ -142,6 +142,9 @@ struct ProbeSession {
     rounds_sent: u32,
     responses: u32,
     active: bool,
+    /// Telemetry span covering the whole session (open → resolution);
+    /// aborted (not closed) if this GSD dies mid-probe.
+    span: phoenix_telemetry::SpanId,
 }
 
 #[derive(Clone, Copy)]
@@ -534,11 +537,17 @@ impl Gsd {
                 ctx.send(pid, view.clone());
             }
         }
-        // Supervised user-environment services also get the view.
-        for (&pid, t) in &self.svc_tracks {
-            if t.kind == ServiceKind::UserEnvironment {
-                ctx.send(pid, view.clone());
-            }
+        // Supervised user-environment services also get the view (in pid
+        // order — send order must not follow HashMap order).
+        let mut svc_pids: Vec<Pid> = self
+            .svc_tracks
+            .iter()
+            .filter(|(_, t)| t.kind == ServiceKind::UserEnvironment)
+            .map(|(&pid, _)| pid)
+            .collect();
+        svc_pids.sort_unstable();
+        for pid in svc_pids {
+            ctx.send(pid, view.clone());
         }
         if let Some(spec) = self.topology.partition(self.partition) {
             for node in spec.all_nodes() {
@@ -844,6 +853,13 @@ impl Gsd {
                 if let Some(t) = self.wd_tracks.get_mut(&node) {
                     t.probing = None;
                 }
+                // Retract the detect→diagnose mark stamped at suspicion
+                // time — the suspicion was false, so there is no diagnose
+                // latency to measure and the mark must not leak.
+                phoenix_telemetry::unmark(
+                    "gsd.detect_to_diagnose",
+                    phoenix_telemetry::key(&[1, node.0 as u64]),
+                );
             }
             ProbeKind::Meta(partition) => {
                 if let Some(t) = &mut self.pred {
@@ -851,6 +867,10 @@ impl Gsd {
                         t.probing = None;
                     }
                 }
+                phoenix_telemetry::unmark(
+                    "gsd.detect_to_diagnose",
+                    phoenix_telemetry::key(&[2, partition.0 as u64]),
+                );
             }
         }
     }
@@ -864,7 +884,12 @@ impl Gsd {
 
     fn scan_wds(&mut self, ctx: &mut Ctx<'_, KernelMsg>, now: SimTime) {
         let own_node = ctx.node();
-        let nodes: Vec<NodeId> = self.wd_tracks.keys().copied().collect();
+        // Sorted: `wd_tracks` is a HashMap, and the scan order decides the
+        // order probes are sent (and suspicion marks stamped) in — the
+        // event queue and the seeded network draws must not depend on
+        // hash-iteration order.
+        let mut nodes: Vec<NodeId> = self.wd_tracks.keys().copied().collect();
+        nodes.sort_unstable();
         for node in nodes {
             // Split-borrow dance: compute the decision, then mutate.
             let decision = {
@@ -1004,12 +1029,14 @@ impl Gsd {
     }
 
     fn scan_svcs(&mut self, ctx: &mut Ctx<'_, KernelMsg>, now: SimTime) {
-        let stale: Vec<(Pid, ServiceKind, String)> = self
+        let mut stale: Vec<(Pid, ServiceKind, String)> = self
             .svc_tracks
             .iter()
             .filter(|(_, t)| self.stale(now, t.last))
             .map(|(&pid, t)| (pid, t.kind, t.factory.clone()))
             .collect();
+        // Sorted: diagnosis scheduling order must not follow HashMap order.
+        stale.sort_unstable_by_key(|(pid, ..)| *pid);
         for (pid, kind, factory) in stale {
             self.svc_tracks.remove(&pid);
             ctx.trace(TraceEvent::FaultDetected {
@@ -1034,6 +1061,7 @@ impl Gsd {
         timeout: phoenix_sim::SimDuration,
     ) -> u64 {
         let id = self.fresh_id();
+        let span = phoenix_telemetry::span_start("gsd.probe.session", "gsd", ctx.node().0);
         self.probes.insert(
             id,
             ProbeSession {
@@ -1042,6 +1070,7 @@ impl Gsd {
                 rounds_sent: 0,
                 responses: 0,
                 active: true,
+                span,
             },
         );
         // First probe round fires after one spacing; the paper's process
@@ -1114,6 +1143,7 @@ impl Gsd {
         }
         s.active = false;
         let kind = s.kind;
+        phoenix_telemetry::span_end(s.span);
         if self.params.ft.probe_abort_on_fresh && self.probe_target_fresh(kind, ctx.now()) {
             self.abort_probe(kind);
             return;
@@ -1135,6 +1165,7 @@ impl Gsd {
         s.active = false;
         let kind = s.kind;
         let responses = s.responses;
+        phoenix_telemetry::span_end(s.span);
         if self.params.ft.probe_abort_on_fresh && self.probe_target_fresh(kind, ctx.now()) {
             self.abort_probe(kind);
             return;
@@ -2146,6 +2177,26 @@ impl Actor<KernelMsg> for Gsd {
                 }
             }
             _ => {}
+        }
+    }
+
+    fn on_kill(&mut self, _now: phoenix_sim::SimTime) {
+        // Probe sessions die with this GSD: abandon their spans with an
+        // `aborted` disposition so `open_spans()` cannot climb across
+        // fault schedules. Deterministic order (BTreeMap-free probes map
+        // is a HashMap, so sort by session id first).
+        let mut active: Vec<u64> = self
+            .probes
+            .iter()
+            .filter(|(_, s)| s.active)
+            .map(|(&id, _)| id)
+            .collect();
+        active.sort_unstable();
+        for id in active {
+            if let Some(s) = self.probes.get_mut(&id) {
+                s.active = false;
+                phoenix_telemetry::span_abort(s.span);
+            }
         }
     }
 

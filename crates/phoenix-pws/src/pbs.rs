@@ -134,12 +134,14 @@ impl PbsServer {
     /// rounds (after a warm-up round) is finished.
     fn reap(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
         let round = self.poll_round;
-        let done: Vec<JobId> = self
+        let mut done: Vec<JobId> = self
             .running
             .iter()
             .filter(|(_, j)| round > j.started_poll + 1 && round > j.last_seen_poll + 1)
             .map(|(&id, _)| id)
             .collect();
+        // Sorted: `running` is a HashMap and completion sends messages.
+        done.sort_unstable();
         for id in done {
             if let Some(j) = self.running.remove(&id) {
                 for n in j.nodes {

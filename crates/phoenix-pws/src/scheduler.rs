@@ -399,12 +399,14 @@ impl PwsScheduler {
     /// with an idempotent PPM delete, whose acks drive normal completion.
     fn reap_overdue(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
         let now = ctx.now().as_nanos();
-        let overdue: Vec<(phoenix_proto::JobId, Vec<NodeId>)> = self
+        let mut overdue: Vec<(phoenix_proto::JobId, Vec<NodeId>)> = self
             .running
             .iter()
             .filter(|(_, r)| !r.reaping && r.reap_deadline_ns.map(|d| now > d).unwrap_or(false))
             .map(|(&id, r)| (id, r.outstanding.iter().copied().collect()))
             .collect();
+        // Sorted: `running` is a HashMap and reaping sends messages.
+        overdue.sort_unstable_by_key(|(id, _)| *id);
         for (job, outstanding) in overdue {
             ctx.trace(TraceEvent::Milestone {
                 label: "job-reaped",

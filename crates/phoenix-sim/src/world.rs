@@ -604,14 +604,22 @@ impl<M: Message> World<M> {
                 }
                 n.up = false;
                 n.usage = ResourceUsage::IDLE;
-                let pids: Vec<Pid> = self
+                let mut pids: Vec<Pid> = self
                     .pids_by_node
                     .get(&node)
                     .map(|s| s.iter().copied().collect())
                     .unwrap_or_default();
+                // HashSet iteration order is process-random; kill in pid
+                // order so telemetry recorded from on_kill hooks (aborted
+                // spans) is deterministic across runs and threads.
+                pids.sort_unstable();
                 for pid in pids {
                     self.kill_process(pid);
                 }
+                // Backstop for the span leak: any span still open on the
+                // crashed node — whether or not its owning actor's on_kill
+                // closed it — is recorded as aborted rather than leaked.
+                phoenix_telemetry::with(|r| r.abort_node_spans(node.0));
             }
             Fault::RestartNode(node) => {
                 let n = &mut self.nodes[node.index()];

@@ -64,6 +64,49 @@ pub fn reset() {
     with(|r| *r = MetricsRegistry::new());
 }
 
+/// A registry shard installed over this thread's registry.
+///
+/// [`shard_begin`] swaps a fresh [`MetricsRegistry`] into the thread-local
+/// slot and stashes the previous one; everything instrumented code records
+/// through the convenience functions then lands in the shard. [`take`]
+/// extracts the shard's registry and restores the previous one. Dropping a
+/// shard without `take` also restores — the shard's data is discarded.
+/// Shards nest (a shard begun inside a shard restores to the inner one).
+///
+/// This is what lets each seeded `World` in a parallel sweep own its own
+/// registry: every worker thread begins a shard per work item, runs the
+/// world, takes the shard, and the runner merges the taken registries in
+/// work-item order ([`MetricsRegistry::merge`]).
+///
+/// [`shard_begin`]: shard_begin
+/// [`take`]: RegistryShard::take
+#[must_use = "dropping a shard discards everything recorded in it"]
+pub struct RegistryShard {
+    prev: Option<MetricsRegistry>,
+}
+
+impl RegistryShard {
+    /// Extract the shard's registry and restore the previous one.
+    pub fn take(mut self) -> MetricsRegistry {
+        let prev = self.prev.take().expect("shard already taken");
+        with(|r| std::mem::replace(r, prev))
+    }
+}
+
+impl Drop for RegistryShard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            with(|r| *r = prev);
+        }
+    }
+}
+
+/// Install a fresh registry over this thread's slot; see [`RegistryShard`].
+pub fn shard_begin() -> RegistryShard {
+    let prev = with(|r| std::mem::replace(r, MetricsRegistry::new()));
+    RegistryShard { prev: Some(prev) }
+}
+
 /// Increment a named counter.
 pub fn counter_add(name: &'static str, by: u64) {
     with(|r| r.counter_add(name, by));
@@ -95,6 +138,12 @@ pub fn span_end(id: SpanId) {
     with(|r| r.span_end(id));
 }
 
+/// Abandon a span (its node died): recorded in the flight recorder with
+/// an `aborted` disposition, no latency observation.
+pub fn span_abort(id: SpanId) {
+    with(|r| r.span_abort(id));
+}
+
 /// Start a keyed cross-actor measurement (e.g. heartbeat leaves the WD).
 pub fn mark(path: &'static str, key: u64) {
     with(|r| r.mark(path, key));
@@ -104,6 +153,12 @@ pub fn mark(path: &'static str, key: u64) {
 /// GSD); records the elapsed virtual time under `path` and returns it.
 pub fn measure(path: &'static str, service: &'static str, node: u32, key: u64) -> Option<u64> {
     with(|r| r.measure(path, service, node, key))
+}
+
+/// Retract a keyed measurement without recording it (the flight was
+/// cancelled rather than lost); returns whether a mark was outstanding.
+pub fn unmark(path: &'static str, key: u64) -> bool {
+    with(|r| r.unmark(path, key))
 }
 
 /// Mix a set of identifying fields into a single `mark`/`measure` key.
@@ -132,6 +187,48 @@ mod tests {
         assert_ne!(key(&[1, 2]), key(&[2, 1]));
         assert_ne!(key(&[0, 3]), key(&[3, 0]));
         assert_eq!(key(&[4, 5, 6]), key(&[4, 5, 6]));
+    }
+
+    #[test]
+    fn shards_isolate_and_restore() {
+        reset();
+        clock::set_now(0);
+        counter_add("outer", 1);
+
+        let shard = shard_begin();
+        counter_add("inner", 5);
+        with(|r| assert_eq!(r.counter("outer"), 0, "shard starts fresh"));
+        let taken = shard.take();
+        assert_eq!(taken.counter("inner"), 5);
+
+        with(|r| {
+            assert_eq!(r.counter("outer"), 1, "previous registry restored");
+            assert_eq!(r.counter("inner"), 0, "shard data not leaked back");
+        });
+
+        // Dropping without take restores too, discarding the shard.
+        {
+            let _shard = shard_begin();
+            counter_add("dropped", 9);
+        }
+        with(|r| {
+            assert_eq!(r.counter("outer"), 1);
+            assert_eq!(r.counter("dropped"), 0);
+        });
+    }
+
+    #[test]
+    fn shards_nest() {
+        reset();
+        let a = shard_begin();
+        counter_add("a", 1);
+        let b = shard_begin();
+        counter_add("b", 1);
+        let rb = b.take();
+        with(|r| assert_eq!(r.counter("a"), 1, "inner take restores outer shard"));
+        let ra = a.take();
+        assert_eq!(rb.counter("b"), 1);
+        assert_eq!(ra.counter("a"), 1);
     }
 
     #[test]

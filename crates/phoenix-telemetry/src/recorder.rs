@@ -21,6 +21,9 @@ pub struct SpanRecord {
     pub node: u32,
     pub start_ns: u64,
     pub end_ns: u64,
+    /// True when the span was abandoned (its node died) rather than
+    /// closed by the instrumented code; `end_ns` is the abort time.
+    pub aborted: bool,
 }
 
 impl SpanRecord {
@@ -86,6 +89,28 @@ impl FlightRecorder {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Merge another recorder's rings into this one. Per node, the union
+    /// of both rings is interleaved by `start_ns` (stable: on ties, this
+    /// recorder's spans sort before `other`'s) and then re-bounded to
+    /// `self.capacity`, evicting from the oldest end exactly as `push`
+    /// would have. `other`'s eviction count carries over so the merged
+    /// total still answers "how many spans were lost to the ring bound".
+    pub fn merge(&mut self, other: &FlightRecorder) {
+        for (&node, ring) in &other.rings {
+            let ours = self.rings.entry(node).or_default();
+            ours.extend(ring.iter().cloned());
+            let mut all: Vec<SpanRecord> = std::mem::take(ours).into();
+            all.sort_by_key(|r| r.start_ns);
+            let over = all.len().saturating_sub(self.capacity);
+            if over > 0 {
+                all.drain(..over);
+                self.evicted += over as u64;
+            }
+            *ours = all.into();
+        }
+        self.evicted += other.evicted;
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +126,7 @@ mod tests {
             node,
             start_ns: start,
             end_ns: start + 10,
+            aborted: false,
         }
     }
 
@@ -127,5 +153,33 @@ mod tests {
         assert_eq!(fr.node(2).count(), 1);
         let all: Vec<u32> = fr.iter().map(|r| r.node).collect();
         assert_eq!(all, vec![1, 1, 2], "dump order: node id ascending");
+    }
+
+    #[test]
+    fn merge_interleaves_by_start_and_rebounds() {
+        let mut a = FlightRecorder::with_capacity(3);
+        a.push(rec(7, 1, 100));
+        a.push(rec(7, 2, 300));
+        let mut b = FlightRecorder::with_capacity(3);
+        b.push(rec(7, 3, 200));
+        b.push(rec(7, 4, 400));
+        b.push(rec(8, 5, 50));
+        a.merge(&b);
+        // Node 7 union is 4 spans; capacity 3 evicts the oldest (start 100).
+        let kept: Vec<u64> = a.node(7).map(|r| r.start_ns).collect();
+        assert_eq!(kept, vec![200, 300, 400]);
+        assert_eq!(a.node(8).count(), 1);
+        assert_eq!(a.evicted(), 1);
+    }
+
+    #[test]
+    fn merge_ties_keep_self_before_other() {
+        let mut a = FlightRecorder::with_capacity(8);
+        a.push(rec(1, 10, 500));
+        let mut b = FlightRecorder::with_capacity(8);
+        b.push(rec(1, 20, 500));
+        a.merge(&b);
+        let ids: Vec<u64> = a.node(1).map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![10, 20], "stable: self's span first on tied start_ns");
     }
 }

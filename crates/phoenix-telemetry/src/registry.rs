@@ -50,7 +50,14 @@ pub struct PathStats {
     pub hist: Histogram,
 }
 
-#[derive(Debug, Default)]
+/// Default TTL for outstanding marks, in virtual nanoseconds. Legitimate
+/// cross-actor flights (heartbeats, probes, detect→diagnose episodes) are
+/// milliseconds-to-seconds scale even under the paper's 30 s-heartbeat
+/// profile, so 120 virtual seconds only ever reaps marks whose measuring
+/// message was lost.
+pub const DEFAULT_MARK_TTL_NS: u64 = 120_000_000_000;
+
+#[derive(Debug)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
@@ -59,11 +66,29 @@ pub struct MetricsRegistry {
     open: BTreeMap<SpanId, OpenSpan>,
     next_span: u64,
     recorder: FlightRecorder,
+    mark_ttl_ns: u64,
+    last_mark_sweep_ns: u64,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MetricsRegistry {
     pub fn new() -> Self {
-        MetricsRegistry { next_span: 1, ..Default::default() }
+        MetricsRegistry {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            marks: BTreeMap::new(),
+            open: BTreeMap::new(),
+            next_span: 1,
+            recorder: FlightRecorder::default(),
+            mark_ttl_ns: DEFAULT_MARK_TTL_NS,
+            last_mark_sweep_ns: 0,
+        }
     }
 
     // --- counters / gauges -------------------------------------------------
@@ -141,7 +166,42 @@ impl MetricsRegistry {
             node: span.node,
             start_ns: span.start_ns,
             end_ns,
+            aborted: false,
         });
+    }
+
+    /// Abandon a span without recording a latency observation: the region
+    /// never completed (its node died mid-flight). The span still lands in
+    /// the flight recorder — with `aborted: true` and the abort time as
+    /// `end_ns` — so post-mortems can see what was in progress, but the
+    /// `path` histogram stays untouched. Unknown ids are ignored.
+    pub fn span_abort(&mut self, id: SpanId) {
+        let Some(span) = self.open.remove(&id) else { return };
+        self.counter_add("telemetry.spans.aborted", 1);
+        self.recorder.push(SpanRecord {
+            id,
+            parent: span.parent,
+            path: span.path,
+            service: span.service,
+            node: span.node,
+            start_ns: span.start_ns,
+            end_ns: clock::now(),
+            aborted: true,
+        });
+    }
+
+    /// Abort every open span owned by `node` (chaos killed it). Returns
+    /// the number of spans aborted.
+    pub fn abort_node_spans(&mut self, node: u32) -> usize {
+        let mut doomed: Vec<SpanId> =
+            self.open.iter().filter(|(_, s)| s.node == node).map(|(&id, _)| id).collect();
+        // Sorted: `open` is a HashMap, and the abort order decides how the
+        // records land in the flight recorder (same abort timestamp).
+        doomed.sort_unstable();
+        for id in &doomed {
+            self.span_abort(*id);
+        }
+        doomed.len()
     }
 
     /// Spans opened but not yet closed (leak detector for tests).
@@ -162,8 +222,47 @@ impl MetricsRegistry {
     /// Stamp the current virtual time under `(path, key)`. A second mark
     /// with the same key overwrites (latest send wins — matches
     /// retransmission semantics).
+    ///
+    /// Marks whose measuring message was lost would otherwise live
+    /// forever, so every `mark_ttl_ns` of virtual time this lazily sweeps
+    /// out entries older than the TTL (see [`expire_marks_older_than`]).
+    ///
+    /// [`expire_marks_older_than`]: MetricsRegistry::expire_marks_older_than
     pub fn mark(&mut self, path: &'static str, key: u64) {
-        self.marks.insert((path, key), clock::now());
+        let now = clock::now();
+        if now < self.last_mark_sweep_ns {
+            // Virtual clock rewound (fresh run on a reused registry).
+            self.last_mark_sweep_ns = now;
+        } else if now.saturating_sub(self.last_mark_sweep_ns) >= self.mark_ttl_ns {
+            self.expire_marks_older_than(self.mark_ttl_ns);
+            self.last_mark_sweep_ns = now;
+        }
+        self.marks.insert((path, key), now);
+    }
+
+    /// Drop every outstanding mark older than `age_ns` (virtual time),
+    /// bumping the `telemetry.marks.expired` counter per reaped entry.
+    /// Returns how many were expired. Called lazily from [`mark`] with the
+    /// TTL; tests and invariant checks may call it directly with a tighter
+    /// window.
+    ///
+    /// [`mark`]: MetricsRegistry::mark
+    pub fn expire_marks_older_than(&mut self, age_ns: u64) -> u64 {
+        let now = clock::now();
+        let cutoff = now.saturating_sub(age_ns);
+        let before = self.marks.len();
+        self.marks.retain(|_, &mut stamped| stamped >= cutoff);
+        let expired = (before - self.marks.len()) as u64;
+        if expired > 0 {
+            self.counter_add("telemetry.marks.expired", expired);
+        }
+        expired
+    }
+
+    /// Override the stale-mark TTL (virtual nanoseconds). Mostly for
+    /// tests; the default is [`DEFAULT_MARK_TTL_NS`].
+    pub fn set_mark_ttl(&mut self, ttl_ns: u64) {
+        self.mark_ttl_ns = ttl_ns.max(1);
     }
 
     /// Consume the mark for `(path, key)`: records `now - mark` under
@@ -189,14 +288,67 @@ impl MetricsRegistry {
             node,
             start_ns: start,
             end_ns: end,
+            aborted: false,
         });
         self.next_span += 1;
         Some(elapsed)
     }
 
+    /// Drop an outstanding mark without recording a measurement — the
+    /// flight was retracted (e.g. a suspicion cleared mid-probe), not
+    /// completed or lost. Returns whether a mark was outstanding.
+    pub fn unmark(&mut self, path: &'static str, key: u64) -> bool {
+        self.marks.remove(&(path, key)).is_some()
+    }
+
     /// Marks stamped but never measured (messages still in flight or lost).
     pub fn outstanding_marks(&self) -> usize {
         self.marks.len()
+    }
+
+    // --- shard merge -------------------------------------------------------
+
+    /// Merge another registry (a per-thread/per-partition shard) into this
+    /// one. Merge order is the caller's contract: merging shards in
+    /// ascending shard-id (work-item) order is what makes a sharded run's
+    /// report byte-identical to the serial run's. Semantics per family:
+    ///
+    /// * **counters** — added;
+    /// * **gauges** — last write wins: `other`'s value replaces ours for
+    ///   shared names (the later shard in merge order is "most recent");
+    /// * **histograms** — exact [`Histogram::merge`] (shard-merge == whole
+    ///   is pinned by the histogram tests);
+    /// * **marks** — union, `other` wins on key collision (same
+    ///   latest-send-wins rule as re-marking);
+    /// * **open spans** — re-numbered into this registry's id space and
+    ///   kept open (shards handed to `merge` at end-of-run normally have
+    ///   zero — the leak invariants gate that);
+    /// * **flight recorder** — per-node interleave by `start_ns`, then
+    ///   re-bounded ([`FlightRecorder::merge`]).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&name, &v) in &other.counters {
+            self.counter_add(name, v);
+        }
+        for (&name, &v) in &other.gauges {
+            self.gauges.insert(name, v);
+        }
+        for (&path, stats) in &other.hists {
+            self.hists
+                .entry(path)
+                .or_insert_with(|| PathStats { service: stats.service, hist: Histogram::new() })
+                .hist
+                .merge(&stats.hist);
+        }
+        for (&key, &stamped) in &other.marks {
+            self.marks.insert(key, stamped);
+        }
+        for span in other.open.values() {
+            let id = SpanId(self.next_span);
+            self.next_span += 1;
+            self.open.insert(id, span.clone());
+        }
+        self.next_span = self.next_span.max(other.next_span);
+        self.recorder.merge(&other.recorder);
     }
 }
 
@@ -246,5 +398,106 @@ mod tests {
         assert_eq!(r.measure("p", "s", 0, 9), None);
         r.mark("p", 9);
         assert_eq!(r.outstanding_marks(), 1);
+    }
+
+    #[test]
+    fn stale_marks_expire_after_ttl() {
+        let mut r = MetricsRegistry::new();
+        r.set_mark_ttl(1_000);
+        clock::set_now(0);
+        r.mark("lost", 1); // its measure will never arrive
+        clock::set_now(100);
+        r.mark("lost", 2);
+        clock::set_now(2_000); // > last sweep (0) + ttl -> lazy sweep fires
+        r.mark("fresh", 3);
+        assert_eq!(r.outstanding_marks(), 1, "stale marks reaped, fresh kept");
+        assert_eq!(r.counter("telemetry.marks.expired"), 2);
+        // The fresh mark is still measurable.
+        clock::set_now(2_050);
+        assert_eq!(r.measure("fresh", "s", 0, 3), Some(50));
+    }
+
+    #[test]
+    fn expire_marks_older_than_is_callable_directly() {
+        let mut r = MetricsRegistry::new();
+        clock::set_now(0);
+        r.mark("a", 1);
+        clock::set_now(500);
+        r.mark("b", 2);
+        clock::set_now(600);
+        assert_eq!(r.expire_marks_older_than(200), 1, "only the 600ns-old mark reaped");
+        assert_eq!(r.outstanding_marks(), 1);
+    }
+
+    #[test]
+    fn span_abort_lands_in_recorder_not_histogram() {
+        let mut r = MetricsRegistry::new();
+        clock::set_now(10);
+        let id = r.span_start("doomed", "gsd", 4, SpanId::NONE);
+        clock::set_now(90);
+        r.span_abort(id);
+        assert_eq!(r.open_spans(), 0);
+        assert!(r.histogram("doomed").is_none(), "aborted span records no latency");
+        let rec: Vec<_> = r.recorder().node(4).collect();
+        assert_eq!(rec.len(), 1);
+        assert!(rec[0].aborted);
+        assert_eq!(rec[0].end_ns, 90);
+        assert_eq!(r.counter("telemetry.spans.aborted"), 1);
+        r.span_abort(id); // double-abort ignored
+        assert_eq!(r.counter("telemetry.spans.aborted"), 1);
+    }
+
+    #[test]
+    fn abort_node_spans_only_hits_that_node() {
+        let mut r = MetricsRegistry::new();
+        clock::set_now(0);
+        let _a = r.span_start("p", "s", 1, SpanId::NONE);
+        let _b = r.span_start("p", "s", 2, SpanId::NONE);
+        let _c = r.span_start("p", "s", 1, SpanId::NONE);
+        assert_eq!(r.abort_node_spans(1), 2);
+        assert_eq!(r.open_spans(), 1, "node 2's span untouched");
+    }
+
+    #[test]
+    fn merge_counters_gauges_hists_marks() {
+        clock::set_now(0);
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 2);
+        a.gauge_set("g", 1.0);
+        a.observe("h", "s", 100);
+        a.mark("m", 7);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 3);
+        b.counter_add("only_b", 1);
+        b.gauge_set("g", 9.0);
+        b.observe("h", "s", 300);
+        clock::set_now(40);
+        b.mark("m", 7); // collides: other's (later) stamp must win
+
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.gauge("g"), Some(9.0), "gauge: later shard in merge order wins");
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.summary().max_ns, 300);
+        clock::set_now(100);
+        assert_eq!(a.measure("m", "s", 0, 7), Some(60), "other's mark stamp won");
+    }
+
+    #[test]
+    fn merge_keeps_span_ids_allocatable() {
+        clock::set_now(0);
+        let mut a = MetricsRegistry::new();
+        let _ = a.span_start("p", "s", 0, SpanId::NONE);
+        let mut b = MetricsRegistry::new();
+        for _ in 0..5 {
+            let id = b.span_start("p", "s", 0, SpanId::NONE);
+            b.span_end(id);
+        }
+        a.merge(&b);
+        let next = a.span_start("p", "s", 0, SpanId::NONE);
+        assert!(next.0 >= 6, "post-merge ids never collide with either shard's");
+        assert_eq!(a.open_spans(), 2, "a's open span + the fresh one");
     }
 }

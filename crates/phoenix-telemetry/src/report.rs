@@ -74,7 +74,8 @@ impl BenchReport {
                     .set("path", Json::str(rec.path))
                     .set("service", Json::str(rec.service))
                     .set("start_ns", Json::UInt(rec.start_ns))
-                    .set("end_ns", Json::UInt(rec.end_ns)),
+                    .set("end_ns", Json::UInt(rec.end_ns))
+                    .set("aborted", Json::Bool(rec.aborted)),
             );
         }
 

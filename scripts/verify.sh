@@ -24,7 +24,11 @@
 #
 # The loss_sweep smoke sweeps loss rates on a fault-free and a WD-kill
 # cluster; the bin exits non-zero if any spurious takeover fires, and the
-# export is asserted to land in results/BENCH_loss.json.
+# export is asserted to land in results/BENCH_loss.json. It runs twice:
+# once --serial and once through the parallel sweep runner (4 forced
+# worker threads); the two BENCH_loss.json files must be byte-identical
+# (sharded-telemetry determinism gate), and on multi-core machines the
+# parallel run must be >1.5x faster.
 #
 # The nic_asymmetry smoke degrades NIC 0 only (NICs 1-2 clean) and gates
 # the adaptive multi-NIC routing acceptance criteria: zero spurious
@@ -84,11 +88,12 @@ cargo run --release --offline -p phoenix-chaos --bin chaos -- --seeds 25 --small
 echo "== smoke: chaos, 25 seeded fault schedules on a 2% lossy network =="
 cargo run --release --offline -p phoenix-chaos --bin chaos -- --seeds 25 --lossy 20
 
-echo "== smoke: loss_sweep (--small) writes results/BENCH_loss.json =="
+echo "== smoke: loss_sweep (--small --serial) writes results/BENCH_loss.json =="
 rm -f results/BENCH_loss.json
 # The bin itself exits non-zero on any spurious takeover, so this line is
 # the zero-spurious gate; the greps below assert the export landed.
-cargo run --release --offline -p phoenix-bench --bin loss_sweep -- --small
+cargo run --release --offline -p phoenix-bench --bin loss_sweep -- --small --serial \
+    | tee /tmp/loss_serial.out
 
 test -s results/BENCH_loss.json || {
     echo "FAIL: results/BENCH_loss.json missing or empty" >&2
@@ -100,6 +105,36 @@ for needle in '"loss_curve"' '"spurious_takeovers"' '"detect_ms_mean"' '"net_los
         exit 1
     }
 done
+
+echo "== determinism gate: parallel loss_sweep must be byte-identical to serial =="
+cp results/BENCH_loss.json /tmp/BENCH_loss_serial.json
+rm -f results/BENCH_loss.json
+# Force 4 worker threads so shard hand-off and the in-order merge are
+# genuinely exercised even on a single-core runner.
+PHOENIX_SWEEP_THREADS=4 \
+    cargo run --release --offline -p phoenix-bench --bin loss_sweep -- --small \
+    | tee /tmp/loss_parallel.out
+cmp results/BENCH_loss.json /tmp/BENCH_loss_serial.json || {
+    echo "FAIL: parallel BENCH_loss.json differs from serial (determinism gate)" >&2
+    exit 1
+}
+serial_ms=$(sed -n 's/.*sweep: [0-9]* runs on [0-9]* thread(s), \([0-9]*\) ms wall/\1/p' /tmp/loss_serial.out)
+par_ms=$(sed -n 's/.*sweep: [0-9]* runs on [0-9]* thread(s), \([0-9]*\) ms wall/\1/p' /tmp/loss_parallel.out)
+cores=$(nproc 2>/dev/null || echo 1)
+[ -n "$serial_ms" ] && [ -n "$par_ms" ] || {
+    echo "FAIL: sweep wall-clock lines missing from loss_sweep output" >&2
+    exit 1
+}
+speedup=$(awk "BEGIN { printf \"%.2f\", $serial_ms / ($par_ms + 0.001) }")
+echo "loss_sweep wall-clock: serial ${serial_ms} ms, parallel ${par_ms} ms, speedup x${speedup} (${cores} core(s))"
+if [ "$cores" -ge 2 ]; then
+    awk "BEGIN { exit !($serial_ms / ($par_ms + 0.001) > 1.5) }" || {
+        echo "FAIL: parallel speedup x${speedup} <= 1.5 on a ${cores}-core machine" >&2
+        exit 1
+    }
+else
+    echo "(single-core runner: speedup gate skipped, determinism gate enforced)"
+fi
 
 echo "== smoke: flapping-NIC chaos pin (seed 4, lossy) =="
 # Replays the pinned flapping-NIC storm end-to-end (exit 1 on violation).

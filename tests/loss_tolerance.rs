@@ -108,6 +108,29 @@ fn assert_converges(seed: u64, loss_permille: u16) {
             ns.node.0
         );
     }
+
+    // Leak detectors: the measurement layer itself must not leak under
+    // loss. No probe is legitimately mid-flight on a converged fault-free
+    // cluster, so zero open spans; and after sweeping marks older than the
+    // in-flight window (5 virtual seconds — the longest legitimate flight,
+    // a detect→diagnose episode, resolves within ~2 s), what remains is
+    // bounded by current in-flight traffic, not by 20 seconds of lost
+    // messages.
+    let node_count = w.node_count();
+    let (open_spans, recent_marks) = phoenix::telemetry::with(|reg| {
+        reg.expire_marks_older_than(5_000_000_000);
+        (reg.open_spans(), reg.outstanding_marks())
+    });
+    assert_eq!(
+        open_spans, 0,
+        "seed {seed} @ {loss_permille}‰: span(s) leaked open after a fault-free run"
+    );
+    let mark_bound = node_count * 4 + 32;
+    assert!(
+        recent_marks <= mark_bound,
+        "seed {seed} @ {loss_permille}‰: {recent_marks} marks outstanding within \
+         the 5s window (bound {mark_bound}) — mark/measure pairs are leaking"
+    );
 }
 
 #[test]

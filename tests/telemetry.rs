@@ -8,7 +8,10 @@ use phoenix::kernel::boot::boot_and_stabilize;
 use phoenix::kernel::KernelParams;
 use phoenix::proto::ClusterTopology;
 use phoenix::sim::{Fault, SimDuration, SimRng};
-use phoenix::telemetry::{FlightRecorder, Histogram, SpanRecord, SpanId};
+use phoenix::telemetry::{
+    BenchReport, FlightRecorder, Histogram, MetricsRegistry, SpanRecord, SpanId,
+};
+use phoenix_bench::sweep::run_sweep;
 
 /// Merging per-shard histograms must equal the histogram of the whole
 /// stream: the property that makes per-node registries aggregatable.
@@ -83,6 +86,125 @@ fn span_stream_is_deterministic_across_runs() {
     assert_ne!(a, c, "different seed → different span stream");
 }
 
+/// Run one boot + WD-kill scenario against the live kernel, leaving its
+/// telemetry in the current thread-local registry.
+fn run_scenario(seed: u64) {
+    let (mut w, cluster) = boot_and_stabilize(
+        ClusterTopology::uniform(2, 4, 1),
+        KernelParams::fast(),
+        seed,
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let node = cluster.topology.partitions[0].compute[0];
+    let wd = cluster.directory.node(node).unwrap().wd;
+    w.apply_fault(Fault::KillProcess(wd));
+    w.run_for(SimDuration::from_secs(5));
+}
+
+/// Shard-merge == whole for counters, gauges, and histograms on real
+/// kernel telemetry: two seeded runs recorded into one registry must equal
+/// the same two runs recorded into per-run shards merged in run order.
+#[test]
+fn registry_merge_of_shards_equals_whole_on_kernel_runs() {
+    let seeds = [71u64, 72];
+
+    let whole_shard = phoenix::telemetry::shard_begin();
+    for &seed in &seeds {
+        phoenix::telemetry::clock::set_now(0);
+        run_scenario(seed);
+    }
+    let whole = whole_shard.take();
+
+    let mut merged = MetricsRegistry::new();
+    for &seed in &seeds {
+        let shard = phoenix::telemetry::shard_begin();
+        phoenix::telemetry::clock::set_now(0);
+        run_scenario(seed);
+        merged.merge(&shard.take());
+    }
+
+    let counters: Vec<_> = whole.counters().collect();
+    assert!(!counters.is_empty(), "scenario recorded counters");
+    for (name, v) in counters {
+        assert_eq!(merged.counter(name), v, "counter {name} must add across shards");
+    }
+    let gauges: Vec<_> = whole.gauges().collect();
+    assert!(!gauges.is_empty(), "scenario recorded gauges");
+    for (name, v) in gauges {
+        assert_eq!(merged.gauge(name), Some(v), "gauge {name}: last shard in order wins");
+    }
+    let mut hist_paths = 0;
+    for (path, stats) in whole.histograms() {
+        hist_paths += 1;
+        let (w, m) = (stats.hist.summary(), merged.histogram(path).unwrap().summary());
+        assert_eq!((w.count, w.sum_ns, w.min_ns, w.max_ns), (m.count, m.sum_ns, m.min_ns, m.max_ns),
+            "histogram {path} must merge exactly");
+    }
+    assert!(hist_paths > 0, "scenario recorded histograms");
+}
+
+/// Flight-recorder shard merge interleaves rings by `start_ns`: merging
+/// two shards whose spans alternate in time must dump exactly like one
+/// registry fed the same spans in time order — down to the rendered
+/// report bytes.
+#[test]
+fn recorder_merge_interleaves_shards_like_the_whole() {
+    let span = |r: &mut MetricsRegistry, node: u32, t: u64| {
+        phoenix::telemetry::clock::set_now(t);
+        let id = r.span_start("interleave.test", "test", node, SpanId::NONE);
+        phoenix::telemetry::clock::set_now(t + 10);
+        r.span_end(id);
+    };
+
+    // Whole: all spans in time order.
+    let mut whole = MetricsRegistry::new();
+    for t in 0..8u64 {
+        span(&mut whole, (t % 2) as u32, t * 100);
+    }
+    // Shards: even-numbered instants in shard A, odd in shard B.
+    let mut a = MetricsRegistry::new();
+    let mut b = MetricsRegistry::new();
+    for t in 0..8u64 {
+        let shard = if t % 2 == 0 { &mut a } else { &mut b };
+        span(shard, (t % 2) as u32, t * 100);
+    }
+    let mut merged = MetricsRegistry::new();
+    merged.merge(&a);
+    merged.merge(&b);
+
+    let rep = BenchReport::new("interleave");
+    assert_eq!(
+        rep.to_json(&whole).render(),
+        rep.to_json(&merged).render(),
+        "merged flight-recorder dump must be byte-identical to the whole"
+    );
+}
+
+/// The tentpole determinism gate in miniature: a small multi-seed sweep
+/// over live kernel runs produces a byte-identical report whether it ran
+/// serially or on forced worker threads.
+#[test]
+fn parallel_sweep_report_is_byte_identical_to_serial() {
+    let seeds = [71u64, 72, 73];
+    let job = |&seed: &u64| {
+        run_scenario(seed);
+        phoenix::telemetry::with(|r| r.counter("gsd.takeovers"))
+    };
+
+    let serial = run_sweep(&seeds, true, job);
+    std::env::set_var("PHOENIX_SWEEP_THREADS", "3");
+    let parallel = run_sweep(&seeds, false, job);
+    std::env::remove_var("PHOENIX_SWEEP_THREADS");
+
+    assert_eq!(serial.results, parallel.results);
+    let rep = BenchReport::new("sweep-gate");
+    assert_eq!(
+        rep.to_json(&serial.merged).render(),
+        rep.to_json(&parallel.merged).render(),
+        "parallel sweep report must be byte-identical to serial"
+    );
+}
+
 /// The ring keeps the newest `capacity` records per node and counts what
 /// it dropped.
 #[test]
@@ -97,6 +219,7 @@ fn flight_recorder_evicts_oldest_at_capacity() {
             node: (i % 2) as u32,
             start_ns: i * 100,
             end_ns: i * 100 + 50,
+            aborted: false,
         });
     }
     // 20 spans over 2 nodes: each node saw 10, keeps 8, evicted 2.
