@@ -119,7 +119,12 @@ fn main() {
             for v in &out.violations {
                 println!("    {v}");
             }
-            let cmd = replay_command(seed, s.mask, out.total_steps, shape == "small");
+            let cmd = replay_command(
+                seed,
+                s.mask,
+                out.total_steps,
+                if shape == "small" { "--small" } else { "--paper" },
+            );
             println!("    replay: {cmd}");
             row = row
                 .set(

@@ -78,6 +78,32 @@ fn main() {
         .iter()
         .any(|(_, m)| matches!(m, KernelMsg::EsNotify { event } if event.etype == EventType::NodeFault));
     println!("   consumer notified after migration: {notified2}");
+
+    println!("\n== phase 3: island split → minority freeze → regroup → heal (post-mortem) ==");
+    // A fresh cluster with the quorum-regroup layer enabled: cut the five
+    // nodes of partition 0 (config service + meta leader) onto a minority
+    // island, let the majority regroup, heal, and then read the episode
+    // back out of the flight recorder as a parent/child span waterfall.
+    phoenix_telemetry::reset();
+    let topo = ClusterTopology::uniform(3, 4, 1);
+    let (mut w, _cluster) = boot_and_stabilize(topo, KernelParams::fast_partition(), 34);
+    let cut_ns = w.now().as_nanos();
+    w.apply_fault(Fault::Partition { island: 0b1111 });
+    w.run_for(SimDuration::from_secs(6));
+    w.apply_fault(Fault::Heal);
+    w.run_for(SimDuration::from_secs(12));
+    let end_ns = w.now().as_nanos();
+    let frozen_episodes = phoenix_telemetry::with(|r| {
+        r.recorder().iter().filter(|s| s.path == "gsd.regroup.frozen").count()
+    });
+    let rounds = phoenix_telemetry::with(|r| r.counter("gsd.regroup.rounds"));
+    println!("   frozen episodes recorded: {frozen_episodes} ({rounds} regroup rounds)");
+    println!("   span waterfall, cut → post-heal (regroup spans only):");
+    let full = phoenix_telemetry::with(|r| r.recorder().waterfall(cut_ns, end_ns, 48));
+    for line in full.lines().filter(|l| l.contains("regroup")) {
+        println!("   {line}");
+    }
     println!("\nFig 4 reproduced: restart-in-place and migrate-with-GSD paths both keep");
-    println!("the event service group serving its consumers.");
+    println!("the event service group serving its consumers, and a split-brain episode");
+    println!("reads back as a freeze span with its heal-probing rounds nested inside.");
 }

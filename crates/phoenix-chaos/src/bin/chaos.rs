@@ -24,7 +24,7 @@ use phoenix_kernel::boot_cluster;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: chaos [--seeds N] [--seed-base S] [--small] [--paper] \
+        "usage: chaos [--seeds N] [--seed-base S] [--small] [--paper] [--partition] \
          [--lossy PERMILLE] [--max-faults K] [--replay SEED[:MASK_HEX]]"
     );
     std::process::exit(2);
@@ -34,7 +34,7 @@ fn main() {
     let mut seeds = 50u64;
     let mut seed_base = 1u64;
     let mut cfg = ChaosConfig::small();
-    let mut small = true;
+    let mut mode = String::from("--small");
     let mut lossy: Option<u16> = None;
     let mut replay: Option<String> = None;
 
@@ -49,11 +49,15 @@ fn main() {
             }
             "--small" => {
                 cfg = ChaosConfig::small();
-                small = true;
+                mode = "--small".into();
             }
             "--paper" => {
                 cfg = ChaosConfig::paper();
-                small = false;
+                mode = "--paper".into();
+            }
+            "--partition" => {
+                cfg = ChaosConfig::small_partition();
+                mode = "--partition".into();
             }
             "--lossy" => {
                 lossy = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
@@ -72,7 +76,7 @@ fn main() {
         let max_faults = cfg.max_faults;
         cfg = ChaosConfig::small_lossy(permille);
         cfg.max_faults = max_faults;
-        small = true;
+        mode = format!("--lossy {permille}");
     }
 
     if let Some(spec) = replay {
@@ -132,7 +136,7 @@ fn main() {
         );
         println!(
             "      replay: {}",
-            replay_command(seed, s.mask, out.total_steps, small)
+            replay_command(seed, s.mask, out.total_steps, &mode)
         );
     }
     println!(

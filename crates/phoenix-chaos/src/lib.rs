@@ -48,6 +48,11 @@ const SCHEDULE_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 /// seed's pre-existing steps (and the main schedule stream) untouched.
 const FLAP_SALT: u64 = 0x6c62_272e_07bb_0142;
 
+/// Salt for the island-partition storm stream. Like flap steps, partition
+/// cycles ride their own RNG and are appended, keeping every other stream
+/// byte-identical per seed whether or not storms are enabled.
+const PARTITION_SALT: u64 = 0x2545_f491_4f6c_dd1d;
+
 /// Schedules are capped at 64 steps so a subset is a `u64` bitmask.
 pub const MAX_STEPS: usize = 64;
 
@@ -83,6 +88,12 @@ pub struct ChaosConfig {
     /// of one node) to generated schedules. Drawn from a separate salted
     /// RNG stream, so the main schedule steps stay identical per seed.
     pub nic_flap_steps: bool,
+    /// Append island-partition storms (whole topology partitions severed
+    /// into a link-level island, then healed) to generated schedules. Only
+    /// meaningful with regroup-enabled kernel parameters
+    /// (`KernelParams::fast_partition()`); off by default so every pinned
+    /// seed's schedule stays byte-identical.
+    pub partition_steps: bool,
 }
 
 impl ChaosConfig {
@@ -101,6 +112,7 @@ impl ChaosConfig {
             net: NetParams::default(),
             loss_steps: false,
             nic_flap_steps: false,
+            partition_steps: false,
         }
     }
 
@@ -113,6 +125,20 @@ impl ChaosConfig {
             net: NetParams::unreliable(loss_permille),
             loss_steps: true,
             nic_flap_steps: true,
+            ..ChaosConfig::small()
+        }
+    }
+
+    /// The small topology with quorum regroup enabled and island-partition
+    /// storms mixed into the schedules (`chaos --partition`). The horizon
+    /// stretches so a storm's hold time (long enough for suspicion *and*
+    /// the held-majority takeover delay to engage) plus the post-heal
+    /// reconvergence fits before settling.
+    pub fn small_partition() -> ChaosConfig {
+        ChaosConfig {
+            params: KernelParams::fast_partition(),
+            horizon: SimDuration::from_secs(20),
+            partition_steps: true,
             ..ChaosConfig::small()
         }
     }
@@ -133,6 +159,7 @@ impl ChaosConfig {
             net: NetParams::default(),
             loss_steps: false,
             nic_flap_steps: false,
+            partition_steps: false,
         }
     }
 
@@ -331,6 +358,51 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig, cluster: &PhoenixCluster)
             }
         }
     }
+    // Island-partition storms: one or two cycles of "sever a random subset
+    // of whole topology partitions into an island, hold long enough for
+    // suspicion and the regroup takeover delay to engage, heal, let the
+    // cluster reconverge". Cycles are sequential in their own salted
+    // stream (`Fault::Partition` replaces any active island, so ordering
+    // stays well-defined even interleaved with other steps).
+    if cfg.partition_steps {
+        let mut prng = SimRng::seed_from_u64(seed ^ PARTITION_SALT);
+        let cycles = 1 + prng.gen_range(0..2u64);
+        let mut at = SimDuration::from_millis(prng.gen_range(0..horizon_ms));
+        for _ in 0..cycles {
+            if steps.len() + 2 > MAX_STEPS {
+                break;
+            }
+            // The island is a nonempty proper subset of the configured
+            // partitions, so one side always holds a strict majority or
+            // the split is even (both sides freeze).
+            let k = 1 + prng.gen_range(0..(topo.partitions.len() - 1) as u64) as usize;
+            let mut chosen: Vec<usize> = Vec::new();
+            while chosen.len() < k {
+                let p = prng.gen_range(0..topo.partitions.len() as u64) as usize;
+                if !chosen.contains(&p) {
+                    chosen.push(p);
+                }
+            }
+            let mut island = 0u64;
+            for &p in &chosen {
+                for n in topo.partitions[p].all_nodes() {
+                    if n.0 < 64 {
+                        island |= 1u64 << n.0;
+                    }
+                }
+            }
+            steps.push(Step {
+                offset: at,
+                action: StepAction::Fault(Fault::Partition { island }),
+            });
+            let hold = SimDuration::from_millis(prng.gen_range(4_000..8_000u64));
+            steps.push(Step {
+                offset: at + hold,
+                action: StepAction::Fault(Fault::Heal),
+            });
+            at = at + hold + SimDuration::from_millis(prng.gen_range(10_000..16_000u64));
+        }
+    }
     steps.sort_by_key(|s| s.offset.as_nanos());
     steps
 }
@@ -420,6 +492,14 @@ pub fn link_partitions(steps: &[Step]) -> usize {
     steps
         .iter()
         .filter(|s| matches!(s.action, StepAction::Fault(Fault::PartitionLink(..))))
+        .count()
+}
+
+/// Number of island-partition storms (`Fault::Partition`) in the schedule.
+pub fn island_partitions(steps: &[Step]) -> usize {
+    steps
+        .iter()
+        .filter(|s| matches!(s.action, StepAction::Fault(Fault::Partition { .. })))
         .count()
 }
 
@@ -517,12 +597,14 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
     // Baseline random loss already makes the network "dirty": a lost
     // heartbeat run can legitimately raise suspicion.
     let mut clean_network = cfg.net.loss_permille == 0;
+    let mut violations = Vec::new();
+    let mut island_since: Option<SimTime> = None;
 
     for (i, step) in steps.iter().enumerate() {
         if mask & (1u64 << i) == 0 {
             continue;
         }
-        world.run_until(t0 + step.offset);
+        advance_sampled(&mut world, &cluster, cfg, t0 + step.offset, island_since, &mut violations);
         match step.action {
             StepAction::Fault(fault) => {
                 if kills_live_gsd(&world, fault) {
@@ -534,8 +616,14 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
                         | Fault::PartitionLink(..)
                         | Fault::LossBurst { .. }
                         | Fault::NicDegrade(..)
+                        | Fault::Partition { .. }
                 ) {
                     clean_network = false;
+                }
+                match fault {
+                    Fault::Partition { .. } => island_since = Some(world.now()),
+                    Fault::Heal => island_since = None,
+                    _ => {}
                 }
                 if verbose {
                     println!("  t={:>9} apply {:?}", fmt_ns(world.now().0), fault);
@@ -566,11 +654,18 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
         applied += 1;
     }
 
+    // A shrunk mask may keep a `Partition` step but drop its `Heal`: a
+    // cluster left split forever can never reconverge, so every run heals
+    // any leftover island before settling (exactly like the generated
+    // schedules always pair the two).
+    if world.island() != 0 {
+        world.apply_fault(Fault::Heal);
+    }
+
     let deadline = world.now() + cfg.settle_deadline;
     let quiesced = world.run_until_quiet(cfg.settle_window, deadline);
     client.drain(); // discard CfgAcks before the invariant queries
 
-    let mut violations = Vec::new();
     if !quiesced {
         violations.push(Violation {
             invariant: "quiescence",
@@ -606,6 +701,87 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
 
 fn fmt_ns(ns: u64) -> String {
     format!("{:.3}s", ns as f64 / 1e9)
+}
+
+/// Advance virtual time to `target`. While an island split is active the
+/// advance happens in 100 ms slices, checking the split-brain invariants at
+/// every sampled instant — not just after quiescence, because a split brain
+/// is precisely a *transient* with two sides acting at once.
+fn advance_sampled(
+    world: &mut World<KernelMsg>,
+    cluster: &PhoenixCluster,
+    cfg: &ChaosConfig,
+    target: SimTime,
+    island_since: Option<SimTime>,
+    violations: &mut Vec<Violation>,
+) {
+    let slice = SimDuration::from_millis(100);
+    while world.now().0 < target.0 {
+        if world.island() == 0 {
+            world.run_until(target);
+            return;
+        }
+        let next = world.now() + slice;
+        world.run_until(if next.0 < target.0 { next } else { target });
+        sampled_split_brain_check(world, cluster, cfg, island_since, violations);
+    }
+}
+
+/// The two sampled invariants of an island split: never two simultaneous
+/// live meta-leaders, and — once the split has out-lived the worst-case
+/// detect→regroup→freeze pipeline — no leader at all on a minority island.
+fn sampled_split_brain_check(
+    world: &World<KernelMsg>,
+    cluster: &PhoenixCluster,
+    cfg: &ChaosConfig,
+    island_since: Option<SimTime>,
+    violations: &mut Vec<Violation>,
+) {
+    let gsds = live_gsds(world);
+    let leaders: Vec<&GsdView> = gsds.iter().filter(|g| g.role == "leader").collect();
+    if leaders.len() > 1 && !violations.iter().any(|v| v.invariant == "split-brain") {
+        violations.push(Violation {
+            invariant: "split-brain",
+            detail: format!(
+                "{} simultaneous meta-leaders at {} during an island split \
+                 (partitions {:?})",
+                leaders.len(),
+                fmt_ns(world.now().0),
+                leaders.iter().map(|g| g.partition.0).collect::<Vec<_>>()
+            ),
+        });
+    }
+    // Worst-case pipeline: suspicion (suspect-beats missed heartbeats plus
+    // one in-flight interval) + a regroup round + freeze fanout. Five
+    // heartbeat intervals bounds it with margin for every profile.
+    let deadline = cfg.params.ft.hb_interval * 5;
+    let held = island_since.map_or(SimDuration::ZERO, |s| world.now().since(s));
+    if held <= deadline {
+        return;
+    }
+    let island = world.island();
+    let side = |n: NodeId| n.0 < 64 && (island >> n.0) & 1 == 1;
+    let total = cluster.topology.partitions.len();
+    let inside = cluster
+        .topology
+        .partitions
+        .iter()
+        .filter(|p| side(p.server))
+        .count();
+    for g in leaders {
+        let count = if side(g.node) { inside } else { total - inside };
+        if 2 * count <= total && !violations.iter().any(|v| v.invariant == "minority-leader") {
+            violations.push(Violation {
+                invariant: "minority-leader",
+                detail: format!(
+                    "partition {}'s GSD still leads on a minority island at {} \
+                     ({count}/{total} partitions on its side)",
+                    g.partition.0,
+                    fmt_ns(world.now().0)
+                ),
+            });
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1074,8 +1250,14 @@ pub fn parse_replay(spec: &str) -> Result<(u64, Option<u64>), String> {
 }
 
 /// The exact command that reproduces a (possibly shrunk) failure.
-pub fn replay_command(seed: u64, mask: u64, total_steps: usize, small: bool) -> String {
-    let flag = if small { " --small" } else { "" };
+/// `mode_flag` is the CLI flag selecting the configuration the failure was
+/// found under (`"--small"`, `"--partition"`, `"--lossy 20"`, …).
+pub fn replay_command(seed: u64, mask: u64, total_steps: usize, mode_flag: &str) -> String {
+    let flag = if mode_flag.is_empty() {
+        String::new()
+    } else {
+        format!(" {mode_flag}")
+    };
     if mask == full_mask(total_steps) {
         format!("cargo run --release -p phoenix-chaos --bin chaos --{flag} --replay {seed}")
     } else {
@@ -1207,6 +1389,32 @@ mod tests {
                     steps.len(),
                     bursts,
                     gsd.iter().map(|p| p.0).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    /// Not a test: scan for partition-storm pin candidates (an island
+    /// storm in the same schedule as a GSD kill or node crash/repair).
+    /// Run with
+    /// `cargo test -p phoenix-chaos --release -- --ignored --nocapture partition_scan`.
+    #[test]
+    #[ignore]
+    fn partition_scan_for_interesting_seeds() {
+        let cfg = ChaosConfig::small_partition();
+        for seed in 1..=400u64 {
+            let (_w, cluster) = boot_cluster(cfg.topology(), cfg.params.clone(), seed);
+            let steps = generate_schedule(seed, &cfg, &cluster);
+            let storms = island_partitions(&steps);
+            let gsd = gsd_kills(&steps, &cluster);
+            let repairs = crash_repair_nodes(&steps);
+            if storms >= 2 && (!gsd.is_empty() || !repairs.is_empty()) {
+                println!(
+                    "seed {seed:>4}: {} steps, {} storm(s), gsd kills {:?}, repairs {}",
+                    steps.len(),
+                    storms,
+                    gsd.iter().map(|p| p.0).collect::<Vec<_>>(),
+                    repairs.len()
                 );
             }
         }

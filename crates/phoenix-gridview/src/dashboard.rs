@@ -113,6 +113,31 @@ pub fn render_telemetry() -> String {
             let _ = writeln!(out, "--- network interfaces ---");
             out.push_str(&nic_lines);
         }
+        // Quorum panel: only rendered once the regroup layer has produced
+        // evidence (a round, a freeze, or an epoch bump) — a cluster
+        // without split-brain protection shows no panel, not a clean one.
+        let epoch = reg.gauge("gsd.regroup.epoch");
+        let frozen = reg.gauge("gsd.regroup.frozen").unwrap_or(0.0);
+        let rounds = reg.counter("gsd.regroup.rounds");
+        if epoch.is_some() || frozen > 0.0 || rounds > 0 {
+            let _ = writeln!(out, "--- quorum / regroup ---");
+            let _ = writeln!(
+                out,
+                "epoch {:<6} state {:<8} rounds {rounds:<6} freezes {} thaw-pending {}",
+                epoch.unwrap_or(0.0),
+                if frozen > 0.0 { "FROZEN" } else { "quorate" },
+                reg.counter("gsd.regroup.freezes"),
+                if frozen > 0.0 { "yes" } else { "no" },
+            );
+            let _ = writeln!(
+                out,
+                "takeovers suppressed {} deferred {} vetoed {}  directories marked stale {}",
+                reg.counter("gsd.regroup.suppressed"),
+                reg.counter("gsd.regroup.deferred"),
+                reg.counter("gsd.regroup.vetoed"),
+                reg.counter("config.stale_marks"),
+            );
+        }
         out
     })
 }
@@ -169,6 +194,29 @@ mod tests {
         assert!(s.contains("nic1  health 1.000"));
         // No evidence for nic2: the row is omitted, not rendered as clean.
         assert!(!s.contains("nic2"));
+        phoenix_telemetry::reset();
+    }
+
+    #[test]
+    fn telemetry_panel_renders_quorum_state() {
+        phoenix_telemetry::reset();
+        // No regroup evidence → no panel.
+        assert!(!render_telemetry().contains("quorum / regroup"));
+        phoenix_telemetry::gauge_set("gsd.regroup.epoch", 3.0);
+        phoenix_telemetry::gauge_set("gsd.regroup.frozen", 1.0);
+        phoenix_telemetry::counter_add("gsd.regroup.rounds", 7);
+        phoenix_telemetry::counter_add("gsd.regroup.freezes", 1);
+        phoenix_telemetry::counter_add("gsd.regroup.suppressed", 2);
+        phoenix_telemetry::counter_add("config.stale_marks", 4);
+        let s = render_telemetry();
+        assert!(s.contains("--- quorum / regroup ---"));
+        assert!(s.contains("epoch 3"));
+        assert!(s.contains("FROZEN"));
+        assert!(s.contains("rounds 7"));
+        assert!(s.contains("suppressed 2"));
+        assert!(s.contains("stale 4"));
+        phoenix_telemetry::gauge_set("gsd.regroup.frozen", 0.0);
+        assert!(render_telemetry().contains("quorate"));
         phoenix_telemetry::reset();
     }
 

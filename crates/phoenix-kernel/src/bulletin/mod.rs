@@ -51,6 +51,11 @@ pub struct DataBulletin {
     hb_seq: u64,
     recovery: Option<RecoveryAction>,
     restoring: bool,
+    /// Set by the GSD's `RegroupFreeze` while this partition sits on a
+    /// minority island: answers degrade to `complete = false` without
+    /// fanning out (the federation is unreachable by definition, and a
+    /// minority must not present its view as the cluster's).
+    frozen: bool,
 }
 
 impl DataBulletin {
@@ -68,6 +73,7 @@ impl DataBulletin {
             hb_seq: 0,
             recovery: None,
             restoring: false,
+            frozen: false,
         }
     }
 
@@ -93,6 +99,7 @@ impl DataBulletin {
             hb_seq: 0,
             recovery: Some(action),
             restoring: true,
+            frozen: false,
         }
     }
 
@@ -257,8 +264,29 @@ impl Actor<KernelMsg> for DataBulletin {
                     self.entries.insert(e.key, (e.value, e.stamp_ns));
                 }
             }
+            KernelMsg::RegroupFreeze { frozen } => {
+                if frozen && !self.frozen {
+                    phoenix_telemetry::counter_add("bulletin.freezes", 1);
+                }
+                self.frozen = frozen;
+            }
             KernelMsg::DbQuery { req, query } => {
                 phoenix_telemetry::counter_add("bulletin.queries", 1);
+                if self.frozen {
+                    // Minority island: answer what we hold, honestly
+                    // partial, without burning a federation timeout on
+                    // peers quorum says we cannot reach.
+                    phoenix_telemetry::counter_add("bulletin.frozen_queries", 1);
+                    ctx.send(
+                        from,
+                        KernelMsg::DbResp {
+                            req,
+                            entries: self.local_matches(query),
+                            complete: false,
+                        },
+                    );
+                    return;
+                }
                 let acc = self.local_matches(query);
                 // Which peers need to contribute?
                 let waiting: Vec<PartitionId> = self

@@ -47,6 +47,12 @@ pub struct ConfigService {
     node_ops_seen: DedupWindow<(Pid, RequestId), bool>,
     /// Remaining wiring re-assertions per recently started node.
     rewire: HashMap<NodeId, u32>,
+    /// Partitions flagged by the majority side's regroup as unreachable:
+    /// their directory entries are kept (for rescue hints) but marked
+    /// stale — clients should not route to daemons nobody holding quorum
+    /// can vouch for. Cleared by the partition's next `DirectoryUpdate`
+    /// or an explicit `stale = false`.
+    stale: std::collections::BTreeSet<phoenix_proto::PartitionId>,
 }
 
 impl ConfigService {
@@ -58,7 +64,13 @@ impl ConfigService {
             kv: HashMap::new(),
             node_ops_seen: DedupWindow::new(64),
             rewire: HashMap::new(),
+            stale: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Partitions currently flagged stale by a regroup round (sorted).
+    pub fn stale_partitions(&self) -> Vec<phoenix_proto::PartitionId> {
+        self.stale.iter().copied().collect()
     }
 
     /// Spacing between wiring re-assertions: 4× the retry base keeps them
@@ -101,10 +113,22 @@ impl ConfigService {
 
     /// Bring a node back: power it on and respawn its daemons, then tell
     /// the partition GSD and all PPM agents about the new pids.
-    fn start_node(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) {
+    fn start_node(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) -> bool {
+        if !ctx.node_same_island(node) {
+            // An island split separates us from the node's power controller:
+            // the start request cannot reach it, so spawning daemons there
+            // would plant processes across a severed link. Refuse; the
+            // operator retries after the heal.
+            phoenix_telemetry::counter_add("config.repair_unreachable", 1);
+            ctx.trace(TraceEvent::Milestone {
+                label: "node-start-unreachable",
+                value: node.0 as f64,
+            });
+            return false;
+        }
         ctx.set_node_power(node, true);
         let Some(partition) = self.topology.partition_of(node) else {
-            return;
+            return false;
         };
         let wd = ctx.spawn(
             node,
@@ -137,6 +161,7 @@ impl ConfigService {
             label: "node-started",
             value: node.0 as f64,
         });
+        true
     }
 
     fn shutdown_node(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) {
@@ -217,6 +242,18 @@ impl Actor<KernelMsg> for ConfigService {
                 self.directory.partitions.retain(|m| m.partition != partition);
                 self.directory.partitions.push(member);
                 self.directory.partitions.sort_by_key(|m| m.partition);
+                // A fresh entry is vouched-for again: whoever pushed it is
+                // alive and reachable from us.
+                self.stale.remove(&partition);
+            }
+            KernelMsg::DirectoryStale { partition, stale } => {
+                if stale {
+                    if self.stale.insert(partition) {
+                        phoenix_telemetry::counter_add("config.stale_marks", 1);
+                    }
+                } else {
+                    self.stale.remove(&partition);
+                }
             }
             KernelMsg::DirectoryUpdateNode { services } => {
                 self.directory.nodes.retain(|n| n.node != services.node);
@@ -231,14 +268,19 @@ impl Actor<KernelMsg> for ConfigService {
                         return;
                     }
                 }
-                match op {
+                let ok = match op {
                     NodeOp::Start => self.start_node(ctx, node),
-                    NodeOp::Shutdown => self.shutdown_node(ctx, node),
-                }
-                if req != RequestId(0) {
+                    NodeOp::Shutdown => {
+                        self.shutdown_node(ctx, node);
+                        true
+                    }
+                };
+                // A refused op is not recorded as seen: the caller's retry
+                // after the heal must re-execute it, not replay the refusal.
+                if req != RequestId(0) && ok {
                     self.node_ops_seen.record((from, req), true);
                 }
-                ctx.send(from, KernelMsg::CfgAck { req, ok: true });
+                ctx.send(from, KernelMsg::CfgAck { req, ok });
             }
             _ => {}
         }
@@ -276,6 +318,10 @@ impl Actor<KernelMsg> for ConfigService {
 
     fn name(&self) -> &str {
         "config"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

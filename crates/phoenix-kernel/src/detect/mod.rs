@@ -42,6 +42,10 @@ pub struct Detector {
     apps: HashMap<JobId, TrackedApp>,
     alarm_active: bool,
     started: bool,
+    /// Set by the GSD's `RegroupFreeze` while the partition sits on a
+    /// minority island: samples are taken but not exported — a bulletin
+    /// nobody holds quorum for must not look freshly authoritative.
+    frozen: bool,
 }
 
 impl Detector {
@@ -55,6 +59,7 @@ impl Detector {
             apps: HashMap::new(),
             alarm_active: false,
             started: false,
+            frozen: false,
         }
     }
 
@@ -214,6 +219,12 @@ impl Actor<KernelMsg> for Detector {
                 self.bulletin = local.bulletin;
                 self.event = local.event;
             }
+            KernelMsg::RegroupFreeze { frozen } => {
+                if frozen && !self.frozen {
+                    phoenix_telemetry::counter_add("detector.freezes", 1);
+                }
+                self.frozen = frozen;
+            }
             KernelMsg::AppStarted { job, pid, task } => {
                 self.apps.insert(
                     job,
@@ -260,8 +271,10 @@ impl Actor<KernelMsg> for Detector {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, KernelMsg>, token: u64) {
         if token == TOK_SAMPLE {
-            self.check_app_liveness(ctx);
-            self.export(ctx);
+            if !self.frozen {
+                self.check_app_liveness(ctx);
+                self.export(ctx);
+            }
             ctx.set_timer(self.params.detector_sample, TOK_SAMPLE);
         }
     }

@@ -24,6 +24,7 @@ use crate::group::registry::{kernel_factory_key, RespawnArgs, SharedRegistry};
 use crate::group::wd::Wd;
 use crate::nic_health::{HealthTransition, NicHealth};
 use crate::params::KernelParams;
+use crate::regroup::{AckInfo, Regroup, Verdict};
 use phoenix_proto::{
     CheckpointData, ClusterTopology, Event, EventPayload, EventType, KernelMsg, MemberInfo,
     NodeServices, PartitionId, RequestId, ServiceKind,
@@ -37,10 +38,25 @@ const TOK_SCAN: u64 = 1;
 const TOK_TICK: u64 = 2;
 /// Retry timer for the directory query a respawned GSD sends to config.
 const TOK_DIR_RETRY: u64 = 3;
+/// Regroup round window: when it fires, the round concludes with
+/// whatever acks arrived.
+const TOK_REGROUP: u64 = 4;
+/// Heal-probe cadence while frozen: opens a fresh regroup round.
+const TOK_REGROUP_RETRY: u64 = 5;
 /// Ticks over which a changed directory entry is re-asserted to config
 /// under a retrying policy (~2 s at the fast heartbeat interval — enough
 /// to straddle any loss burst a chaos schedule can generate).
 const DIR_RESEND_TICKS: u32 = 20;
+
+/// Telemetry key for a `gsd.takeover` mark/measure/unmark. Scoped by the
+/// observing pid as well as the partition: two GSDs can chase the same
+/// partition's recovery concurrently (a watcher's takeover racing the
+/// leader's rescue sweep), and one observer aborting its spawn must not
+/// retract the other's still-in-flight mark. The mark and its matching
+/// measure/unmark always happen on the same actor, so pid scoping is safe.
+fn takeover_key(observer: Pid, partition: PartitionId) -> u64 {
+    phoenix_telemetry::key(&[3, partition.0 as u64, observer.0])
+}
 const OP_BASE: u64 = 100;
 
 /// A heartbeat seq at or below the last seen one within this window is a
@@ -249,6 +265,16 @@ pub struct Gsd {
     /// Remaining ticks over which our own `DirectoryUpdate` (membership
     /// announce after a takeover/migration) is re-asserted to config.
     dir_resend_local: u32,
+    /// MSCS-style quorum regroup state (inert unless
+    /// `params.ft.regroup.enabled`).
+    regroup: Regroup,
+    /// Telemetry span covering a frozen episode (freeze → thaw); aborted
+    /// if this GSD dies frozen (e.g. yields to its replacement).
+    frozen_span: Option<phoenix_telemetry::SpanId>,
+    /// Span covering the currently collecting regroup round — a child of
+    /// `frozen_span` while frozen, so a post-mortem span tree shows the
+    /// heal-probing rounds nested inside the frozen episode.
+    round_span: Option<phoenix_telemetry::SpanId>,
 }
 
 impl Gsd {
@@ -300,6 +326,7 @@ impl Gsd {
         init: GsdInit,
     ) -> Self {
         let nic_health = NicHealth::new(params.ft.nic.clone(), 0);
+        let regroup = Regroup::new(params.ft.regroup.clone());
         Gsd {
             partition,
             params,
@@ -338,6 +365,9 @@ impl Gsd {
             dir_attempts: 0,
             dir_resend_nodes: HashMap::new(),
             dir_resend_local: 0,
+            regroup,
+            frozen_span: None,
+            round_span: None,
         }
     }
 
@@ -398,9 +428,25 @@ impl Gsd {
         self.partition
     }
 
-    /// Current ring role: "leader" / "princess" / "member" / "orphan".
+    /// Current ring role: "leader" / "princess" / "member" / "orphan" —
+    /// or "frozen" while this GSD sits on a minority island. A frozen
+    /// ex-leader is *not* a leader: the whole point of the regroup
+    /// protocol is that only the majority side may report one.
     pub fn role_name(&self) -> &'static str {
+        if self.regroup.frozen() {
+            return "frozen";
+        }
         self.role()
+    }
+
+    /// Whether this GSD froze itself after losing quorum.
+    pub fn quorum_frozen(&self) -> bool {
+        self.regroup.frozen()
+    }
+
+    /// Regroup epoch (number of concluded regroup rounds).
+    pub fn regroup_epoch(&self) -> u64 {
+        self.regroup.epoch()
     }
 
     /// Partitions in this GSD's current membership view, sorted.
@@ -637,6 +683,12 @@ impl Gsd {
         if self.params.rpc.retries_enabled() {
             if let Some(delay) = self.params.rpc.delay(self.dir_attempts, ctx.rng()) {
                 ctx.set_timer(delay, TOK_DIR_RETRY);
+            } else if self.regroup.enabled() && self.init.is_some() {
+                // Retry budget exhausted while still unwired. An island
+                // split can out-last every bounded attempt, and a respawned
+                // GSD that gives up on wiring is a permanent orphan — keep
+                // asking at heartbeat cadence until the directory answers.
+                ctx.set_timer(self.params.ft.hb_interval, TOK_DIR_RETRY);
             }
         }
     }
@@ -670,6 +722,10 @@ impl Gsd {
     }
 
     fn finish_wiring(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        // Quorum denominator: the *configured* partition count. The live
+        // membership must not shrink the bar, or a minority island would
+        // promote itself to "majority of what I can still see".
+        self.regroup.set_total(self.topology.partitions.len() as u32);
         let nics = ctx.nic_count(ctx.node());
         self.my_nic_known = (0..nics)
             .map(|i| ctx.nic_is_up(ctx.node(), NicId(i as u8)))
@@ -1007,6 +1063,11 @@ impl Gsd {
             if let Some(t) = &mut self.pred {
                 t.probing = Some(session);
             }
+            // A silent ring predecessor is exactly what a partition looks
+            // like from here: open a regroup round alongside the probe.
+            // The round concludes before the probe pipeline can ripen
+            // into a takeover, so the quorum verdict is in first.
+            self.start_regroup_round(ctx);
         } else {
             for i in stale_nics {
                 ctx.trace(TraceEvent::FaultDetected {
@@ -1278,6 +1339,9 @@ impl Gsd {
     }
 
     fn diagnose_gsd_process(&mut self, ctx: &mut Ctx<'_, KernelMsg>, partition: PartitionId) {
+        if !self.regroup_licenses_takeover(ctx, partition) {
+            return;
+        }
         let Some(t) = &mut self.pred else { return };
         if t.member.partition != partition {
             return;
@@ -1291,10 +1355,7 @@ impl Gsd {
             ctx.node().0,
             phoenix_telemetry::key(&[2, partition.0 as u64]),
         );
-        phoenix_telemetry::mark(
-            "gsd.takeover",
-            phoenix_telemetry::key(&[3, partition.0 as u64]),
-        );
+        phoenix_telemetry::mark("gsd.takeover", takeover_key(ctx.pid(), partition));
         ctx.trace(TraceEvent::FaultDiagnosed {
             observer: ctx.pid(),
             target: FaultTarget::Process(failed.gsd),
@@ -1319,6 +1380,9 @@ impl Gsd {
     }
 
     fn diagnose_gsd_node(&mut self, ctx: &mut Ctx<'_, KernelMsg>, partition: PartitionId) {
+        if !self.regroup_licenses_takeover(ctx, partition) {
+            return;
+        }
         let Some(t) = &mut self.pred else { return };
         if t.member.partition != partition {
             return;
@@ -1332,10 +1396,7 @@ impl Gsd {
             ctx.node().0,
             phoenix_telemetry::key(&[2, partition.0 as u64]),
         );
-        phoenix_telemetry::mark(
-            "gsd.takeover",
-            phoenix_telemetry::key(&[3, partition.0 as u64]),
-        );
+        phoenix_telemetry::mark("gsd.takeover", takeover_key(ctx.pid(), partition));
         ctx.trace(TraceEvent::FaultDiagnosed {
             observer: ctx.pid(),
             target: FaultTarget::Node(failed.node),
@@ -1394,6 +1455,28 @@ impl Gsd {
         self.refresh_roles(ctx);
     }
 
+    /// A replacement GSD can only be started on a machine we can route to:
+    /// remote exec across a severed island is a connection failure, not a
+    /// silent success. Retracts the takeover mark stamped at diagnosis /
+    /// rescue time so the skipped spawn does not leak a pending measure;
+    /// the rescue sweep retries once the partition heals.
+    fn spawn_target_reachable(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg>,
+        partition: PartitionId,
+        node: NodeId,
+    ) -> bool {
+        if ctx.node_reachable(node) {
+            return true;
+        }
+        phoenix_telemetry::unmark("gsd.takeover", takeover_key(ctx.pid(), partition));
+        ctx.trace(TraceEvent::Milestone {
+            label: "gsd-spawn-unreachable",
+            value: partition.0 as f64,
+        });
+        false
+    }
+
     fn execute_restart(&mut self, ctx: &mut Ctx<'_, KernelMsg>, what: RestartWhat) {
         match what {
             RestartWhat::Wd(node) => self.restart_wd(ctx, node),
@@ -1425,12 +1508,15 @@ impl Gsd {
                 if self.members.iter().any(|m| m.partition == hint.partition) {
                     return; // already rejoined (rescued by someone else)
                 }
+                if !self.spawn_target_reachable(ctx, hint.partition, hint.node) {
+                    return;
+                }
                 phoenix_telemetry::counter_add("gsd.takeovers", 1);
                 phoenix_telemetry::measure(
                     "gsd.takeover",
                     "gsd",
                     ctx.node().0,
-                    phoenix_telemetry::key(&[3, hint.partition.0 as u64]),
+                    takeover_key(ctx.pid(), hint.partition),
                 );
                 let gsd = Gsd::respawn(
                     hint.partition,
@@ -1448,12 +1534,15 @@ impl Gsd {
                 if self.members.iter().any(|m| m.partition == hint.partition) {
                     return;
                 }
+                if !self.spawn_target_reachable(ctx, hint.partition, to) {
+                    return;
+                }
                 phoenix_telemetry::counter_add("gsd.takeovers", 1);
                 phoenix_telemetry::measure(
                     "gsd.takeover",
                     "gsd",
                     ctx.node().0,
-                    phoenix_telemetry::key(&[3, hint.partition.0 as u64]),
+                    takeover_key(ctx.pid(), hint.partition),
                 );
                 let gsd = Gsd::respawn(
                     hint.partition,
@@ -1596,21 +1685,27 @@ impl Gsd {
                 phoenix_telemetry::gauge_set(nic_health_gauge(nic), self.nic_health.score(nic));
             }
         }
-        self.directory_anti_entropy(ctx);
-        if self.supervision_dirty {
-            self.save_supervision(ctx);
-        }
-        self.rescue_sweep(ctx);
-        if self.needs_rejoin {
-            self.needs_rejoin = false;
-            if let Some(leader) = self.leader() {
-                if leader.partition != self.partition {
-                    self.send_routed(
-                        ctx,
-                        leader.gsd,
-                        leader.node,
-                        KernelMsg::MetaJoin { member: self.local },
-                    );
+        // A frozen GSD keeps beating (so its same-island successor never
+        // mistakes the freeze for a death) but performs no authoritative
+        // work: no directory writes, no checkpoints, no rescues, no
+        // rejoin toward a leader view that predates the partition.
+        if !self.regroup.frozen() {
+            self.directory_anti_entropy(ctx);
+            if self.supervision_dirty {
+                self.save_supervision(ctx);
+            }
+            self.rescue_sweep(ctx);
+            if self.needs_rejoin {
+                self.needs_rejoin = false;
+                if let Some(leader) = self.leader() {
+                    if leader.partition != self.partition {
+                        self.send_routed(
+                            ctx,
+                            leader.gsd,
+                            leader.node,
+                            KernelMsg::MetaJoin { member: self.local },
+                        );
+                    }
                 }
             }
         }
@@ -1636,10 +1731,7 @@ impl Gsd {
             .collect();
         for partition in missing {
             self.rescuing.insert(partition);
-            phoenix_telemetry::mark(
-                "gsd.takeover",
-                phoenix_telemetry::key(&[3, partition.0 as u64]),
-            );
+            phoenix_telemetry::mark("gsd.takeover", takeover_key(ctx.pid(), partition));
             ctx.trace(TraceEvent::Milestone {
                 label: "gsd-rescue-scheduled",
                 value: partition.0 as f64,
@@ -1650,6 +1742,230 @@ impl Gsd {
                 DelayedOp::Restart(RestartWhat::GsdRescue { partition }),
             );
         }
+    }
+
+    // ---- quorum regroup (MSCS-style; paper-adjacent split-brain cure) ------
+
+    /// Open a regroup round: ping the best-known GSD of every configured
+    /// partition and arm the round-window timer. No-op when the layer is
+    /// disabled or a round is already collecting.
+    fn start_regroup_round(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        if !self.regroup.enabled() || self.regroup.round_active() {
+            return;
+        }
+        let round = self.regroup.begin_round();
+        phoenix_telemetry::counter_add("gsd.regroup.rounds", 1);
+        self.round_span = Some(match self.frozen_span {
+            Some(parent) => phoenix_telemetry::span_child(
+                "gsd.regroup.round",
+                "gsd",
+                ctx.node().0,
+                parent,
+            ),
+            None => phoenix_telemetry::span_start("gsd.regroup.round", "gsd", ctx.node().0),
+        });
+        let ping = KernelMsg::RegroupPing {
+            from_partition: self.partition,
+            epoch: self.epoch,
+            round,
+        };
+        // Every *configured* partition, not just current members: a
+        // frozen side keeps pinging partitions its stale membership may
+        // have lost, and a majority side pings the minority it removed
+        // (`last_known` keeps the pre-removal coordinates).
+        for p in self.topology.partitions.iter().map(|p| p.id) {
+            if p == self.partition {
+                continue;
+            }
+            let target = self
+                .members
+                .iter()
+                .find(|m| m.partition == p)
+                .copied()
+                .or_else(|| self.last_known.get(&p).copied());
+            if let Some(m) = target {
+                if m.gsd != Pid(0) {
+                    self.send_routed(ctx, m.gsd, m.node, ping.clone());
+                }
+            }
+        }
+        ctx.set_timer(self.params.ft.regroup.round_window, TOK_REGROUP);
+    }
+
+    /// The round window closed: compute the connected component and act
+    /// on the quorum verdict.
+    fn conclude_regroup(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let Some(c) = self.regroup.conclude(self.partition, ctx.now()) else {
+            return;
+        };
+        if let Some(span) = self.round_span.take() {
+            phoenix_telemetry::span_end(span);
+        }
+        phoenix_telemetry::gauge_set("gsd.regroup.epoch", self.regroup.epoch() as f64);
+        match c.verdict {
+            Verdict::Majority if !self.regroup.frozen() => {
+                // We hold quorum: normal operation (the concluded round
+                // is the takeover licence `majority_confirmed` checks).
+                // The lowest reachable partition flags the unreachable
+                // side's directory entries stale so clients stop routing
+                // to daemons nobody can vouch for.
+                if c.reachable.first() == Some(&self.partition) {
+                    for p in self.topology.partitions.iter().map(|p| p.id) {
+                        if !c.reachable.contains(&p) {
+                            ctx.send(
+                                self.config,
+                                KernelMsg::DirectoryStale {
+                                    partition: p,
+                                    stale: true,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Verdict::Majority => {
+                // Frozen, but a majority answered: the partition healed.
+                // Ask the freshest unfrozen peer to take us back in; thaw
+                // happens only when the majority's broadcast names us.
+                // If *everyone* reachable is frozen (the whole cluster
+                // fragmented and re-healed), the lowest partition
+                // re-seeds the group by thawing and announcing itself.
+                match c.rejoin_target {
+                    Some((gsd, _)) => ctx.send(gsd, KernelMsg::MetaJoin { member: self.local }),
+                    None => {
+                        if c.reachable.first() == Some(&self.partition) {
+                            self.leave_frozen(ctx);
+                            self.announce_membership_change(ctx);
+                        }
+                    }
+                }
+                ctx.set_timer(self.params.ft.regroup.frozen_retry, TOK_REGROUP_RETRY);
+            }
+            Verdict::Minority => {
+                self.enter_frozen(ctx);
+                ctx.set_timer(self.params.ft.regroup.frozen_retry, TOK_REGROUP_RETRY);
+            }
+        }
+    }
+
+    /// Lost quorum: freeze. The GSD stays alive and answers pings, but
+    /// every membership-changing action (diagnosis, takeover, rescue,
+    /// rejoin, directory writes) is suppressed until a majority-side
+    /// membership broadcast names us again.
+    fn enter_frozen(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        if !self.regroup.freeze() {
+            return;
+        }
+        phoenix_telemetry::counter_add("gsd.regroup.freezes", 1);
+        phoenix_telemetry::gauge_set("gsd.regroup.frozen", 1.0);
+        self.frozen_span =
+            Some(phoenix_telemetry::span_start("gsd.regroup.frozen", "gsd", ctx.node().0));
+        ctx.trace(TraceEvent::Milestone {
+            label: "gsd-frozen",
+            value: self.partition.0 as f64,
+        });
+        ctx.trace(TraceEvent::RoleChange {
+            pid: ctx.pid(),
+            role: "frozen",
+        });
+        self.last_role = "frozen";
+        // Abort in-flight probe sessions: a pending diagnosis must not
+        // ripen into a takeover after we lost quorum. `abort_probe`
+        // retracts the suspicion marks so they cannot leak.
+        let mut active: Vec<(u64, ProbeKind)> = self
+            .probes
+            .iter()
+            .filter(|(_, s)| s.active)
+            .map(|(&id, s)| (id, s.kind))
+            .collect();
+        active.sort_unstable_by_key(|(id, _)| *id);
+        for (id, kind) in active {
+            if let Some(s) = self.probes.get_mut(&id) {
+                s.active = false;
+                phoenix_telemetry::span_end(s.span);
+            }
+            self.abort_probe(kind);
+        }
+        self.freeze_fanout(ctx, true);
+    }
+
+    /// Quorum regained and the majority named us: thaw.
+    fn leave_frozen(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        if !self.regroup.thaw() {
+            return;
+        }
+        phoenix_telemetry::gauge_set("gsd.regroup.frozen", 0.0);
+        if let Some(span) = self.frozen_span.take() {
+            phoenix_telemetry::span_end(span);
+        }
+        ctx.trace(TraceEvent::Milestone {
+            label: "gsd-thawed",
+            value: self.partition.0 as f64,
+        });
+        let role = self.role();
+        ctx.trace(TraceEvent::RoleChange {
+            pid: ctx.pid(),
+            role,
+        });
+        self.last_role = role;
+        self.freeze_fanout(ctx, false);
+    }
+
+    /// Tell the partition's services they are (no longer) on a minority
+    /// island: a frozen bulletin answers queries `complete = false`, a
+    /// frozen detector stops exporting.
+    fn freeze_fanout(&self, ctx: &mut Ctx<'_, KernelMsg>, frozen: bool) {
+        let msg = KernelMsg::RegroupFreeze { frozen };
+        for pid in [self.local.event, self.local.bulletin, self.local.checkpoint] {
+            if pid != Pid(0) {
+                ctx.send(pid, msg.clone());
+            }
+        }
+        if let Some(spec) = self.topology.partition(self.partition) {
+            for node in spec.all_nodes() {
+                if let Some(ns) = self.node_daemons.get(&node) {
+                    ctx.send(ns.detector, msg.clone());
+                }
+            }
+        }
+    }
+
+    /// Gate a ripened meta diagnosis on quorum. Returns true when the
+    /// takeover may proceed. On false the probe session is unwound
+    /// (suspicion mark retracted, probing flag cleared) so the next scan
+    /// re-suspects — by which time our own round has concluded and the
+    /// verdict is in.
+    fn regroup_licenses_takeover(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg>,
+        partition: PartitionId,
+    ) -> bool {
+        if !self.regroup.enabled() {
+            return true;
+        }
+        if self.regroup.frozen() {
+            phoenix_telemetry::counter_add("gsd.regroup.suppressed", 1);
+            self.abort_probe(ProbeKind::Meta(partition));
+            return false;
+        }
+        // Reachability veto: if the suspected partition acked the last
+        // concluded regroup round it is alive and routable — the stale
+        // beats are a transient (e.g. just-healed links), not a failure.
+        if self.regroup.recently_reachable(partition, ctx.now()) {
+            phoenix_telemetry::counter_add("gsd.regroup.vetoed", 1);
+            self.abort_probe(ProbeKind::Meta(partition));
+            return false;
+        }
+        // MSCS-style regroup period: a takeover needs an unbroken chain
+        // of majority verdicts held for at least `takeover_delay`, long
+        // enough for any minority islet to have frozen itself.
+        if !self.regroup.takeover_licensed(ctx.now()) {
+            phoenix_telemetry::counter_add("gsd.regroup.deferred", 1);
+            self.abort_probe(ProbeKind::Meta(partition));
+            self.start_regroup_round(ctx);
+            return false;
+        }
+        true
     }
 
     // ---- heartbeat ingestion -----------------------------------------------
@@ -1927,6 +2243,11 @@ impl Actor<KernelMsg> for Gsd {
                 ..
             } => self.on_meta_heartbeat(ctx, from_partition, nic, seq),
             KernelMsg::MetaJoin { member } => {
+                if self.regroup.frozen() {
+                    // A frozen GSD must not admit members or bump epochs.
+                    phoenix_telemetry::counter_add("gsd.regroup.suppressed", 1);
+                    return;
+                }
                 if self.role() == "leader" {
                     let old_entry = self
                         .members
@@ -1936,7 +2257,40 @@ impl Actor<KernelMsg> for Gsd {
                     if old_entry == Some(member) {
                         // Idempotent re-join: nothing changed, do not bump
                         // the epoch or rebroadcast (damps membership wars).
+                        // Under regroup the joiner may be a frozen peer
+                        // asking back in after a heal that required no
+                        // takeover — answer it directly with the current
+                        // membership so it can thaw.
+                        if self.regroup.enabled() {
+                            ctx.send(
+                                member.gsd,
+                                KernelMsg::MetaMembership {
+                                    epoch: self.epoch,
+                                    members: self.members.clone(),
+                                },
+                            );
+                        }
                         return;
+                    }
+                    if self.regroup.enabled() {
+                        if let Some(old) = old_entry {
+                            if old.gsd > member.gsd {
+                                // The entry we hold is NEWER than the
+                                // joiner: a stale pre-partition instance
+                                // is asking back in after the majority
+                                // already replaced it. Keep the newer
+                                // pid authoritative and show the joiner
+                                // the membership so it yields and dies.
+                                ctx.send(
+                                    member.gsd,
+                                    KernelMsg::MetaMembership {
+                                        epoch: self.epoch,
+                                        members: self.members.clone(),
+                                    },
+                                );
+                                return;
+                            }
+                        }
                     }
                     let old_gsd = old_entry.map(|m| m.gsd);
                     self.members.retain(|m| m.partition != member.partition);
@@ -1956,6 +2310,17 @@ impl Actor<KernelMsg> for Gsd {
                         if old != member.gsd {
                             ctx.send(old, msg);
                         }
+                    }
+                    if self.regroup.enabled() {
+                        // The partition is vouched-for again: clear any
+                        // stale flag a regroup round put on its entry.
+                        ctx.send(
+                            self.config,
+                            KernelMsg::DirectoryStale {
+                                partition: member.partition,
+                                stale: false,
+                            },
+                        );
                     }
                     self.push_partition_view(ctx);
                 } else if let Some(leader) = self.leader() {
@@ -1981,6 +2346,13 @@ impl Actor<KernelMsg> for Gsd {
                     }
                 }
                 if epoch >= self.epoch {
+                    // A fresh broadcast naming *our* pid is the majority
+                    // vouching for us: the only thaw edge a frozen GSD
+                    // accepts (self-election on heal would re-split the
+                    // brain the moment views diverge).
+                    let named_me = members
+                        .iter()
+                        .any(|m| m.partition == self.partition && m.gsd == ctx.pid());
                     self.epoch = epoch;
                     self.members = members;
                     // Keep our own entry authoritative.
@@ -1996,6 +2368,9 @@ impl Actor<KernelMsg> for Gsd {
                         // stale broadcast must not trigger a join →
                         // broadcast → join cycle at network latency.
                         self.needs_rejoin = true;
+                    }
+                    if named_me && self.regroup.frozen() {
+                        self.leave_frozen(ctx);
                     }
                     self.refresh_roles(ctx);
                     self.push_partition_view(ctx);
@@ -2071,6 +2446,40 @@ impl Actor<KernelMsg> for Gsd {
             KernelMsg::ProbeResp { req } => self.on_probe_resp(ctx, req.0),
             KernelMsg::ProbeReq { req } => {
                 ctx.send(from, KernelMsg::ProbeResp { req });
+            }
+            KernelMsg::RegroupPing { round, .. } => {
+                // Always answer (even frozen — reachability is
+                // reachability; the `frozen` bit tells the pinger whether
+                // we can vouch for a membership).
+                if self.regroup.enabled() {
+                    ctx.send(
+                        from,
+                        KernelMsg::RegroupAck {
+                            from_partition: self.partition,
+                            epoch: self.epoch,
+                            round,
+                            frozen: self.regroup.frozen(),
+                        },
+                    );
+                }
+            }
+            KernelMsg::RegroupAck {
+                from_partition,
+                epoch,
+                round,
+                frozen,
+            } => {
+                if self.regroup.enabled() {
+                    self.regroup.on_ack(
+                        round,
+                        from_partition,
+                        AckInfo {
+                            gsd: from,
+                            epoch,
+                            frozen,
+                        },
+                    );
+                }
             }
             KernelMsg::CfgSetParam { key, value, .. } => {
                 if key == "hb_interval_ms" {
@@ -2155,7 +2564,12 @@ impl Actor<KernelMsg> for Gsd {
         match token {
             TOK_SCAN => {
                 if self.monitoring {
-                    self.scan(ctx);
+                    // Frozen: no suspicion processing at all — the scan
+                    // deadline loop is what ripens into takeovers. The
+                    // timer stays armed so monitoring resumes on thaw.
+                    if !self.regroup.frozen() {
+                        self.scan(ctx);
+                    }
                     ctx.set_timer(self.params.ft.check_interval, TOK_SCAN);
                 }
             }
@@ -2169,6 +2583,14 @@ impl Actor<KernelMsg> for Gsd {
                 // reply was lost — ask again.
                 if matches!(self.init, Some(GsdInit::Respawn { .. })) {
                     self.send_directory_query(ctx);
+                }
+            }
+            TOK_REGROUP => self.conclude_regroup(ctx),
+            TOK_REGROUP_RETRY => {
+                // Heal detection: while frozen, keep opening rounds until
+                // a majority answers.
+                if self.regroup.frozen() {
+                    self.start_regroup_round(ctx);
                 }
             }
             t if t > OP_BASE => {
@@ -2197,6 +2619,15 @@ impl Actor<KernelMsg> for Gsd {
                 s.active = false;
                 phoenix_telemetry::span_abort(s.span);
             }
+        }
+        // A GSD that dies frozen (most often: yielding to the majority's
+        // replacement after a heal) abandons its frozen-episode span, and
+        // any round still collecting goes with it.
+        if let Some(span) = self.round_span.take() {
+            phoenix_telemetry::span_abort(span);
+        }
+        if let Some(span) = self.frozen_span.take() {
+            phoenix_telemetry::span_abort(span);
         }
     }
 

@@ -31,6 +31,7 @@ pub mod group;
 pub mod nic_health;
 pub mod params;
 pub mod ppm;
+pub mod regroup;
 pub mod rpc;
 pub mod security;
 
@@ -40,4 +41,5 @@ pub use boot::{
 pub use client::ClientHandle;
 pub use nic_health::{HealthTransition, NicHealth, NicHealthParams};
 pub use params::{FtParams, KernelParams};
+pub use regroup::{Regroup, RegroupParams, Verdict};
 pub use rpc::{DedupWindow, Retrier, RetryPolicy};

@@ -9,6 +9,7 @@
 //! system parameter".
 
 use crate::nic_health::NicHealthParams;
+use crate::regroup::RegroupParams;
 use crate::rpc::RetryPolicy;
 use phoenix_sim::SimDuration;
 
@@ -68,6 +69,10 @@ pub struct FtParams {
     /// scores, best-NIC preference for probes/meta-ring traffic). Disabled
     /// by default so the paper pipeline stays byte-identical.
     pub nic: NicHealthParams,
+    /// MSCS-style quorum regroup (epochs, majority quorum, minority
+    /// freeze). Disabled by default so the paper pipeline stays
+    /// byte-identical; partition-tolerant profiles opt in.
+    pub regroup: RegroupParams,
 }
 
 impl Default for FtParams {
@@ -92,6 +97,7 @@ impl Default for FtParams {
             suspect_beats: 1,
             probe_abort_on_fresh: false,
             nic: NicHealthParams::default(),
+            regroup: RegroupParams::default(),
         }
     }
 }
@@ -120,6 +126,17 @@ impl FtParams {
             probe_abort_on_fresh: true,
             nic: NicHealthParams::lossy(),
             ..FtParams::fast()
+        }
+    }
+
+    /// Fast lossy profile with quorum regroup enabled: the configuration
+    /// for every partition-fault scenario. The regroup round must conclude
+    /// well before a suspicion ripens into a takeover, so a minority side
+    /// freezes before the majority elects a replacement leader.
+    pub fn fast_partition() -> FtParams {
+        FtParams {
+            regroup: RegroupParams::fast(),
+            ..FtParams::fast_lossy()
         }
     }
 }
@@ -184,6 +201,16 @@ impl KernelParams {
             ..KernelParams::fast()
         }
     }
+
+    /// Lossy profile plus MSCS-style quorum regroup: partition faults
+    /// freeze the minority side instead of letting it elect a leader.
+    pub fn fast_partition() -> KernelParams {
+        KernelParams {
+            ft: FtParams::fast_partition(),
+            rpc: RetryPolicy::lossy(),
+            ..KernelParams::fast()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -216,11 +243,18 @@ mod tests {
         assert!(!p.ft.probe_abort_on_fresh);
         assert!(!p.rpc.retries_enabled());
         assert!(!p.ft.nic.enabled, "NIC-health layer must default off");
+        assert!(!p.ft.regroup.enabled, "regroup layer must default off");
         assert!(!KernelParams::fast().ft.nic.enabled);
+        assert!(!KernelParams::fast().ft.regroup.enabled);
         let l = KernelParams::fast_lossy();
         assert!(l.ft.suspect_beats > 1);
         assert!(l.ft.probe_abort_on_fresh);
         assert!(l.rpc.retries_enabled());
         assert!(l.ft.nic.enabled);
+        assert!(!l.ft.regroup.enabled, "lossy profile stays regroup-free");
+        let q = KernelParams::fast_partition();
+        assert!(q.ft.regroup.enabled);
+        assert!(q.ft.nic.enabled, "partition profile keeps loss hardening");
+        assert!(q.rpc.retries_enabled());
     }
 }

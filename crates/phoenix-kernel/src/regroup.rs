@@ -1,0 +1,511 @@
+//! MSCS-style quorum regroup: split-brain survival for the meta-group.
+//!
+//! Fire Phoenix's meta-group ring (paper Sec 4.4) diagnoses a silent
+//! predecessor as *dead* and takes over. Under a network partition that
+//! diagnosis is wrong on both sides at once: each island sees the other
+//! silent, each elects a leader, and the cluster splits its brain. The
+//! classical cure — Microsoft Cluster Service's *regroup* protocol
+//! (Vogels et al., "The Design and Architecture of the Microsoft Cluster
+//! Service") — is implemented here:
+//!
+//! * On suspicion (or periodically while frozen) a GSD opens a **regroup
+//!   round**: it pings every member it knows and collects acks for a
+//!   bounded window.
+//! * The round concludes with a **connected-component** view: itself plus
+//!   every acker. A side holding a **strict majority** of the configured
+//!   partitions keeps operating (elections, takeovers, migrations); a
+//!   minority side **freezes** — it stays alive and answers pings, but
+//!   suppresses every membership-changing action and marks itself
+//!   non-authoritative.
+//! * A frozen GSD keeps probing. When acks from a fresher epoch appear
+//!   (the partition healed), it rejoins via `MetaJoin` and thaws only
+//!   when the majority's membership broadcast names it — or yields and
+//!   dies if the majority already replaced it.
+//!
+//! The module holds the pure protocol state machine (no actor plumbing):
+//! round bookkeeping, quorum math, and freeze/thaw edges. The GSD drives
+//! it and owns all message traffic. Everything is gated behind
+//! [`RegroupParams::enabled`] so the paper pipeline stays byte-identical.
+
+use phoenix_proto::PartitionId;
+use phoenix_sim::{Pid, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Tuning for the regroup protocol. Disabled by default.
+#[derive(Clone, Debug)]
+pub struct RegroupParams {
+    /// Master switch. Off ⇒ the GSD never sends or reacts to regroup
+    /// traffic and the paper pipeline is byte-identical to a build
+    /// without this module.
+    pub enabled: bool,
+    /// How long a round collects acks before concluding. Must be shorter
+    /// than the suspicion→diagnosis pipeline (probe rounds + node
+    /// timeout) so a minority freezes *before* the majority elects a
+    /// replacement leader.
+    pub round_window: SimDuration,
+    /// Spacing between heal-probe rounds while frozen.
+    pub frozen_retry: SimDuration,
+    /// How long a concluded majority verdict stays valid as a takeover
+    /// licence. A diagnosis may only ripen into a takeover if a round
+    /// concluded with majority within this window (a suspicion always
+    /// opens a fresh round, so the licence is at most one round old by
+    /// the time the probe pipeline completes).
+    pub verdict_validity: SimDuration,
+    /// How long an *unbroken chain* of majority verdicts must stand
+    /// before a takeover is licensed. This is MSCS's "wait out the
+    /// regroup period": the two sides of a split suspect at different
+    /// times (their heartbeat streams were cut mid-phase, so suspicion
+    /// skew is up to one `hb_interval` plus scan jitter), and the
+    /// majority must out-wait the minority's worst-case freeze or both a
+    /// frozen ex-leader and a fresh election could briefly coexist. Must
+    /// exceed `hb_interval + round_window + check_interval`.
+    pub takeover_delay: SimDuration,
+}
+
+impl Default for RegroupParams {
+    fn default() -> Self {
+        RegroupParams {
+            enabled: false,
+            round_window: SimDuration::from_millis(60),
+            frozen_retry: SimDuration::from_millis(400),
+            verdict_validity: SimDuration::from_secs(1),
+            // Default FtParams heartbeat every 30 s: out-wait a full beat
+            // plus the round window and scan jitter.
+            takeover_delay: SimDuration::from_secs(31),
+        }
+    }
+}
+
+impl RegroupParams {
+    /// Profile matched to `FtParams::fast_lossy()` timing (1 s beats,
+    /// 25 ms scans, 3-beat suspicion): a 60 ms round concludes well
+    /// inside the probe pipeline, and 1.5 s of held majority out-waits
+    /// the ≤ ~1.1 s worst-case skew between the majority's takeover
+    /// licence and the minority's freeze.
+    pub fn fast() -> RegroupParams {
+        RegroupParams {
+            enabled: true,
+            takeover_delay: SimDuration::from_millis(1500),
+            ..RegroupParams::default()
+        }
+    }
+}
+
+/// What a concluded round decided.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// This side holds a strict majority of configured partitions.
+    Majority,
+    /// This side is a minority island: freeze.
+    Minority,
+}
+
+/// An acker's state, as carried in its `RegroupAck`.
+#[derive(Clone, Copy, Debug)]
+pub struct AckInfo {
+    /// The acker's GSD pid (rejoin target).
+    pub gsd: Pid,
+    /// The acker's membership epoch.
+    pub epoch: u64,
+    /// Whether the acker itself is frozen.
+    pub frozen: bool,
+}
+
+/// The outcome handed back to the GSD when a round concludes.
+#[derive(Clone, Debug)]
+pub struct Conclusion {
+    pub verdict: Verdict,
+    /// Partitions reachable this round (self included), sorted.
+    pub reachable: Vec<PartitionId>,
+    /// Best rejoin target among the ackers: the unfrozen member with the
+    /// highest (epoch, pid). `None` means every reachable peer is frozen
+    /// too (or nobody acked) — with majority, the lowest reachable
+    /// partition must then self-thaw to re-seed the group.
+    pub rejoin_target: Option<(Pid, u64)>,
+}
+
+/// Pure regroup state machine. The GSD owns one and drives it from its
+/// message/timer handlers.
+pub struct Regroup {
+    params: RegroupParams,
+    /// Quorum denominator: number of partitions in the configured
+    /// topology (not the live membership — a shrunken membership must
+    /// not shrink the bar for "majority").
+    total: u32,
+    /// Regroup epoch: bumps on every concluded round. Telemetry-visible.
+    epoch: u64,
+    /// Current round id; `None` when idle.
+    round: Option<u64>,
+    next_round: u64,
+    /// Acks collected for the current round, keyed by partition (sorted
+    /// iteration for determinism).
+    acks: BTreeMap<PartitionId, AckInfo>,
+    frozen: bool,
+    /// When the last majority verdict concluded (takeover licence).
+    last_majority_at: Option<SimTime>,
+    /// Start of the current unbroken chain of majority verdicts; `None`
+    /// when the last conclusion was a minority or the chain lapsed.
+    majority_since: Option<SimTime>,
+    /// When any round last concluded, and the connected component it saw
+    /// — the reachability veto consults these.
+    last_concluded_at: Option<SimTime>,
+    last_reachable: Vec<PartitionId>,
+    rounds_concluded: u64,
+    freezes: u64,
+}
+
+impl Regroup {
+    pub fn new(params: RegroupParams) -> Regroup {
+        Regroup {
+            params,
+            total: 0,
+            epoch: 0,
+            round: None,
+            next_round: 0,
+            acks: BTreeMap::new(),
+            frozen: false,
+            last_majority_at: None,
+            majority_since: None,
+            last_concluded_at: None,
+            last_reachable: Vec::new(),
+            rounds_concluded: 0,
+            freezes: 0,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.params.enabled
+    }
+
+    pub fn params(&self) -> &RegroupParams {
+        &self.params
+    }
+
+    /// Fix the quorum denominator (configured partition count).
+    pub fn set_total(&mut self, total: u32) {
+        self.total = total;
+    }
+
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    pub fn frozen(&self) -> bool {
+        self.frozen
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn rounds_concluded(&self) -> u64 {
+        self.rounds_concluded
+    }
+
+    pub fn freezes(&self) -> u64 {
+        self.freezes
+    }
+
+    pub fn round_active(&self) -> bool {
+        self.round.is_some()
+    }
+
+    /// Strict-majority test over the configured partition count.
+    pub fn is_majority(&self, reachable: u32) -> bool {
+        2 * reachable > self.total
+    }
+
+    /// Open a new round; returns its id. No-op (returns the live round's
+    /// id) if one is already collecting.
+    pub fn begin_round(&mut self) -> u64 {
+        if let Some(r) = self.round {
+            return r;
+        }
+        self.next_round += 1;
+        self.round = Some(self.next_round);
+        self.acks.clear();
+        self.next_round
+    }
+
+    /// Record an ack for the current round. Stale/foreign round ids are
+    /// ignored.
+    pub fn on_ack(&mut self, round: u64, from: PartitionId, info: AckInfo) {
+        if self.round == Some(round) {
+            self.acks.insert(from, info);
+        }
+    }
+
+    /// Conclude the current round (the round-window timer fired).
+    /// Returns `None` if no round was active (stale timer).
+    pub fn conclude(&mut self, me: PartitionId, now: SimTime) -> Option<Conclusion> {
+        self.round.take()?;
+        self.rounds_concluded += 1;
+        self.epoch += 1;
+        let mut reachable: Vec<PartitionId> = self.acks.keys().copied().collect();
+        if !reachable.contains(&me) {
+            reachable.push(me);
+        }
+        reachable.sort();
+        let verdict = if self.is_majority(reachable.len() as u32) {
+            // A lapsed chain (no majority within the validity window)
+            // restarts the takeover-delay clock.
+            if self.majority_since.is_none() || !self.majority_confirmed(now) {
+                self.majority_since = Some(now);
+            }
+            self.last_majority_at = Some(now);
+            Verdict::Majority
+        } else {
+            self.majority_since = None;
+            Verdict::Minority
+        };
+        self.last_concluded_at = Some(now);
+        self.last_reachable = reachable.clone();
+        // Rejoin target: the freshest unfrozen acker. Not restricted to
+        // epochs above our own — a partition that heals before the
+        // majority performed any takeover leaves every epoch unchanged,
+        // and the frozen side must still be able to rejoin.
+        let rejoin_target = self
+            .acks
+            .values()
+            .filter(|a| !a.frozen)
+            .max_by_key(|a| (a.epoch, a.gsd))
+            .map(|a| (a.gsd, a.epoch));
+        self.acks.clear();
+        Some(Conclusion {
+            verdict,
+            reachable,
+            rejoin_target,
+        })
+    }
+
+    /// Enter the frozen state. Returns true on the freeze *edge* (was
+    /// unfrozen), so callers fire side effects exactly once.
+    pub fn freeze(&mut self) -> bool {
+        if self.frozen {
+            return false;
+        }
+        self.frozen = true;
+        self.freezes += 1;
+        true
+    }
+
+    /// Leave the frozen state (majority named us in a fresh membership).
+    /// Returns true on the thaw edge.
+    pub fn thaw(&mut self) -> bool {
+        let was = self.frozen;
+        self.frozen = false;
+        was
+    }
+
+    /// Takeover licence, part 1: a round concluded with majority recently
+    /// enough that the verdict still reflects post-fault connectivity.
+    pub fn majority_confirmed(&self, now: SimTime) -> bool {
+        match self.last_majority_at {
+            Some(at) => now.since(at) <= self.params.verdict_validity,
+            None => false,
+        }
+    }
+
+    /// Takeover licence, part 2: the majority verdict has been held in an
+    /// unbroken chain for at least `takeover_delay` — long enough that a
+    /// minority on the other side of a split has certainly concluded its
+    /// own round and frozen.
+    pub fn takeover_licensed(&self, now: SimTime) -> bool {
+        self.majority_confirmed(now)
+            && self
+                .majority_since
+                .is_some_and(|s| now.since(s) >= self.params.takeover_delay)
+    }
+
+    /// Reachability veto: the suspected partition *acked the last
+    /// concluded round*, so it is alive and routable — the heartbeat
+    /// staleness is a heal artifact (beats resume on their own cadence),
+    /// not a death. A takeover of such a partition must be refused.
+    pub fn recently_reachable(&self, p: PartitionId, now: SimTime) -> bool {
+        match self.last_concluded_at {
+            Some(at) => {
+                now.since(at) <= self.params.verdict_validity && self.last_reachable.contains(&p)
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(ns)
+    }
+
+    fn ack(pid: u64, epoch: u64, frozen: bool) -> AckInfo {
+        AckInfo {
+            gsd: Pid(pid),
+            epoch,
+            frozen,
+        }
+    }
+
+    #[test]
+    fn quorum_is_strict_majority() {
+        let mut rg = Regroup::new(RegroupParams::fast());
+        rg.set_total(3);
+        assert!(!rg.is_majority(1));
+        assert!(rg.is_majority(2));
+        rg.set_total(4);
+        assert!(!rg.is_majority(2), "even split: neither side wins");
+        assert!(rg.is_majority(3));
+        rg.set_total(8);
+        assert!(!rg.is_majority(4));
+        assert!(rg.is_majority(5));
+    }
+
+    #[test]
+    fn round_collects_acks_and_concludes() {
+        let mut rg = Regroup::new(RegroupParams::fast());
+        rg.set_total(3);
+        let r = rg.begin_round();
+        assert!(rg.round_active());
+        assert_eq!(rg.begin_round(), r, "re-entrant begin keeps the round");
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        rg.on_ack(r + 7, PartitionId(2), ack(11, 0, false)); // stale round id
+        let c = rg.conclude(PartitionId(0), t(0)).unwrap();
+        assert_eq!(c.verdict, Verdict::Majority);
+        assert_eq!(c.reachable, vec![PartitionId(0), PartitionId(1)]);
+        assert!(!rg.round_active());
+        assert_eq!(rg.epoch(), 1);
+        assert!(rg.conclude(PartitionId(0), t(0)).is_none(), "stale timer");
+    }
+
+    #[test]
+    fn minority_concludes_and_freezes_once() {
+        let mut rg = Regroup::new(RegroupParams::fast());
+        rg.set_total(3);
+        let _ = rg.begin_round();
+        let c = rg.conclude(PartitionId(2), t(0)).unwrap();
+        assert_eq!(c.verdict, Verdict::Minority);
+        assert_eq!(c.reachable, vec![PartitionId(2)]);
+        assert!(rg.freeze(), "freeze edge fires once");
+        assert!(!rg.freeze(), "already frozen");
+        assert_eq!(rg.freezes(), 1);
+        assert!(rg.thaw());
+        assert!(!rg.thaw());
+    }
+
+    #[test]
+    fn rejoin_target_prefers_fresh_unfrozen_acker() {
+        let mut rg = Regroup::new(RegroupParams::fast());
+        rg.set_total(3);
+        let r = rg.begin_round();
+        rg.on_ack(r, PartitionId(0), ack(20, 9, false));
+        rg.on_ack(r, PartitionId(1), ack(21, 12, true)); // frozen: not a target
+        let c = rg.conclude(PartitionId(2), t(0)).unwrap();
+        assert_eq!(c.rejoin_target, Some((Pid(20), 9)));
+        // An unfrozen acker is a target even at a lower epoch (the
+        // majority may never have bumped it); only all-frozen → None.
+        let r = rg.begin_round();
+        rg.on_ack(r, PartitionId(0), ack(20, 2, false));
+        let c = rg.conclude(PartitionId(2), t(0)).unwrap();
+        assert_eq!(c.rejoin_target, Some((Pid(20), 2)));
+        let r = rg.begin_round();
+        rg.on_ack(r, PartitionId(0), ack(20, 2, true));
+        let c = rg.conclude(PartitionId(2), t(0)).unwrap();
+        assert_eq!(c.rejoin_target, None, "all reachable peers frozen");
+    }
+
+    #[test]
+    fn majority_verdict_expires() {
+        let mut rg = Regroup::new(RegroupParams::fast());
+        rg.set_total(3);
+        assert!(!rg.majority_confirmed(t(0)), "no round yet");
+        let r = rg.begin_round();
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        rg.conclude(PartitionId(0), t(1_000)).unwrap();
+        assert!(rg.majority_confirmed(t(1_000)));
+        let validity = RegroupParams::fast().verdict_validity;
+        // Within the window it holds; past it, it expires.
+        let inside = SimTime::ZERO + SimDuration::from_nanos(1_000) + validity;
+        let outside = inside + SimDuration::from_nanos(1);
+        assert!(rg.majority_confirmed(inside));
+        assert!(!rg.majority_confirmed(outside));
+        // A minority conclusion does not refresh the licence.
+        let _ = rg.begin_round();
+        rg.conclude(PartitionId(0), outside).unwrap();
+        assert!(!rg.majority_confirmed(outside));
+    }
+
+    #[test]
+    fn disabled_params_by_default() {
+        assert!(!RegroupParams::default().enabled);
+        assert!(RegroupParams::fast().enabled);
+    }
+
+    #[test]
+    fn takeover_needs_majority_held_for_delay() {
+        let mut rg = Regroup::new(RegroupParams::fast());
+        rg.set_total(3);
+        let delay = RegroupParams::fast().takeover_delay;
+        let t0 = t(0);
+        let r = rg.begin_round();
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        rg.conclude(PartitionId(0), t0).unwrap();
+        assert!(rg.majority_confirmed(t0));
+        assert!(
+            !rg.takeover_licensed(t0),
+            "a fresh majority is not yet a takeover licence"
+        );
+        // Keep the chain alive with rounds every 500 ms until the delay
+        // has been out-waited.
+        let mut now = t0;
+        while now.since(t0) < delay {
+            now = now + SimDuration::from_millis(500);
+            let r = rg.begin_round();
+            rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+            rg.conclude(PartitionId(0), now).unwrap();
+        }
+        assert!(rg.takeover_licensed(now), "held majority licenses takeover");
+        // A minority conclusion breaks the chain immediately.
+        let _ = rg.begin_round();
+        rg.conclude(PartitionId(0), now).unwrap();
+        assert!(!rg.takeover_licensed(now));
+    }
+
+    #[test]
+    fn lapsed_majority_chain_restarts_delay_clock() {
+        let mut rg = Regroup::new(RegroupParams::fast());
+        rg.set_total(3);
+        let p = RegroupParams::fast();
+        let r = rg.begin_round();
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        rg.conclude(PartitionId(0), t(0)).unwrap();
+        // Silence past the validity window, then a new majority: the
+        // delay clock must restart, not credit the stale chain.
+        let later = t(0) + p.verdict_validity + p.takeover_delay + SimDuration::from_millis(1);
+        let r = rg.begin_round();
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        rg.conclude(PartitionId(0), later).unwrap();
+        assert!(!rg.takeover_licensed(later), "chain lapsed; clock restarted");
+    }
+
+    #[test]
+    fn acked_partition_is_recently_reachable() {
+        let mut rg = Regroup::new(RegroupParams::fast());
+        rg.set_total(3);
+        assert!(!rg.recently_reachable(PartitionId(1), t(0)), "no round yet");
+        let r = rg.begin_round();
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        rg.conclude(PartitionId(0), t(0)).unwrap();
+        assert!(rg.recently_reachable(PartitionId(1), t(0)));
+        assert!(rg.recently_reachable(PartitionId(0), t(0)), "self counts");
+        assert!(
+            !rg.recently_reachable(PartitionId(2), t(0)),
+            "the silent partition stays takeover-eligible"
+        );
+        let expired = t(0) + RegroupParams::fast().verdict_validity + SimDuration::from_nanos(1);
+        assert!(
+            !rg.recently_reachable(PartitionId(1), expired),
+            "the veto expires with the verdict"
+        );
+    }
+}

@@ -129,6 +129,35 @@ pub enum KernelMsg {
         diagnosis: Diagnosis,
     },
 
+    // ---- group service: quorum regroup ("regroup") ----------------------
+    /// Reachability probe of a regroup round (MSCS-style): a GSD that
+    /// suspects its leader or lost a majority of beats pings every known
+    /// peer to compute its connected component.
+    RegroupPing {
+        from_partition: PartitionId,
+        /// Sender's regroup epoch (moves once per concluded round).
+        epoch: u64,
+        /// Round id, echoed in the ack so stale acks are discarded.
+        round: u64,
+    },
+    /// Answer to a `RegroupPing`: the responder is reachable. Carries the
+    /// responder's meta-group epoch and freeze state so a thawing minority
+    /// can find the majority's authoritative side.
+    RegroupAck {
+        from_partition: PartitionId,
+        epoch: u64,
+        round: u64,
+        frozen: bool,
+    },
+    /// GSD → its partition services (bulletin, detectors): enter or leave
+    /// the frozen minority state. Frozen services answer queries as stale
+    /// and stop publishing.
+    RegroupFreeze { frozen: bool },
+    /// Majority-side leader → config service: mark a partition's directory
+    /// entry stale (its services sit on an unreachable island) or fresh
+    /// again after the heal-time rejoin.
+    DirectoryStale { partition: PartitionId, stale: bool },
+
     // ---- group service: partition-local supervision ("svc") -------------
     /// A per-partition service registers with its GSD for supervision.
     /// `factory` names the respawn recipe in the GSD's factory registry
@@ -383,6 +412,7 @@ impl KernelMsg {
             ProbeReq { .. } | ProbeResp { .. } => "probe",
             MetaHeartbeat { .. } | MetaJoin { .. } | MetaMembership { .. }
             | MetaMemberDown { .. } => "meta",
+            RegroupPing { .. } | RegroupAck { .. } | RegroupFreeze { .. } => "regroup",
             SvcRegister { .. } | SvcHeartbeat { .. } | PartitionView { .. } => "svc",
             EsRegisterConsumer { .. }
             | EsUnregisterConsumer { .. }
@@ -403,6 +433,7 @@ impl KernelMsg {
             | CfgAck { .. }
             | DirectoryUpdate { .. }
             | DirectoryUpdateNode { .. }
+            | DirectoryStale { .. }
             | CfgNodeOp { .. } => "config",
             SecLogin { .. } | SecLoginResp { .. } | SecCheck { .. } | SecCheckResp { .. } => {
                 "security"

@@ -624,6 +624,10 @@ wire_enum! { KernelMsg {
     60 => PbsPollResp { req, node, usage, jobs },
     61 => EsRegisterAck { req },
     62 => WdHeartbeatAck { nic, seq },
+    63 => RegroupPing { from_partition, epoch, round },
+    64 => RegroupAck { from_partition, epoch, round, frozen },
+    65 => RegroupFreeze { frozen },
+    66 => DirectoryStale { partition, stale },
 }}
 
 #[cfg(test)]

@@ -90,6 +90,8 @@ pub struct Ctx<'a, M: Message> {
 pub struct WorldView<'a> {
     pub(crate) nodes: &'a [NodeState],
     pub(crate) live: &'a std::collections::HashMap<Pid, NodeId>,
+    /// Active island-split mask (`Fault::Partition`), 0 when whole.
+    pub(crate) island: u64,
 }
 
 impl<'a, M: Message> Ctx<'a, M> {
@@ -175,6 +177,27 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// mechanism behind administrative start/shutdown-node operations.
     pub fn set_node_power(&mut self, node: NodeId, up: bool) {
         self.commands.push(Command::NodePower { node, up });
+    }
+
+    /// Can this actor's node exchange traffic with `node` right now —
+    /// i.e. `node` is up and no island split (`Fault::Partition`) severs
+    /// the pair? Remote operations (process spawn, remote exec) should
+    /// consult this: a real cluster cannot start a process on a machine
+    /// it cannot route to. Pairwise link cuts are not reflected here;
+    /// they only drop individual messages.
+    pub fn node_reachable(&self, node: NodeId) -> bool {
+        self.node_is_up(node) && self.node_same_island(node)
+    }
+
+    /// Is `node` on this actor's side of any active island split
+    /// (`Fault::Partition`), regardless of its power state? Administrative
+    /// power-on consults this instead of [`Ctx::node_reachable`]: a down
+    /// node can legitimately be started, but not across a split the start
+    /// command cannot traverse.
+    pub fn node_same_island(&self, node: NodeId) -> bool {
+        let island = self.view.island;
+        let side = |n: NodeId| n.0 < 64 && (island >> n.0) & 1 == 1;
+        island == 0 || side(self.self_node) == side(node)
     }
 
     /// Is `node` powered and running?

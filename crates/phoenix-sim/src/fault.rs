@@ -37,6 +37,15 @@ pub enum Fault {
     NicDegrade(NodeId, NicId, u16),
     /// End an interface degradation.
     NicRestore(NodeId, NicId),
+    /// Split the node set into two link-level islands: nodes whose bit is
+    /// set in `island` (node id < 64) on one side, everyone else on the
+    /// other. No message crosses the split on any network; traffic within
+    /// a side is untouched, so the fault composes with loss bursts, NIC
+    /// degradation and link partitions. A new `Partition` replaces any
+    /// active island split.
+    Partition { island: u64 },
+    /// Heal an island split (link partitions and NIC faults stay).
+    Heal,
 }
 
 #[cfg(test)]

@@ -150,6 +150,12 @@ pub struct Network {
     /// path touching it loses at least this rate. Keyed per endpoint, so a
     /// degraded NIC hurts both directions of every link it carries.
     degraded: HashMap<(NodeId, NicId), u16>,
+    /// Active island split (`Fault::Partition`): bit `i` set puts node `i`
+    /// on the minority side of a two-way split; zero means no split. Nodes
+    /// with ids ≥ 64 always sit on the zero side. Membership checks are
+    /// pure bit tests — no RNG is ever drawn for a split, so zero-partition
+    /// runs consume exactly the stream they did before the fault existed.
+    island: u64,
 }
 
 impl Network {
@@ -159,6 +165,7 @@ impl Network {
             blocked: HashSet::new(),
             burst_permille: 0,
             degraded: HashMap::new(),
+            island: 0,
         }
     }
 
@@ -188,6 +195,34 @@ impl Network {
     /// Is the pair currently partitioned?
     pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
         self.blocked.contains(&Self::key(a, b))
+    }
+
+    /// Split the cluster into two islands (`Fault::Partition`): nodes with
+    /// their bit set in `island` on one side, everyone else on the other.
+    /// Replaces any previous split.
+    pub fn set_island(&mut self, island: u64) {
+        self.island = island;
+    }
+
+    /// Heal the island split (`Fault::Heal`).
+    pub fn clear_island(&mut self) {
+        self.island = 0;
+    }
+
+    /// The active island mask (0 when the cluster is whole).
+    pub fn island(&self) -> u64 {
+        self.island
+    }
+
+    /// Which side of the island split a node sits on (`false` when no
+    /// split is active or the node id is ≥ 64).
+    fn island_side(&self, node: NodeId) -> bool {
+        node.0 < 64 && (self.island >> node.0) & 1 == 1
+    }
+
+    /// Does the active island split separate the pair?
+    pub fn island_separates(&self, a: NodeId, b: NodeId) -> bool {
+        self.island != 0 && self.island_side(a) != self.island_side(b)
     }
 
     /// Degrade the whole interconnect to at least `permille` loss
@@ -291,7 +326,7 @@ impl Network {
         if !dst_nic_up {
             return Err(DropReason::ReceiverNicDown);
         }
-        if self.is_partitioned(src, dst) {
+        if self.is_partitioned(src, dst) || self.island_separates(src, dst) {
             return Err(DropReason::Partitioned);
         }
         let loss = self
@@ -431,6 +466,64 @@ mod tests {
             net.route(NodeId(0), NodeId(1), NicId(0), true, true),
             Err(DropReason::Partitioned)
         );
+    }
+
+    #[test]
+    fn island_split_blocks_only_cross_traffic() {
+        let mut net = Network::new(NetParams::default());
+        // Nodes 0,1 on the minority side; 2,3 (and any id ≥ 64) opposite.
+        net.set_island(0b0011);
+        assert_eq!(
+            net.route(NodeId(0), NodeId(2), NicId(0), true, true),
+            Err(DropReason::Partitioned)
+        );
+        assert_eq!(
+            net.route(NodeId(3), NodeId(1), NicId(1), true, true),
+            Err(DropReason::Partitioned)
+        );
+        // Same-side traffic is untouched, on both sides.
+        assert!(net.route(NodeId(0), NodeId(1), NicId(0), true, true).is_ok());
+        assert!(net.route(NodeId(2), NodeId(3), NicId(2), true, true).is_ok());
+        net.clear_island();
+        assert!(net.route(NodeId(0), NodeId(2), NicId(0), true, true).is_ok());
+    }
+
+    #[test]
+    fn island_composes_with_degradation_and_links() {
+        let mut net = Network::new(NetParams::default());
+        net.set_island(0b0001);
+        net.degrade_nic(NodeId(2), NicId(0), 400);
+        net.partition(NodeId(2), NodeId(3));
+        // Cross-island: dropped regardless of degradation.
+        assert!(net.route(NodeId(0), NodeId(2), NicId(0), true, true).is_err());
+        // Same side: degradation and link partitions still apply.
+        assert_eq!(
+            net.route(NodeId(1), NodeId(2), NicId(0), true, true)
+                .unwrap()
+                .loss_permille,
+            400
+        );
+        assert_eq!(
+            net.route(NodeId(2), NodeId(3), NicId(1), true, true),
+            Err(DropReason::Partitioned)
+        );
+        // Heal clears only the island; the rest persists.
+        net.clear_island();
+        assert!(net.route(NodeId(0), NodeId(2), NicId(1), true, true).is_ok());
+        assert!(net.route(NodeId(2), NodeId(3), NicId(1), true, true).is_err());
+    }
+
+    #[test]
+    fn island_checks_draw_no_randomness() {
+        let mut net = Network::new(NetParams::default());
+        net.set_island(0b0110);
+        let mut rng = SimRng::seed_from_u64(11);
+        let before = SimRng::seed_from_u64(11).next_u64();
+        // Routing across and within the split is a pure membership test.
+        let _ = net.route(NodeId(1), NodeId(3), NicId(0), true, true);
+        let _ = net.route(NodeId(1), NodeId(2), NicId(0), true, true);
+        assert!(!net.loss_roll(&mut rng));
+        assert_eq!(rng.next_u64(), before);
     }
 
     #[test]

@@ -184,6 +184,11 @@ impl<M: Message> World<M> {
         &self.metrics
     }
 
+    /// The active island-split mask (`Fault::Partition`), 0 when whole.
+    pub fn island(&self) -> u64 {
+        self.network.island()
+    }
+
     /// The structured trace log.
     pub fn trace(&self) -> &TraceLog {
         &self.trace
@@ -402,6 +407,7 @@ impl<M: Message> World<M> {
                 view: WorldView {
                     nodes: &self.nodes,
                     live: &self.live,
+                    island: self.network.island(),
                 },
             };
             f(&mut actor, &mut ctx);
@@ -646,6 +652,8 @@ impl<M: Message> World<M> {
                 self.network.degrade_nic(node, nic, permille)
             }
             Fault::NicRestore(node, nic) => self.network.restore_nic(node, nic),
+            Fault::Partition { island } => self.network.set_island(island),
+            Fault::Heal => self.network.clear_island(),
         }
     }
 
@@ -1066,6 +1074,37 @@ mod tests {
         w.run_for(SimDuration::from_secs(1));
         assert_eq!(w.metrics().total.sent, 10);
         assert_eq!(w.metrics().total.delivered, 20);
+    }
+
+    #[test]
+    fn island_partition_blocks_and_heals() {
+        let mut w = two_node_world();
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        w.apply_fault(Fault::Partition { island: 0b01 });
+        assert_eq!(w.island(), 0b01);
+        let got = std::rc::Rc::new(std::cell::Cell::new(0));
+        let _p = w.spawn(
+            NodeId(0),
+            Box::new(Pinger {
+                peer: echo,
+                got: got.clone(),
+            }),
+        );
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(got.get(), 0, "cross-island message must be dropped");
+        // Default routing tries every NIC; all are island-blocked.
+        assert_eq!(w.metrics().drops_by_reason["no_route"], 1);
+        w.apply_fault(Fault::Heal);
+        assert_eq!(w.island(), 0);
+        let _p2 = w.spawn(
+            NodeId(0),
+            Box::new(Pinger {
+                peer: echo,
+                got: got.clone(),
+            }),
+        );
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(got.get(), 42, "healed split carries traffic again");
     }
 
     #[test]

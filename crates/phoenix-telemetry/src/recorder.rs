@@ -6,7 +6,7 @@
 //! oldest, black-box style. BTreeMap keyed by node id keeps dump order
 //! deterministic.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use crate::registry::SpanId;
 
@@ -29,6 +29,27 @@ pub struct SpanRecord {
 impl SpanRecord {
     pub fn duration_ns(&self) -> u64 {
         self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A span with its children, assembled by [`FlightRecorder::span_forest`].
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    pub record: SpanRecord,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Depth-first walk (self before children), calling `f(depth, record)`.
+    pub fn walk(&self, f: &mut impl FnMut(usize, &SpanRecord)) {
+        self.walk_at(0, f);
+    }
+
+    fn walk_at(&self, depth: usize, f: &mut impl FnMut(usize, &SpanRecord)) {
+        f(depth, &self.record);
+        for child in &self.children {
+            child.walk_at(depth + 1, f);
+        }
     }
 }
 
@@ -111,6 +132,84 @@ impl FlightRecorder {
         }
         self.evicted += other.evicted;
     }
+
+    /// Assemble the retained spans into parent/child trees.
+    ///
+    /// Works across node rings: a child recorded on node A nests under a
+    /// parent recorded on node B. A span whose parent was evicted from
+    /// its ring (or never completed) becomes a root. Roots and sibling
+    /// lists are ordered by start time, ties by span id, so the forest
+    /// from a seeded run is bit-identical across repetitions.
+    pub fn span_forest(&self) -> Vec<SpanNode> {
+        let mut all: Vec<&SpanRecord> = self.iter().collect();
+        all.sort_by_key(|r| (r.start_ns, r.id.0));
+        let retained: HashSet<u64> = all.iter().map(|r| r.id.0).collect();
+        let mut kids: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        for r in &all {
+            if r.parent != SpanId::NONE && retained.contains(&r.parent.0) {
+                kids.entry(r.parent.0).or_default().push(r);
+            } else {
+                roots.push(r);
+            }
+        }
+        fn build(r: &SpanRecord, kids: &HashMap<u64, Vec<&SpanRecord>>) -> SpanNode {
+            let children = kids
+                .get(&r.id.0)
+                .map(|cs| cs.iter().map(|c| build(c, kids)).collect())
+                .unwrap_or_default();
+            SpanNode { record: r.clone(), children }
+        }
+        roots.into_iter().map(|r| build(r, &kids)).collect()
+    }
+
+    /// Render a text waterfall of the retained spans overlapping
+    /// `[from_ns, to_ns]`: one row per span in tree order, indented by
+    /// depth, with a bar on a `width`-character time axis. Closed spans
+    /// draw `#`, aborted spans `~` (the region never completed — its node
+    /// died mid-flight). The post-mortem view after fault injection:
+    /// parentage shows *why* each region was open, the axis shows *when*.
+    pub fn waterfall(&self, from_ns: u64, to_ns: u64, width: usize) -> String {
+        let width = width.max(8);
+        let window = to_ns.saturating_sub(from_ns).max(1);
+        let mut rows: Vec<(usize, SpanRecord)> = Vec::new();
+        for root in self.span_forest() {
+            root.walk(&mut |depth, r| {
+                if r.start_ns <= to_ns && r.end_ns >= from_ns {
+                    rows.push((depth, r.clone()));
+                }
+            });
+        }
+        let label_w = rows
+            .iter()
+            .map(|(d, r)| 2 * d + r.path.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        let mut out = String::new();
+        for (depth, r) in rows {
+            let label = format!("{}{}", "  ".repeat(depth), r.path);
+            let lo = ((r.start_ns.max(from_ns) - from_ns) as u128 * width as u128
+                / window as u128) as usize;
+            let lo = lo.min(width - 1);
+            let hi = ((r.end_ns.min(to_ns) - from_ns) as u128 * width as u128
+                / window as u128) as usize;
+            let hi = hi.clamp(lo + 1, width);
+            let fill = if r.aborted { '~' } else { '#' };
+            let mut bar = String::with_capacity(width);
+            for i in 0..width {
+                bar.push(if i >= lo && i < hi { fill } else { ' ' });
+            }
+            out.push_str(&format!(
+                "{label:<label_w$} {service:<8} n{node:<3} {start:>9.3}s {dur:>9.1}ms |{bar}|\n",
+                service = r.service,
+                node = r.node,
+                start = r.start_ns as f64 / 1e9,
+                dur = r.duration_ns() as f64 / 1e6,
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +269,83 @@ mod tests {
         assert_eq!(kept, vec![200, 300, 400]);
         assert_eq!(a.node(8).count(), 1);
         assert_eq!(a.evicted(), 1);
+    }
+
+    fn child(node: u32, id: u64, parent: u64, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: SpanId(parent),
+            path: "child",
+            service: "s",
+            node,
+            start_ns: start,
+            end_ns: end,
+            aborted: false,
+        }
+    }
+
+    #[test]
+    fn forest_nests_children_across_nodes() {
+        let mut fr = FlightRecorder::with_capacity(16);
+        fr.push(rec(0, 1, 100)); // root on node 0
+        fr.push(child(3, 2, 1, 120, 180)); // child recorded on node 3
+        fr.push(child(3, 3, 1, 110, 130)); // earlier-starting sibling
+        fr.push(child(0, 4, 2, 125, 170)); // grandchild
+        fr.push(rec(5, 9, 50)); // unrelated root on node 5
+        let forest = fr.span_forest();
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].record.id.0, 9, "roots ordered by start time");
+        let root = &forest[1];
+        assert_eq!(root.record.id.0, 1);
+        let ids: Vec<u64> = root.children.iter().map(|c| c.record.id.0).collect();
+        assert_eq!(ids, vec![3, 2], "siblings ordered by start time");
+        assert_eq!(root.children[1].children[0].record.id.0, 4);
+    }
+
+    #[test]
+    fn evicted_parent_promotes_child_to_root() {
+        let mut fr = FlightRecorder::with_capacity(8);
+        fr.push(child(2, 7, 999, 40, 90)); // parent 999 never retained
+        let forest = fr.span_forest();
+        assert_eq!(forest.len(), 1);
+        assert!(forest[0].children.is_empty());
+    }
+
+    #[test]
+    fn waterfall_renders_indent_and_bars() {
+        let mut fr = FlightRecorder::with_capacity(8);
+        fr.push(SpanRecord {
+            id: SpanId(1),
+            parent: SpanId::NONE,
+            path: "episode",
+            service: "gsd",
+            node: 0,
+            start_ns: 0,
+            end_ns: 1_000,
+            aborted: false,
+        });
+        fr.push(SpanRecord {
+            id: SpanId(2),
+            parent: SpanId(1),
+            path: "round",
+            service: "gsd",
+            node: 0,
+            start_ns: 500,
+            end_ns: 1_000,
+            aborted: true,
+        });
+        let text = fr.waterfall(0, 1_000, 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("episode") && lines[0].contains("##########"));
+        assert!(lines[1].contains("  round"), "child indented under parent");
+        assert!(
+            lines[1].contains("~~~~~") && !lines[1].contains('#'),
+            "aborted span drawn with ~ starting mid-axis: {}",
+            lines[1]
+        );
+        // Span outside the window is omitted entirely.
+        assert!(fr.waterfall(2_000, 3_000, 10).is_empty());
     }
 
     #[test]

@@ -35,6 +35,12 @@
 # takeovers and detection within 25% of the clean baseline
 # (results/BENCH_nic.json); the flapping-NIC pin replays chaos seed 4's
 # NIC degrade/restore storms end-to-end first.
+#
+# The partition chaos pass re-runs 25 seeds with island-storm schedules
+# (--partition: whole-partition splits + heals layered on the usual fault
+# mix) and the split-brain invariants sampled *during* the splits; the
+# partition_sweep smoke then gates zero double-leader instants, every
+# minority frozen, and post-heal convergence (results/BENCH_partition.json).
 
 set -eu
 
@@ -162,6 +168,26 @@ test -s results/BENCH_nic.json || {
 for needle in '"nic_curve"' '"spurious_takeovers"' '"detect_ratio_vs_clean"' '"worst_detect_ratio"' '"nic0_routed_share"'; do
     grep -q "$needle" results/BENCH_nic.json || {
         echo "FAIL: $needle not found in results/BENCH_nic.json" >&2
+        exit 1
+    }
+done
+
+echo "== smoke: chaos, 25 seeded partition-storm schedules =="
+cargo run --release --offline -p phoenix-chaos --bin chaos -- --seeds 25 --partition
+
+echo "== smoke: partition_sweep (--small) writes results/BENCH_partition.json =="
+rm -f results/BENCH_partition.json
+# The bin exits non-zero on any sampled double-leader instant, an
+# unfrozen minority, or an episode that fails to re-converge after heal.
+cargo run --release --offline -p phoenix-bench --bin partition_sweep -- --small
+
+test -s results/BENCH_partition.json || {
+    echo "FAIL: results/BENCH_partition.json missing or empty" >&2
+    exit 1
+}
+for needle in '"episodes"' '"double_leader_instants"' '"freeze_ms"' '"dir_converge_ms"' '"unfrozen_minorities"'; do
+    grep -q "$needle" results/BENCH_partition.json || {
+        echo "FAIL: $needle not found in results/BENCH_partition.json" >&2
         exit 1
     }
 done

@@ -15,8 +15,8 @@
 //! ```
 
 use phoenix::chaos::{
-    crash_repair_nodes, double_nic_nodes, generate_schedule, gsd_kills, link_partitions,
-    loss_bursts, nic_flaps, run_schedule, ChaosConfig,
+    crash_repair_nodes, double_nic_nodes, generate_schedule, gsd_kills, island_partitions,
+    link_partitions, loss_bursts, nic_flaps, run_schedule, ChaosConfig,
 };
 use phoenix::kernel::boot_cluster;
 use phoenix::proto::PartitionId;
@@ -169,6 +169,46 @@ fn flapping_nic_storm() {
         out.violations.is_empty(),
         "seed {SEED} violated invariants under NIC flapping: {:#?}\nreplay: \
          cargo run --release -p phoenix-chaos --bin chaos -- --lossy 20 --replay {SEED}",
+        out.violations
+    );
+}
+
+/// Partition-storm pin: a partition server crashes (taking its GSD), then
+/// an island split cuts the config/leader side off into a 5-node minority
+/// while the 10-node majority must detect the dead GSD, regroup, and take
+/// over — with the minority leader frozen, not competing. Healing arrives
+/// while the takeover is still settling. This seed originally surfaced
+/// three distinct bugs: cross-island daemon respawns through the config
+/// service, a respawned GSD giving up on directory wiring during a long
+/// split, and a frozen leader's aborted rescue retracting another
+/// observer's in-flight takeover telemetry mark.
+///
+/// Replay: `cargo run --release -p phoenix-chaos --bin chaos -- --partition --replay 26`
+#[test]
+fn island_split_during_takeover() {
+    const SEED: u64 = 26;
+    let cfg = ChaosConfig::small_partition();
+    let (_world, cluster) = phoenix::kernel::boot_cluster_with_net(
+        cfg.topology(),
+        cfg.params.clone(),
+        SEED,
+        cfg.net.clone(),
+    );
+    let steps = generate_schedule(SEED, &cfg, &cluster);
+    let killed = gsd_kills(&steps, &cluster);
+    assert!(
+        island_partitions(&steps) >= 2 && killed.contains(&PartitionId(1)),
+        "pin drifted: seed {SEED} no longer mixes >=2 island storms with a \
+         server-GSD kill (storms: {}, kills: {killed:?}) — re-run the \
+         partition scan and re-pin",
+        island_partitions(&steps)
+    );
+    let out = run_schedule(SEED, &cfg, u64::MAX, false);
+    assert!(out.quiesced, "seed {SEED}: split cluster never quiesced");
+    assert!(
+        out.violations.is_empty(),
+        "seed {SEED} violated invariants across island splits: {:#?}\nreplay: \
+         cargo run --release -p phoenix-chaos --bin chaos -- --partition --replay {SEED}",
         out.violations
     );
 }

@@ -304,6 +304,15 @@ fn kernel_msg_surface() -> Vec<phoenix::proto::KernelMsg> {
         },
         KernelMsg::MetaJoin { member },
         KernelMsg::MetaMembership { epoch: 18, members: vec![member, member] },
+        KernelMsg::RegroupPing { from_partition: PartitionId(3), epoch: 7, round: 21 },
+        KernelMsg::RegroupAck {
+            from_partition: PartitionId(5),
+            epoch: 9,
+            round: 21,
+            frozen: true,
+        },
+        KernelMsg::RegroupFreeze { frozen: true },
+        KernelMsg::DirectoryStale { partition: PartitionId(4), stale: true },
         KernelMsg::MetaMemberDown {
             partition: PartitionId(1),
             diagnosis: Diagnosis::NetworkFailure,
@@ -488,7 +497,7 @@ fn kernel_msg_full_surface_round_trips() {
         assert!(!seen.contains(&d), "duplicate variant in surface: {m:?}");
         seen.push(d);
     }
-    assert_eq!(msgs.len(), 63, "KernelMsg variant count changed — extend the surface");
+    assert_eq!(msgs.len(), 67, "KernelMsg variant count changed — extend the surface");
     for msg in msgs {
         let bytes = encode(&msg);
         assert_eq!(
