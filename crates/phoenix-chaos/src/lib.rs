@@ -28,16 +28,22 @@
 //!    service receives a freshly published event (federation forwards it).
 //! 6. **quiescence** — the cluster reaches trace silence at all: a cascade
 //!    that never settles is itself a bug.
+//! 7. **arena-leak** — the scheduler's event pool balances: live pooled
+//!    slots equal pending queue events and `allocs - frees == live`, so a
+//!    full fault schedule leaks no message slots (the event-core analogue
+//!    of the telemetry-leak invariant).
 
 use std::fmt;
 
 use phoenix_kernel::group::{Gsd, Wd};
-use phoenix_kernel::{boot_cluster_with_net, ClientHandle, KernelParams, PhoenixCluster};
+use phoenix_kernel::{boot_cluster_custom, ClientHandle, KernelParams, PhoenixCluster};
 use phoenix_proto::{
     BulletinKey, BulletinQuery, ClusterTopology, ConsumerReg, Event, EventFilter, EventPayload,
     EventType, KernelMsg, NodeOp, PartitionId, RequestId, ServiceDirectory,
 };
-use phoenix_sim::{Fault, NetParams, NicId, NodeId, Pid, SimDuration, SimRng, SimTime, World};
+use phoenix_sim::{
+    Fault, NetParams, NicId, NodeId, Pid, SchedulerKind, SimDuration, SimRng, SimTime, World,
+};
 
 /// Salt mixed into the schedule RNG so the schedule stream is independent
 /// of the boot/network RNG stream seeded from the same user-facing seed.
@@ -94,6 +100,14 @@ pub struct ChaosConfig {
     /// (`KernelParams::fast_partition()`); off by default so every pinned
     /// seed's schedule stays byte-identical.
     pub partition_steps: bool,
+    /// Which event-queue implementation the simulated world runs on. Runs
+    /// must be byte-identical under every kind — the differential suite
+    /// replays pinned seeds under each and compares the streams.
+    pub scheduler: SchedulerKind,
+    /// Record the per-event dispatch log and rendered trace into
+    /// [`RunOutcome::streams`] for byte comparison. Off by default (the
+    /// log allocates per event).
+    pub record_streams: bool,
 }
 
 impl ChaosConfig {
@@ -113,6 +127,8 @@ impl ChaosConfig {
             loss_steps: false,
             nic_flap_steps: false,
             partition_steps: false,
+            scheduler: SchedulerKind::default(),
+            record_streams: false,
         }
     }
 
@@ -160,6 +176,8 @@ impl ChaosConfig {
             loss_steps: false,
             nic_flap_steps: false,
             partition_steps: false,
+            scheduler: SchedulerKind::default(),
+            record_streams: false,
         }
     }
 
@@ -538,6 +556,17 @@ impl fmt::Display for Violation {
     }
 }
 
+/// The byte-comparison streams of a run, captured when
+/// [`ChaosConfig::record_streams`] is set. Two runs of the same seed are
+/// byte-identical iff both streams match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunStreams {
+    /// One line per dispatched simulator event (time, sequence, routing).
+    pub events: String,
+    /// The rendered structured trace log.
+    pub trace: String,
+}
+
 /// Everything a schedule run produced.
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
@@ -551,6 +580,9 @@ pub struct RunOutcome {
     /// Virtual time consumed by the whole run.
     pub virtual_ns: u64,
     pub violations: Vec<Violation>,
+    /// Recorded event/trace streams (`None` unless
+    /// `ChaosConfig::record_streams`).
+    pub streams: Option<RunStreams>,
 }
 
 impl RunOutcome {
@@ -580,8 +612,14 @@ fn kills_live_gsd(world: &World<KernelMsg>, fault: Fault) -> bool {
 /// Boot a cluster, apply the masked subset of the seed's schedule, wait for
 /// quiescence, and check every invariant.
 pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> RunOutcome {
-    let (mut world, cluster) =
-        boot_cluster_with_net(cfg.topology(), cfg.params.clone(), seed, cfg.net.clone());
+    let (mut world, cluster) = boot_cluster_custom(
+        cfg.topology(),
+        cfg.params.clone(),
+        seed,
+        cfg.net.clone(),
+        cfg.scheduler,
+        cfg.record_streams,
+    );
     let hb = cfg.params.ft.hb_interval;
     world.run_until(SimTime::ZERO + hb * 2 + SimDuration::from_millis(10));
 
@@ -687,6 +725,11 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
         &mut violations,
     );
 
+    let streams = cfg.record_streams.then(|| RunStreams {
+        events: world.take_event_log(),
+        trace: world.trace().render(),
+    });
+
     RunOutcome {
         seed,
         total_steps: steps.len(),
@@ -696,6 +739,7 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
         quiesced,
         virtual_ns: world.now().0,
         violations,
+        streams,
     }
 }
 
@@ -988,6 +1032,26 @@ fn check_invariants(
             ),
         });
     }
+
+    // -- 7. arena-leak -----------------------------------------------------
+    // The event core's message pool must balance after a full schedule:
+    // every pooled slot either holds a genuinely pending event or has been
+    // returned to the free list. A mismatch means dispatched events leaked
+    // their slots (or a slot was double-freed).
+    let pool = world.scheduler_stats();
+    if pool.live != world.queue_len() || pool.allocs - pool.frees != pool.live as u64 {
+        violations.push(Violation {
+            invariant: "arena-leak",
+            detail: format!(
+                "event pool out of balance: {} live slots vs {} queued events \
+                 ({} allocs, {} frees)",
+                pool.live,
+                world.queue_len(),
+                pool.allocs,
+                pool.frees
+            ),
+        });
+    }
 }
 
 fn query_directory(
@@ -1267,22 +1331,28 @@ pub fn replay_command(seed: u64, mask: u64, total_steps: usize, mode_flag: &str)
     }
 }
 
-/// Dump the tail of the telemetry flight recorder (most recent spans first
-/// in wall order), for replay-mode post-mortems.
-pub fn dump_flight_recorder(limit: usize) {
+/// Render the tail of the telemetry flight recorder (most recent spans
+/// last, in virtual-time order of span end) as one line per span. Also the
+/// byte-comparison surface of the differential suite: two runs with
+/// identical recorders render identically.
+pub fn flight_recorder_dump(limit: usize) -> String {
+    use std::fmt::Write as _;
     phoenix_telemetry::with(|reg| {
+        let mut out = String::new();
         let mut spans: Vec<_> = reg.recorder().iter().collect();
         spans.sort_by_key(|s| s.end_ns);
         let skip = spans.len().saturating_sub(limit);
         if skip > 0 || reg.recorder().evicted() > 0 {
-            println!(
+            let _ = writeln!(
+                out,
                 "  ... ({} earlier spans not shown, {} evicted from rings)",
                 skip,
                 reg.recorder().evicted()
             );
         }
         for s in spans.into_iter().skip(skip) {
-            println!(
+            let _ = writeln!(
+                out,
                 "  [{:>10} - {:>10}] node {:>2} {:<12} {}{}",
                 fmt_ns(s.start_ns),
                 fmt_ns(s.end_ns),
@@ -1292,13 +1362,20 @@ pub fn dump_flight_recorder(limit: usize) {
                 if s.aborted { " (aborted: node died)" } else { "" }
             );
         }
-    });
+        out
+    })
+}
+
+/// Dump the tail of the telemetry flight recorder (most recent spans first
+/// in wall order), for replay-mode post-mortems.
+pub fn dump_flight_recorder(limit: usize) {
+    print!("{}", flight_recorder_dump(limit));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phoenix_kernel::boot_cluster;
+    use phoenix_kernel::{boot_cluster, boot_cluster_with_net};
 
     #[test]
     fn schedules_are_deterministic_per_seed() {

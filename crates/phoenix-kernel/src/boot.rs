@@ -20,7 +20,9 @@ use crate::security::SecurityService;
 use phoenix_proto::{
     ClusterTopology, KernelMsg, MemberInfo, NodeServices, Role, ServiceDirectory, ServiceKind,
 };
-use phoenix_sim::{ClusterBuilder, NetParams, NodeSpec, Pid, RecoveryAction, SimDuration, World};
+use phoenix_sim::{
+    ClusterBuilder, NetParams, NodeSpec, Pid, RecoveryAction, SchedulerKind, SimDuration, World,
+};
 
 /// Handle to a booted Phoenix cluster.
 pub struct PhoenixCluster {
@@ -87,10 +89,27 @@ pub fn boot_cluster_with_net(
     seed: u64,
     net: NetParams,
 ) -> (World<KernelMsg>, PhoenixCluster) {
+    boot_cluster_custom(topology, params, seed, net, SchedulerKind::default(), false)
+}
+
+/// [`boot_cluster_with_net`] with full control over the simulator's event
+/// core: which [`SchedulerKind`] drives the queue and whether the world
+/// records its dispatched-event stream. The differential harness boots the
+/// same seed once per scheduler and compares the recorded streams.
+pub fn boot_cluster_custom(
+    topology: ClusterTopology,
+    params: KernelParams,
+    seed: u64,
+    net: NetParams,
+    scheduler: SchedulerKind,
+    record_events: bool,
+) -> (World<KernelMsg>, PhoenixCluster) {
     let world = ClusterBuilder::new()
         .nodes(topology.node_count(), NodeSpec::default())
         .net(net)
         .seed(seed)
+        .scheduler(scheduler)
+        .record_events(record_events)
         .build::<KernelMsg>();
     boot_onto(world, topology, params)
 }

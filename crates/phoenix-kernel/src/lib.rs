@@ -36,7 +36,8 @@ pub mod rpc;
 pub mod security;
 
 pub use boot::{
-    boot_and_stabilize, boot_cluster, boot_cluster_with_net, boot_onto, PhoenixCluster,
+    boot_and_stabilize, boot_cluster, boot_cluster_custom, boot_cluster_with_net, boot_onto,
+    PhoenixCluster,
 };
 pub use client::ClientHandle;
 pub use nic_health::{HealthTransition, NicHealth, NicHealthParams};

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod actor;
+pub mod arena;
 pub mod fault;
 pub mod ids;
 pub mod message;
@@ -36,11 +37,13 @@ pub mod metrics;
 pub mod network;
 pub mod node;
 pub mod rng;
+pub mod sched;
 pub mod time;
 pub mod trace;
 pub mod world;
 
 pub use actor::{Actor, Ctx};
+pub use arena::{ArenaStats, EventArena};
 pub use fault::Fault;
 pub use ids::{NicId, NodeId, Pid, TimerId};
 pub use message::Message;
@@ -48,6 +51,7 @@ pub use metrics::{LabelStats, Metrics};
 pub use network::{DropReason, NetParams, Network};
 pub use node::{NodeSpec, NodeState, ResourceUsage};
 pub use rng::SimRng;
+pub use sched::{HeapScheduler, Scheduler, SchedulerKind, WheelScheduler};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Diagnosis, FaultTarget, RecoveryAction, TraceEvent, TraceLog, TraceRecord};
-pub use world::{ClusterBuilder, World};
+pub use world::{ClusterBuilder, SchedulePastError, World};

@@ -132,6 +132,19 @@ impl TraceLog {
     pub fn clear(&mut self) {
         self.records.clear();
     }
+
+    /// Render every record as one line of text. The format is stable and
+    /// fully determined by the record contents (virtual time + `Debug` of
+    /// the event), so two runs are trace-byte-identical iff their rendered
+    /// logs are equal — the comparison stream of the differential harness.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(out, "{} {:?}", r.at.0, r.event);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +195,29 @@ mod tests {
             log.count(|e| matches!(e, TraceEvent::Milestone { value, .. } if *value >= 3.0)),
             2
         );
+    }
+
+    #[test]
+    fn render_is_one_stable_line_per_record() {
+        let mut log = TraceLog::default();
+        log.push(
+            SimTime(7),
+            TraceEvent::Milestone {
+                label: "x",
+                value: 1.5,
+            },
+        );
+        log.push(
+            SimTime(9),
+            TraceEvent::RoleChange {
+                pid: Pid(3),
+                role: "leader",
+            },
+        );
+        let text = log.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("7 Milestone"));
+        assert!(text.contains("9 RoleChange"));
     }
 
     #[test]

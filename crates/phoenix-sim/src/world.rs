@@ -6,12 +6,13 @@ use crate::ids::{NicId, NodeId, Pid, TimerId};
 use crate::message::Message;
 use crate::metrics::Metrics;
 use crate::network::{DropReason, LinkQuality, NetParams, Network};
+use crate::arena::ArenaStats;
 use crate::node::{NodeSpec, NodeState, ResourceUsage};
+use crate::sched::{make_scheduler, Scheduler, SchedulerKind};
 use crate::time::{SimDuration, SimTime};
 use crate::rng::SimRng;
 use crate::trace::{TraceEvent, TraceLog};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Builder for a simulated cluster.
 #[derive(Clone, Debug)]
@@ -19,6 +20,8 @@ pub struct ClusterBuilder {
     nodes: Vec<NodeSpec>,
     net: NetParams,
     seed: u64,
+    sched: SchedulerKind,
+    record: bool,
 }
 
 impl Default for ClusterBuilder {
@@ -27,6 +30,8 @@ impl Default for ClusterBuilder {
             nodes: Vec::new(),
             net: NetParams::default(),
             seed: 0x5EED,
+            sched: SchedulerKind::default(),
+            record: false,
         }
     }
 }
@@ -60,6 +65,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Choose the event-queue implementation (defaults to the timer
+    /// wheel). The heap baseline exists for differential testing — any
+    /// seeded run must be byte-identical under either.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.sched = kind;
+        self
+    }
+
+    /// Record one line per dispatched event into an in-world event log
+    /// (see [`World::event_log`]). Costs allocation per event; meant for
+    /// the differential harness, not production sweeps.
+    pub fn record_events(mut self, on: bool) -> Self {
+        self.record = on;
+        self
+    }
+
     /// Construct the world.
     pub fn build<M: Message>(self) -> World<M> {
         let nodes = self
@@ -71,7 +92,8 @@ impl ClusterBuilder {
         World {
             clock: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: make_scheduler(self.sched),
+            event_log: if self.record { Some(String::new()) } else { None },
             procs: HashMap::new(),
             live: HashMap::new(),
             pids_by_node: HashMap::new(),
@@ -107,30 +129,28 @@ enum SimEvent<M: Message> {
     Fault(Fault),
 }
 
-struct QueueEntry<M: Message> {
-    at: SimTime,
-    seq: u64,
-    ev: SimEvent<M>,
+/// Error returned by [`World::schedule_fault`] for a target time before
+/// the current clock. Scheduling exactly at the current tick is allowed —
+/// the fault dispatches before the clock advances.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SchedulePastError {
+    /// The requested (past) virtual time.
+    pub at: SimTime,
+    /// The world clock when the request was made.
+    pub now: SimTime,
 }
 
-impl<M: Message> PartialEq for QueueEntry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl std::fmt::Display for SchedulePastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot schedule fault in the past: at {} < now {}",
+            self.at, self.now
+        )
     }
 }
-impl<M: Message> Eq for QueueEntry<M> {}
-impl<M: Message> PartialOrd for QueueEntry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M: Message> Ord for QueueEntry<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; reverse for earliest-first. Ties broken
-        // by insertion order (seq), giving deterministic FIFO semantics.
-        Reverse((self.at, self.seq)).cmp(&Reverse((other.at, other.seq)))
-    }
-}
+
+impl std::error::Error for SchedulePastError {}
 
 struct Proc<M: Message> {
     node: NodeId,
@@ -142,7 +162,11 @@ struct Proc<M: Message> {
 pub struct World<M: Message> {
     clock: SimTime,
     seq: u64,
-    queue: BinaryHeap<QueueEntry<M>>,
+    queue: Box<dyn Scheduler<SimEvent<M>>>,
+    /// One compact line per dispatched event when event recording is on
+    /// (`ClusterBuilder::record_events`) — the differential harness's
+    /// byte-comparison stream.
+    event_log: Option<String>,
     procs: HashMap<Pid, Proc<M>>,
     /// Parallel liveness map exposed read-only to actor contexts.
     live: HashMap<Pid, NodeId>,
@@ -268,9 +292,17 @@ impl<M: Message> World<M> {
     }
 
     /// Schedule a fault (or repair) at an absolute virtual time.
-    pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
-        assert!(at >= self.clock, "cannot schedule fault in the past");
+    /// Scheduling at exactly the current tick is valid (the fault fires
+    /// before time advances); a time strictly in the past is an error.
+    pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) -> Result<(), SchedulePastError> {
+        if at < self.clock {
+            return Err(SchedulePastError {
+                at,
+                now: self.clock,
+            });
+        }
         self.push(at, SimEvent::Fault(fault));
+        Ok(())
     }
 
     /// Apply a fault immediately.
@@ -280,29 +312,25 @@ impl<M: Message> World<M> {
 
     fn push(&mut self, at: SimTime, ev: SimEvent<M>) {
         self.seq += 1;
-        self.queue.push(QueueEntry {
-            at,
-            seq: self.seq,
-            ev,
-        });
+        self.queue.push(at, self.seq, ev);
     }
 
     /// Run until virtual time `deadline` (inclusive of events at the
     /// deadline instant). The clock ends at `deadline` even if the queue
     /// drains early.
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            match self.queue.peek() {
-                Some(e) if e.at <= deadline => {
-                    let entry = self.queue.pop().unwrap();
-                    self.clock = entry.at;
-                    self.dispatch(entry.ev);
-                }
-                _ => break,
-            }
+        let mut dispatched = 0u64;
+        while let Some((at, seq, ev)) = self.queue.pop_before(deadline) {
+            self.clock = at;
+            self.dispatch(seq, ev);
+            dispatched += 1;
         }
         if self.clock < deadline {
             self.clock = deadline;
+        }
+        if dispatched > 0 {
+            phoenix_telemetry::counter_add("sim.events.dispatched", dispatched);
+            phoenix_telemetry::gauge_set("sim.queue.depth", self.queue.len() as f64);
         }
     }
 
@@ -337,21 +365,24 @@ impl<M: Message> World<M> {
     /// Process a single event; returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
-            Some(entry) => {
-                self.clock = entry.at;
-                self.dispatch(entry.ev);
+            Some((at, seq, ev)) => {
+                self.clock = at;
+                self.dispatch(seq, ev);
                 true
             }
             None => false,
         }
     }
 
-    fn dispatch(&mut self, ev: SimEvent<M>) {
+    fn dispatch(&mut self, seq: u64, ev: SimEvent<M>) {
         // Publish virtual time to the telemetry layer so spans and
         // mark/measure pairs opened inside handlers are stamped with the
         // simulator's clock, not wall time.
         phoenix_telemetry::clock::set_now(self.clock.0);
         self.metrics.events_processed += 1;
+        if self.event_log.is_some() {
+            self.log_event(seq, &ev);
+        }
         match ev {
             SimEvent::Start { pid } => {
                 self.with_actor(pid, |actor, ctx| actor.on_start(ctx));
@@ -381,6 +412,74 @@ impl<M: Message> World<M> {
             }
             SimEvent::Fault(f) => self.do_fault(f),
         }
+    }
+
+    /// Append one line describing a dispatched event to the event log.
+    /// The line covers the full determinism-relevant identity of the event
+    /// — virtual time, global sequence number, and the event's routing
+    /// fields — but not message payloads (labels + wire sizes stand in for
+    /// them, and payload construction is itself deterministic downstream
+    /// of this ordering).
+    fn log_event(&mut self, seq: u64, ev: &SimEvent<M>) {
+        use std::fmt::Write as _;
+        let Some(log) = self.event_log.as_mut() else {
+            return;
+        };
+        let at = self.clock.0;
+        match ev {
+            SimEvent::Start { pid } => {
+                let _ = writeln!(log, "{at} {seq} start pid={}", pid.0);
+            }
+            SimEvent::Deliver {
+                to,
+                from,
+                label,
+                bytes,
+                ..
+            } => {
+                let _ = writeln!(
+                    log,
+                    "{at} {seq} deliver to={} from={} label={label} bytes={bytes}",
+                    to.0, from.0
+                );
+            }
+            SimEvent::Timer { id, pid, token } => {
+                let _ = writeln!(
+                    log,
+                    "{at} {seq} timer id={} pid={} token={token}",
+                    id.0, pid.0
+                );
+            }
+            SimEvent::Fault(f) => {
+                let _ = writeln!(log, "{at} {seq} fault {f:?}");
+            }
+        }
+    }
+
+    /// The recorded event stream (empty unless built with
+    /// `record_events(true)`).
+    pub fn event_log(&self) -> &str {
+        self.event_log.as_deref().unwrap_or("")
+    }
+
+    /// Take ownership of the recorded event stream, leaving an empty log
+    /// behind (recording continues if it was enabled).
+    pub fn take_event_log(&mut self) -> String {
+        match self.event_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => String::new(),
+        }
+    }
+
+    /// Which scheduler implementation this world runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Event-pool accounting from the active scheduler (leak tests; the
+    /// chaos arena-leak invariant).
+    pub fn scheduler_stats(&self) -> ArenaStats {
+        self.queue.arena_stats()
     }
 
     fn with_actor<F>(&mut self, pid: Pid, f: F)
@@ -672,9 +771,10 @@ impl<M: Message> World<M> {
         self.queue.len()
     }
 
-    /// Virtual time of the next pending event, if any.
+    /// Virtual time of the next pending event, if any. Introspection
+    /// only — may scan the queue (O(n) under the wheel scheduler).
     pub fn next_event_at(&self) -> Option<SimTime> {
-        self.queue.peek().map(|e| e.at)
+        self.queue.earliest()
     }
 
     /// Borrow a live actor for read-only inspection. `None` for dead pids
@@ -835,11 +935,48 @@ mod tests {
     fn scheduled_fault_fires_at_time() {
         let mut w = two_node_world();
         let echo = w.spawn(NodeId(1), Box::new(Echo));
-        w.schedule_fault(SimTime(5_000_000), Fault::KillProcess(echo));
+        w.schedule_fault(SimTime(5_000_000), Fault::KillProcess(echo))
+            .unwrap();
         w.run_until(SimTime(4_000_000));
         assert!(w.is_alive(echo));
         w.run_until(SimTime(6_000_000));
         assert!(!w.is_alive(echo));
+    }
+
+    #[test]
+    fn scheduling_fault_at_current_tick_is_allowed() {
+        let mut w = two_node_world();
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        w.run_until(SimTime(1_000_000));
+        assert!(w.is_alive(echo));
+        // Exactly "now" is valid: the fault fires before time advances.
+        w.schedule_fault(w.now(), Fault::KillProcess(echo)).unwrap();
+        assert_eq!(w.next_event_at(), Some(w.now()));
+        w.run_until(w.now());
+        assert!(!w.is_alive(echo));
+        assert_eq!(w.now(), SimTime(1_000_000), "clock must not move");
+    }
+
+    #[test]
+    fn scheduling_fault_in_the_past_is_an_error() {
+        let mut w = two_node_world();
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        w.run_until(SimTime(2_000_000));
+        let err = w
+            .schedule_fault(SimTime(1_999_999), Fault::KillProcess(echo))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchedulePastError {
+                at: SimTime(1_999_999),
+                now: SimTime(2_000_000),
+            }
+        );
+        assert!(err.to_string().contains("cannot schedule fault in the past"));
+        // Nothing was enqueued; the pid stays alive forever.
+        assert_eq!(w.queue_len(), 0);
+        w.run_for(SimDuration::from_secs(1));
+        assert!(w.is_alive(echo));
     }
 
     #[test]
@@ -1214,9 +1351,73 @@ mod tests {
         assert_eq!(w.queue_len(), 0);
         assert_eq!(w.next_event_at(), None);
         let echo = w.spawn(NodeId(1), Box::new(Echo));
-        w.schedule_fault(SimTime(5_000), Fault::KillProcess(echo));
+        w.schedule_fault(SimTime(5_000), Fault::KillProcess(echo))
+            .unwrap();
         assert_eq!(w.queue_len(), 2); // Start + Fault
         assert_eq!(w.next_event_at(), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn heap_and_wheel_worlds_agree_end_to_end() {
+        // The same seeded workload must produce identical metrics, trace,
+        // and event streams under both schedulers.
+        let run = |kind: SchedulerKind| {
+            let mut w = ClusterBuilder::new()
+                .nodes(4, NodeSpec::default())
+                .net(NetParams {
+                    loss_permille: 100,
+                    dup_permille: 50,
+                    ..NetParams::default()
+                })
+                .seed(77)
+                .scheduler(kind)
+                .record_events(true)
+                .build::<u64>();
+            let e1 = w.spawn(NodeId(1), Box::new(Echo));
+            let got = std::rc::Rc::new(std::cell::Cell::new(0));
+            for n in 0..4 {
+                w.spawn(
+                    NodeId(n),
+                    Box::new(Pinger {
+                        peer: e1,
+                        got: got.clone(),
+                    }),
+                );
+                w.spawn(NodeId(n), Box::new(Flood { peer: e1, n: 50 }));
+            }
+            w.run_for(SimDuration::from_secs(2));
+            (
+                w.metrics().total.sent,
+                w.metrics().total.delivered,
+                w.metrics().events_processed,
+                w.take_event_log(),
+            )
+        };
+        let heap = run(SchedulerKind::Heap);
+        let wheel = run(SchedulerKind::Wheel);
+        assert_eq!(heap, wheel);
+        assert!(!heap.3.is_empty(), "event log must actually record");
+    }
+
+    #[test]
+    fn wheel_world_reuses_arena_slots_and_leaks_none() {
+        let mut w = two_node_world();
+        assert_eq!(w.scheduler_kind(), SchedulerKind::Wheel);
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        for i in 0..200 {
+            w.inject(echo, i);
+            w.run_for(SimDuration::from_millis(1));
+        }
+        w.run_for(SimDuration::from_secs(1));
+        let s = w.scheduler_stats();
+        assert_eq!(s.live, w.queue_len());
+        assert_eq!(s.live, 0, "drained world must hold no pooled events");
+        assert_eq!(s.allocs - s.frees, 0);
+        assert!(
+            s.capacity < 50,
+            "steady-state churn must recycle slots, not grow (capacity {})",
+            s.capacity
+        );
     }
 
     #[test]

@@ -41,6 +41,13 @@
 # mix) and the split-brain invariants sampled *during* the splits; the
 # partition_sweep smoke then gates zero double-leader instants, every
 # minority frozen, and post-heal convergence (results/BENCH_partition.json).
+#
+# The event_core smoke benches the raw event loop: the heap baseline vs the
+# hierarchical timer-wheel scheduler on an identical seeded timer
+# population (results/BENCH_events.json). The bin replays pinned chaos
+# scenarios under both schedulers and digests every observable stream; the
+# two digest files must be byte-identical (scheduler determinism gate), and
+# on multi-core machines the wheel must be >1.5x faster than the heap.
 
 set -eu
 
@@ -206,5 +213,45 @@ for needle in '"schedules_run"' '"faults_injected"' '"violating_schedules"' '"sh
         exit 1
     }
 done
+
+echo "== smoke: event_core (--small) writes results/BENCH_events.json =="
+rm -f results/BENCH_events.json results/event_core_heap.trace results/event_core_wheel.trace
+# The bin exits non-zero if the heap and wheel schedulers diverge on any
+# pinned chaos scenario, or if the wheel's raw speedup drops below x1.2.
+cargo run --release --offline -p phoenix-bench --bin event_core -- --small \
+    | tee /tmp/event_core.out
+
+test -s results/BENCH_events.json || {
+    echo "FAIL: results/BENCH_events.json missing or empty" >&2
+    exit 1
+}
+for needle in '"heap_events_per_sec"' '"wheel_events_per_sec"' '"speedup"' '"identical": true'; do
+    grep -q "$needle" results/BENCH_events.json || {
+        echo "FAIL: $needle not found in results/BENCH_events.json" >&2
+        exit 1
+    }
+done
+
+echo "== determinism gate: wheel scheduler must be byte-identical to heap =="
+cmp results/event_core_heap.trace results/event_core_wheel.trace || {
+    echo "FAIL: wheel digest stream differs from heap (scheduler determinism gate)" >&2
+    exit 1
+}
+heap_ms=$(sed -n 's/.*event_core wall-clock: heap \([0-9]*\) ms.*/\1/p' /tmp/event_core.out)
+wheel_ms=$(sed -n 's/.*event_core wall-clock: heap [0-9]* ms, wheel \([0-9]*\) ms.*/\1/p' /tmp/event_core.out)
+[ -n "$heap_ms" ] && [ -n "$wheel_ms" ] || {
+    echo "FAIL: event_core wall-clock line missing from output" >&2
+    exit 1
+}
+ev_speedup=$(awk "BEGIN { printf \"%.2f\", $heap_ms / ($wheel_ms + 0.001) }")
+echo "event_core wall-clock: heap ${heap_ms} ms, wheel ${wheel_ms} ms, speedup x${ev_speedup} (${cores} core(s))"
+if [ "$cores" -ge 2 ]; then
+    awk "BEGIN { exit !($heap_ms / ($wheel_ms + 0.001) > 1.5) }" || {
+        echo "FAIL: wheel speedup x${ev_speedup} <= 1.5 on a ${cores}-core machine" >&2
+        exit 1
+    }
+else
+    echo "(single-core runner: speedup gate skipped, determinism gate enforced)"
+fi
 
 echo "verify: OK"

@@ -70,10 +70,12 @@ fn churn_round(seed: u64) {
                 let node = NodeId(rng.gen_range(0..n));
                 let nic = NicId(rng.gen_range(0u8..3));
                 world.apply_fault(Fault::NicDown(node, nic));
-                world.schedule_fault(
-                    world.now() + SimDuration::from_secs(3),
-                    Fault::NicUp(node, nic),
-                );
+                world
+                    .schedule_fault(
+                        world.now() + SimDuration::from_secs(3),
+                        Fault::NicUp(node, nic),
+                    )
+                    .expect("repair is scheduled in the future");
             }
         }
         world.run_for(SimDuration::from_secs(1));

@@ -1,0 +1,140 @@
+//! Differential regression suite: heap vs wheel scheduler, byte for byte.
+//!
+//! The event core's determinism contract says the scheduler implementation
+//! is *unobservable*: for any seed, the heap baseline and the timer wheel
+//! must produce the same event stream, the same structured trace, the same
+//! flight-recorder spans, and the same telemetry registry — byte for byte.
+//! This suite replays every pinned chaos regression scenario (including
+//! the shrunk lossy masks) once per scheduler and compares all four
+//! surfaces. The serial-vs-parallel `cmp` gate from the sweep runner is
+//! the template; here the axis is the scheduler, not the thread count.
+//!
+//! A divergence report names the first differing line, not the full
+//! multi-megabyte streams.
+
+use phoenix::chaos::{flight_recorder_dump, run_schedule, ChaosConfig, RunOutcome};
+use phoenix::sim::SchedulerKind;
+use phoenix::telemetry::BenchReport;
+
+/// Everything observable from one run: the chaos outcome, the recorded
+/// streams, the flight-recorder dump, and the full telemetry registry
+/// rendered to its BENCH JSON shape.
+struct Observed {
+    outcome: RunOutcome,
+    flight: String,
+    registry: String,
+}
+
+fn observe(seed: u64, mask: u64, mut cfg: ChaosConfig, kind: SchedulerKind) -> Observed {
+    phoenix::telemetry::reset();
+    cfg.scheduler = kind;
+    cfg.record_streams = true;
+    let outcome = run_schedule(seed, &cfg, mask, false);
+    let flight = flight_recorder_dump(usize::MAX);
+    let registry = phoenix::telemetry::with(|reg| {
+        BenchReport::new("differential").to_json(reg).render()
+    });
+    phoenix::telemetry::reset();
+    Observed {
+        outcome,
+        flight,
+        registry,
+    }
+}
+
+/// Panic with the first differing line instead of dumping both streams.
+fn assert_stream_eq(what: &str, seed: u64, heap: &str, wheel: &str) {
+    if heap == wheel {
+        return;
+    }
+    let mut h = heap.lines();
+    let mut w = wheel.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (h.next(), w.next()) {
+            (Some(a), Some(b)) if a == b => continue,
+            (a, b) => panic!(
+                "seed {seed}: {what} streams diverge at line {line} \
+                 ({} vs {} total lines)\n  heap:  {a:?}\n  wheel: {b:?}",
+                heap.lines().count(),
+                wheel.lines().count(),
+            ),
+        }
+    }
+}
+
+/// Replay `seed` (restricted to `mask`) under both schedulers and require
+/// byte-identity on every observable surface.
+fn assert_byte_identical(seed: u64, mask: u64, cfg: &ChaosConfig) {
+    let heap = observe(seed, mask, cfg.clone(), SchedulerKind::Heap);
+    let wheel = observe(seed, mask, cfg.clone(), SchedulerKind::Wheel);
+
+    let hs = heap.outcome.streams.as_ref().expect("heap streams recorded");
+    let ws = wheel
+        .outcome
+        .streams
+        .as_ref()
+        .expect("wheel streams recorded");
+    assert_stream_eq("event", seed, &hs.events, &ws.events);
+    assert!(
+        !hs.events.is_empty(),
+        "seed {seed}: event stream is empty — recording is broken"
+    );
+    assert_stream_eq("trace", seed, &hs.trace, &ws.trace);
+    assert_stream_eq("flight-recorder", seed, &heap.flight, &wheel.flight);
+    assert_stream_eq("telemetry-registry", seed, &heap.registry, &wheel.registry);
+
+    // Scalar outcome fields must agree too (violations carry strings).
+    assert_eq!(heap.outcome.virtual_ns, wheel.outcome.virtual_ns, "seed {seed}");
+    assert_eq!(
+        heap.outcome.faults_injected, wheel.outcome.faults_injected,
+        "seed {seed}"
+    );
+    assert_eq!(heap.outcome.quiesced, wheel.outcome.quiesced, "seed {seed}");
+    assert_eq!(
+        heap.outcome.violations.len(),
+        wheel.outcome.violations.len(),
+        "seed {seed}: {:?} vs {:?}",
+        heap.outcome.violations,
+        wheel.outcome.violations
+    );
+    // These pinned scenarios are green in chaos_regressions; a violation
+    // here means the scheduler (not the kernel) broke something.
+    assert!(
+        wheel.outcome.violations.is_empty(),
+        "seed {seed} violated invariants under the wheel: {:?}",
+        wheel.outcome.violations
+    );
+}
+
+/// Pinned shrunk reproducer 8:88 (lossy): the minimal two-step subset of
+/// seed 8's schedule that once broke loss tolerance.
+#[test]
+fn differential_lossy_shrunk_mask_8_88() {
+    assert_byte_identical(8, 0x88, &ChaosConfig::small_lossy(20));
+}
+
+/// Pinned shrunk reproducer 15:5ee (lossy).
+#[test]
+fn differential_lossy_shrunk_mask_15_5ee() {
+    assert_byte_identical(15, 0x5ee, &ChaosConfig::small_lossy(20));
+}
+
+/// Seed 26: island split storm overlapping a GSD kill (partition config).
+#[test]
+fn differential_partition_island_split_seed_26() {
+    assert_byte_identical(26, u64::MAX, &ChaosConfig::small_partition());
+}
+
+/// Seed 4: the flapping-NIC storm pin (lossy config).
+#[test]
+fn differential_nic_flap_seed_4() {
+    assert_byte_identical(4, u64::MAX, &ChaosConfig::small_lossy(20));
+}
+
+/// Seed 178: loss bursts plus a GSD kill on a 2% lossy network.
+#[test]
+fn differential_lossy_seed_178() {
+    assert_byte_identical(178, u64::MAX, &ChaosConfig::small_lossy(20));
+}
