@@ -25,7 +25,7 @@ use phoenix_kernel::boot_cluster;
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seeds N] [--seed-base S] [--small] [--paper] [--partition] \
-         [--lossy PERMILLE] [--max-faults K] [--replay SEED[:MASK_HEX]]"
+         [--quorum] [--lossy PERMILLE] [--max-faults K] [--replay SEED[:MASK_HEX]]"
     );
     std::process::exit(2);
 }
@@ -58,6 +58,10 @@ fn main() {
             "--partition" => {
                 cfg = ChaosConfig::small_partition();
                 mode = "--partition".into();
+            }
+            "--quorum" => {
+                cfg = ChaosConfig::small_quorum();
+                mode = "--quorum".into();
             }
             "--lossy" => {
                 lossy = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))

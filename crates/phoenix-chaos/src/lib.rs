@@ -39,7 +39,7 @@ use phoenix_kernel::group::{Gsd, Wd};
 use phoenix_kernel::{boot_cluster_custom, ClientHandle, KernelParams, PhoenixCluster};
 use phoenix_proto::{
     BulletinKey, BulletinQuery, ClusterTopology, ConsumerReg, Event, EventFilter, EventPayload,
-    EventType, KernelMsg, NodeOp, PartitionId, RequestId, ServiceDirectory,
+    EventType, KernelMsg, NodeOp, PartitionId, PartitionSpec, RequestId, ServiceDirectory,
 };
 use phoenix_sim::{
     Fault, NetParams, NicId, NodeId, Pid, SchedulerKind, SimDuration, SimRng, SimTime, World,
@@ -58,6 +58,11 @@ const FLAP_SALT: u64 = 0x6c62_272e_07bb_0142;
 /// cycles ride their own RNG and are appended, keeping every other stream
 /// byte-identical per seed whether or not storms are enabled.
 const PARTITION_SALT: u64 = 0x2545_f491_4f6c_dd1d;
+
+/// Salt for the even-split storm stream (exact half/half islands for the
+/// weighted/witness quorum). Appended from its own RNG like the other
+/// optional shapes, so every pre-existing stream stays byte-identical.
+const QUORUM_SALT: u64 = 0x94d0_49bb_1331_11eb;
 
 /// Schedules are capped at 64 steps so a subset is a `u64` bitmask.
 pub const MAX_STEPS: usize = 64;
@@ -100,6 +105,13 @@ pub struct ChaosConfig {
     /// (`KernelParams::fast_partition()`); off by default so every pinned
     /// seed's schedule stays byte-identical.
     pub partition_steps: bool,
+    /// Append even-split storms: exactly half the configured partitions
+    /// severed into an island, held past the regroup takeover delay, then
+    /// healed. Only meaningful with vote-table kernel parameters
+    /// (`KernelParams::fast_quorum()`) — without a witness both sides of
+    /// an even split freeze by design. Off by default; rides its own
+    /// salted stream like the other optional shapes.
+    pub quorum_steps: bool,
     /// Which event-queue implementation the simulated world runs on. Runs
     /// must be byte-identical under every kind — the differential suite
     /// replays pinned seeds under each and compares the streams.
@@ -127,6 +139,7 @@ impl ChaosConfig {
             loss_steps: false,
             nic_flap_steps: false,
             partition_steps: false,
+            quorum_steps: false,
             scheduler: SchedulerKind::default(),
             record_streams: false,
         }
@@ -159,6 +172,27 @@ impl ChaosConfig {
         }
     }
 
+    /// An even-partition-count topology (4 × 3 nodes) with the vote table
+    /// and adaptive takeover delay on, and even-split storms in the
+    /// schedules (`chaos --quorum`). The witness is designated away from
+    /// the config partition (p1) so ordinary crash steps can also hit the
+    /// witness's server, exercising rescue-under-witness and the
+    /// witness-dead shapes.
+    pub fn small_quorum() -> ChaosConfig {
+        let mut params = KernelParams::fast_quorum();
+        params.ft.regroup.votes.witness = Some(PartitionId(1));
+        ChaosConfig {
+            partitions: 4,
+            nodes_per_partition: 3,
+            backups: 1,
+            max_faults: 5,
+            horizon: SimDuration::from_secs(20),
+            params,
+            quorum_steps: true,
+            ..ChaosConfig::small()
+        }
+    }
+
     /// The paper's testbed shape (8 partitions x 17 nodes) with the paper's
     /// 30 s heartbeat. Virtual time is cheap; wall-clock cost comes from
     /// node count, so this is the `--seeds`-few deep configuration.
@@ -176,6 +210,7 @@ impl ChaosConfig {
             loss_steps: false,
             nic_flap_steps: false,
             partition_steps: false,
+            quorum_steps: false,
             scheduler: SchedulerKind::default(),
             record_streams: false,
         }
@@ -421,6 +456,50 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig, cluster: &PhoenixCluster)
             at = at + hold + SimDuration::from_millis(prng.gen_range(10_000..16_000u64));
         }
     }
+    // Even-split storms: exactly half the configured partitions islanded
+    // at once — the shape count-majority regroup cannot win (both sides
+    // freeze) and the vote table must (the witness's side stays live).
+    // Random halves cover witness-in-island and witness-in-rest alike.
+    // Holds run longer than partition storms: the winning side may need a
+    // full suspicion + held-majority + election pipeline before its
+    // leader stands, and the sampled exactly-one-live-side check needs
+    // instants past that deadline to bite on.
+    if cfg.quorum_steps && cfg.partitions >= 2 {
+        let mut qrng = SimRng::seed_from_u64(seed ^ QUORUM_SALT);
+        let cycles = 1 + qrng.gen_range(0..2u64);
+        let mut at = SimDuration::from_millis(qrng.gen_range(0..horizon_ms));
+        for _ in 0..cycles {
+            if steps.len() + 2 > MAX_STEPS {
+                break;
+            }
+            let k = topo.partitions.len() / 2;
+            let mut chosen: Vec<usize> = Vec::new();
+            while chosen.len() < k {
+                let p = qrng.gen_range(0..topo.partitions.len() as u64) as usize;
+                if !chosen.contains(&p) {
+                    chosen.push(p);
+                }
+            }
+            let mut island = 0u64;
+            for &p in &chosen {
+                for n in topo.partitions[p].all_nodes() {
+                    if n.0 < 64 {
+                        island |= 1u64 << n.0;
+                    }
+                }
+            }
+            steps.push(Step {
+                offset: at,
+                action: StepAction::Fault(Fault::Partition { island }),
+            });
+            let hold = SimDuration::from_millis(qrng.gen_range(9_000..12_000u64));
+            steps.push(Step {
+                offset: at + hold,
+                action: StepAction::Fault(Fault::Heal),
+            });
+            at = at + hold + SimDuration::from_millis(qrng.gen_range(12_000..18_000u64));
+        }
+    }
     steps.sort_by_key(|s| s.offset.as_nanos());
     steps
 }
@@ -637,12 +716,25 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
     let mut clean_network = cfg.net.loss_permille == 0;
     let mut violations = Vec::new();
     let mut island_since: Option<SimTime> = None;
+    // The sampled checks grant the protocol a reaction window after *any*
+    // schedule step, not just island formation: a GSD kill or node repair
+    // mid-split shifts the weighted verdict instantly in the oracle, while
+    // the cluster needs a detection pipeline to catch up.
+    let mut last_step = t0;
 
     for (i, step) in steps.iter().enumerate() {
         if mask & (1u64 << i) == 0 {
             continue;
         }
-        advance_sampled(&mut world, &cluster, cfg, t0 + step.offset, island_since, &mut violations);
+        advance_sampled(
+            &mut world,
+            &cluster,
+            cfg,
+            t0 + step.offset,
+            island_since,
+            last_step,
+            &mut violations,
+        );
         match step.action {
             StepAction::Fault(fault) => {
                 if kills_live_gsd(&world, fault) {
@@ -690,6 +782,7 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
             }
         }
         applied += 1;
+        last_step = world.now();
     }
 
     // A shrunk mask may keep a `Partition` step but drop its `Heal`: a
@@ -757,6 +850,7 @@ fn advance_sampled(
     cfg: &ChaosConfig,
     target: SimTime,
     island_since: Option<SimTime>,
+    last_step: SimTime,
     violations: &mut Vec<Violation>,
 ) {
     let slice = SimDuration::from_millis(100);
@@ -767,7 +861,7 @@ fn advance_sampled(
         }
         let next = world.now() + slice;
         world.run_until(if next.0 < target.0 { next } else { target });
-        sampled_split_brain_check(world, cluster, cfg, island_since, violations);
+        sampled_split_brain_check(world, cluster, cfg, island_since, last_step, violations);
     }
 }
 
@@ -779,6 +873,7 @@ fn sampled_split_brain_check(
     cluster: &PhoenixCluster,
     cfg: &ChaosConfig,
     island_since: Option<SimTime>,
+    last_step: SimTime,
     violations: &mut Vec<Violation>,
 ) {
     let gsds = live_gsds(world);
@@ -800,11 +895,127 @@ fn sampled_split_brain_check(
     // heartbeat intervals bounds it with margin for every profile.
     let deadline = cfg.params.ft.hb_interval * 5;
     let held = island_since.map_or(SimDuration::ZERO, |s| world.now().since(s));
-    if held <= deadline {
+    if held <= deadline || world.now().since(last_step) <= deadline {
         return;
     }
     let island = world.island();
     let side = |n: NodeId| n.0 < 64 && (island >> n.0) & 1 == 1;
+    let votes = &cfg.params.ft.regroup.votes;
+    if votes.enabled {
+        // Weighted rule: a side may lead iff it wins the weighted vote
+        // (witness doubled, ties to the witness side then the lowest
+        // configured partition) — the exact rule `Regroup::conclude`
+        // applies. The witness may have failed over mid-run, so read the
+        // freshest witness view off the live GSDs instead of the config.
+        let witness = gsds
+            .iter()
+            .filter_map(|g| world.actor_as::<Gsd>(g.pid).and_then(|a| a.witness_view()))
+            .max_by_key(|&(_, e)| e)
+            .map(|(w, _)| w)
+            .or(votes.witness)
+            .unwrap_or(PartitionId(0));
+        let weight_of = |p: PartitionId| -> u32 {
+            let w = votes
+                .weights
+                .iter()
+                .find(|(id, _)| *id == p)
+                .map(|&(_, w)| w)
+                .unwrap_or(1);
+            if p == witness {
+                w * 2
+            } else {
+                w
+            }
+        };
+        // Per-side verdict, mirroring `Regroup::conclude` including the
+        // home-node dead discount: a partition with no live GSD anywhere
+        // is excluded from a side's quorum denominator iff at least one
+        // of its home nodes is up on that side (those WDs would testify
+        // its GSD dead in the side's regroup rounds). A side's reachable
+        // votes come from the partitions whose live GSDs actually sit on
+        // it — a migrated GSD votes where it runs, not where its home
+        // server is.
+        let side_wins = |inside: bool| -> bool {
+            let members: Vec<PartitionId> = {
+                let mut m: Vec<PartitionId> = gsds
+                    .iter()
+                    .filter(|g| side(g.node) == inside)
+                    .map(|g| g.partition)
+                    .collect();
+                m.sort();
+                m.dedup();
+                m
+            };
+            let dead_for_side = |p: &PartitionSpec| -> bool {
+                gsds.iter().all(|g| g.partition != p.id)
+                    && p.all_nodes()
+                        .iter()
+                        .any(|&n| world.node(n).up && side(n) == inside)
+            };
+            let live_parts: Vec<PartitionId> = cluster
+                .topology
+                .partitions
+                .iter()
+                .filter(|p| !dead_for_side(p))
+                .map(|p| p.id)
+                .collect();
+            let tv: u32 = live_parts.iter().map(|&p| weight_of(p)).sum();
+            let lowest = live_parts.first().copied().unwrap_or(PartitionId(0));
+            let v: u32 = members.iter().map(|&p| weight_of(p)).sum();
+            2 * v > tv
+                || (2 * v == tv
+                    && v > 0
+                    && (members.contains(&witness) || members.contains(&lowest)))
+        };
+        for g in &leaders {
+            if !side_wins(side(g.node))
+                && !violations.iter().any(|v| v.invariant == "minority-leader")
+            {
+                violations.push(Violation {
+                    invariant: "minority-leader",
+                    detail: format!(
+                        "partition {}'s GSD still leads on the weighted-losing \
+                         side at {} (witness {})",
+                        g.partition.0,
+                        fmt_ns(world.now().0),
+                        witness.0
+                    ),
+                });
+            }
+        }
+        // Exactly-one-live-side, part 2: once past a full election
+        // pipeline (suspicion + held-majority delay + takeover), the
+        // weighted winner's side must not sit entirely frozen — that
+        // would be the very total-outage the vote table exists to
+        // prevent. Gated on the winner side still hosting a live GSD
+        // (a crash storm may have taken its daemons out entirely).
+        let dark_deadline = cfg.params.ft.hb_interval * 8;
+        if held > dark_deadline && world.now().since(last_step) > dark_deadline {
+            for inside in [true, false] {
+                if !side_wins(inside) {
+                    continue;
+                }
+                let on_side: Vec<&GsdView> =
+                    gsds.iter().filter(|g| side(g.node) == inside).collect();
+                if !on_side.is_empty()
+                    && on_side.iter().all(|g| g.role == "frozen")
+                    && !violations.iter().any(|v| v.invariant == "quorum-dark")
+                {
+                    violations.push(Violation {
+                        invariant: "quorum-dark",
+                        detail: format!(
+                            "the weighted-winning side (island={inside}) is \
+                             entirely frozen at {} under witness {} — both \
+                             sides of the split are dark",
+                            fmt_ns(world.now().0),
+                            witness.0
+                        ),
+                    });
+                }
+            }
+        }
+        return;
+    }
     let total = cluster.topology.partitions.len();
     let inside = cluster
         .topology

@@ -137,6 +137,25 @@ pub fn render_telemetry() -> String {
                 reg.counter("gsd.regroup.vetoed"),
                 reg.counter("config.stale_marks"),
             );
+            // Vote-table sub-panel: only when a witness is designated
+            // (the weighted-quorum profile); plain count-majority
+            // clusters keep the two-line panel above.
+            if let Some(w) = reg.gauge("gsd.regroup.witness") {
+                let _ = writeln!(
+                    out,
+                    "witness p{} (epoch {})  takeover delay {:.0} ms (round latency {:.1} ms)",
+                    w,
+                    reg.gauge("gsd.regroup.witness_epoch").unwrap_or(0.0),
+                    reg.gauge("gsd.regroup.takeover_delay").unwrap_or(0.0),
+                    reg.gauge("gsd.regroup.round_latency").unwrap_or(0.0),
+                );
+                let _ = writeln!(
+                    out,
+                    "dead-partition discounts {}  witness failovers {}",
+                    reg.counter("gsd.regroup.dead_discounts"),
+                    reg.counter("gsd.regroup.witness_failover"),
+                );
+            }
         }
         out
     })
@@ -215,8 +234,29 @@ mod tests {
         assert!(s.contains("rounds 7"));
         assert!(s.contains("suppressed 2"));
         assert!(s.contains("stale 4"));
+        // No witness designated → no vote-table sub-panel.
+        assert!(!s.contains("witness"));
         phoenix_telemetry::gauge_set("gsd.regroup.frozen", 0.0);
         assert!(render_telemetry().contains("quorate"));
+        phoenix_telemetry::reset();
+    }
+
+    #[test]
+    fn telemetry_panel_renders_vote_table() {
+        phoenix_telemetry::reset();
+        phoenix_telemetry::gauge_set("gsd.regroup.epoch", 5.0);
+        phoenix_telemetry::gauge_set("gsd.regroup.witness", 1.0);
+        phoenix_telemetry::gauge_set("gsd.regroup.witness_epoch", 2.0);
+        phoenix_telemetry::gauge_set("gsd.regroup.takeover_delay", 1580.0);
+        phoenix_telemetry::gauge_set("gsd.regroup.round_latency", 4.8);
+        phoenix_telemetry::counter_add("gsd.regroup.dead_discounts", 3);
+        phoenix_telemetry::counter_add("gsd.regroup.witness_failover", 1);
+        let s = render_telemetry();
+        assert!(s.contains("witness p1 (epoch 2)"));
+        assert!(s.contains("takeover delay 1580 ms"));
+        assert!(s.contains("round latency 4.8 ms"));
+        assert!(s.contains("dead-partition discounts 3"));
+        assert!(s.contains("witness failovers 1"));
         phoenix_telemetry::reset();
     }
 

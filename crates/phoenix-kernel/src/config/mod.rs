@@ -53,6 +53,11 @@ pub struct ConfigService {
     /// can vouch for. Cleared by the partition's next `DirectoryUpdate`
     /// or an explicit `stale = false`.
     stale: std::collections::BTreeSet<phoenix_proto::PartitionId>,
+    /// Latest witness identity reported by the majority side's regroup
+    /// (`CfgSetParam` key `regroup_witness`, value `partition:epoch`).
+    /// The higher witness epoch wins, mirroring the gossip rule, so
+    /// replayed or reordered reports cannot roll the view back.
+    witness: Option<(phoenix_proto::PartitionId, u64)>,
 }
 
 impl ConfigService {
@@ -65,12 +70,20 @@ impl ConfigService {
             node_ops_seen: DedupWindow::new(64),
             rewire: HashMap::new(),
             stale: std::collections::BTreeSet::new(),
+            witness: None,
         }
     }
 
     /// Partitions currently flagged stale by a regroup round (sorted).
     pub fn stale_partitions(&self) -> Vec<phoenix_proto::PartitionId> {
         self.stale.iter().copied().collect()
+    }
+
+    /// The regroup witness last reported by the majority side, with its
+    /// witness epoch. `None` until a failover has been reported (the
+    /// initial witness is implicit in the vote-table configuration).
+    pub fn regroup_witness(&self) -> Option<(phoenix_proto::PartitionId, u64)> {
+        self.witness
     }
 
     /// Spacing between wiring re-assertions: 4× the retry base keeps them
@@ -92,6 +105,18 @@ impl ConfigService {
         if let Some(partition) = self.topology.partition_of(services.node) {
             if let Some(member) = self.directory.partition(partition) {
                 ctx.send(member.gsd, KernelMsg::DirectoryUpdateNode { services });
+            }
+            // Vote-table profiles: every *other* GSD also learns the new
+            // WD pids, because regroup rounds probe foreign home-node
+            // WDs for dead-GSD testimony and a stale pid would silence a
+            // repaired node's testimony forever. Gated so pre-existing
+            // profiles stay byte-identical.
+            if self.params.ft.regroup.votes.enabled {
+                for m in &self.directory.partitions {
+                    if m.partition != partition && m.gsd != Pid(0) {
+                        ctx.send(m.gsd, KernelMsg::DirectoryUpdateNode { services });
+                    }
+                }
             }
         }
         for ns in &self.directory.nodes {
@@ -223,6 +248,18 @@ impl Actor<KernelMsg> for ConfigService {
                     }
                     for n in &self.directory.nodes {
                         ctx.send(n.wd, push.clone());
+                    }
+                } else if key == "regroup_witness" {
+                    // Majority-side witness failover report. Adopt only a
+                    // higher witness epoch (gossip rule) so a delayed
+                    // duplicate cannot roll the view back.
+                    if let Some((p, e)) = value.split_once(':') {
+                        if let (Ok(p), Ok(e)) = (p.parse::<u32>(), e.parse::<u64>()) {
+                            if self.witness.map_or(true, |(_, cur)| e > cur) {
+                                self.witness = Some((phoenix_proto::PartitionId(p), e));
+                                phoenix_telemetry::counter_add("config.witness_reports", 1);
+                            }
+                        }
                     }
                 }
                 if let Some(es) = self.any_event_service() {
@@ -362,6 +399,38 @@ mod tests {
         assert!(msgs
             .iter()
             .any(|(_, m)| matches!(m, KernelMsg::CfgAck { ok: true, .. })));
+    }
+
+    #[test]
+    fn witness_reports_adopt_higher_epoch_only() {
+        let mut w = ClusterBuilder::new()
+            .nodes(2, NodeSpec::default())
+            .build::<KernelMsg>();
+        let topo = ClusterTopology::uniform(2, 2, 1);
+        let cfg = w.spawn(
+            NodeId(0),
+            Box::new(ConfigService::new(topo, KernelParams::fast())),
+        );
+        let client = ClientHandle::spawn(&mut w, NodeId(1));
+        let report = |val: &str| KernelMsg::CfgSetParam {
+            req: RequestId(0),
+            key: "regroup_witness".into(),
+            value: val.into(),
+        };
+        client.send(&mut w, cfg, report("2:1"));
+        w.run_for(SimDuration::from_millis(5));
+        let svc = w.actor_as::<ConfigService>(cfg).unwrap();
+        assert_eq!(svc.regroup_witness(), Some((phoenix_proto::PartitionId(2), 1)));
+        // A stale duplicate (same epoch) must not roll the view back.
+        client.send(&mut w, cfg, report("0:1"));
+        client.send(&mut w, cfg, report("garbage"));
+        w.run_for(SimDuration::from_millis(5));
+        let svc = w.actor_as::<ConfigService>(cfg).unwrap();
+        assert_eq!(svc.regroup_witness(), Some((phoenix_proto::PartitionId(2), 1)));
+        client.send(&mut w, cfg, report("3:2"));
+        w.run_for(SimDuration::from_millis(5));
+        let svc = w.actor_as::<ConfigService>(cfg).unwrap();
+        assert_eq!(svc.regroup_witness(), Some((phoenix_proto::PartitionId(3), 2)));
     }
 
     #[test]

@@ -49,13 +49,15 @@ const TOK_REGROUP_RETRY: u64 = 5;
 const DIR_RESEND_TICKS: u32 = 20;
 
 /// Telemetry key for a `gsd.takeover` mark/measure/unmark. Scoped by the
-/// observing pid as well as the partition: two GSDs can chase the same
-/// partition's recovery concurrently (a watcher's takeover racing the
-/// leader's rescue sweep), and one observer aborting its spawn must not
-/// retract the other's still-in-flight mark. The mark and its matching
-/// measure/unmark always happen on the same actor, so pid scoping is safe.
-fn takeover_key(observer: Pid, partition: PartitionId) -> u64 {
-    phoenix_telemetry::key(&[3, partition.0 as u64, observer.0])
+/// observing pid, the partition, AND a per-plan sequence number: one
+/// leader can have two takeover plans for the same partition in flight
+/// (a diagnosis-driven migrate racing its own rescue sweep), and a plan
+/// that aborts its spawn must not retract the other plan's pending mark —
+/// that would silently swallow the surviving plan's measure. The mark and
+/// its matching measure/unmark always happen on the same actor, so pid
+/// scoping is safe; the plan id travels inside `RestartWhat`.
+fn takeover_key(observer: Pid, partition: PartitionId, plan: u64) -> u64 {
+    phoenix_telemetry::key(&[3, partition.0 as u64, observer.0, plan])
 }
 const OP_BASE: u64 = 100;
 
@@ -105,6 +107,12 @@ enum GsdInit {
     Respawn {
         hint: MemberInfo,
         members: Vec<MemberInfo>,
+        /// The rescuer's membership epoch at spawn time. The respawn
+        /// adopts it so its own announcements are credible: a rescued
+        /// partition that sorts to ring position 0 *is* the leader and
+        /// broadcasts directly — from epoch 0 every peer would discard
+        /// the broadcast as stale and re-rescue forever.
+        epoch: u64,
         action: RecoveryAction,
     },
 }
@@ -201,16 +209,20 @@ enum RestartWhat {
     GsdInPlace {
         hint: MemberInfo,
         members: Vec<MemberInfo>,
+        epoch: u64,
+        plan: u64,
     },
     GsdMigrate {
         hint: MemberInfo,
         members: Vec<MemberInfo>,
+        epoch: u64,
         to: NodeId,
+        plan: u64,
     },
     /// Leader safety net: a partition has had no meta-group member for a
     /// whole tick — whoever planned its takeover died before executing
     /// it. Decide restart-vs-migrate at fire time.
-    GsdRescue { partition: PartitionId },
+    GsdRescue { partition: PartitionId, plan: u64 },
 }
 
 /// The GSD actor.
@@ -226,6 +238,12 @@ pub struct Gsd {
     members: Vec<MemberInfo>,
     epoch: u64,
     node_daemons: HashMap<NodeId, NodeServices>,
+    /// Watch-daemon pids for *every* cluster node (not just our own
+    /// partition's): regroup rounds probe a silent partition's home-node
+    /// WDs for dead-GSD testimony. Seeded from the boot/respawn
+    /// directory; foreign entries refreshed by config's
+    /// `DirectoryUpdateNode` fan-out (vote-table profiles only).
+    cluster_wds: HashMap<NodeId, Pid>,
 
     wd_tracks: HashMap<NodeId, WdTrack>,
     svc_tracks: HashMap<Pid, SvcTrack>,
@@ -246,6 +264,9 @@ pub struct Gsd {
     last_known: HashMap<PartitionId, MemberInfo>,
     /// Partitions the leader is currently rescuing.
     rescuing: std::collections::HashSet<PartitionId>,
+    /// Monotone id for takeover plans; keys their telemetry marks so
+    /// overlapping plans for one partition cannot clobber each other.
+    takeover_seq: u64,
     /// Re-announce ourselves to the leader at the next tick (set when a
     /// membership broadcast was missing us).
     needs_rejoin: bool,
@@ -301,6 +322,7 @@ impl Gsd {
         registry: SharedRegistry,
         hint: MemberInfo,
         members: Vec<MemberInfo>,
+        epoch: u64,
         action: RecoveryAction,
     ) -> Self {
         Self::build(
@@ -312,6 +334,7 @@ impl Gsd {
             GsdInit::Respawn {
                 hint,
                 members,
+                epoch,
                 action,
             },
         )
@@ -346,6 +369,7 @@ impl Gsd {
             members: Vec::new(),
             epoch: 0,
             node_daemons: HashMap::new(),
+            cluster_wds: HashMap::new(),
             wd_tracks: HashMap::new(),
             svc_tracks: HashMap::new(),
             pred: None,
@@ -360,6 +384,7 @@ impl Gsd {
             supervision_dirty: false,
             last_known: HashMap::new(),
             rescuing: std::collections::HashSet::new(),
+            takeover_seq: 0,
             needs_rejoin: false,
             hb_seq: 0,
             dir_attempts: 0,
@@ -464,6 +489,21 @@ impl Gsd {
     /// Current membership epoch.
     pub fn meta_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Current witness view when the vote table is active:
+    /// `(witness partition, witness epoch)`. Chaos invariants and the
+    /// quorum bench read it to evaluate the weighted win rule the same
+    /// way the GSDs themselves do.
+    pub fn witness_view(&self) -> Option<(PartitionId, u64)> {
+        self.regroup
+            .witness()
+            .map(|w| (w, self.regroup.witness_epoch()))
+    }
+
+    /// Effective takeover delay currently enforced by the regroup layer.
+    pub fn effective_takeover_delay(&self) -> phoenix_sim::SimDuration {
+        self.regroup.effective_takeover_delay()
     }
 
     /// Per-NIC EWMA health scores (all 1.0 when the layer is disabled).
@@ -715,6 +755,7 @@ impl Gsd {
         };
         let mine = spec.all_nodes();
         for ns in nodes {
+            self.cluster_wds.insert(ns.node, ns.wd);
             if mine.contains(&ns.node) {
                 self.node_daemons.insert(ns.node, *ns);
             }
@@ -722,10 +763,12 @@ impl Gsd {
     }
 
     fn finish_wiring(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
-        // Quorum denominator: the *configured* partition count. The live
+        // Quorum denominator: the *configured* partition set. The live
         // membership must not shrink the bar, or a minority island would
-        // promote itself to "majority of what I can still see".
-        self.regroup.set_total(self.topology.partitions.len() as u32);
+        // promote itself to "majority of what I can still see". This also
+        // resolves the initial witness when the vote table is on.
+        let parts: Vec<PartitionId> = self.topology.partitions.iter().map(|p| p.id).collect();
+        self.regroup.set_partitions(&parts);
         let nics = ctx.nic_count(ctx.node());
         self.my_nic_known = (0..nics)
             .map(|i| ctx.nic_is_up(ctx.node(), NicId(i as u8)))
@@ -780,6 +823,7 @@ impl Gsd {
         let Some(GsdInit::Respawn {
             hint,
             members,
+            epoch,
             action,
         }) = self.init.take()
         else {
@@ -790,11 +834,22 @@ impl Gsd {
         self.local = hint;
         self.local.gsd = ctx.pid();
         self.local.node = ctx.node();
+        self.epoch = epoch;
         self.recovery = Some(action);
 
-        if let RecoveryAction::Migrated(_) = action {
-            // The whole server node died: rebuild the partition services
-            // here. Checkpoint first so the others can restore from it.
+        // Migrated: the whole server node died, rebuild the partition
+        // services here. An *in-place* rescue needs the same treatment
+        // when the host crashed and rebooted between diagnosis and this
+        // respawn — the old service pids died with the node even though
+        // the node reports up again (a liveness check of co-resident
+        // pids, not remote omniscience: in-place means they share our
+        // node).
+        let services_died = [hint.checkpoint, hint.event, hint.bulletin]
+            .iter()
+            .any(|&p| p == Pid(0) || !ctx.process_is_alive(p));
+        let rebuild = matches!(action, RecoveryAction::Migrated(_)) || services_died;
+        if rebuild {
+            // Checkpoint first so the others can restore from it.
             let mut args = RespawnArgs {
                 kind: ServiceKind::Checkpoint,
                 partition: self.partition,
@@ -832,6 +887,16 @@ impl Gsd {
         self.members.retain(|m| m.partition != self.partition);
         self.members.push(self.local);
         self.finish_wiring(ctx);
+        // Adopt the surviving services: they are still bound to the GSD we
+        // replace, and if that instance died *frozen* (yielded while a
+        // regroup verdict had it suppressed) its last freeze fan-out is
+        // stale forever — nobody else will ever thaw them. Rebind them to
+        // us and clear the flag; we start unfrozen, and our own regroup
+        // will re-freeze them if this island really has lost quorum.
+        if !rebuild {
+            self.push_partition_view(ctx);
+            self.freeze_fanout(ctx, false);
+        }
         self.announce_membership_change(ctx);
         // Make sure the instance we replace (if it is somehow still
         // running — false takeover) learns about us and yields.
@@ -1355,7 +1420,9 @@ impl Gsd {
             ctx.node().0,
             phoenix_telemetry::key(&[2, partition.0 as u64]),
         );
-        phoenix_telemetry::mark("gsd.takeover", takeover_key(ctx.pid(), partition));
+        self.takeover_seq += 1;
+        let plan = self.takeover_seq;
+        phoenix_telemetry::mark("gsd.takeover", takeover_key(ctx.pid(), partition, plan));
         ctx.trace(TraceEvent::FaultDiagnosed {
             observer: ctx.pid(),
             target: FaultTarget::Process(failed.gsd),
@@ -1375,6 +1442,8 @@ impl Gsd {
             DelayedOp::Restart(RestartWhat::GsdInPlace {
                 hint: failed,
                 members,
+                epoch: self.epoch,
+                plan,
             }),
         );
     }
@@ -1396,7 +1465,9 @@ impl Gsd {
             ctx.node().0,
             phoenix_telemetry::key(&[2, partition.0 as u64]),
         );
-        phoenix_telemetry::mark("gsd.takeover", takeover_key(ctx.pid(), partition));
+        self.takeover_seq += 1;
+        let plan = self.takeover_seq;
+        phoenix_telemetry::mark("gsd.takeover", takeover_key(ctx.pid(), partition, plan));
         ctx.trace(TraceEvent::FaultDiagnosed {
             observer: ctx.pid(),
             target: FaultTarget::Node(failed.node),
@@ -1425,11 +1496,14 @@ impl Gsd {
                     DelayedOp::Restart(RestartWhat::GsdMigrate {
                         hint: failed,
                         members,
+                        epoch: self.epoch,
                         to,
+                        plan,
                     }),
                 );
             }
             None => {
+                phoenix_telemetry::unmark("gsd.takeover", takeover_key(ctx.pid(), partition, plan));
                 ctx.trace(TraceEvent::Milestone {
                     label: "no-backup-node",
                     value: partition.0 as f64,
@@ -1465,11 +1539,12 @@ impl Gsd {
         ctx: &mut Ctx<'_, KernelMsg>,
         partition: PartitionId,
         node: NodeId,
+        plan: u64,
     ) -> bool {
         if ctx.node_reachable(node) {
             return true;
         }
-        phoenix_telemetry::unmark("gsd.takeover", takeover_key(ctx.pid(), partition));
+        phoenix_telemetry::unmark("gsd.takeover", takeover_key(ctx.pid(), partition, plan));
         ctx.trace(TraceEvent::Milestone {
             label: "gsd-spawn-unreachable",
             value: partition.0 as f64,
@@ -1504,11 +1579,22 @@ impl Gsd {
                     }),
                 }
             }
-            RestartWhat::GsdInPlace { hint, members } => {
+            RestartWhat::GsdInPlace {
+                hint,
+                members,
+                epoch,
+                plan,
+            } => {
                 if self.members.iter().any(|m| m.partition == hint.partition) {
-                    return; // already rejoined (rescued by someone else)
+                    // Already rejoined (rescued by someone else); retract the
+                    // abandoned plan's mark so it cannot linger.
+                    phoenix_telemetry::unmark(
+                        "gsd.takeover",
+                        takeover_key(ctx.pid(), hint.partition, plan),
+                    );
+                    return;
                 }
-                if !self.spawn_target_reachable(ctx, hint.partition, hint.node) {
+                if !self.spawn_target_reachable(ctx, hint.partition, hint.node, plan) {
                     return;
                 }
                 phoenix_telemetry::counter_add("gsd.takeovers", 1);
@@ -1516,7 +1602,7 @@ impl Gsd {
                     "gsd.takeover",
                     "gsd",
                     ctx.node().0,
-                    takeover_key(ctx.pid(), hint.partition),
+                    takeover_key(ctx.pid(), hint.partition, plan),
                 );
                 let gsd = Gsd::respawn(
                     hint.partition,
@@ -1526,15 +1612,26 @@ impl Gsd {
                     self.registry.clone(),
                     hint,
                     members,
+                    epoch.max(self.epoch),
                     RecoveryAction::RestartedInPlace,
                 );
                 ctx.spawn(hint.node, Box::new(gsd));
             }
-            RestartWhat::GsdMigrate { hint, members, to } => {
+            RestartWhat::GsdMigrate {
+                hint,
+                members,
+                epoch,
+                to,
+                plan,
+            } => {
                 if self.members.iter().any(|m| m.partition == hint.partition) {
+                    phoenix_telemetry::unmark(
+                        "gsd.takeover",
+                        takeover_key(ctx.pid(), hint.partition, plan),
+                    );
                     return;
                 }
-                if !self.spawn_target_reachable(ctx, hint.partition, to) {
+                if !self.spawn_target_reachable(ctx, hint.partition, to, plan) {
                     return;
                 }
                 phoenix_telemetry::counter_add("gsd.takeovers", 1);
@@ -1542,7 +1639,7 @@ impl Gsd {
                     "gsd.takeover",
                     "gsd",
                     ctx.node().0,
-                    takeover_key(ctx.pid(), hint.partition),
+                    takeover_key(ctx.pid(), hint.partition, plan),
                 );
                 let gsd = Gsd::respawn(
                     hint.partition,
@@ -1552,22 +1649,40 @@ impl Gsd {
                     self.registry.clone(),
                     hint,
                     members,
+                    epoch.max(self.epoch),
                     RecoveryAction::Migrated(to),
                 );
                 ctx.spawn(to, Box::new(gsd));
             }
-            RestartWhat::GsdRescue { partition } => {
+            RestartWhat::GsdRescue { partition, plan } => {
                 self.rescuing.remove(&partition);
                 if self.members.iter().any(|m| m.partition == partition) {
+                    phoenix_telemetry::unmark(
+                        "gsd.takeover",
+                        takeover_key(ctx.pid(), partition, plan),
+                    );
                     return;
                 }
                 let Some(hint) = self.last_known.get(&partition).copied() else {
+                    phoenix_telemetry::unmark(
+                        "gsd.takeover",
+                        takeover_key(ctx.pid(), partition, plan),
+                    );
                     return;
                 };
                 let members = self.members.clone();
+                let epoch = self.epoch;
                 // Restart in place if the old host is up, else migrate.
                 if ctx.node_is_up(hint.node) {
-                    self.execute_restart(ctx, RestartWhat::GsdInPlace { hint, members });
+                    self.execute_restart(
+                        ctx,
+                        RestartWhat::GsdInPlace {
+                            hint,
+                            members,
+                            epoch,
+                            plan,
+                        },
+                    );
                 } else if let Some(to) = self
                     .topology
                     .partition(partition)
@@ -1579,7 +1694,21 @@ impl Gsd {
                             .find(|&n| n != hint.node && ctx.node_is_up(n))
                     })
                 {
-                    self.execute_restart(ctx, RestartWhat::GsdMigrate { hint, members, to });
+                    self.execute_restart(
+                        ctx,
+                        RestartWhat::GsdMigrate {
+                            hint,
+                            members,
+                            epoch,
+                            to,
+                            plan,
+                        },
+                    );
+                } else {
+                    phoenix_telemetry::unmark(
+                        "gsd.takeover",
+                        takeover_key(ctx.pid(), partition, plan),
+                    );
                 }
             }
         }
@@ -1731,7 +1860,9 @@ impl Gsd {
             .collect();
         for partition in missing {
             self.rescuing.insert(partition);
-            phoenix_telemetry::mark("gsd.takeover", takeover_key(ctx.pid(), partition));
+            self.takeover_seq += 1;
+            let plan = self.takeover_seq;
+            phoenix_telemetry::mark("gsd.takeover", takeover_key(ctx.pid(), partition, plan));
             ctx.trace(TraceEvent::Milestone {
                 label: "gsd-rescue-scheduled",
                 value: partition.0 as f64,
@@ -1739,7 +1870,7 @@ impl Gsd {
             self.schedule(
                 ctx,
                 self.params.ft.gsd_restart_cost,
-                DelayedOp::Restart(RestartWhat::GsdRescue { partition }),
+                DelayedOp::Restart(RestartWhat::GsdRescue { partition, plan }),
             );
         }
     }
@@ -1753,7 +1884,7 @@ impl Gsd {
         if !self.regroup.enabled() || self.regroup.round_active() {
             return;
         }
-        let round = self.regroup.begin_round();
+        let round = self.regroup.begin_round(ctx.now());
         phoenix_telemetry::counter_add("gsd.regroup.rounds", 1);
         self.round_span = Some(match self.frozen_span {
             Some(parent) => phoenix_telemetry::span_child(
@@ -1768,6 +1899,8 @@ impl Gsd {
             from_partition: self.partition,
             epoch: self.epoch,
             round,
+            witness: self.regroup.witness().unwrap_or(PartitionId(0)),
+            witness_epoch: self.regroup.witness_epoch(),
         };
         // Every *configured* partition, not just current members: a
         // frozen side keeps pinging partitions its stale membership may
@@ -1789,6 +1922,34 @@ impl Gsd {
                 }
             }
         }
+        // Vote-table profiles also collect home-node testimony: each
+        // peer partition's own watch daemons are asked whether the GSD
+        // they track is alive. A partition that never acks but whose own
+        // nodes unanimously report its GSD dead is discounted from the
+        // quorum denominator — the escape hatch from the all-dark state
+        // where enough GSDs (witness included) died that every island
+        // is a strict weighted minority. Only home nodes may testify:
+        // they are the nodes an in-place respawn lands on, so the
+        // evidence cannot sit on the far side of a split from a rescued
+        // replacement.
+        if self.regroup.votes_enabled() {
+            let mut probe_targets: Vec<(Pid, NodeId)> = Vec::new();
+            for spec in &self.topology.partitions {
+                if spec.id == self.partition {
+                    continue;
+                }
+                for node in spec.all_nodes() {
+                    if let Some(&wd) = self.cluster_wds.get(&node) {
+                        if wd != Pid(0) {
+                            probe_targets.push((wd, node));
+                        }
+                    }
+                }
+            }
+            for (wd, node) in probe_targets {
+                self.send_routed(ctx, wd, node, KernelMsg::RegroupProbe { round });
+            }
+        }
         ctx.set_timer(self.params.ft.regroup.round_window, TOK_REGROUP);
     }
 
@@ -1802,6 +1963,50 @@ impl Gsd {
             phoenix_telemetry::span_end(span);
         }
         phoenix_telemetry::gauge_set("gsd.regroup.epoch", self.regroup.epoch() as f64);
+        if let Some(lat) = self.regroup.round_latency_ewma() {
+            phoenix_telemetry::gauge_set(
+                "gsd.regroup.round_latency",
+                lat.as_secs_f64() * 1e3,
+            );
+            phoenix_telemetry::gauge_set(
+                "gsd.regroup.takeover_delay",
+                self.regroup.effective_takeover_delay().as_secs_f64() * 1e3,
+            );
+        }
+        if let Some(w) = self.regroup.witness() {
+            phoenix_telemetry::gauge_set("gsd.regroup.witness", w.0 as f64);
+            phoenix_telemetry::gauge_set(
+                "gsd.regroup.witness_epoch",
+                self.regroup.witness_epoch() as f64,
+            );
+        }
+        if !c.dead.is_empty() {
+            // Quorum denominator shrank on home-node dead testimony.
+            phoenix_telemetry::counter_add(
+                "gsd.regroup.dead_discounts",
+                c.dead.len() as u64,
+            );
+        }
+        if let Some(w) = c.witness_failover {
+            // The held majority moved the witness off an unreachable
+            // partition; record it and tell the config service so an
+            // operator (and GridView) can see the new quorum anchor.
+            phoenix_telemetry::counter_add("gsd.regroup.witness_failover", 1);
+            ctx.trace(TraceEvent::Milestone {
+                label: "witness-failover",
+                value: w.0 as f64,
+            });
+            if c.reachable.first() == Some(&self.partition) {
+                ctx.send(
+                    self.config,
+                    KernelMsg::CfgSetParam {
+                        req: RequestId(0),
+                        key: "regroup_witness".to_string(),
+                        value: format!("{}:{}", w.0, self.regroup.witness_epoch()),
+                    },
+                );
+            }
+        }
         match c.verdict {
             Verdict::Majority if !self.regroup.frozen() => {
                 // We hold quorum: normal operation (the concluded round
@@ -1822,19 +2027,47 @@ impl Gsd {
                         }
                     }
                 }
+                if self.regroup.witness_lost() {
+                    ctx.set_timer(self.params.ft.regroup.frozen_retry, TOK_REGROUP_RETRY);
+                }
             }
             Verdict::Majority => {
                 // Frozen, but a majority answered: the partition healed.
                 // Ask the freshest unfrozen peer to take us back in; thaw
                 // happens only when the majority's broadcast names us.
                 // If *everyone* reachable is frozen (the whole cluster
-                // fragmented and re-healed), the lowest partition
-                // re-seeds the group by thawing and announcing itself.
+                // fragmented and re-healed), one partition re-seeds the
+                // group by thawing and announcing itself: the witness's
+                // partition when the vote table is on and the witness is
+                // reachable (it anchors the quorum, so the rebuilt group
+                // forms around it), else the lowest reachable.
                 match c.rejoin_target {
                     Some((gsd, _)) => ctx.send(gsd, KernelMsg::MetaJoin { member: self.local }),
                     None => {
-                        if c.reachable.first() == Some(&self.partition) {
+                        let reseed = self
+                            .regroup
+                            .witness()
+                            .filter(|w| c.reachable.contains(w))
+                            .or_else(|| c.reachable.first().copied());
+                        // A majority that leans on dead-partition
+                        // discounts is testimony, not reachability:
+                        // out-wait a full takeover-delay chain of such
+                        // verdicts before re-seeding, as hysteresis
+                        // against a transient or one-sided view.
+                        let licensed = c.dead.is_empty()
+                            || self.regroup.takeover_licensed(ctx.now());
+                        if reseed == Some(self.partition) && licensed {
+                            // Re-seed as a *singleton* group. Our
+                            // pre-fragmentation member list still names
+                            // frozen peers, so ring leadership would point
+                            // at one of them — a leader that drops every
+                            // MetaJoin while frozen, wedging the rebuild.
+                            // Shrinking to ourselves makes us the leader;
+                            // peers' retry rounds find us unfrozen, join,
+                            // and thaw when our broadcast names them.
+                            self.members.retain(|m| m.partition == self.partition);
                             self.leave_frozen(ctx);
+                            self.refresh_roles(ctx);
                             self.announce_membership_change(ctx);
                         }
                     }
@@ -1966,6 +2199,15 @@ impl Gsd {
             return false;
         }
         true
+    }
+
+    /// Adopt a gossiped witness view (regroup ping/ack traffic) and keep
+    /// the telemetry gauges current when it changes.
+    fn observe_witness(&mut self, witness: PartitionId, witness_epoch: u64) {
+        if self.regroup.observe_witness(witness, witness_epoch) {
+            phoenix_telemetry::gauge_set("gsd.regroup.witness", witness.0 as f64);
+            phoenix_telemetry::gauge_set("gsd.regroup.witness_epoch", witness_epoch as f64);
+        }
     }
 
     // ---- heartbeat ingestion -----------------------------------------------
@@ -2447,11 +2689,17 @@ impl Actor<KernelMsg> for Gsd {
             KernelMsg::ProbeReq { req } => {
                 ctx.send(from, KernelMsg::ProbeResp { req });
             }
-            KernelMsg::RegroupPing { round, .. } => {
+            KernelMsg::RegroupPing {
+                round,
+                witness,
+                witness_epoch,
+                ..
+            } => {
                 // Always answer (even frozen — reachability is
                 // reachability; the `frozen` bit tells the pinger whether
                 // we can vouch for a membership).
                 if self.regroup.enabled() {
+                    self.observe_witness(witness, witness_epoch);
                     ctx.send(
                         from,
                         KernelMsg::RegroupAck {
@@ -2459,8 +2707,24 @@ impl Actor<KernelMsg> for Gsd {
                             epoch: self.epoch,
                             round,
                             frozen: self.regroup.frozen(),
+                            weight: self.regroup.configured_weight(self.partition),
+                            witness: self.regroup.witness().unwrap_or(PartitionId(0)),
+                            witness_epoch: self.regroup.witness_epoch(),
                         },
                     );
+                    // Verdict propagation: a peer opening a round suspects
+                    // the topology changed. On an even split the losing
+                    // side's leader can have its entire ring neighbourhood
+                    // on its own island (predecessor reachable, so no
+                    // suspicion ever fires) and would lead until heal —
+                    // echo a round of our own so every reachable GSD
+                    // concludes a verdict within one window of the first
+                    // detector. `start_regroup_round` dedups on an active
+                    // round, and echoes only chain while pings keep
+                    // arriving, so steady state stays quiet.
+                    if self.regroup.votes_enabled() {
+                        self.start_regroup_round(ctx);
+                    }
                 }
             }
             KernelMsg::RegroupAck {
@@ -2468,8 +2732,12 @@ impl Actor<KernelMsg> for Gsd {
                 epoch,
                 round,
                 frozen,
+                weight,
+                witness,
+                witness_epoch,
             } => {
                 if self.regroup.enabled() {
+                    self.observe_witness(witness, witness_epoch);
                     self.regroup.on_ack(
                         round,
                         from_partition,
@@ -2477,8 +2745,22 @@ impl Actor<KernelMsg> for Gsd {
                             gsd: from,
                             epoch,
                             frozen,
+                            weight,
                         },
+                        ctx.now(),
                     );
+                }
+            }
+            KernelMsg::RegroupProbeAck {
+                round,
+                partition,
+                alive,
+                ..
+            } => {
+                // Home-node testimony about a peer partition's GSD. Our
+                // own partition never needs testifying about.
+                if self.regroup.enabled() && partition != self.partition {
+                    self.regroup.on_home_report(round, partition, alive);
                 }
             }
             KernelMsg::CfgSetParam { key, value, .. } => {
@@ -2506,6 +2788,17 @@ impl Actor<KernelMsg> for Gsd {
             KernelMsg::DirectoryUpdateNode { services } => {
                 // Config respawned a node's daemons (node brought back up).
                 let node = services.node;
+                self.cluster_wds.insert(node, services.wd);
+                // Vote-table profiles fan this out to *every* GSD so
+                // regroup probes reach fresh WD pids; only the owning
+                // partition tracks the node for fault monitoring.
+                let mine = self
+                    .topology
+                    .partition(self.partition)
+                    .is_some_and(|spec| spec.all_nodes().contains(&node));
+                if !mine {
+                    return;
+                }
                 // Config's push supersedes anything we were re-asserting.
                 self.dir_resend_nodes.remove(&node);
                 self.node_daemons.insert(node, services);
@@ -2588,8 +2881,11 @@ impl Actor<KernelMsg> for Gsd {
             TOK_REGROUP => self.conclude_regroup(ctx),
             TOK_REGROUP_RETRY => {
                 // Heal detection: while frozen, keep opening rounds until
-                // a majority answers.
-                if self.regroup.frozen() {
+                // a majority answers. An unfrozen majority polls too while
+                // the witness is unreachable, so the failover can fire the
+                // moment the takeover licence ripens (and so a healed
+                // witness is re-observed promptly).
+                if self.regroup.frozen() || self.regroup.witness_lost() {
                     self.start_regroup_round(ctx);
                 }
             }

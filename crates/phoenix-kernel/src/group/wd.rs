@@ -173,6 +173,24 @@ impl Actor<KernelMsg> for Wd {
             KernelMsg::ProbeReq { req } => {
                 ctx.send(from, KernelMsg::ProbeResp { req });
             }
+            KernelMsg::RegroupProbe { round } => {
+                // Home-node testimony for a peer GSD's regroup round: the
+                // GSD pid this daemon heartbeats, and whether that pid is
+                // still alive (the sim shortcut for "K consecutive
+                // heartbeat acks missing"). An unbooted WD abstains — it
+                // tracks no pid and has no ack stream to testify from.
+                if self.gsd != Pid(0) {
+                    ctx.send(
+                        from,
+                        KernelMsg::RegroupProbeAck {
+                            round,
+                            partition: self.partition,
+                            gsd: self.gsd,
+                            alive: ctx.process_is_alive(self.gsd),
+                        },
+                    );
+                }
+            }
             KernelMsg::WdHeartbeatAck { nic, seq } => {
                 self.on_ack(nic, seq);
             }

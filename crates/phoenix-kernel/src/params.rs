@@ -139,6 +139,15 @@ impl FtParams {
             ..FtParams::fast_lossy()
         }
     }
+
+    /// Partition profile plus the weighted/witness vote table and the
+    /// adaptive takeover delay: even splits keep exactly one side live.
+    pub fn fast_quorum() -> FtParams {
+        FtParams {
+            regroup: RegroupParams::quorum(),
+            ..FtParams::fast_lossy()
+        }
+    }
 }
 
 /// All kernel parameters.
@@ -211,6 +220,16 @@ impl KernelParams {
             ..KernelParams::fast()
         }
     }
+
+    /// Partition profile plus weighted/witness quorum and adaptive
+    /// takeover delay: the configuration for every even-split scenario.
+    pub fn fast_quorum() -> KernelParams {
+        KernelParams {
+            ft: FtParams::fast_quorum(),
+            rpc: RetryPolicy::lossy(),
+            ..KernelParams::fast()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -256,5 +275,16 @@ mod tests {
         assert!(q.ft.regroup.enabled);
         assert!(q.ft.nic.enabled, "partition profile keeps loss hardening");
         assert!(q.rpc.retries_enabled());
+        // The vote table and adaptive delay are a further opt-in layer:
+        // the partition profile (and every pinned seed that uses it)
+        // must stay on plain count majority with the fixed delay.
+        assert!(!q.ft.regroup.votes.enabled, "partition profile: no votes");
+        assert!(!q.ft.regroup.adaptive_delay, "partition profile: fixed delay");
+        let w = KernelParams::fast_quorum();
+        assert!(w.ft.regroup.enabled);
+        assert!(w.ft.regroup.votes.enabled);
+        assert!(w.ft.regroup.adaptive_delay);
+        assert!(w.ft.nic.enabled, "quorum profile keeps loss hardening");
+        assert!(w.rpc.retries_enabled());
     }
 }

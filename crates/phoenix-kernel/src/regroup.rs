@@ -26,6 +26,29 @@
 //! round bookkeeping, quorum math, and freeze/thaw edges. The GSD drives
 //! it and owns all message traffic. Everything is gated behind
 //! [`RegroupParams::enabled`] so the paper pipeline stays byte-identical.
+//!
+//! ## Weighted / witness quorum (DESIGN.md §13)
+//!
+//! Strict node-count majority freezes *both* sides of an exact 50/50
+//! split — correct but a total outage. MSCS answers this with a quorum
+//! resource; the equivalent here is a [`VoteTable`]: per-partition
+//! weights (default 1) plus a designated **witness** partition whose
+//! vote counts double. An even split then has a strict weighted winner
+//! (the witness's side), and on a weight tie the side holding the
+//! lowest configured partition wins — deterministic because exactly one
+//! side can hold it. If the majority observes the witness unreachable
+//! for a full held-majority period it *fails the witness over* to the
+//! lowest reachable partition under a bumped witness epoch, gossiped in
+//! regroup traffic so a healed minority adopts the new identity. The
+//! vote table has its own switch ([`VoteTable::enabled`]) so every
+//! pre-existing regroup profile stays byte-identical.
+//!
+//! The **adaptive takeover delay** replaces the fixed 1.5 s/31 s
+//! profile constants with a clamp-bounded function of observed regroup
+//! round latency: an integer EWMA of (first ping → last ack) per round,
+//! scaled and clamped to `[delay_floor, delay_ceil]`. Clean networks
+//! converge near the floor (fast profile); lossy ones back off, never
+//! past the paper's 31 s ceiling.
 
 use phoenix_proto::PartitionId;
 use phoenix_sim::{Pid, SimDuration, SimTime};
@@ -60,6 +83,39 @@ pub struct RegroupParams {
     /// frozen ex-leader and a fresh election could briefly coexist. Must
     /// exceed `hb_interval + round_window + check_interval`.
     pub takeover_delay: SimDuration,
+    /// Weighted/witness vote table. Disabled ⇒ plain partition-count
+    /// majority, byte-identical to the pre-vote-table protocol.
+    pub votes: VoteTable,
+    /// Derive the takeover delay from observed round latency instead of
+    /// the fixed `takeover_delay` constant. Off by default.
+    pub adaptive_delay: bool,
+    /// Adaptive clamp floor: the proven-safe fast-profile constant. The
+    /// derived delay never drops below it, so adaptation can never
+    /// license a takeover earlier than the fixed fast profile would.
+    pub delay_floor: SimDuration,
+    /// Adaptive clamp ceiling: the paper-profile constant.
+    pub delay_ceil: SimDuration,
+}
+
+/// Per-partition vote weights plus the witness designation.
+///
+/// Weights default to 1 per configured partition; `weights` only lists
+/// overrides. The witness's vote counts double; `None` designates the
+/// lowest configured partition (the config-service host). With weights
+/// left uniform a weight tie implies the witness is unreachable from
+/// *both* sides, which is what makes the lowest-partition tie-breaker
+/// safe; custom tables should preserve that property (a tie while the
+/// witness is alive on one side would otherwise let the lowest-partition
+/// rule fire on the witness-less side too).
+#[derive(Clone, Debug, Default)]
+pub struct VoteTable {
+    /// Vote-table switch, independent of `RegroupParams::enabled` so
+    /// pinned count-majority scenarios stay byte-identical.
+    pub enabled: bool,
+    /// Weight overrides; partitions not listed weigh 1.
+    pub weights: Vec<(PartitionId, u32)>,
+    /// Initial witness partition; `None` ⇒ lowest configured partition.
+    pub witness: Option<PartitionId>,
 }
 
 impl Default for RegroupParams {
@@ -72,6 +128,10 @@ impl Default for RegroupParams {
             // Default FtParams heartbeat every 30 s: out-wait a full beat
             // plus the round window and scan jitter.
             takeover_delay: SimDuration::from_secs(31),
+            votes: VoteTable::default(),
+            adaptive_delay: false,
+            delay_floor: SimDuration::from_millis(1500),
+            delay_ceil: SimDuration::from_secs(31),
         }
     }
 }
@@ -87,6 +147,20 @@ impl RegroupParams {
             enabled: true,
             takeover_delay: SimDuration::from_millis(1500),
             ..RegroupParams::default()
+        }
+    }
+
+    /// `fast()` plus the vote table and the adaptive takeover delay:
+    /// even splits keep the witness's side live, and the delay tracks
+    /// observed round latency inside the [1.5 s, 31 s] clamp.
+    pub fn quorum() -> RegroupParams {
+        RegroupParams {
+            votes: VoteTable {
+                enabled: true,
+                ..VoteTable::default()
+            },
+            adaptive_delay: true,
+            ..RegroupParams::fast()
         }
     }
 }
@@ -109,6 +183,10 @@ pub struct AckInfo {
     pub epoch: u64,
     /// Whether the acker itself is frozen.
     pub frozen: bool,
+    /// The acker's configured vote weight (witness doubling is applied
+    /// by the *receiver* against its own witness view). 1 when the
+    /// sender runs without a vote table.
+    pub weight: u32,
 }
 
 /// The outcome handed back to the GSD when a round concludes.
@@ -120,8 +198,20 @@ pub struct Conclusion {
     /// Best rejoin target among the ackers: the unfrozen member with the
     /// highest (epoch, pid). `None` means every reachable peer is frozen
     /// too (or nobody acked) — with majority, the lowest reachable
-    /// partition must then self-thaw to re-seed the group.
+    /// partition must then self-thaw to re-seed the group (the
+    /// witness's partition when the vote table is on and the witness is
+    /// reachable).
     pub rejoin_target: Option<(Pid, u64)>,
+    /// Set when this conclusion failed the witness over to a new
+    /// partition (majority held, old witness unreachable for a full
+    /// takeover-delay period). The GSD reports it to the config service.
+    pub witness_failover: Option<PartitionId>,
+    /// Partitions confirmed dead by their own home nodes this round and
+    /// discounted from the quorum denominator (sorted; empty while the
+    /// vote table is off). A non-empty set means the verdict leans on
+    /// testimony rather than pure reachability, so the all-frozen
+    /// re-seed path additionally out-waits the takeover delay.
+    pub dead: Vec<PartitionId>,
 }
 
 /// Pure regroup state machine. The GSD owns one and drives it from its
@@ -140,6 +230,12 @@ pub struct Regroup {
     /// Acks collected for the current round, keyed by partition (sorted
     /// iteration for determinism).
     acks: BTreeMap<PartitionId, AckInfo>,
+    /// Home-node testimony for the current round: per partition, how many
+    /// of its own nodes' watch daemons reported the GSD they track dead
+    /// vs. alive. A partition is *confirmed dead* — and discounted from
+    /// the quorum denominator — only when it never acked, at least one
+    /// home node testified, and none testified alive.
+    home_reports: BTreeMap<PartitionId, (u32, u32)>,
     frozen: bool,
     /// When the last majority verdict concluded (takeover licence).
     last_majority_at: Option<SimTime>,
@@ -152,6 +248,22 @@ pub struct Regroup {
     last_reachable: Vec<PartitionId>,
     rounds_concluded: u64,
     freezes: u64,
+    /// Configured partitions, sorted. Empty until `set_partitions` (the
+    /// legacy `set_total` path leaves it empty and keeps count-majority
+    /// semantics even if the vote table is switched on).
+    parts: Vec<PartitionId>,
+    /// Current witness; `Some` only while the vote table is active.
+    witness: Option<PartitionId>,
+    /// Witness generation: bumps on every failover, gossiped in regroup
+    /// traffic; the higher epoch wins on conflict.
+    witness_epoch: u64,
+    /// When the current round opened (adaptive-latency sample start).
+    round_started_at: Option<SimTime>,
+    /// When the current round's last ack landed.
+    last_ack_at: Option<SimTime>,
+    /// Integer EWMA (ns, alpha 1/4) of per-round first-ping→last-ack
+    /// latency; `None` until the first completed sample.
+    latency_ewma_ns: Option<u64>,
 }
 
 impl Regroup {
@@ -163,6 +275,7 @@ impl Regroup {
             round: None,
             next_round: 0,
             acks: BTreeMap::new(),
+            home_reports: BTreeMap::new(),
             frozen: false,
             last_majority_at: None,
             majority_since: None,
@@ -170,6 +283,12 @@ impl Regroup {
             last_reachable: Vec::new(),
             rounds_concluded: 0,
             freezes: 0,
+            parts: Vec::new(),
+            witness: None,
+            witness_epoch: 0,
+            round_started_at: None,
+            last_ack_at: None,
+            latency_ewma_ns: None,
         }
     }
 
@@ -184,6 +303,127 @@ impl Regroup {
     /// Fix the quorum denominator (configured partition count).
     pub fn set_total(&mut self, total: u32) {
         self.total = total;
+    }
+
+    /// Fix the configured partition set (and the quorum denominator).
+    /// Activates the vote table when enabled: resolves the initial
+    /// witness (explicit designation, else the lowest configured
+    /// partition — the config-service host).
+    pub fn set_partitions(&mut self, parts: &[PartitionId]) {
+        self.parts = parts.to_vec();
+        self.parts.sort();
+        self.parts.dedup();
+        self.total = self.parts.len() as u32;
+        if self.votes_enabled() {
+            self.witness = self
+                .params
+                .votes
+                .witness
+                .filter(|w| self.parts.contains(w))
+                .or_else(|| self.parts.first().copied());
+        }
+    }
+
+    /// Whether weighted/witness voting is active (vote table on *and*
+    /// a configured partition set was installed).
+    pub fn votes_enabled(&self) -> bool {
+        self.params.votes.enabled && !self.parts.is_empty()
+    }
+
+    /// This partition's configured weight (no witness doubling — that is
+    /// applied by whoever tallies, against their own witness view).
+    pub fn configured_weight(&self, p: PartitionId) -> u32 {
+        self.params
+            .votes
+            .weights
+            .iter()
+            .find(|(id, _)| *id == p)
+            .map(|&(_, w)| w)
+            .unwrap_or(1)
+    }
+
+    /// Current witness partition; `None` while the vote table is off.
+    pub fn witness(&self) -> Option<PartitionId> {
+        if self.votes_enabled() {
+            self.witness
+        } else {
+            None
+        }
+    }
+
+    pub fn witness_epoch(&self) -> u64 {
+        self.witness_epoch
+    }
+
+    /// Adopt a gossiped witness identity if it carries a higher witness
+    /// epoch than ours. Returns true when the view changed.
+    pub fn observe_witness(&mut self, witness: PartitionId, epoch: u64) -> bool {
+        if self.votes_enabled() && epoch > self.witness_epoch {
+            self.witness = Some(witness);
+            self.witness_epoch = epoch;
+            return true;
+        }
+        false
+    }
+
+    /// A partition's vote as tallied by this side: configured weight,
+    /// doubled for the current witness.
+    fn vote_of(&self, p: PartitionId, carried: u32) -> u32 {
+        if self.witness == Some(p) {
+            carried * 2
+        } else {
+            carried
+        }
+    }
+
+    /// Total configured votes (the weighted quorum denominator), minus
+    /// partitions confirmed dead by their own home nodes this round — a
+    /// dead GSD cannot participate in a rival quorum, so keeping its
+    /// vote in the denominator would only dark the whole cluster once
+    /// enough partitions die (witness included) to make every island a
+    /// strict weighted minority.
+    fn total_votes(&self, dead: &[PartitionId]) -> u32 {
+        self.parts
+            .iter()
+            .filter(|p| !dead.contains(p))
+            .map(|&p| self.vote_of(p, self.configured_weight(p)))
+            .sum()
+    }
+
+    /// Weighted-majority verdict for this side. `reachable_votes` sums
+    /// the carried ack weights (plus our own configured weight), each
+    /// doubled for the witness. Strict majority wins; on an exact tie
+    /// the witness's side wins, else the side holding the lowest
+    /// *live* configured partition (exactly one side can hold it; if it
+    /// is dead both sides freeze, conservatively).
+    fn weighted_majority(
+        &self,
+        me: PartitionId,
+        reachable: &[PartitionId],
+        dead: &[PartitionId],
+    ) -> bool {
+        let mut rv = self.vote_of(me, self.configured_weight(me));
+        for (&p, a) in &self.acks {
+            if p != me {
+                rv += self.vote_of(p, a.weight);
+            }
+        }
+        let tv = self.total_votes(dead);
+        if 2 * rv > tv {
+            return true;
+        }
+        if 2 * rv < tv {
+            return false;
+        }
+        match self.witness {
+            Some(w) if reachable.contains(&w) => true,
+            Some(_) => self
+                .parts
+                .iter()
+                .find(|p| !dead.contains(p))
+                .is_some_and(|lowest| reachable.contains(lowest)),
+            None => false,
+        }
     }
 
     pub fn total(&self) -> u32 {
@@ -216,23 +456,59 @@ impl Regroup {
     }
 
     /// Open a new round; returns its id. No-op (returns the live round's
-    /// id) if one is already collecting.
-    pub fn begin_round(&mut self) -> u64 {
+    /// id) if one is already collecting. `now` timestamps the round open
+    /// for the adaptive-latency sample.
+    pub fn begin_round(&mut self, now: SimTime) -> u64 {
         if let Some(r) = self.round {
             return r;
         }
         self.next_round += 1;
         self.round = Some(self.next_round);
         self.acks.clear();
+        self.home_reports.clear();
+        self.round_started_at = Some(now);
+        self.last_ack_at = None;
         self.next_round
     }
 
     /// Record an ack for the current round. Stale/foreign round ids are
     /// ignored.
-    pub fn on_ack(&mut self, round: u64, from: PartitionId, info: AckInfo) {
+    pub fn on_ack(&mut self, round: u64, from: PartitionId, info: AckInfo, now: SimTime) {
         if self.round == Some(round) {
             self.acks.insert(from, info);
+            self.last_ack_at = Some(now);
         }
+    }
+
+    /// Record home-node testimony about `partition`'s GSD for the current
+    /// round (a `RegroupProbeAck` from one of that partition's own watch
+    /// daemons). Stale/foreign round ids are ignored.
+    pub fn on_home_report(&mut self, round: u64, partition: PartitionId, alive: bool) {
+        if self.round == Some(round) {
+            let e = self.home_reports.entry(partition).or_insert((0, 0));
+            if alive {
+                e.1 += 1;
+            } else {
+                e.0 += 1;
+            }
+        }
+    }
+
+    /// Partitions confirmed dead this round: never acked, and their own
+    /// home nodes unanimously testified (≥ 1 report, none alive). Sorted.
+    fn confirmed_dead(&self, me: PartitionId) -> Vec<PartitionId> {
+        self.parts
+            .iter()
+            .copied()
+            .filter(|&p| {
+                p != me
+                    && !self.acks.contains_key(&p)
+                    && self
+                        .home_reports
+                        .get(&p)
+                        .is_some_and(|&(dead, alive)| dead > 0 && alive == 0)
+            })
+            .collect()
     }
 
     /// Conclude the current round (the round-window timer fired).
@@ -246,7 +522,28 @@ impl Regroup {
             reachable.push(me);
         }
         reachable.sort();
-        let verdict = if self.is_majority(reachable.len() as u32) {
+        if self.params.adaptive_delay {
+            if let (Some(start), Some(last)) = (self.round_started_at, self.last_ack_at) {
+                let sample = last.since(start).as_nanos();
+                self.latency_ewma_ns = Some(match self.latency_ewma_ns {
+                    Some(e) => (3 * e + sample) / 4,
+                    None => sample,
+                });
+            }
+        }
+        self.round_started_at = None;
+        self.last_ack_at = None;
+        let dead = if self.votes_enabled() {
+            self.confirmed_dead(me)
+        } else {
+            Vec::new()
+        };
+        let won = if self.votes_enabled() {
+            self.weighted_majority(me, &reachable, &dead)
+        } else {
+            self.is_majority(reachable.len() as u32)
+        };
+        let verdict = if won {
             // A lapsed chain (no majority within the validity window)
             // restarts the takeover-delay clock.
             if self.majority_since.is_none() || !self.majority_confirmed(now) {
@@ -271,10 +568,33 @@ impl Regroup {
             .max_by_key(|a| (a.epoch, a.gsd))
             .map(|a| (a.gsd, a.epoch));
         self.acks.clear();
+        self.home_reports.clear();
+        // Witness failover: an unfrozen majority that has out-waited a
+        // full takeover-delay period without reaching the witness moves
+        // the witness to the lowest reachable partition under a bumped
+        // witness epoch. Only the majority side can conclude Majority,
+        // so the two sides of a split can never fail over divergently.
+        let mut witness_failover = None;
+        if verdict == Verdict::Majority
+            && !self.frozen
+            && self.takeover_licensed(now)
+            && self
+                .witness()
+                .is_some_and(|w| !reachable.contains(&w))
+        {
+            let new = reachable.first().copied();
+            if let Some(new) = new {
+                self.witness = Some(new);
+                self.witness_epoch += 1;
+                witness_failover = Some(new);
+            }
+        }
         Some(Conclusion {
             verdict,
             reachable,
             rejoin_target,
+            witness_failover,
+            dead,
         })
     }
 
@@ -297,6 +617,20 @@ impl Regroup {
         was
     }
 
+    /// The witness is configured but missing from the last concluded
+    /// round's reachable set. The held majority keeps its round cadence
+    /// alive while this is true: witness failover fires at a round
+    /// *conclusion* under a ripened takeover licence, and without a
+    /// poller the rounds opened by fault probes stop exactly when the
+    /// diagnosis completes — one conclude too early.
+    pub fn witness_lost(&self) -> bool {
+        self.votes_enabled()
+            && self.last_concluded_at.is_some()
+            && self
+                .witness()
+                .is_some_and(|w| !self.last_reachable.contains(&w))
+    }
+
     /// Takeover licence, part 1: a round concluded with majority recently
     /// enough that the verdict still reflects post-fault connectivity.
     pub fn majority_confirmed(&self, now: SimTime) -> bool {
@@ -314,7 +648,32 @@ impl Regroup {
         self.majority_confirmed(now)
             && self
                 .majority_since
-                .is_some_and(|s| now.since(s) >= self.params.takeover_delay)
+                .is_some_and(|s| now.since(s) >= self.effective_takeover_delay())
+    }
+
+    /// Latest smoothed round latency, if any rounds have sampled.
+    pub fn round_latency_ewma(&self) -> Option<SimDuration> {
+        self.latency_ewma_ns.map(SimDuration::from_nanos)
+    }
+
+    /// The takeover delay actually enforced: the fixed parameter, or —
+    /// with adaptation on and at least one sampled round — a multiple of
+    /// the smoothed round latency clamped to `[delay_floor, delay_ceil]`.
+    /// The floor is the proven-safe fast-profile constant, so adaptation
+    /// can only ever *lengthen* the wait relative to that baseline.
+    pub fn effective_takeover_delay(&self) -> SimDuration {
+        if !self.params.adaptive_delay {
+            return self.params.takeover_delay;
+        }
+        match self.latency_ewma_ns {
+            None => self.params.takeover_delay,
+            Some(ewma) => {
+                let floor = self.params.delay_floor.as_nanos();
+                let ceil = self.params.delay_ceil.as_nanos();
+                let derived = floor.saturating_add(ewma.saturating_mul(16));
+                SimDuration::from_nanos(derived.clamp(floor, ceil))
+            }
+        }
     }
 
     /// Reachability veto: the suspected partition *acked the last
@@ -344,7 +703,12 @@ mod tests {
             gsd: Pid(pid),
             epoch,
             frozen,
+            weight: 1,
         }
+    }
+
+    fn parts(n: u32) -> Vec<PartitionId> {
+        (0..n).map(PartitionId).collect()
     }
 
     #[test]
@@ -365,11 +729,11 @@ mod tests {
     fn round_collects_acks_and_concludes() {
         let mut rg = Regroup::new(RegroupParams::fast());
         rg.set_total(3);
-        let r = rg.begin_round();
+        let r = rg.begin_round(t(0));
         assert!(rg.round_active());
-        assert_eq!(rg.begin_round(), r, "re-entrant begin keeps the round");
-        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
-        rg.on_ack(r + 7, PartitionId(2), ack(11, 0, false)); // stale round id
+        assert_eq!(rg.begin_round(t(0)), r, "re-entrant begin keeps the round");
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false), t(0));
+        rg.on_ack(r + 7, PartitionId(2), ack(11, 0, false), t(0)); // stale round id
         let c = rg.conclude(PartitionId(0), t(0)).unwrap();
         assert_eq!(c.verdict, Verdict::Majority);
         assert_eq!(c.reachable, vec![PartitionId(0), PartitionId(1)]);
@@ -382,7 +746,7 @@ mod tests {
     fn minority_concludes_and_freezes_once() {
         let mut rg = Regroup::new(RegroupParams::fast());
         rg.set_total(3);
-        let _ = rg.begin_round();
+        let _ = rg.begin_round(t(0));
         let c = rg.conclude(PartitionId(2), t(0)).unwrap();
         assert_eq!(c.verdict, Verdict::Minority);
         assert_eq!(c.reachable, vec![PartitionId(2)]);
@@ -397,19 +761,19 @@ mod tests {
     fn rejoin_target_prefers_fresh_unfrozen_acker() {
         let mut rg = Regroup::new(RegroupParams::fast());
         rg.set_total(3);
-        let r = rg.begin_round();
-        rg.on_ack(r, PartitionId(0), ack(20, 9, false));
-        rg.on_ack(r, PartitionId(1), ack(21, 12, true)); // frozen: not a target
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(0), ack(20, 9, false), t(0));
+        rg.on_ack(r, PartitionId(1), ack(21, 12, true), t(0)); // frozen: not a target
         let c = rg.conclude(PartitionId(2), t(0)).unwrap();
         assert_eq!(c.rejoin_target, Some((Pid(20), 9)));
         // An unfrozen acker is a target even at a lower epoch (the
         // majority may never have bumped it); only all-frozen → None.
-        let r = rg.begin_round();
-        rg.on_ack(r, PartitionId(0), ack(20, 2, false));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(0), ack(20, 2, false), t(0));
         let c = rg.conclude(PartitionId(2), t(0)).unwrap();
         assert_eq!(c.rejoin_target, Some((Pid(20), 2)));
-        let r = rg.begin_round();
-        rg.on_ack(r, PartitionId(0), ack(20, 2, true));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(0), ack(20, 2, true), t(0));
         let c = rg.conclude(PartitionId(2), t(0)).unwrap();
         assert_eq!(c.rejoin_target, None, "all reachable peers frozen");
     }
@@ -419,8 +783,8 @@ mod tests {
         let mut rg = Regroup::new(RegroupParams::fast());
         rg.set_total(3);
         assert!(!rg.majority_confirmed(t(0)), "no round yet");
-        let r = rg.begin_round();
-        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false), t(0));
         rg.conclude(PartitionId(0), t(1_000)).unwrap();
         assert!(rg.majority_confirmed(t(1_000)));
         let validity = RegroupParams::fast().verdict_validity;
@@ -430,7 +794,7 @@ mod tests {
         assert!(rg.majority_confirmed(inside));
         assert!(!rg.majority_confirmed(outside));
         // A minority conclusion does not refresh the licence.
-        let _ = rg.begin_round();
+        let _ = rg.begin_round(t(0));
         rg.conclude(PartitionId(0), outside).unwrap();
         assert!(!rg.majority_confirmed(outside));
     }
@@ -439,6 +803,16 @@ mod tests {
     fn disabled_params_by_default() {
         assert!(!RegroupParams::default().enabled);
         assert!(RegroupParams::fast().enabled);
+        // The vote table and adaptive delay are opt-in layers: off in the
+        // default *and* in the pre-existing fast profile, so every pinned
+        // count-majority scenario stays byte-identical.
+        assert!(!RegroupParams::default().votes.enabled);
+        assert!(!RegroupParams::default().adaptive_delay);
+        assert!(!RegroupParams::fast().votes.enabled);
+        assert!(!RegroupParams::fast().adaptive_delay);
+        assert!(RegroupParams::quorum().enabled);
+        assert!(RegroupParams::quorum().votes.enabled);
+        assert!(RegroupParams::quorum().adaptive_delay);
     }
 
     #[test]
@@ -447,8 +821,8 @@ mod tests {
         rg.set_total(3);
         let delay = RegroupParams::fast().takeover_delay;
         let t0 = t(0);
-        let r = rg.begin_round();
-        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false), t(0));
         rg.conclude(PartitionId(0), t0).unwrap();
         assert!(rg.majority_confirmed(t0));
         assert!(
@@ -460,13 +834,13 @@ mod tests {
         let mut now = t0;
         while now.since(t0) < delay {
             now = now + SimDuration::from_millis(500);
-            let r = rg.begin_round();
-            rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+            let r = rg.begin_round(t(0));
+            rg.on_ack(r, PartitionId(1), ack(10, 0, false), t(0));
             rg.conclude(PartitionId(0), now).unwrap();
         }
         assert!(rg.takeover_licensed(now), "held majority licenses takeover");
         // A minority conclusion breaks the chain immediately.
-        let _ = rg.begin_round();
+        let _ = rg.begin_round(t(0));
         rg.conclude(PartitionId(0), now).unwrap();
         assert!(!rg.takeover_licensed(now));
     }
@@ -476,14 +850,14 @@ mod tests {
         let mut rg = Regroup::new(RegroupParams::fast());
         rg.set_total(3);
         let p = RegroupParams::fast();
-        let r = rg.begin_round();
-        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false), t(0));
         rg.conclude(PartitionId(0), t(0)).unwrap();
         // Silence past the validity window, then a new majority: the
         // delay clock must restart, not credit the stale chain.
         let later = t(0) + p.verdict_validity + p.takeover_delay + SimDuration::from_millis(1);
-        let r = rg.begin_round();
-        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false), t(0));
         rg.conclude(PartitionId(0), later).unwrap();
         assert!(!rg.takeover_licensed(later), "chain lapsed; clock restarted");
     }
@@ -493,8 +867,8 @@ mod tests {
         let mut rg = Regroup::new(RegroupParams::fast());
         rg.set_total(3);
         assert!(!rg.recently_reachable(PartitionId(1), t(0)), "no round yet");
-        let r = rg.begin_round();
-        rg.on_ack(r, PartitionId(1), ack(10, 0, false));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(1), ack(10, 0, false), t(0));
         rg.conclude(PartitionId(0), t(0)).unwrap();
         assert!(rg.recently_reachable(PartitionId(1), t(0)));
         assert!(rg.recently_reachable(PartitionId(0), t(0)), "self counts");
@@ -507,5 +881,265 @@ mod tests {
             !rg.recently_reachable(PartitionId(1), expired),
             "the veto expires with the verdict"
         );
+    }
+
+    /// Drive one side of a split to a conclusion: `me` plus acks from
+    /// `others`, all at time `now`.
+    fn conclude_side(rg: &mut Regroup, me: PartitionId, others: &[u64], now: SimTime) -> Conclusion {
+        let r = rg.begin_round(now);
+        for &p in others {
+            rg.on_ack(r, PartitionId(p as u32), ack(100 + p, 0, false), now);
+        }
+        rg.conclude(me, now).unwrap()
+    }
+
+    #[test]
+    fn even_split_witness_side_wins() {
+        // 4 partitions, witness defaults to the lowest (p0): total votes
+        // 5, so a 2/2 split has a strict weighted winner.
+        let mut a = Regroup::new(RegroupParams::quorum());
+        a.set_partitions(&parts(4));
+        assert_eq!(a.witness(), Some(PartitionId(0)));
+        let c = conclude_side(&mut a, PartitionId(0), &[1], t(0));
+        assert_eq!(c.verdict, Verdict::Majority, "witness side stays live");
+
+        let mut b = Regroup::new(RegroupParams::quorum());
+        b.set_partitions(&parts(4));
+        let c = conclude_side(&mut b, PartitionId(2), &[3], t(0));
+        assert_eq!(c.verdict, Verdict::Minority, "witness-less side freezes");
+    }
+
+    #[test]
+    fn witness_in_minority_island_still_wins() {
+        // Witness designated away from the lowest partition: its side
+        // wins the even split even though the other side holds p0.
+        let mut p = RegroupParams::quorum();
+        p.votes.witness = Some(PartitionId(2));
+        let mut a = Regroup::new(p.clone());
+        a.set_partitions(&parts(4));
+        let c = conclude_side(&mut a, PartitionId(2), &[3], t(0));
+        assert_eq!(c.verdict, Verdict::Majority);
+        let mut b = Regroup::new(p);
+        b.set_partitions(&parts(4));
+        let c = conclude_side(&mut b, PartitionId(0), &[1], t(0));
+        assert_eq!(c.verdict, Verdict::Minority);
+    }
+
+    #[test]
+    fn home_testimony_discounts_dead_partition() {
+        // {p0,p3} is the witness-less side of an even split: 4 of 5
+        // weighted votes reachable — minority, frozen forever if the
+        // witness's GSD is simply dead rather than islanded.
+        let mut p = RegroupParams::quorum();
+        p.votes.witness = Some(PartitionId(1));
+        let mut rg = Regroup::new(p.clone());
+        rg.set_partitions(&parts(4));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(3), ack(103, 0, false), t(0));
+        // p1's own home nodes unanimously testify its GSD dead: the
+        // witness leaves the denominator (5 → 3) and {p0,p3} wins 4 > 3.
+        rg.on_home_report(r, PartitionId(1), false);
+        rg.on_home_report(r, PartitionId(1), false);
+        let c = rg.conclude(PartitionId(0), t(0)).unwrap();
+        assert_eq!(c.dead, vec![PartitionId(1)], "discount recorded");
+        assert_eq!(c.verdict, Verdict::Majority, "denominator shrank");
+
+        // One dissenting "alive" report blocks the discount entirely.
+        let mut rg = Regroup::new(p.clone());
+        rg.set_partitions(&parts(4));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(3), ack(103, 0, false), t(0));
+        rg.on_home_report(r, PartitionId(1), false);
+        rg.on_home_report(r, PartitionId(1), true);
+        let c = rg.conclude(PartitionId(0), t(0)).unwrap();
+        assert!(c.dead.is_empty(), "any alive vote vetoes the discount");
+        assert_eq!(c.verdict, Verdict::Minority);
+
+        // An acked partition is never discounted, whatever the reports
+        // claim (a racing respawn acks mid-round: testimony is stale).
+        let mut rg = Regroup::new(p.clone());
+        rg.set_partitions(&parts(4));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(3), ack(103, 0, false), t(0));
+        let mut witness_ack = ack(101, 0, false);
+        witness_ack.weight = 1;
+        rg.on_ack(r, PartitionId(1), witness_ack, t(0));
+        rg.on_home_report(r, PartitionId(1), false);
+        let c = rg.conclude(PartitionId(0), t(0)).unwrap();
+        assert!(c.dead.is_empty(), "an acker is alive by definition");
+        assert_eq!(c.verdict, Verdict::Majority, "witness acked: 4+2 > half");
+
+        // Reports are cleared between rounds: the next round must gather
+        // fresh testimony before it may discount again.
+        let mut rg = Regroup::new(p);
+        rg.set_partitions(&parts(4));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(3), ack(103, 0, false), t(0));
+        rg.on_home_report(r, PartitionId(1), false);
+        rg.conclude(PartitionId(0), t(0)).unwrap();
+        let r2 = rg.begin_round(t(1));
+        rg.on_ack(r2, PartitionId(3), ack(103, 0, false), t(1));
+        let c = rg.conclude(PartitionId(0), t(1)).unwrap();
+        assert!(c.dead.is_empty(), "testimony does not carry across rounds");
+        assert_eq!(c.verdict, Verdict::Minority);
+    }
+
+    #[test]
+    fn vote_table_off_keeps_count_majority() {
+        // `fast()` with a configured partition set still runs plain
+        // count majority: both sides of a 2/2 split freeze.
+        let mut a = Regroup::new(RegroupParams::fast());
+        a.set_partitions(&parts(4));
+        assert_eq!(a.witness(), None);
+        let c = conclude_side(&mut a, PartitionId(0), &[1], t(0));
+        assert_eq!(c.verdict, Verdict::Minority);
+    }
+
+    #[test]
+    fn tie_breaks_to_witness_side_then_lowest_partition() {
+        // Weight override p3=2, witness p0: total votes 6, and a
+        // {p0,p1} / {p2,p3} split ties at 3 votes each. The witness's
+        // side wins; the other loses both tie-break clauses.
+        let mut p = RegroupParams::quorum();
+        p.votes.weights = vec![(PartitionId(3), 2)];
+        let mut a = Regroup::new(p.clone());
+        a.set_partitions(&parts(4));
+        let r = a.begin_round(t(0));
+        a.on_ack(r, PartitionId(1), ack(101, 0, false), t(0));
+        let c = a.conclude(PartitionId(0), t(0)).unwrap();
+        assert_eq!(c.verdict, Verdict::Majority, "tie + witness reachable");
+
+        let mut b = Regroup::new(p.clone());
+        b.set_partitions(&parts(4));
+        let r = b.begin_round(t(0));
+        let mut heavy = ack(103, 0, false);
+        heavy.weight = 2;
+        b.on_ack(r, PartitionId(3), heavy, t(0));
+        let c = b.conclude(PartitionId(2), t(0)).unwrap();
+        assert_eq!(c.verdict, Verdict::Minority, "tie, no witness, no p0");
+
+        // Witness dead entirely: p0 weight 2, witness p3. {p0,p1} ties
+        // at 3 of 6 and wins via the lowest-configured-partition clause.
+        let mut q = RegroupParams::quorum();
+        q.votes.weights = vec![(PartitionId(0), 2)];
+        q.votes.witness = Some(PartitionId(3));
+        let mut d = Regroup::new(q);
+        d.set_partitions(&parts(4));
+        let r = d.begin_round(t(0));
+        let mut heavy = ack(100, 0, false);
+        heavy.weight = 2;
+        d.on_ack(r, PartitionId(0), heavy, t(0));
+        let c = d.conclude(PartitionId(1), t(0)).unwrap();
+        assert_eq!(c.verdict, Verdict::Majority, "tie broken by lowest pid");
+    }
+
+    #[test]
+    fn witness_failover_after_held_majority() {
+        // p0 is witness and unreachable; the {p1,p2,p3} majority keeps
+        // concluding. Only once the chain has been held past the
+        // effective takeover delay does the witness move — to the lowest
+        // reachable partition, under a bumped witness epoch.
+        let mut rg = Regroup::new(RegroupParams::quorum());
+        rg.set_partitions(&parts(4));
+        let delay = rg.params().delay_floor + SimDuration::from_secs(1);
+        let mut now = t(0);
+        let c = conclude_side(&mut rg, PartitionId(1), &[2, 3], now);
+        assert_eq!(c.verdict, Verdict::Majority);
+        assert_eq!(c.witness_failover, None, "fresh majority: no failover");
+        let t0 = now;
+        let mut failed_over = None;
+        while now.since(t0) < delay {
+            now = now + SimDuration::from_millis(500);
+            let c = conclude_side(&mut rg, PartitionId(1), &[2, 3], now);
+            if let Some(w) = c.witness_failover {
+                failed_over = Some(w);
+                break;
+            }
+        }
+        assert_eq!(failed_over, Some(PartitionId(1)), "lowest reachable");
+        assert_eq!(rg.witness(), Some(PartitionId(1)));
+        assert_eq!(rg.witness_epoch(), 1);
+        // Witness now reachable (it is us): no repeated failover.
+        let c = conclude_side(&mut rg, PartitionId(1), &[2, 3], now);
+        assert_eq!(c.witness_failover, None);
+    }
+
+    #[test]
+    fn observe_witness_adopts_higher_epoch_only() {
+        let mut rg = Regroup::new(RegroupParams::quorum());
+        rg.set_partitions(&parts(4));
+        assert!(rg.observe_witness(PartitionId(2), 1), "higher epoch wins");
+        assert_eq!(rg.witness(), Some(PartitionId(2)));
+        assert!(!rg.observe_witness(PartitionId(1), 1), "same epoch ignored");
+        assert_eq!(rg.witness(), Some(PartitionId(2)));
+        let mut off = Regroup::new(RegroupParams::fast());
+        off.set_partitions(&parts(4));
+        assert!(!off.observe_witness(PartitionId(2), 9), "vote table off");
+        assert_eq!(off.witness(), None);
+    }
+
+    #[test]
+    fn adaptive_delay_tracks_latency_inside_clamp() {
+        let mut rg = Regroup::new(RegroupParams::quorum());
+        rg.set_partitions(&parts(4));
+        let floor = rg.params().delay_floor;
+        let ceil = rg.params().delay_ceil;
+        assert_eq!(
+            rg.effective_takeover_delay(),
+            rg.params().takeover_delay,
+            "no samples yet: fixed constant"
+        );
+        // Constant 40 ms rounds: the EWMA converges to 40 ms and the
+        // derived delay sits at floor + 16×40 ms, inside the clamp.
+        let mut now = t(0);
+        let lat = SimDuration::from_millis(40);
+        for _ in 0..32 {
+            let r = rg.begin_round(now);
+            rg.on_ack(r, PartitionId(1), ack(101, 0, false), now + lat);
+            rg.on_ack(r, PartitionId(2), ack(102, 0, false), now + lat);
+            rg.conclude(PartitionId(0), now + lat).unwrap();
+            now = now + SimDuration::from_millis(500);
+            let eff = rg.effective_takeover_delay();
+            assert!(eff >= floor && eff <= ceil, "never exits the clamp");
+        }
+        let ewma = rg.round_latency_ewma().unwrap();
+        assert!(
+            ewma.as_nanos().abs_diff(lat.as_nanos()) < lat.as_nanos() / 10,
+            "EWMA converged near the true latency: {ewma:?}"
+        );
+        let expect = floor + SimDuration::from_nanos(16 * ewma.as_nanos());
+        assert_eq!(rg.effective_takeover_delay(), expect);
+
+        // Pathological latencies pin to the clamp edges.
+        for _ in 0..32 {
+            let r = rg.begin_round(now);
+            rg.on_ack(r, PartitionId(1), ack(101, 0, false), now + SimDuration::from_secs(10));
+            rg.conclude(PartitionId(0), now + SimDuration::from_secs(10)).unwrap();
+            now = now + SimDuration::from_secs(11);
+        }
+        assert_eq!(rg.effective_takeover_delay(), ceil, "clamped to paper ceiling");
+        for _ in 0..160 {
+            let r = rg.begin_round(now);
+            rg.on_ack(r, PartitionId(1), ack(101, 0, false), now);
+            rg.conclude(PartitionId(0), now).unwrap();
+            now = now + SimDuration::from_millis(500);
+        }
+        assert_eq!(rg.effective_takeover_delay(), floor, "clamped to fast floor");
+    }
+
+    #[test]
+    fn ack_free_rounds_leave_the_ewma_alone() {
+        // A round that collects no acks (total isolation) has no latency
+        // sample — the EWMA must not decay toward zero and erode the
+        // delay while the node can't even observe the network.
+        let mut rg = Regroup::new(RegroupParams::quorum());
+        rg.set_partitions(&parts(4));
+        let r = rg.begin_round(t(0));
+        rg.on_ack(r, PartitionId(1), ack(101, 0, false), t(50_000_000));
+        rg.conclude(PartitionId(0), t(60_000_000)).unwrap();
+        let before = rg.round_latency_ewma().unwrap();
+        let _ = rg.begin_round(t(100_000_000));
+        rg.conclude(PartitionId(0), t(160_000_000)).unwrap();
+        assert_eq!(rg.round_latency_ewma().unwrap(), before);
     }
 }

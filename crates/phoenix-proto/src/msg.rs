@@ -139,6 +139,12 @@ pub enum KernelMsg {
         epoch: u64,
         /// Round id, echoed in the ack so stale acks are discarded.
         round: u64,
+        /// Sender's current witness partition (vote-table gossip; the
+        /// higher `witness_epoch` wins on conflict). `PartitionId(0)` /
+        /// epoch 0 when the sender runs without a vote table.
+        witness: PartitionId,
+        /// Witness generation: bumps on every witness failover.
+        witness_epoch: u64,
     },
     /// Answer to a `RegroupPing`: the responder is reachable. Carries the
     /// responder's meta-group epoch and freeze state so a thawing minority
@@ -148,11 +154,36 @@ pub enum KernelMsg {
         epoch: u64,
         round: u64,
         frozen: bool,
+        /// The responder's configured vote weight; the receiver applies
+        /// witness doubling against its own witness view. 1 without a
+        /// vote table.
+        weight: u32,
+        /// The responder's witness view (same gossip as `RegroupPing`).
+        witness: PartitionId,
+        witness_epoch: u64,
     },
     /// GSD → its partition services (bulletin, detectors): enter or leave
     /// the frozen minority state. Frozen services answer queries as stale
     /// and stop publishing.
     RegroupFreeze { frozen: bool },
+    /// Regroup round side-channel: a GSD asks the watch daemons on a
+    /// silent partition's *configured home nodes* whether the GSD they
+    /// track is still alive. Positive death reports from a partition's
+    /// own nodes let the quorum math discount that partition from the
+    /// denominator (a dead GSD cannot be a rival quorum participant) —
+    /// and only its own nodes may testify, because they are exactly the
+    /// nodes an in-place respawn would land on, so evidence and rescue
+    /// cannot end up on opposite sides of a split.
+    RegroupProbe { round: u64 },
+    /// WD answer to a `RegroupProbe`: the GSD pid this daemon heartbeats
+    /// for its partition, and whether that pid is currently alive (the
+    /// sim shortcut for "K consecutive heartbeat acks missing").
+    RegroupProbeAck {
+        round: u64,
+        partition: PartitionId,
+        gsd: Pid,
+        alive: bool,
+    },
     /// Majority-side leader → config service: mark a partition's directory
     /// entry stale (its services sit on an unreachable island) or fresh
     /// again after the heal-time rejoin.
@@ -412,7 +443,8 @@ impl KernelMsg {
             ProbeReq { .. } | ProbeResp { .. } => "probe",
             MetaHeartbeat { .. } | MetaJoin { .. } | MetaMembership { .. }
             | MetaMemberDown { .. } => "meta",
-            RegroupPing { .. } | RegroupAck { .. } | RegroupFreeze { .. } => "regroup",
+            RegroupPing { .. } | RegroupAck { .. } | RegroupFreeze { .. }
+            | RegroupProbe { .. } | RegroupProbeAck { .. } => "regroup",
             SvcRegister { .. } | SvcHeartbeat { .. } | PartitionView { .. } => "svc",
             EsRegisterConsumer { .. }
             | EsUnregisterConsumer { .. }

@@ -624,10 +624,12 @@ wire_enum! { KernelMsg {
     60 => PbsPollResp { req, node, usage, jobs },
     61 => EsRegisterAck { req },
     62 => WdHeartbeatAck { nic, seq },
-    63 => RegroupPing { from_partition, epoch, round },
-    64 => RegroupAck { from_partition, epoch, round, frozen },
+    63 => RegroupPing { from_partition, epoch, round, witness, witness_epoch },
+    64 => RegroupAck { from_partition, epoch, round, frozen, weight, witness, witness_epoch },
     65 => RegroupFreeze { frozen },
     66 => DirectoryStale { partition, stale },
+    67 => RegroupProbe { round },
+    68 => RegroupProbeAck { round, partition, gsd, alive },
 }}
 
 #[cfg(test)]

@@ -214,6 +214,40 @@ for needle in '"schedules_run"' '"faults_injected"' '"violating_schedules"' '"sh
     }
 done
 
+echo "== smoke: chaos, 25 seeded even-split quorum schedules =="
+# The even 4x3 testbed with a witness: split-heavy schedules under the
+# weighted sampled invariants (exactly one live side of an even split,
+# no double leader, no frozen weighted-winner).
+cargo run --release --offline -p phoenix-chaos --bin chaos -- --seeds 25 --quorum
+
+echo "== smoke: quorum_sweep (--small --serial) writes results/BENCH_quorum.json =="
+rm -f results/BENCH_quorum.json
+# The bin exits non-zero on a double-leader or both-sides-frozen instant,
+# an undecided split, a failed re-convergence, or an adaptive-delay
+# episode that never recovers the killed GSD.
+cargo run --release --offline -p phoenix-bench --bin quorum_sweep -- --small --serial
+
+test -s results/BENCH_quorum.json || {
+    echo "FAIL: results/BENCH_quorum.json missing or empty" >&2
+    exit 1
+}
+for needle in '"double_leader_instants"' '"both_frozen_instants"' '"undecided_splits"' \
+    '"availability_mean"' '"takeover_adaptive_ms_mean"' '"takeover_fixed31_ms_mean"'; do
+    grep -q "$needle" results/BENCH_quorum.json || {
+        echo "FAIL: $needle not found in results/BENCH_quorum.json" >&2
+        exit 1
+    }
+done
+
+echo "== determinism gate: parallel quorum_sweep must be byte-identical to serial =="
+cp results/BENCH_quorum.json /tmp/BENCH_quorum_serial.json
+PHOENIX_SWEEP_THREADS=4 \
+    cargo run --release --offline -p phoenix-bench --bin quorum_sweep -- --small
+cmp results/BENCH_quorum.json /tmp/BENCH_quorum_serial.json || {
+    echo "FAIL: parallel quorum_sweep report differs from serial (determinism gate)" >&2
+    exit 1
+}
+
 echo "== smoke: event_core (--small) writes results/BENCH_events.json =="
 rm -f results/BENCH_events.json results/event_core_heap.trace results/event_core_wheel.trace
 # The bin exits non-zero if the heap and wheel schedulers diverge on any

@@ -138,3 +138,12 @@ fn differential_nic_flap_seed_4() {
 fn differential_lossy_seed_178() {
     assert_byte_identical(178, u64::MAX, &ChaosConfig::small_lossy(20));
 }
+
+/// Seed 21: the quorum profile's overlapping-takeover-plans scenario
+/// (diagnose-migrate racing a rescue sweep across an even split) — the
+/// pin that once clobbered per-plan takeover telemetry. Regroup probes,
+/// home-node testimony and the weighted vote table all ride this replay.
+#[test]
+fn differential_quorum_even_split_seed_21() {
+    assert_byte_identical(21, u64::MAX, &ChaosConfig::small_quorum());
+}

@@ -304,14 +304,30 @@ fn kernel_msg_surface() -> Vec<phoenix::proto::KernelMsg> {
         },
         KernelMsg::MetaJoin { member },
         KernelMsg::MetaMembership { epoch: 18, members: vec![member, member] },
-        KernelMsg::RegroupPing { from_partition: PartitionId(3), epoch: 7, round: 21 },
+        KernelMsg::RegroupPing {
+            from_partition: PartitionId(3),
+            epoch: 7,
+            round: 21,
+            witness: PartitionId(1),
+            witness_epoch: 4,
+        },
         KernelMsg::RegroupAck {
             from_partition: PartitionId(5),
             epoch: 9,
             round: 21,
             frozen: true,
+            weight: 3,
+            witness: PartitionId(2),
+            witness_epoch: 5,
         },
         KernelMsg::RegroupFreeze { frozen: true },
+        KernelMsg::RegroupProbe { round: 22 },
+        KernelMsg::RegroupProbeAck {
+            round: 22,
+            partition: PartitionId(6),
+            gsd: Pid(91),
+            alive: true,
+        },
         KernelMsg::DirectoryStale { partition: PartitionId(4), stale: true },
         KernelMsg::MetaMemberDown {
             partition: PartitionId(1),
@@ -497,7 +513,7 @@ fn kernel_msg_full_surface_round_trips() {
         assert!(!seen.contains(&d), "duplicate variant in surface: {m:?}");
         seen.push(d);
     }
-    assert_eq!(msgs.len(), 67, "KernelMsg variant count changed — extend the surface");
+    assert_eq!(msgs.len(), 69, "KernelMsg variant count changed — extend the surface");
     for msg in msgs {
         let bytes = encode(&msg);
         assert_eq!(
