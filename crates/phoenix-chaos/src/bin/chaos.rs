@@ -25,7 +25,7 @@ use phoenix_kernel::boot_cluster;
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seeds N] [--seed-base S] [--small] [--paper] [--partition] \
-         [--quorum] [--lossy PERMILLE] [--max-faults K] [--replay SEED[:MASK_HEX]]"
+         [--quorum] [--slow] [--lossy PERMILLE] [--max-faults K] [--replay SEED[:MASK_HEX]]"
     );
     std::process::exit(2);
 }
@@ -62,6 +62,10 @@ fn main() {
             "--quorum" => {
                 cfg = ChaosConfig::small_quorum();
                 mode = "--quorum".into();
+            }
+            "--slow" => {
+                cfg = ChaosConfig::small_slow();
+                mode = "--slow".into();
             }
             "--lossy" => {
                 lossy = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))

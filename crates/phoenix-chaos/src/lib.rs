@@ -42,7 +42,8 @@ use phoenix_proto::{
     EventType, KernelMsg, NodeOp, PartitionId, PartitionSpec, RequestId, ServiceDirectory,
 };
 use phoenix_sim::{
-    Fault, NetParams, NicId, NodeId, Pid, SchedulerKind, SimDuration, SimRng, SimTime, World,
+    Diagnosis, Fault, FaultTarget, NetParams, NicId, NodeId, Pid, SchedulerKind, SimDuration,
+    SimRng, SimTime, TraceEvent, World,
 };
 
 /// Salt mixed into the schedule RNG so the schedule stream is independent
@@ -63,6 +64,12 @@ const PARTITION_SALT: u64 = 0x2545_f491_4f6c_dd1d;
 /// weighted/witness quorum). Appended from its own RNG like the other
 /// optional shapes, so every pre-existing stream stays byte-identical.
 const QUORUM_SALT: u64 = 0x94d0_49bb_1331_11eb;
+
+/// Salt for the fail-slow (gray failure) storm stream: nodes that stay
+/// alive and keep answering — late. Appended from its own RNG like the
+/// other optional shapes, so every pre-existing stream stays
+/// byte-identical per seed whether or not slow storms are enabled.
+const SLOW_SALT: u64 = 0xd6e8_feb8_6659_fd93;
 
 /// Schedules are capped at 64 steps so a subset is a `u64` bitmask.
 pub const MAX_STEPS: usize = 64;
@@ -112,6 +119,12 @@ pub struct ChaosConfig {
     /// an even split freeze by design. Off by default; rides its own
     /// salted stream like the other optional shapes.
     pub quorum_steps: bool,
+    /// Append fail-slow storms: a node's send/serve latency stretched by a
+    /// large factor for a bounded window, then cleared. Only meaningful
+    /// with the fail-slow detector on (`KernelParams::fast_slow()`) —
+    /// without it the kernel has no quarantine to converge. Off by
+    /// default; rides its own salted stream like the other shapes.
+    pub slow_steps: bool,
     /// Which event-queue implementation the simulated world runs on. Runs
     /// must be byte-identical under every kind — the differential suite
     /// replays pinned seeds under each and compares the streams.
@@ -140,6 +153,7 @@ impl ChaosConfig {
             nic_flap_steps: false,
             partition_steps: false,
             quorum_steps: false,
+            slow_steps: false,
             scheduler: SchedulerKind::default(),
             record_streams: false,
         }
@@ -193,6 +207,20 @@ impl ChaosConfig {
         }
     }
 
+    /// The small topology with the fail-slow detector on and gray-failure
+    /// storms mixed into the schedules (`chaos --slow`). Slow nodes stay
+    /// alive the whole time, so on top of the ordinary crash/kill shapes
+    /// the run must show quarantine + drain + reinstatement converging —
+    /// and never a dead verdict for a node that merely answered late.
+    pub fn small_slow() -> ChaosConfig {
+        ChaosConfig {
+            params: KernelParams::fast_slow(),
+            horizon: SimDuration::from_secs(20),
+            slow_steps: true,
+            ..ChaosConfig::small()
+        }
+    }
+
     /// The paper's testbed shape (8 partitions x 17 nodes) with the paper's
     /// 30 s heartbeat. Virtual time is cheap; wall-clock cost comes from
     /// node count, so this is the `--seeds`-few deep configuration.
@@ -211,6 +239,7 @@ impl ChaosConfig {
             nic_flap_steps: false,
             partition_steps: false,
             quorum_steps: false,
+            slow_steps: false,
             scheduler: SchedulerKind::default(),
             record_streams: false,
         }
@@ -500,6 +529,42 @@ pub fn generate_schedule(seed: u64, cfg: &ChaosConfig, cluster: &PhoenixCluster)
             at = at + hold + SimDuration::from_millis(qrng.gen_range(12_000..18_000u64));
         }
     }
+    // Fail-slow storms: a node turns gray — alive, answering, late — for a
+    // bounded window, then heals. Factors run 5x-49x: far past the
+    // detector's slow-after gate, far under anything that could starve the
+    // fail-stop pipeline's probe timeouts (so a dead verdict during a
+    // clean slow window is unambiguously a false positive). Each episode
+    // is paired with its `SlowClear` so every schedule ends healed and the
+    // quarantine-convergence invariant is meaningful.
+    if cfg.slow_steps {
+        let mut srng = SimRng::seed_from_u64(seed ^ SLOW_SALT);
+        let episodes = 1 + srng.gen_range(0..2u64);
+        let mut slowed: Vec<NodeId> = Vec::new();
+        for _ in 0..episodes {
+            if steps.len() + 2 > MAX_STEPS {
+                break;
+            }
+            let node = all_nodes[srng.gen_range(0..all_nodes.len() as u64) as usize];
+            if slowed.contains(&node) {
+                continue;
+            }
+            slowed.push(node);
+            let at = SimDuration::from_millis(srng.gen_range(0..horizon_ms));
+            let factor_permille = (4_000 + srng.gen_range(0..44_001u64)) as u16;
+            steps.push(Step {
+                offset: at,
+                action: StepAction::Fault(Fault::SlowNode {
+                    node,
+                    factor_permille,
+                }),
+            });
+            let hold = SimDuration::from_millis(srng.gen_range(8_000..16_000u64));
+            steps.push(Step {
+                offset: at + hold,
+                action: StepAction::Fault(Fault::SlowClear(node)),
+            });
+        }
+    }
     steps.sort_by_key(|s| s.offset.as_nanos());
     steps
 }
@@ -600,6 +665,14 @@ pub fn island_partitions(steps: &[Step]) -> usize {
         .count()
 }
 
+/// Number of fail-slow storms (`Fault::SlowNode`) in the schedule.
+pub fn slow_storms(steps: &[Step]) -> usize {
+    steps
+        .iter()
+        .filter(|s| matches!(s.action, StepAction::Fault(Fault::SlowNode { .. })))
+        .count()
+}
+
 /// Crash/repair pairs: nodes the schedule crashes and later repairs through
 /// the configuration service.
 pub fn crash_repair_nodes(steps: &[Step]) -> Vec<NodeId> {
@@ -688,6 +761,17 @@ fn kills_live_gsd(world: &World<KernelMsg>, fault: Fault) -> bool {
     }
 }
 
+/// One fail-slow episode as applied to the world. `clean` means no network
+/// fault touched the node (or the whole network) while it was slow, so a
+/// dead-diagnosis inside the window is unambiguously a false positive of
+/// the fail-stop pipeline — the node was answering the whole time, late.
+struct SlowWindow {
+    node: NodeId,
+    from: SimTime,
+    to: Option<SimTime>,
+    clean: bool,
+}
+
 /// Boot a cluster, apply the masked subset of the seed's schedule, wait for
 /// quiescence, and check every invariant.
 pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> RunOutcome {
@@ -716,6 +800,7 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
     let mut clean_network = cfg.net.loss_permille == 0;
     let mut violations = Vec::new();
     let mut island_since: Option<SimTime> = None;
+    let mut slow_windows: Vec<SlowWindow> = Vec::new();
     // The sampled checks grant the protocol a reaction window after *any*
     // schedule step, not just island formation: a GSD kill or node repair
     // mid-split shifts the weighted verdict instantly in the oracle, while
@@ -755,6 +840,50 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
                     Fault::Heal => island_since = None,
                     _ => {}
                 }
+                // Fail-slow window bookkeeping for the slow-not-dead
+                // invariant. Slowing an already-dead node opens no window
+                // (it answers nothing, late or otherwise, and its dead
+                // verdict is correct); a crash ends the window (the node
+                // really is dead from then on); a network fault taints it
+                // (a dead verdict could then be the network's fault, not
+                // the detector's).
+                match fault {
+                    Fault::SlowNode { node, .. } if world.node(node).up => {
+                        slow_windows.push(SlowWindow {
+                            node,
+                            from: world.now(),
+                            to: None,
+                            clean: true,
+                        })
+                    }
+                    Fault::SlowClear(node) | Fault::CrashNode(node) => {
+                        for w in slow_windows.iter_mut().filter(|w| w.node == node) {
+                            w.to.get_or_insert(world.now());
+                        }
+                    }
+                    Fault::NicDown(node, _) | Fault::NicDegrade(node, _, _) => {
+                        for w in slow_windows
+                            .iter_mut()
+                            .filter(|w| w.node == node && w.to.is_none())
+                        {
+                            w.clean = false;
+                        }
+                    }
+                    Fault::PartitionLink(a, b) => {
+                        for w in slow_windows
+                            .iter_mut()
+                            .filter(|w| (w.node == a || w.node == b) && w.to.is_none())
+                        {
+                            w.clean = false;
+                        }
+                    }
+                    Fault::LossBurst { .. } | Fault::Partition { .. } => {
+                        for w in slow_windows.iter_mut().filter(|w| w.to.is_none()) {
+                            w.clean = false;
+                        }
+                    }
+                    _ => {}
+                }
                 if verbose {
                     println!("  t={:>9} apply {:?}", fmt_ns(world.now().0), fault);
                 }
@@ -792,6 +921,19 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
     if world.island() != 0 {
         world.apply_fault(Fault::Heal);
     }
+    // Same for leftover slowness: a shrunk mask may keep a `SlowNode` but
+    // drop its `SlowClear`. A cluster with a permanently slow node would
+    // (correctly) hold its quarantine forever, so heal before settling —
+    // the convergence invariant then asserts the quarantine warms out.
+    for n in 0..world.node_count() {
+        let node = NodeId(n as u32);
+        if world.slow_factor(node) != 0 {
+            world.apply_fault(Fault::SlowClear(node));
+            for w in slow_windows.iter_mut().filter(|w| w.node == node) {
+                w.to.get_or_insert(world.now());
+            }
+        }
+    }
 
     let deadline = world.now() + cfg.settle_deadline;
     let quiesced = world.run_until_quiet(cfg.settle_window, deadline);
@@ -817,6 +959,7 @@ pub fn run_schedule(seed: u64, cfg: &ChaosConfig, mask: u64, verbose: bool) -> R
         takeover_delta,
         &mut violations,
     );
+    check_slow_invariants(&world, cfg, &slow_windows, &mut violations);
 
     let streams = cfg.record_streams.then(|| RunStreams {
         events: world.take_event_log(),
@@ -1262,6 +1405,70 @@ fn check_invariants(
                 pool.frees
             ),
         });
+    }
+}
+
+/// The fail-slow invariants, checked after quiescence.
+///
+/// 8. slow-not-dead: "slow ≠ down" — no node was ever diagnosed dead while
+///    fail-slow, alive, and untouched by network faults. Slowness stretches
+///    latency; it drops nothing — a dead verdict inside a clean window
+///    means the fail-stop pipeline mistook lateness for death.
+/// 9. slow-quarantine: every slow episode healed before settling, so every
+///    live GSD's quarantine view must have warmed back to empty — the
+///    hysteresis must not latch a recovered node out of the ring forever.
+fn check_slow_invariants(
+    world: &World<KernelMsg>,
+    cfg: &ChaosConfig,
+    windows: &[SlowWindow],
+    violations: &mut Vec<Violation>,
+) {
+    // -- 8. slow-not-dead --------------------------------------------------
+    for r in world.trace().records() {
+        let TraceEvent::FaultDiagnosed {
+            target: FaultTarget::Node(node),
+            diagnosis: Diagnosis::NodeFailure,
+            ..
+        } = r.event
+        else {
+            continue;
+        };
+        let in_clean_window = windows.iter().any(|w| {
+            w.clean && w.node == node && w.from <= r.at && r.at <= w.to.unwrap_or(r.at)
+        });
+        if in_clean_window && !violations.iter().any(|v| v.invariant == "slow-not-dead") {
+            violations.push(Violation {
+                invariant: "slow-not-dead",
+                detail: format!(
+                    "node {} diagnosed dead at {} while fail-slow but alive and \
+                     answering (late)",
+                    node.0,
+                    fmt_ns(r.at.0)
+                ),
+            });
+        }
+    }
+
+    // -- 9. slow-quarantine ------------------------------------------------
+    if !cfg.params.ft.slow.enabled {
+        return;
+    }
+    for g in live_gsds(world) {
+        let Some(actor) = world.actor_as::<Gsd>(g.pid) else {
+            continue;
+        };
+        let (_, quarantined) = actor.quarantine_view();
+        if !quarantined.is_empty() {
+            violations.push(Violation {
+                invariant: "slow-quarantine",
+                detail: format!(
+                    "partition {}'s GSD still quarantines {:?} after quiescence \
+                     with all slowness healed",
+                    g.partition.0,
+                    quarantined.iter().map(|p| p.0).collect::<Vec<_>>()
+                ),
+            });
+        }
     }
 }
 

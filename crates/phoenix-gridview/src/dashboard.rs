@@ -113,6 +113,45 @@ pub fn render_telemetry() -> String {
             let _ = writeln!(out, "--- network interfaces ---");
             out.push_str(&nic_lines);
         }
+        // Node-health panel: the leader's fail-slow verdict per peer node
+        // (0 = healthy, 1 = slow, 2 = dead) next to its slowness score
+        // (smoothed RTT over own baseline; 1.0 = at baseline). Rows are
+        // evidence-gated like the NIC panel: a cluster without the
+        // detector enabled shows no panel, not a wall of "healthy".
+        let mut health_lines = String::new();
+        for node in 0..8u32 {
+            let verdict = reg.gauge(&format!("slow.verdict.node{node}"));
+            let score = reg.gauge(&format!("slow.score.node{node}"));
+            if verdict.is_none() && score.is_none() {
+                continue;
+            }
+            let label = match verdict.unwrap_or(0.0) as u32 {
+                0 => "healthy",
+                1 => "SLOW",
+                _ => "DEAD",
+            };
+            let score = score.unwrap_or(1.0);
+            let _ = writeln!(
+                health_lines,
+                "node{node}  verdict {label:<8} score {score:>6.2}x {}",
+                bar((score / 8.0).clamp(0.0, 1.0), 10),
+            );
+        }
+        if !health_lines.is_empty() {
+            let _ = writeln!(out, "--- node health (fail-slow) ---");
+            out.push_str(&health_lines);
+            let _ = writeln!(
+                out,
+                "quarantined partitions {}  suspected {} reinstated {} drains {} \
+                 leader-yields {} dead-vetoed {}",
+                reg.gauge("gsd.slow.quarantined").unwrap_or(0.0),
+                reg.counter("gsd.slow.suspected"),
+                reg.counter("gsd.slow.reinstated"),
+                reg.counter("gsd.slow.drains"),
+                reg.counter("gsd.slow.leader_yields"),
+                reg.counter("gsd.slow.dead_vetoed"),
+            );
+        }
         // Quorum panel: only rendered once the regroup layer has produced
         // evidence (a round, a freeze, or an epoch bump) — a cluster
         // without split-brain protection shows no panel, not a clean one.
@@ -213,6 +252,32 @@ mod tests {
         assert!(s.contains("nic1  health 1.000"));
         // No evidence for nic2: the row is omitted, not rendered as clean.
         assert!(!s.contains("nic2"));
+        phoenix_telemetry::reset();
+    }
+
+    #[test]
+    fn telemetry_panel_renders_node_health() {
+        phoenix_telemetry::reset();
+        // No detector evidence → no panel.
+        assert!(!render_telemetry().contains("node health"));
+        phoenix_telemetry::gauge_set("slow.verdict.node2", 1.0);
+        phoenix_telemetry::gauge_set("slow.score.node2", 12.4);
+        phoenix_telemetry::gauge_set("slow.verdict.node3", 0.0);
+        phoenix_telemetry::gauge_set("slow.score.node3", 1.02);
+        phoenix_telemetry::gauge_set("gsd.slow.quarantined", 1.0);
+        phoenix_telemetry::counter_add("gsd.slow.suspected", 3);
+        phoenix_telemetry::counter_add("gsd.slow.drains", 1);
+        phoenix_telemetry::counter_add("gsd.slow.dead_vetoed", 4);
+        let s = render_telemetry();
+        assert!(s.contains("--- node health (fail-slow) ---"));
+        assert!(s.contains("node2  verdict SLOW"));
+        assert!(s.contains("12.40x"));
+        assert!(s.contains("node3  verdict healthy"));
+        // No evidence for node0: the row is omitted, not rendered clean.
+        assert!(!s.contains("node0"));
+        assert!(s.contains("quarantined partitions 1"));
+        assert!(s.contains("suspected 3"));
+        assert!(s.contains("dead-vetoed 4"));
         phoenix_telemetry::reset();
     }
 

@@ -25,6 +25,7 @@ use crate::group::wd::Wd;
 use crate::nic_health::{HealthTransition, NicHealth};
 use crate::params::KernelParams;
 use crate::regroup::{AckInfo, Regroup, Verdict};
+use crate::slow_detect::{SlowDetect, SlowTransition, Verdict as SlowVerdict};
 use phoenix_proto::{
     CheckpointData, ClusterTopology, Event, EventPayload, EventType, KernelMsg, MemberInfo,
     NodeServices, PartitionId, RequestId, ServiceKind,
@@ -32,7 +33,7 @@ use phoenix_proto::{
 use phoenix_sim::{
     Actor, Ctx, Diagnosis, FaultTarget, NicId, NodeId, Pid, RecoveryAction, SimTime, TraceEvent,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 const TOK_SCAN: u64 = 1;
 const TOK_TICK: u64 = 2;
@@ -96,6 +97,39 @@ fn nic_health_gauge(nic: NicId) -> &'static str {
         1 => "nic.health.nic1",
         2 => "nic.health.nic2",
         _ => "nic.health.nicN",
+    }
+}
+
+/// Per-node fail-slow verdict gauges, exported by the meta-group leader
+/// (0 = healthy, 1 = slow, 2 = dead). Fixed literals for the same reason
+/// as the NIC gauges; simulated clusters use small node ids.
+fn slow_verdict_gauge(node: NodeId) -> &'static str {
+    match node.0 {
+        0 => "slow.verdict.node0",
+        1 => "slow.verdict.node1",
+        2 => "slow.verdict.node2",
+        3 => "slow.verdict.node3",
+        4 => "slow.verdict.node4",
+        5 => "slow.verdict.node5",
+        6 => "slow.verdict.node6",
+        7 => "slow.verdict.node7",
+        _ => "slow.verdict.nodeN",
+    }
+}
+
+/// Per-node slowness-score gauges (smoothed RTT over baseline; 1.0 = at
+/// baseline), exported alongside the verdicts.
+fn slow_score_gauge(node: NodeId) -> &'static str {
+    match node.0 {
+        0 => "slow.score.node0",
+        1 => "slow.score.node1",
+        2 => "slow.score.node2",
+        3 => "slow.score.node3",
+        4 => "slow.score.node4",
+        5 => "slow.score.node5",
+        6 => "slow.score.node6",
+        7 => "slow.score.node7",
+        _ => "slow.score.nodeN",
     }
 }
 
@@ -166,6 +200,9 @@ struct ProbeSession {
     rounds_sent: u32,
     responses: u32,
     active: bool,
+    /// When the most recent probe round was sent; each response consumes
+    /// it as an RTT sample for the fail-slow detector.
+    last_round_at: Option<SimTime>,
     /// Telemetry span covering the whole session (open → resolution);
     /// aborted (not closed) if this GSD dies mid-probe.
     span: phoenix_telemetry::SpanId,
@@ -296,6 +333,40 @@ pub struct Gsd {
     /// `frozen_span` while frozen, so a post-mortem span tree shows the
     /// heal-probing rounds nested inside the frozen episode.
     round_span: Option<phoenix_telemetry::SpanId>,
+    /// Latency-aware fail-slow detector: per-peer RTT EWMA + deviation
+    /// scores from slow pings, probe rounds, and heartbeat echoes. Inert
+    /// unless `params.ft.slow.enabled`.
+    slow: SlowDetect,
+    /// Outstanding slow pings: seq → (target node, send time).
+    slow_ping_sent: HashMap<u64, (NodeId, SimTime)>,
+    slow_ping_seq: u64,
+    /// Last time each peer answered *anything* RTT-measurable. A Slow
+    /// verdict only vetoes a dead diagnosis while this is fresh — once
+    /// pongs stop, the veto lapses and fail-stop diagnosis proceeds.
+    slow_last_seen: HashMap<NodeId, SimTime>,
+    /// Leader-maintained quarantine set (partitions whose server node is
+    /// diagnosed Slow): demoted to the ring tail, skipped for new-service
+    /// placement. Adopted by everyone via `MetaQuarantine`.
+    quarantined: BTreeSet<PartitionId>,
+    /// Epoch guard for `MetaQuarantine` broadcasts (stale ones ignored).
+    quarantine_epoch: u64,
+    /// Quarantine candidates from the previous maintenance tick. An
+    /// addition must survive two consecutive ticks: when this observer is
+    /// the degraded one, its Slow verdicts cross their streaks a ping
+    /// round apart, so at the first tick the strict-majority `gray_self`
+    /// veto can lag the earliest verdicts — one tick later the inversion
+    /// is complete and the veto holds. A healthy leader watching a
+    /// genuinely slow member sees a stable candidate both ticks.
+    slow_pending: BTreeSet<PartitionId>,
+    /// Set while this GSD is handing its partition to a healthier node
+    /// (slow-drain): suppresses double-spawns and gates orphan-service
+    /// cleanup when the replacement's membership arrives.
+    draining: bool,
+    /// Set on a drain-spawned replacement: this instance is already the
+    /// product of a slow-drain, so a quarantine entry that merely has not
+    /// warmed out yet must not bounce it to a third node. Cleared when
+    /// the partition leaves the quarantine set.
+    drained: bool,
 }
 
 impl Gsd {
@@ -350,6 +421,7 @@ impl Gsd {
     ) -> Self {
         let nic_health = NicHealth::new(params.ft.nic.clone(), 0);
         let regroup = Regroup::new(params.ft.regroup.clone());
+        let slow = SlowDetect::new(params.ft.slow.clone());
         Gsd {
             partition,
             params,
@@ -393,13 +465,27 @@ impl Gsd {
             regroup,
             frozen_span: None,
             round_span: None,
+            slow,
+            slow_ping_sent: HashMap::new(),
+            slow_ping_seq: 0,
+            slow_last_seen: HashMap::new(),
+            quarantined: BTreeSet::new(),
+            quarantine_epoch: 0,
+            slow_pending: BTreeSet::new(),
+            draining: false,
+            drained: false,
         }
     }
 
     // ---- identity & ring geometry ---------------------------------------
 
     fn sorted(&mut self) {
-        self.members.sort_by_key(|m| m.partition);
+        // Quarantined partitions sink to the ring tail so they can never
+        // hold leader (index 0) or princess (index 1) while degraded.
+        // With an empty set this is the classic lowest-partition order.
+        let q = self.quarantined.clone();
+        self.members
+            .sort_by_key(|m| (q.contains(&m.partition), m.partition));
         self.members.dedup_by_key(|m| m.partition);
     }
 
@@ -1196,6 +1282,7 @@ impl Gsd {
                 rounds_sent: 0,
                 responses: 0,
                 active: true,
+                last_round_at: None,
                 span,
             },
         );
@@ -1226,6 +1313,7 @@ impl Gsd {
             return;
         }
         s.rounds_sent += 1;
+        s.last_round_at = Some(ctx.now());
         let target = s.target_ppm;
         let kind = s.kind;
         phoenix_telemetry::counter_add("gsd.probes.sent", 1);
@@ -1264,12 +1352,31 @@ impl Gsd {
             phoenix_telemetry::key(&[session]),
         );
         s.responses += 1;
-        if s.responses < self.params.ft.probe_rounds {
+        // One RTT sample per probe round (take() so a duplicate response
+        // in the same round cannot double-count).
+        let sent_at = s.last_round_at.take();
+        let kind = s.kind;
+        let done = s.responses >= self.params.ft.probe_rounds;
+        if done {
+            s.active = false;
+            phoenix_telemetry::span_end(s.span);
+        }
+        if self.slow.enabled() {
+            let peer = match kind {
+                ProbeKind::Wd(node) => Some(node),
+                ProbeKind::Meta(partition) => self
+                    .pred
+                    .as_ref()
+                    .filter(|t| t.member.partition == partition)
+                    .map(|t| t.member.node),
+            };
+            if let (Some(node), Some(at)) = (peer, sent_at) {
+                self.observe_peer_rtt(ctx, node, (ctx.now() - at).as_nanos());
+            }
+        }
+        if !done {
             return;
         }
-        s.active = false;
-        let kind = s.kind;
-        phoenix_telemetry::span_end(s.span);
         if self.params.ft.probe_abort_on_fresh && self.probe_target_fresh(kind, ctx.now()) {
             self.abort_probe(kind);
             return;
@@ -1379,10 +1486,25 @@ impl Gsd {
     }
 
     fn diagnose_wd_node(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId) {
+        // Slow ≠ down: a node whose RTT evidence says "alive but degraded"
+        // must never be declared dead while that evidence is fresh. Once
+        // its pongs stop, the veto lapses and fail-stop diagnosis resumes.
+        if self.slow_alive_veto(ctx.now(), node) {
+            if let Some(t) = self.wd_tracks.get_mut(&node) {
+                t.probing = None;
+            }
+            phoenix_telemetry::counter_add("gsd.slow.dead_vetoed", 1);
+            ctx.trace(TraceEvent::Milestone {
+                label: "slow-not-dead",
+                value: node.0 as f64,
+            });
+            return;
+        }
         if let Some(t) = self.wd_tracks.get_mut(&node) {
             t.probing = None;
             t.node_down = true;
         }
+        self.slow.mark_dead(node);
         phoenix_telemetry::measure(
             "gsd.detect_to_diagnose",
             "gsd",
@@ -1452,13 +1574,31 @@ impl Gsd {
         if !self.regroup_licenses_takeover(ctx, partition) {
             return;
         }
-        let Some(t) = &mut self.pred else { return };
-        if t.member.partition != partition {
+        let Some(failed) = self
+            .pred
+            .as_ref()
+            .map(|t| t.member)
+            .filter(|m| m.partition == partition)
+        else {
+            return;
+        };
+        // Slow ≠ down: fresh RTT evidence of life vetoes the dead verdict
+        // (the quarantine path handles degraded-but-alive predecessors).
+        if self.slow_alive_veto(ctx.now(), failed.node) {
+            if let Some(t) = &mut self.pred {
+                t.probing = None;
+            }
+            phoenix_telemetry::counter_add("gsd.slow.dead_vetoed", 1);
+            ctx.trace(TraceEvent::Milestone {
+                label: "slow-not-dead",
+                value: failed.node.0 as f64,
+            });
             return;
         }
+        let Some(t) = &mut self.pred else { return };
         t.probing = None;
         t.down = true;
-        let failed = t.member;
+        self.slow.mark_dead(failed.node);
         phoenix_telemetry::measure(
             "gsd.detect_to_diagnose",
             "gsd",
@@ -1475,16 +1615,24 @@ impl Gsd {
         });
         self.publish(ctx, EventType::NodeFault, failed.node, EventPayload::Node(failed.node));
         self.remove_member(ctx, partition, Diagnosis::NodeFailure);
-        // Choose a backup node of the failed partition to migrate to.
+        // Choose a backup node of the failed partition to migrate to,
+        // preferring nodes the fail-slow detector considers healthy
+        // (falling back to a degraded one over not migrating at all).
         let target = self
             .topology
             .partition(partition)
             .map(|spec| {
-                spec.backups
+                let up: Vec<NodeId> = spec
+                    .backups
                     .iter()
                     .chain(spec.compute.iter())
                     .copied()
-                    .find(|&n| n != failed.node && ctx.node_is_up(n))
+                    .filter(|&n| n != failed.node && ctx.node_is_up(n))
+                    .collect();
+                up.iter()
+                    .copied()
+                    .find(|&n| !self.placement_degraded(n))
+                    .or_else(|| up.first().copied())
             })
             .unwrap_or(None);
         match target {
@@ -1687,11 +1835,17 @@ impl Gsd {
                     .topology
                     .partition(partition)
                     .and_then(|spec| {
-                        spec.backups
+                        let up: Vec<NodeId> = spec
+                            .backups
                             .iter()
                             .chain(spec.compute.iter())
                             .copied()
-                            .find(|&n| n != hint.node && ctx.node_is_up(n))
+                            .filter(|&n| n != hint.node && ctx.node_is_up(n))
+                            .collect();
+                        up.iter()
+                            .copied()
+                            .find(|&n| !self.placement_degraded(n))
+                            .or_else(|| up.first().copied())
                     })
                 {
                     self.execute_restart(
@@ -1824,6 +1978,10 @@ impl Gsd {
                 self.save_supervision(ctx);
             }
             self.rescue_sweep(ctx);
+            if self.slow.enabled() {
+                self.slow_probe_round(ctx);
+                self.slow_maintenance(ctx);
+            }
             if self.needs_rejoin {
                 self.needs_rejoin = false;
                 if let Some(leader) = self.leader() {
@@ -1873,6 +2031,339 @@ impl Gsd {
                 DelayedOp::Restart(RestartWhat::GsdRescue { partition, plan }),
             );
         }
+    }
+
+    // ---- fail-slow detection (latency-aware suspicion & quarantine) --------
+
+    /// A node is a poor placement target while the detector reads it Slow.
+    /// Callers always keep a degraded fallback: quarantine must never turn
+    /// "migrate somewhere imperfect" into "migrate nowhere".
+    fn placement_degraded(&self, node: NodeId) -> bool {
+        self.slow.enabled() && self.slow.is_slow(node)
+    }
+
+    /// "It's not everyone else — it's me": when a strict majority of this
+    /// observer's warmed peers read Slow, the common element in every one
+    /// of those stretched RTTs is this node itself. While that holds, the
+    /// verdicts must not be used *against* peers (no quarantine additions,
+    /// no yield requests, no placement vetoes) — a degraded node handing
+    /// out quarantines would decapitate a healthy cluster.
+    fn gray_self(&self) -> bool {
+        let mut warmed = 0u32;
+        let mut slow = 0u32;
+        for (node, v) in self.slow.verdicts() {
+            if v != SlowVerdict::Dead && self.slow.warmed(node) {
+                warmed += 1;
+                if v == SlowVerdict::Slow {
+                    slow += 1;
+                }
+            }
+        }
+        warmed >= 2 && slow * 2 > warmed
+    }
+
+    /// Slow ≠ down: a Slow verdict plus *fresh* RTT evidence vetoes a dead
+    /// diagnosis. The freshness gate keeps the veto from becoming a
+    /// livelock — a slow node that later genuinely dies stops answering,
+    /// the evidence goes stale within one suspicion window, and the
+    /// fail-stop pipeline proceeds as if the veto never existed.
+    fn slow_alive_veto(&self, now: SimTime, node: NodeId) -> bool {
+        self.slow.enabled()
+            && self.slow.is_slow(node)
+            && self
+                .slow_last_seen
+                .get(&node)
+                .map(|&l| !self.stale(now, l))
+                .unwrap_or(false)
+    }
+
+    /// One RTT sample for a peer node, from any source (slow pong, probe
+    /// response). Feeds the detector and refreshes the evidence-of-life
+    /// stamp the dead-veto consults.
+    fn observe_peer_rtt(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId, rtt_ns: u64) {
+        if !self.slow.enabled() {
+            return;
+        }
+        self.slow_last_seen.insert(node, ctx.now());
+        if let Some(tr) = self.slow.observe_rtt(node, rtt_ns) {
+            self.apply_slow_transition(ctx, tr);
+        }
+    }
+
+    fn apply_slow_transition(&mut self, ctx: &mut Ctx<'_, KernelMsg>, tr: SlowTransition) {
+        match tr {
+            SlowTransition::Quarantined(node) => {
+                phoenix_telemetry::counter_add("gsd.slow.suspected", 1);
+                ctx.trace(TraceEvent::Milestone {
+                    label: "slow-suspected",
+                    value: node.0 as f64,
+                });
+            }
+            SlowTransition::Reinstated(node) => {
+                phoenix_telemetry::counter_add("gsd.slow.reinstated", 1);
+                ctx.trace(TraceEvent::Milestone {
+                    label: "slow-reinstated",
+                    value: node.0 as f64,
+                });
+            }
+        }
+    }
+
+    fn send_slow_ping(&mut self, ctx: &mut Ctx<'_, KernelMsg>, node: NodeId, to: Pid) {
+        self.slow_ping_seq += 1;
+        let seq = self.slow_ping_seq;
+        self.slow_ping_sent.insert(seq, (node, ctx.now()));
+        self.send_routed(ctx, to, node, KernelMsg::SlowPing { seq });
+    }
+
+    /// One slow-ping round per tick. Everyone samples its ring
+    /// predecessor (the node it must judge before ever suspecting it —
+    /// and for the princess, the predecessor *is* the leader); the leader
+    /// additionally samples every member and its own partition's
+    /// placement-candidate nodes via their watch daemons.
+    fn slow_probe_round(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let now = ctx.now();
+        // Expire pings past the horizon: a pong that took 8 beats is not
+        // a latency sample, and the map must stay bounded under loss.
+        let horizon = self.params.ft.hb_interval * 8;
+        self.slow_ping_sent.retain(|_, (_, at)| now.since(*at) <= horizon);
+        let mut targets: Vec<(NodeId, Pid)> = Vec::new();
+        if let Some(p) = self.predecessor() {
+            if p.gsd != Pid(0) {
+                targets.push((p.node, p.gsd));
+            }
+        }
+        if self.role() == "leader" {
+            for m in &self.members {
+                if m.partition != self.partition && m.gsd != Pid(0) {
+                    targets.push((m.node, m.gsd));
+                }
+            }
+            // Placement candidates: this partition's own nodes, via their
+            // watch daemons (sorted node order for determinism).
+            let mut wds: Vec<(NodeId, Pid)> = self
+                .node_daemons
+                .iter()
+                .map(|(&n, s)| (n, s.wd))
+                .collect();
+            wds.sort_by_key(|&(n, _)| n);
+            targets.extend(wds.into_iter().filter(|&(_, wd)| wd != Pid(0)));
+        }
+        let own = ctx.node();
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        for (node, to) in targets {
+            if node == own || !seen.insert(node) {
+                continue;
+            }
+            self.send_slow_ping(ctx, node, to);
+        }
+    }
+
+    /// Health-ranked witness candidates: healthy partitions before
+    /// quarantined/slow ones, then by slowness score, ties by partition
+    /// id — so with no slowness observed this is exactly the legacy
+    /// lowest-id order.
+    fn witness_preference(&self) -> Vec<PartitionId> {
+        let mut pref: Vec<(bool, f64, PartitionId)> = self
+            .members
+            .iter()
+            .map(|m| {
+                let degraded =
+                    self.quarantined.contains(&m.partition) || self.slow.is_slow(m.node);
+                (degraded, self.slow.score(m.node), m.partition)
+            })
+            .collect();
+        pref.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
+        pref.into_iter().map(|(_, _, p)| p).collect()
+    }
+
+    /// Per-tick fail-slow duties beyond pinging: the princess asks a
+    /// degraded leader to yield, any licensed node refreshes the witness
+    /// preference, and the leader converges the quarantine set.
+    fn slow_maintenance(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        let now = ctx.now();
+        // Princess duty: the leader has no ring successor judging it for
+        // takeover purposes, but the princess (whose predecessor it is)
+        // holds a live RTT profile — a degraded leader is asked to shed
+        // leadership *without* any takeover machinery firing.
+        if self.role() == "princess" && !self.gray_self() {
+            if let Some(l) = self.leader() {
+                if l.partition != self.partition
+                    && self.slow.is_slow(l.node)
+                    && !self.quarantined.contains(&l.partition)
+                {
+                    phoenix_telemetry::counter_add("gsd.slow.yield_requests", 1);
+                    self.send_routed(
+                        ctx,
+                        l.gsd,
+                        l.node,
+                        KernelMsg::SlowLeaderYield {
+                            from_partition: self.partition,
+                        },
+                    );
+                }
+            }
+        }
+        // Witness preference is only consulted when a failover fires
+        // under a ripened licence; refresh it on the same licence so a
+        // minority island can never install a ranking, and never from a
+        // gray-self observer whose ranking is its own slowness.
+        if self.regroup.votes_enabled() && !self.gray_self() && self.regroup.takeover_licensed(now)
+        {
+            let pref = self.witness_preference();
+            self.regroup.set_witness_preference(pref);
+        }
+        if self.role() != "leader" {
+            return;
+        }
+        for (node, v) in self.slow.verdicts() {
+            let val = match v {
+                SlowVerdict::Healthy => 0.0,
+                SlowVerdict::Slow => 1.0,
+                SlowVerdict::Dead => 2.0,
+            };
+            phoenix_telemetry::gauge_set(slow_verdict_gauge(node), val);
+            phoenix_telemetry::gauge_set(slow_score_gauge(node), self.slow.score(node));
+        }
+        phoenix_telemetry::gauge_set("gsd.slow.quarantined", self.quarantined.len() as f64);
+        // Converge the quarantine set from member-server-node verdicts.
+        // Removal requires a *warmed* Healthy verdict, not the absence of
+        // a Slow one: a fresh leader whose detector never saw the node
+        // slow must re-earn the reinstatement, not inherit it.
+        let gray = self.gray_self();
+        let mut cand: BTreeSet<PartitionId> = BTreeSet::new();
+        let mut next = self.quarantined.clone();
+        for m in &self.members {
+            if m.partition == self.partition {
+                continue; // the leader's own health is the princess's call
+            }
+            if self.slow.is_slow(m.node) {
+                if !gray {
+                    cand.insert(m.partition);
+                    if self.slow_pending.contains(&m.partition) {
+                        next.insert(m.partition);
+                    }
+                }
+            } else if self.slow.warmed(m.node) && self.slow.verdict(m.node) == SlowVerdict::Healthy
+            {
+                next.remove(&m.partition);
+            }
+        }
+        self.slow_pending = cand;
+        // A partition that left the membership entirely is the fail-stop
+        // pipeline's problem, not quarantine's.
+        next.retain(|p| self.members.iter().any(|m| m.partition == *p));
+        if next != self.quarantined {
+            self.set_quarantine(ctx, next);
+        } else if !self.quarantined.is_empty() {
+            // Same-epoch refresh: late joiners (empty set, epoch 0) adopt
+            // the ring order within one tick; everyone else no-ops.
+            let msg = KernelMsg::MetaQuarantine {
+                epoch: self.quarantine_epoch,
+                quarantined: self.quarantined.iter().copied().collect(),
+            };
+            self.broadcast_meta(ctx, msg);
+        }
+    }
+
+    /// Install a new quarantine set, broadcast it under a bumped epoch,
+    /// and re-derive the ring order locally. Called by the leader's
+    /// convergence pass and by a leader self-quarantining on yield.
+    fn set_quarantine(&mut self, ctx: &mut Ctx<'_, KernelMsg>, next: BTreeSet<PartitionId>) {
+        self.quarantined = next;
+        self.quarantine_epoch += 1;
+        phoenix_telemetry::gauge_set("gsd.slow.quarantined", self.quarantined.len() as f64);
+        ctx.trace(TraceEvent::Milestone {
+            label: "slow-quarantine",
+            value: self.quarantined.len() as f64,
+        });
+        let msg = KernelMsg::MetaQuarantine {
+            epoch: self.quarantine_epoch,
+            quarantined: self.quarantined.iter().copied().collect(),
+        };
+        self.broadcast_meta(ctx, msg);
+        self.refresh_roles(ctx);
+        self.push_partition_view(ctx);
+        self.maybe_drain(ctx);
+    }
+
+    /// Quarantined-and-on-the-degraded-node: hand the partition to a
+    /// healthier home node by spawning our own replacement there — the
+    /// existing Migrate/duplicate-resolution machinery does the rest (the
+    /// replacement joins, the leader replaces our entry, the membership
+    /// naming the newer pid makes us yield). No `FaultDiagnosed`, no
+    /// takeover marks: nothing died.
+    fn maybe_drain(&mut self, ctx: &mut Ctx<'_, KernelMsg>) {
+        if self.draining || self.drained || !self.quarantined.contains(&self.partition) {
+            return;
+        }
+        let own = ctx.node();
+        // A gray-self observer's placement vetoes are its own slowness
+        // reflected back — ignore them, or the drain could never fire.
+        let gray = self.gray_self();
+        let Some(to) = self.topology.partition(self.partition).and_then(|spec| {
+            spec.backups
+                .iter()
+                .chain(spec.compute.iter())
+                .copied()
+                .find(|&n| n != own && ctx.node_is_up(n) && (gray || !self.placement_degraded(n)))
+        }) else {
+            return; // no healthy home node: stay put, keep serving
+        };
+        self.draining = true;
+        phoenix_telemetry::counter_add("gsd.slow.drains", 1);
+        ctx.trace(TraceEvent::Milestone {
+            label: "slow-drain",
+            value: self.partition.0 as f64,
+        });
+        let hint = self.local;
+        let members: Vec<MemberInfo> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| m.partition != self.partition)
+            .collect();
+        let mut gsd = Gsd::respawn(
+            self.partition,
+            self.params.clone(),
+            self.topology.clone(),
+            self.config,
+            self.registry.clone(),
+            hint,
+            members,
+            self.epoch,
+            RecoveryAction::Migrated(to),
+        );
+        // The clone must share our quarantine view (ring order!) and must
+        // not re-drain off its fresh node on a not-yet-warmed-out entry.
+        gsd.quarantined = self.quarantined.clone();
+        gsd.quarantine_epoch = self.quarantine_epoch;
+        gsd.drained = true;
+        ctx.spawn(to, Box::new(gsd));
+    }
+
+    /// Test/introspection: per-peer fail-slow verdicts as this GSD sees
+    /// them.
+    pub fn slow_verdicts(&self) -> Vec<(NodeId, SlowVerdict)> {
+        self.slow.verdicts()
+    }
+
+    /// Test/introspection: the adopted quarantine view.
+    pub fn quarantine_view(&self) -> (u64, Vec<PartitionId>) {
+        (
+            self.quarantine_epoch,
+            self.quarantined.iter().copied().collect(),
+        )
+    }
+
+    /// Test/introspection: ring membership order as currently sorted.
+    pub fn ring_order(&self) -> Vec<PartitionId> {
+        self.members.iter().map(|m| m.partition).collect()
+    }
+
+    /// Test/introspection: whether a slow-drain handoff is in flight.
+    pub fn is_draining(&self) -> bool {
+        self.draining
     }
 
     // ---- quorum regroup (MSCS-style; paper-adjacent split-brain cure) ------
@@ -2579,6 +3070,23 @@ impl Actor<KernelMsg> for Gsd {
                     .map(|m| m.gsd)
                 {
                     if other != ctx.pid() && other > ctx.pid() {
+                        if self.draining {
+                            // Slow-drain handoff complete: the replacement
+                            // runs fresh kernel services on its new node,
+                            // and unlike a dead-node takeover this node is
+                            // still alive — ours would leak as orphans.
+                            let mut orphans: BTreeSet<Pid> = self.svc_tracks.keys().copied().collect();
+                            orphans.extend([
+                                self.local.event,
+                                self.local.bulletin,
+                                self.local.checkpoint,
+                            ]);
+                            for pid in orphans {
+                                if pid != Pid(0) && pid != ctx.pid() && ctx.process_is_alive(pid) {
+                                    ctx.kill(pid);
+                                }
+                            }
+                        }
                         ctx.trace(TraceEvent::Milestone {
                             label: "gsd-yielded",
                             value: self.partition.0 as f64,
@@ -2688,6 +3196,68 @@ impl Actor<KernelMsg> for Gsd {
             KernelMsg::ProbeResp { req } => self.on_probe_resp(ctx, req.0),
             KernelMsg::ProbeReq { req } => {
                 ctx.send(from, KernelMsg::ProbeResp { req });
+            }
+            KernelMsg::SlowPing { seq } => {
+                // Echo immediately — the pinger turns the round trip into
+                // an RTT sample; a slow node's stretched service time is
+                // exactly the signal being measured.
+                ctx.send(from, KernelMsg::SlowPong { seq });
+            }
+            KernelMsg::SlowPong { seq } => {
+                if let Some((node, at)) = self.slow_ping_sent.remove(&seq) {
+                    self.observe_peer_rtt(ctx, node, ctx.now().since(at).as_nanos());
+                }
+            }
+            KernelMsg::SlowLeaderYield { from_partition } => {
+                // Honoured only while actually leading, only from the
+                // current ring princess, at most once per degradation —
+                // and only when our own detector corroborates: a truly
+                // slow leader reads a majority of its peers as Slow (its
+                // own stretched latency reflected back, `gray_self`). A
+                // healthy leader does not, so a request from a princess
+                // that is itself the degraded one (it observes only us,
+                // so it cannot tell) is rejected instead of toppling a
+                // healthy leader.
+                if self.slow.enabled()
+                    && !self.regroup.frozen()
+                    && self.role() == "leader"
+                    && self.members.get(1).map(|m| m.partition) == Some(from_partition)
+                    && !self.quarantined.contains(&self.partition)
+                    && self.gray_self()
+                {
+                    phoenix_telemetry::counter_add("gsd.slow.leader_yields", 1);
+                    ctx.trace(TraceEvent::Milestone {
+                        label: "slow-leader-yield",
+                        value: self.partition.0 as f64,
+                    });
+                    // Self-quarantine: the same broadcast that demotes us
+                    // to the ring tail promotes the princess — a 0-leader
+                    // gap at worst, never two leaders.
+                    let mut next = self.quarantined.clone();
+                    next.insert(self.partition);
+                    self.set_quarantine(ctx, next);
+                }
+            }
+            KernelMsg::MetaQuarantine { epoch, quarantined } => {
+                if !self.slow.enabled() {
+                    return;
+                }
+                let set: BTreeSet<PartitionId> = quarantined.into_iter().collect();
+                if epoch < self.quarantine_epoch
+                    || (epoch == self.quarantine_epoch && set == self.quarantined)
+                {
+                    return;
+                }
+                self.quarantine_epoch = epoch;
+                self.quarantined = set;
+                if !self.quarantined.contains(&self.partition) {
+                    // Reinstated (or never in): a future quarantine may
+                    // legitimately drain again.
+                    self.draining = false;
+                    self.drained = false;
+                }
+                self.refresh_roles(ctx);
+                self.maybe_drain(ctx);
             }
             KernelMsg::RegroupPing {
                 round,

@@ -173,6 +173,11 @@ impl Actor<KernelMsg> for Wd {
             KernelMsg::ProbeReq { req } => {
                 ctx.send(from, KernelMsg::ProbeResp { req });
             }
+            KernelMsg::SlowPing { seq } => {
+                // RTT echo for the fail-slow detector: the leader samples
+                // placement-candidate nodes through their watch daemons.
+                ctx.send(from, KernelMsg::SlowPong { seq });
+            }
             KernelMsg::RegroupProbe { round } => {
                 // Home-node testimony for a peer GSD's regroup round: the
                 // GSD pid this daemon heartbeats, and whether that pid is

@@ -34,6 +34,7 @@ pub mod ppm;
 pub mod regroup;
 pub mod rpc;
 pub mod security;
+pub mod slow_detect;
 
 pub use boot::{
     boot_and_stabilize, boot_cluster, boot_cluster_custom, boot_cluster_with_net, boot_onto,
@@ -44,3 +45,4 @@ pub use nic_health::{HealthTransition, NicHealth, NicHealthParams};
 pub use params::{FtParams, KernelParams};
 pub use regroup::{Regroup, RegroupParams, Verdict};
 pub use rpc::{DedupWindow, Retrier, RetryPolicy};
+pub use slow_detect::{SlowDetect, SlowDetectParams, SlowTransition, Verdict as SlowVerdict};

@@ -11,6 +11,7 @@
 use crate::nic_health::NicHealthParams;
 use crate::regroup::RegroupParams;
 use crate::rpc::RetryPolicy;
+use crate::slow_detect::SlowDetectParams;
 use phoenix_sim::SimDuration;
 
 /// Fault-tolerance timing parameters (paper Sec 5.1).
@@ -73,6 +74,10 @@ pub struct FtParams {
     /// freeze). Disabled by default so the paper pipeline stays
     /// byte-identical; partition-tolerant profiles opt in.
     pub regroup: RegroupParams,
+    /// Fail-slow detection (per-peer RTT scores, three-state verdict,
+    /// hysteretic quarantine). Disabled by default so the fail-stop
+    /// pipeline stays byte-identical; `fast_slow()` opts in.
+    pub slow: SlowDetectParams,
 }
 
 impl Default for FtParams {
@@ -98,6 +103,7 @@ impl Default for FtParams {
             probe_abort_on_fresh: false,
             nic: NicHealthParams::default(),
             regroup: RegroupParams::default(),
+            slow: SlowDetectParams::default(),
         }
     }
 }
@@ -146,6 +152,17 @@ impl FtParams {
         FtParams {
             regroup: RegroupParams::quorum(),
             ..FtParams::fast_lossy()
+        }
+    }
+
+    /// Quorum profile plus fail-slow detection: per-peer RTT scoring,
+    /// hysteretic quarantine and the slow-leader handoff. Runs with the
+    /// full regroup/vote machinery on so "slow ≠ down" is tested against
+    /// the takeover licence, not in isolation.
+    pub fn fast_slow() -> FtParams {
+        FtParams {
+            slow: SlowDetectParams::slow(),
+            ..FtParams::fast_quorum()
         }
     }
 }
@@ -230,6 +247,16 @@ impl KernelParams {
             ..KernelParams::fast()
         }
     }
+
+    /// Quorum profile plus fail-slow detection: the configuration for
+    /// every gray-failure scenario.
+    pub fn fast_slow() -> KernelParams {
+        KernelParams {
+            ft: FtParams::fast_slow(),
+            rpc: RetryPolicy::lossy(),
+            ..KernelParams::fast()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -286,5 +313,18 @@ mod tests {
         assert!(w.ft.regroup.adaptive_delay);
         assert!(w.ft.nic.enabled, "quorum profile keeps loss hardening");
         assert!(w.rpc.retries_enabled());
+        // The fail-slow layer is a further opt-in: every profile below
+        // fast_slow() (and every pinned seed using them) stays fail-stop.
+        assert!(!p.ft.slow.enabled, "fail-slow layer must default off");
+        assert!(!KernelParams::fast().ft.slow.enabled);
+        assert!(!l.ft.slow.enabled);
+        assert!(!q.ft.slow.enabled);
+        assert!(!w.ft.slow.enabled, "quorum profile stays fail-stop");
+        let s = KernelParams::fast_slow();
+        assert!(s.ft.slow.enabled);
+        assert!(s.ft.regroup.enabled, "slow profile keeps quorum regroup");
+        assert!(s.ft.regroup.votes.enabled);
+        assert!(s.ft.nic.enabled, "slow profile keeps loss hardening");
+        assert!(s.rpc.retries_enabled());
     }
 }

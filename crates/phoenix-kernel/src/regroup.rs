@@ -257,6 +257,10 @@ pub struct Regroup {
     /// Witness generation: bumps on every failover, gossiped in regroup
     /// traffic; the higher epoch wins on conflict.
     witness_epoch: u64,
+    /// Health-ranked witness candidates (best first), installed by the
+    /// fail-slow layer on its slow cadence. Consulted only at failover
+    /// time; empty keeps the legacy lowest-reachable-id pick.
+    witness_pref: Vec<PartitionId>,
     /// When the current round opened (adaptive-latency sample start).
     round_started_at: Option<SimTime>,
     /// When the current round's last ack landed.
@@ -286,6 +290,7 @@ impl Regroup {
             parts: Vec::new(),
             witness: None,
             witness_epoch: 0,
+            witness_pref: Vec::new(),
             round_started_at: None,
             last_ack_at: None,
             latency_ewma_ns: None,
@@ -353,6 +358,15 @@ impl Regroup {
 
     pub fn witness_epoch(&self) -> u64 {
         self.witness_epoch
+    }
+
+    /// Install a health-ranked witness preference (best candidate first),
+    /// as observed by the fail-slow detector. Consulted only when a
+    /// failover actually fires — under a ripened takeover licence — so
+    /// ranking churn can never move a healthy witness; an empty ranking
+    /// keeps the legacy lowest-reachable-id pick byte for byte.
+    pub fn set_witness_preference(&mut self, pref: Vec<PartitionId>) {
+        self.witness_pref = pref;
     }
 
     /// Adopt a gossiped witness identity if it carries a higher witness
@@ -582,7 +596,14 @@ impl Regroup {
                 .witness()
                 .is_some_and(|w| !reachable.contains(&w))
         {
-            let new = reachable.first().copied();
+            // Preference-first: the healthiest reachable candidate per the
+            // fail-slow ranking, falling back to the lowest reachable id.
+            let new = self
+                .witness_pref
+                .iter()
+                .copied()
+                .find(|p| reachable.contains(p))
+                .or_else(|| reachable.first().copied());
             if let Some(new) = new {
                 self.witness = Some(new);
                 self.witness_epoch += 1;
@@ -1062,6 +1083,40 @@ mod tests {
         // Witness now reachable (it is us): no repeated failover.
         let c = conclude_side(&mut rg, PartitionId(1), &[2, 3], now);
         assert_eq!(c.witness_failover, None);
+    }
+
+    #[test]
+    fn witness_failover_honours_health_preference() {
+        // Same held-majority failover, but a fail-slow ranking says p3 is
+        // the healthiest reachable candidate: preference beats lowest-id.
+        // Unreachable preferred entries (p0 ranks first but is the lost
+        // witness) are skipped, not waited for.
+        let mut rg = Regroup::new(RegroupParams::quorum());
+        rg.set_partitions(&parts(4));
+        rg.set_witness_preference(vec![
+            PartitionId(0),
+            PartitionId(3),
+            PartitionId(2),
+            PartitionId(1),
+        ]);
+        let delay = rg.params().delay_floor + SimDuration::from_secs(1);
+        let mut now = t(0);
+        let c = conclude_side(&mut rg, PartitionId(1), &[2, 3], now);
+        assert_eq!(c.verdict, Verdict::Majority);
+        let t0 = now;
+        let mut failed_over = None;
+        while now.since(t0) < delay {
+            now = now + SimDuration::from_millis(500);
+            let c = conclude_side(&mut rg, PartitionId(1), &[2, 3], now);
+            if let Some(w) = c.witness_failover {
+                failed_over = Some(w);
+                break;
+            }
+        }
+        assert_eq!(failed_over, Some(PartitionId(3)), "healthiest reachable");
+        assert_eq!(rg.witness(), Some(PartitionId(3)));
+        // An empty preference restores the legacy lowest-id pick — proven
+        // by `witness_failover_after_held_majority` above.
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Fail-slow (gray failure) scenarios: a node that is alive but degraded.
+//!
+//! The kernel's fail-stop pipeline sees heartbeats and probe responses
+//! that *do* arrive — late. The fail-slow layer must (a) never let the
+//! degraded node be declared dead, (b) quarantine it out of leadership /
+//! ring eligibility, (c) drain its partition to a healthy home node via
+//! the ordinary migrate machinery, and (d) reinstate once the evidence
+//! says healthy again. All under `KernelParams::fast_slow()` — the paper
+//! profiles never see any of this.
+
+use phoenix_kernel::group::Gsd;
+use phoenix_kernel::boot::boot_and_stabilize;
+use phoenix_kernel::KernelParams;
+use phoenix_proto::{ClusterTopology, KernelMsg, PartitionId};
+use phoenix_sim::{Diagnosis, Fault, FaultTarget, NodeId, Pid, SimDuration, TraceEvent, World};
+
+fn cluster() -> (World<KernelMsg>, phoenix_kernel::PhoenixCluster) {
+    boot_and_stabilize(ClusterTopology::uniform(3, 4, 1), KernelParams::fast_slow(), 23)
+}
+
+/// Current directory as (partition → MemberInfo), via a client query.
+fn directory(
+    w: &mut World<KernelMsg>,
+    cluster: &phoenix_kernel::PhoenixCluster,
+    req: u64,
+) -> Vec<phoenix_proto::MemberInfo> {
+    let client = phoenix_kernel::ClientHandle::spawn(w, cluster.topology.partitions[0].server);
+    client.send(
+        w,
+        cluster.config(),
+        KernelMsg::CfgQueryDirectory {
+            req: phoenix_proto::RequestId(req),
+        },
+    );
+    w.run_for(SimDuration::from_millis(200));
+    client
+        .drain()
+        .into_iter()
+        .find_map(|(_, m)| match m {
+            KernelMsg::CfgDirectory { directory, .. } => Some(directory.partitions),
+            _ => None,
+        })
+        .expect("config answers")
+}
+
+/// Count dead-diagnoses (node or process) whose target is the given node
+/// or a pid hosted on it at diagnosis time.
+fn node_dead_diagnoses(w: &World<KernelMsg>, node: NodeId) -> usize {
+    w.trace().count(|e| {
+        matches!(
+            e,
+            TraceEvent::FaultDiagnosed {
+                target: FaultTarget::Node(n),
+                diagnosis: Diagnosis::NodeFailure,
+                ..
+            } if *n == node
+        )
+    })
+}
+
+#[test]
+fn slow_member_is_quarantined_drained_and_reinstated_never_killed() {
+    let (mut w, cluster) = cluster();
+    w.run_for(SimDuration::from_secs(5));
+
+    // Partition 2's server turns fail-slow: 21x latency on everything it
+    // sends and serves. It keeps answering — late.
+    let slow_node = cluster.topology.partitions[2].server;
+    w.apply_fault(Fault::SlowNode {
+        node: slow_node,
+        factor_permille: 20_000,
+    });
+    w.run_for(SimDuration::from_secs(30));
+
+    // Quarantined (leader broadcast a non-empty set) and never diagnosed
+    // dead while it kept answering.
+    let quarantines = w
+        .trace()
+        .count(|e| matches!(e, TraceEvent::Milestone { label: "slow-quarantine", .. }));
+    assert!(quarantines > 0, "slow member must be quarantined");
+    assert_eq!(
+        node_dead_diagnoses(&w, slow_node),
+        0,
+        "slow-but-alive node must never be diagnosed dead"
+    );
+
+    // Drained: partition 2's GSD now lives on a healthy home node, and
+    // the quarantine entry has warmed out (reinstated) on the new node.
+    w.run_for(SimDuration::from_secs(30));
+    let dir = directory(&mut w, &cluster, 1);
+    let p2 = dir
+        .iter()
+        .find(|m| m.partition == PartitionId(2))
+        .copied()
+        .expect("partition 2 present");
+    assert!(w.is_alive(p2.gsd), "partition 2 has a live GSD");
+    assert_ne!(
+        p2.node, slow_node,
+        "partition 2 drained off the degraded node"
+    );
+    let drains = w
+        .trace()
+        .count(|e| matches!(e, TraceEvent::Milestone { label: "slow-drain", .. }));
+    assert!(drains > 0, "drain handoff must have fired");
+
+    // Reinstated: the leader's quarantine view is empty again.
+    let leader_pid = dir
+        .iter()
+        .find(|m| m.partition == PartitionId(0))
+        .map(|m| m.gsd)
+        .expect("partition 0 present");
+    let leader = w.actor_as::<Gsd>(leader_pid).expect("leader GSD actor");
+    let (_, quarantined) = leader.quarantine_view();
+    assert!(
+        quarantined.is_empty(),
+        "quarantine converges back to empty after the drain: {quarantined:?}"
+    );
+
+    // And nothing was ever declared dead anywhere in the episode.
+    assert_eq!(node_dead_diagnoses(&w, slow_node), 0);
+}
+
+#[test]
+fn slow_leader_hands_off_without_tripping_takeover() {
+    let (mut w, cluster) = cluster();
+    w.run_for(SimDuration::from_secs(5));
+
+    // The ring leader's node (partition 0's server, which also hosts the
+    // config service) turns fail-slow.
+    let slow_node = cluster.topology.partitions[0].server;
+    w.apply_fault(Fault::SlowNode {
+        node: slow_node,
+        factor_permille: 20_000,
+    });
+    w.run_for(SimDuration::from_secs(30));
+
+    // The princess asked, the leader yielded — no takeover machinery, no
+    // dead verdicts.
+    let yields = w
+        .trace()
+        .count(|e| matches!(e, TraceEvent::Milestone { label: "slow-leader-yield", .. }));
+    assert!(yields > 0, "degraded leader must shed leadership");
+    assert_eq!(
+        node_dead_diagnoses(&w, slow_node),
+        0,
+        "slow leader must never be diagnosed dead"
+    );
+
+    // Settle: the drain moves partition 0 to its backup node and the ring
+    // re-converges on a single leader every member agrees on.
+    w.run_for(SimDuration::from_secs(40));
+    let dir = directory(&mut w, &cluster, 2);
+    assert_eq!(dir.len(), 3);
+    let mut leaders: Vec<PartitionId> = Vec::new();
+    for m in &dir {
+        assert!(w.is_alive(m.gsd), "{:?} has a live GSD", m.partition);
+        let gsd = w.actor_as::<Gsd>(m.gsd).expect("GSD actor");
+        let order = gsd.ring_order();
+        assert_eq!(order.len(), 3, "{:?} sees the full ring", m.partition);
+        leaders.push(order[0]);
+    }
+    leaders.dedup();
+    assert_eq!(leaders.len(), 1, "every member agrees on one leader");
+    assert_eq!(node_dead_diagnoses(&w, slow_node), 0);
+}
+
+#[test]
+fn slow_node_that_actually_dies_is_still_diagnosed() {
+    // The dead-veto must lapse when the evidence goes stale: slow first,
+    // then a real crash — the fail-stop pipeline must still win.
+    let (mut w, cluster) = cluster();
+    w.run_for(SimDuration::from_secs(5));
+    let slow_node = cluster.topology.partitions[2].server;
+    let victim_gsd: Pid = cluster.gsd(2);
+    w.apply_fault(Fault::SlowNode {
+        node: slow_node,
+        factor_permille: 20_000,
+    });
+    w.run_for(SimDuration::from_secs(10));
+    // Crash the whole node mid-slowness (before any drain completes the
+    // handoff the quarantine machinery may have started).
+    w.apply_fault(Fault::CrashNode(slow_node));
+    w.run_for(SimDuration::from_secs(40));
+
+    // The partition recovered somewhere — the veto did not become a
+    // livelock.
+    let dir = directory(&mut w, &cluster, 3);
+    let p2 = dir
+        .iter()
+        .find(|m| m.partition == PartitionId(2))
+        .copied()
+        .expect("partition 2 present");
+    assert!(w.is_alive(p2.gsd), "partition 2 recovered after real death");
+    assert_ne!(p2.node, slow_node);
+    assert!(!w.is_alive(victim_gsd), "the crashed instance is gone");
+}

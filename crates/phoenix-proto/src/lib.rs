@@ -24,4 +24,4 @@ pub use job::{JobSpec, JobState, TaskSpec};
 pub use msg::{KernelMsg, MemberInfo, NodeOp, NodeServices, QueueRow, ServiceDirectory};
 pub use security::{Action, AuthToken, Role};
 pub use topology::{ClusterTopology, PartitionSpec};
-pub use wire::{encoded_size, Wire};
+pub use wire::{encoded_size, Wire, WireVariants};

@@ -189,6 +189,27 @@ pub enum KernelMsg {
     /// again after the heal-time rejoin.
     DirectoryStale { partition: PartitionId, stale: bool },
 
+    // ---- group service: fail-slow detection ("slow ≠ down") -------------
+    /// Latency probe for the fail-slow detector. The sender remembers the
+    /// send time locally, keyed by `seq`; the echo carries only the seq
+    /// back, so measuring RTT needs no clocks on the wire.
+    SlowPing { seq: u64 },
+    /// Echo of a `SlowPing`, answered by WDs and GSDs alike.
+    SlowPong { seq: u64 },
+    /// Ring observer → current leader: "your latency profile reads Slow
+    /// from here — yield." The leader, alive but degraded, quarantines
+    /// itself and hands leadership to the next healthy partition; the
+    /// regroup takeover machinery is never involved.
+    SlowLeaderYield { from_partition: PartitionId },
+    /// Leader broadcast of the authoritative quarantine set: partitions
+    /// whose hosting node reads Slow lose leadership / meta-ring
+    /// eligibility until reinstated. Epoch-guarded like membership
+    /// updates so every view converges to the newest set.
+    MetaQuarantine {
+        epoch: u64,
+        quarantined: Vec<PartitionId>,
+    },
+
     // ---- group service: partition-local supervision ("svc") -------------
     /// A per-partition service registers with its GSD for supervision.
     /// `factory` names the respawn recipe in the GSD's factory registry
@@ -445,6 +466,8 @@ impl KernelMsg {
             | MetaMemberDown { .. } => "meta",
             RegroupPing { .. } | RegroupAck { .. } | RegroupFreeze { .. }
             | RegroupProbe { .. } | RegroupProbeAck { .. } => "regroup",
+            SlowPing { .. } | SlowPong { .. } | SlowLeaderYield { .. }
+            | MetaQuarantine { .. } => "slow",
             SvcRegister { .. } | SvcHeartbeat { .. } | PartitionView { .. } => "svc",
             EsRegisterConsumer { .. }
             | EsUnregisterConsumer { .. }

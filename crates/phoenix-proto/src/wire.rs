@@ -373,7 +373,20 @@ macro_rules! wire_enum {
                 }
             }
         }
+        impl $crate::wire::WireVariants for $ty {
+            const VARIANT_COUNT: usize = [$($idx as u32),+].len();
+        }
     };
+}
+
+/// Variant count of a wire-mapped enum, derived from the `wire_enum!`
+/// listing. The macro's encode match is exhaustive over the enum, so
+/// adding a variant without extending the mapping is a compile error —
+/// this count can never silently lag the enum, and test surfaces that
+/// assert against it fail loudly instead of skipping coverage of new
+/// messages.
+pub trait WireVariants {
+    const VARIANT_COUNT: usize;
 }
 
 // --- phoenix-sim types (the trait is local, so these are not orphans) ------
@@ -630,6 +643,10 @@ wire_enum! { KernelMsg {
     66 => DirectoryStale { partition, stale },
     67 => RegroupProbe { round },
     68 => RegroupProbeAck { round, partition, gsd, alive },
+    69 => SlowPing { seq },
+    70 => SlowPong { seq },
+    71 => SlowLeaderYield { from_partition },
+    72 => MetaQuarantine { epoch, quarantined },
 }}
 
 #[cfg(test)]

@@ -46,6 +46,15 @@ pub enum Fault {
     Partition { island: u64 },
     /// Heal an island split (link partitions and NIC faults stay).
     Heal,
+    /// Fail-slow (gray failure): stretch every message latency touching
+    /// `node` — incoming, outgoing and node-local service time — by
+    /// `factor_permille` extra (1000 = one extra base latency, i.e. 2×)
+    /// until `SlowClear`. The node stays up and answers everything, just
+    /// late; nothing is dropped. Composes with loss, degradation and
+    /// splits. A new `SlowNode` for the same node replaces the factor.
+    SlowNode { node: NodeId, factor_permille: u16 },
+    /// End a fail-slow episode; the node's latencies return to normal.
+    SlowClear(NodeId),
 }
 
 #[cfg(test)]

@@ -156,6 +156,10 @@ pub struct Network {
     /// pure bit tests — no RNG is ever drawn for a split, so zero-partition
     /// runs consume exactly the stream they did before the fault existed.
     island: u64,
+    /// Fail-slow nodes (`Fault::SlowNode`): extra latency in permille of
+    /// the base path latency for every message touching the node. Like the
+    /// loss model, a world with no slow nodes draws no RNG for this.
+    slow: HashMap<NodeId, u16>,
 }
 
 impl Network {
@@ -166,6 +170,7 @@ impl Network {
             burst_permille: 0,
             degraded: HashMap::new(),
             island: 0,
+            slow: HashMap::new(),
         }
     }
 
@@ -260,6 +265,37 @@ impl Network {
         *self.degraded.get(&(node, nic)).unwrap_or(&0)
     }
 
+    /// Mark a node fail-slow (`Fault::SlowNode`): every message it sends,
+    /// receives, or services locally takes `factor_permille` extra latency
+    /// (1000 = 2× the base). Replaces any previous factor for the node.
+    pub fn set_slow(&mut self, node: NodeId, factor_permille: u16) {
+        if factor_permille == 0 {
+            self.slow.remove(&node);
+        } else {
+            self.slow.insert(node, factor_permille);
+        }
+    }
+
+    /// End a fail-slow episode (`Fault::SlowClear`).
+    pub fn clear_slow(&mut self, node: NodeId) {
+        self.slow.remove(&node);
+    }
+
+    /// Current fail-slow factor of a node (0 when healthy).
+    pub fn slow_factor(&self, node: NodeId) -> u16 {
+        *self.slow.get(&node).unwrap_or(&0)
+    }
+
+    /// Combined slowness of a path: the worse of the two endpoints. A slow
+    /// node drags both directions of every conversation it takes part in,
+    /// including node-local service (same-node messages).
+    pub fn path_slow_factor(&self, src: NodeId, dst: NodeId) -> u16 {
+        if self.slow.is_empty() {
+            return 0; // fast path: no map lookups in healthy worlds
+        }
+        self.slow_factor(src).max(self.slow_factor(dst))
+    }
+
     /// Roll one permille-probability event. Draws from the RNG only when
     /// the rate is non-zero, so reliable runs consume exactly the same
     /// random stream as before the unreliability model existed.
@@ -289,9 +325,14 @@ impl Network {
         }
     }
 
-    /// Draw the one-way latency for a message from `src` to `dst`.
+    /// Draw the one-way latency for a message from `src` to `dst`. When a
+    /// fail-slow node sits on either end the base latency is stretched by
+    /// its factor plus seeded jitter of up to half the added delay (a slow
+    /// node smears its traffic, it doesn't just shift it); with no slow
+    /// node involved the stretch branch draws no RNG, keeping pre-existing
+    /// seeded runs byte-identical.
     pub fn latency(&self, src: NodeId, dst: NodeId, rng: &mut SimRng) -> SimDuration {
-        if src == dst {
+        let base = if src == dst {
             self.params.local_latency
         } else {
             let jitter_ns = if self.params.jitter.as_nanos() == 0 {
@@ -300,7 +341,18 @@ impl Network {
                 rng.gen_range(0..=self.params.jitter.as_nanos())
             };
             self.params.lan_latency + SimDuration::from_nanos(jitter_ns)
+        };
+        let slow = self.path_slow_factor(src, dst);
+        if slow == 0 {
+            return base;
         }
+        let added = base.as_nanos().saturating_mul(slow as u64) / 1000;
+        let smear = if added >= 2 {
+            rng.gen_range(0..=added / 2)
+        } else {
+            0
+        };
+        base + SimDuration::from_nanos(added.saturating_add(smear))
     }
 
     /// Decide whether a message may travel from (`src`, `src_nic`) to
@@ -537,6 +589,66 @@ mod tests {
         assert_eq!(net.reorder_extra(&mut rng), SimDuration::ZERO);
         // The rolls consumed nothing: the next draw matches a fresh rng.
         assert_eq!(rng.next_u64(), before);
+    }
+
+    #[test]
+    fn slow_node_stretches_both_directions_and_local() {
+        let p = NetParams::default();
+        let mut net = Network::new(p.clone());
+        net.set_slow(NodeId(1), 3000); // 4× latency
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..50 {
+            // Outgoing and incoming paths both stretch.
+            for (a, b) in [(NodeId(1), NodeId(0)), (NodeId(0), NodeId(1))] {
+                let l = net.latency(a, b, &mut rng);
+                let floor = p.lan_latency * 4;
+                let ceil = p.lan_latency * 4 + (p.lan_latency + p.jitter) * 11 / 2;
+                assert!(l >= floor, "{l:?} < {floor:?}");
+                assert!(l <= ceil, "{l:?} > {ceil:?}");
+            }
+        }
+        // Node-local service time stretches too (the node is slow, not a link).
+        let l = net.latency(NodeId(1), NodeId(1), &mut rng);
+        assert!(l >= p.local_latency * 4);
+        // Uninvolved pairs keep the normal bounds.
+        let l = net.latency(NodeId(0), NodeId(2), &mut rng);
+        assert!(l <= p.lan_latency + p.jitter);
+        net.clear_slow(NodeId(1));
+        let l = net.latency(NodeId(0), NodeId(1), &mut rng);
+        assert!(l <= p.lan_latency + p.jitter);
+    }
+
+    #[test]
+    fn zero_slow_draws_no_extra_randomness() {
+        // A world with no slow nodes must consume exactly the stream it did
+        // before the fail-slow model existed: same draw count per latency.
+        let p = NetParams::default();
+        let clean = Network::new(p.clone());
+        let mut net = Network::new(p);
+        net.set_slow(NodeId(7), 2000);
+        net.clear_slow(NodeId(7));
+        net.set_slow(NodeId(8), 0); // zero factor is a no-op, not an entry
+        let mut a = SimRng::seed_from_u64(13);
+        let mut b = SimRng::seed_from_u64(13);
+        for _ in 0..100 {
+            assert_eq!(
+                clean.latency(NodeId(0), NodeId(1), &mut a),
+                net.latency(NodeId(0), NodeId(1), &mut b)
+            );
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn slow_factor_replaced_not_stacked() {
+        let mut net = Network::new(NetParams::default());
+        net.set_slow(NodeId(2), 1000);
+        net.set_slow(NodeId(2), 5000);
+        assert_eq!(net.slow_factor(NodeId(2)), 5000);
+        assert_eq!(net.path_slow_factor(NodeId(2), NodeId(0)), 5000);
+        assert_eq!(net.path_slow_factor(NodeId(0), NodeId(1)), 0);
+        net.clear_slow(NodeId(2));
+        assert_eq!(net.slow_factor(NodeId(2)), 0);
     }
 
     #[test]

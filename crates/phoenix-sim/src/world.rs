@@ -213,6 +213,11 @@ impl<M: Message> World<M> {
         self.network.island()
     }
 
+    /// A node's fail-slow factor (`Fault::SlowNode`), 0 when healthy.
+    pub fn slow_factor(&self, node: NodeId) -> u16 {
+        self.network.slow_factor(node)
+    }
+
     /// The structured trace log.
     pub fn trace(&self) -> &TraceLog {
         &self.trace
@@ -753,6 +758,11 @@ impl<M: Message> World<M> {
             Fault::NicRestore(node, nic) => self.network.restore_nic(node, nic),
             Fault::Partition { island } => self.network.set_island(island),
             Fault::Heal => self.network.clear_island(),
+            Fault::SlowNode {
+                node,
+                factor_permille,
+            } => self.network.set_slow(node, factor_permille),
+            Fault::SlowClear(node) => self.network.clear_slow(node),
         }
     }
 
@@ -920,6 +930,93 @@ mod tests {
         let n = w.node(NodeId(1));
         assert!(n.up);
         assert!(n.nic_up.iter().all(|&b| b));
+    }
+
+    /// Records the virtual arrival time of the echoed reply.
+    struct TimedPinger {
+        peer: Pid,
+        at: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+    impl Actor<u64> for TimedPinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.send(self.peer, 1);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: Pid, _msg: u64) {
+            self.at.set(ctx.now().0);
+        }
+    }
+
+    fn timed_round_trip(slow: Option<Fault>) -> u64 {
+        let mut w = ClusterBuilder::new()
+            .nodes(2, NodeSpec::default())
+            .seed(77)
+            .build::<u64>();
+        if let Some(f) = slow {
+            w.apply_fault(f);
+        }
+        let echo = w.spawn(NodeId(1), Box::new(Echo));
+        let at = std::rc::Rc::new(std::cell::Cell::new(0));
+        let _p = w.spawn(
+            NodeId(0),
+            Box::new(TimedPinger {
+                peer: echo,
+                at: at.clone(),
+            }),
+        );
+        w.run_for(SimDuration::from_millis(100));
+        at.get()
+    }
+
+    #[test]
+    fn slow_node_delays_round_trip() {
+        let clean = timed_round_trip(None);
+        let slow = timed_round_trip(Some(Fault::SlowNode {
+            node: NodeId(1),
+            factor_permille: 9000,
+        }));
+        assert!(clean > 0 && slow > 0, "both replies must arrive");
+        // 10× latency floor on both legs: at least ~5× the clean round trip
+        // even with jitter and smear in the clean run's favour.
+        assert!(
+            slow >= clean * 5,
+            "slow round trip {slow}ns not ≫ clean {clean}ns"
+        );
+    }
+
+    #[test]
+    fn zero_slow_world_reproduces_clean_traces() {
+        // A zero-factor SlowNode and a set/clear pair are RNG- and
+        // schedule-neutral: the run is bit-identical to never injecting
+        // them, so every pre-fail-slow pinned trace stays byte-identical.
+        let clean = timed_round_trip(None);
+        let zero = timed_round_trip(Some(Fault::SlowNode {
+            node: NodeId(1),
+            factor_permille: 0,
+        }));
+        let cleared = {
+            let mut w = ClusterBuilder::new()
+                .nodes(2, NodeSpec::default())
+                .seed(77)
+                .build::<u64>();
+            w.apply_fault(Fault::SlowNode {
+                node: NodeId(1),
+                factor_permille: 4000,
+            });
+            w.apply_fault(Fault::SlowClear(NodeId(1)));
+            let echo = w.spawn(NodeId(1), Box::new(Echo));
+            let at = std::rc::Rc::new(std::cell::Cell::new(0));
+            let _p = w.spawn(
+                NodeId(0),
+                Box::new(TimedPinger {
+                    peer: echo,
+                    at: at.clone(),
+                }),
+            );
+            w.run_for(SimDuration::from_millis(100));
+            at.get()
+        };
+        assert_eq!(clean, zero);
+        assert_eq!(clean, cleared);
     }
 
     #[test]

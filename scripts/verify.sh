@@ -42,6 +42,13 @@
 # partition_sweep smoke then gates zero double-leader instants, every
 # minority frozen, and post-heal convergence (results/BENCH_partition.json).
 #
+# The fail-slow chaos pass re-runs 25 seeds on the 3x5 fail-slow testbed
+# (--slow: slow-node episodes layered on the usual fault mix) under the
+# slow-not-dead and quarantine-convergence invariants; the slow_sweep
+# smoke then gates zero false-dead diagnoses, every member-gray episode
+# drained, every leader-gray episode yielded, and every reinstatement
+# converged (results/BENCH_slow.json), serial vs parallel byte-identical.
+#
 # The event_core smoke benches the raw event loop: the heap baseline vs the
 # hierarchical timer-wheel scheduler on an identical seeded timer
 # population (results/BENCH_events.json). The bin replays pinned chaos
@@ -245,6 +252,40 @@ PHOENIX_SWEEP_THREADS=4 \
     cargo run --release --offline -p phoenix-bench --bin quorum_sweep -- --small
 cmp results/BENCH_quorum.json /tmp/BENCH_quorum_serial.json || {
     echo "FAIL: parallel quorum_sweep report differs from serial (determinism gate)" >&2
+    exit 1
+}
+
+echo "== smoke: chaos, 25 seeded fail-slow schedules =="
+# The 3x5 testbed with the fail-slow profile: slow-node episodes riding a
+# salt-separated RNG stream, under the slow-not-dead invariant (zero dead
+# diagnoses of a slow-but-alive node) and post-heal quarantine convergence.
+cargo run --release --offline -p phoenix-chaos --bin chaos -- --seeds 25 --slow
+
+echo "== smoke: slow_sweep (--small --serial) writes results/BENCH_slow.json =="
+rm -f results/BENCH_slow.json
+# The bin exits non-zero on any dead diagnosis of a slow-but-alive node,
+# an unsuspected/unquarantined episode, an undrained member-gray episode,
+# an unyielded leader-gray episode, or a failed reinstatement.
+cargo run --release --offline -p phoenix-bench --bin slow_sweep -- --small --serial
+
+test -s results/BENCH_slow.json || {
+    echo "FAIL: results/BENCH_slow.json missing or empty" >&2
+    exit 1
+}
+for needle in '"false_dead_diagnoses"' '"unyielded_leader_episodes"' '"unreinstated_episodes"' \
+    '"suspect_ms_mean"' '"factor_permille"' '"curve"'; do
+    grep -q "$needle" results/BENCH_slow.json || {
+        echo "FAIL: $needle not found in results/BENCH_slow.json" >&2
+        exit 1
+    }
+done
+
+echo "== determinism gate: parallel slow_sweep must be byte-identical to serial =="
+cp results/BENCH_slow.json /tmp/BENCH_slow_serial.json
+PHOENIX_SWEEP_THREADS=4 \
+    cargo run --release --offline -p phoenix-bench --bin slow_sweep -- --small
+cmp results/BENCH_slow.json /tmp/BENCH_slow_serial.json || {
+    echo "FAIL: parallel slow_sweep report differs from serial (determinism gate)" >&2
     exit 1
 }
 

@@ -16,7 +16,7 @@
 
 use phoenix::chaos::{
     crash_repair_nodes, double_nic_nodes, generate_schedule, gsd_kills, island_partitions,
-    link_partitions, loss_bursts, nic_flaps, run_schedule, ChaosConfig,
+    link_partitions, loss_bursts, nic_flaps, run_schedule, slow_storms, ChaosConfig,
 };
 use phoenix::kernel::boot_cluster;
 use phoenix::proto::PartitionId;
@@ -225,4 +225,82 @@ fn mixed_fault_storm() {
          scan and re-pin"
     );
     assert_clean(SEED);
+}
+
+/// Extracts the nodes a schedule turns fail-slow.
+fn slowed_nodes(steps: &[phoenix::chaos::Step]) -> Vec<phoenix::sim::NodeId> {
+    steps
+        .iter()
+        .filter_map(|s| match s.action {
+            phoenix::chaos::StepAction::Fault(phoenix::sim::Fault::SlowNode { node, .. }) => {
+                Some(node)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Fail-slow pin: both non-config partition servers turn gray at once with
+/// overlapping windows (plus a link partition). Each slow GSD's own
+/// detector reads *everyone* as slow — the gray-failure inversion — and
+/// the slow princess demands the healthy leader yield. The leader must
+/// refuse (its own detector does not corroborate), quarantine both gray
+/// members, drain them to healthy home nodes, and reinstate once the
+/// windows close. This seed originally surfaced the false-yield cascade
+/// that left a partition with two live GSDs.
+///
+/// Replay: `cargo run --release -p phoenix-chaos --bin chaos -- --slow --replay 1`
+#[test]
+fn double_gray_servers() {
+    const SEED: u64 = 1;
+    let cfg = ChaosConfig::small_slow();
+    let (_world, cluster) = boot_cluster(cfg.topology(), cfg.params.clone(), SEED);
+    let steps = generate_schedule(SEED, &cfg, &cluster);
+    let slowed = slowed_nodes(&steps);
+    let p1 = cluster.topology.partitions[1].server;
+    let p2 = cluster.topology.partitions[2].server;
+    assert!(
+        slow_storms(&steps) >= 2 && slowed.contains(&p1) && slowed.contains(&p2),
+        "pin drifted: seed {SEED} no longer slows both member servers \
+         (slowed: {slowed:?}) — re-run the slow scan and re-pin"
+    );
+    let out = run_schedule(SEED, &cfg, u64::MAX, false);
+    assert!(out.quiesced, "seed {SEED}: gray cluster never quiesced");
+    assert!(
+        out.violations.is_empty(),
+        "seed {SEED} violated invariants under double gray failure: {:#?}\n\
+         replay: cargo run --release -p phoenix-chaos --bin chaos -- --slow --replay {SEED}",
+        out.violations
+    );
+}
+
+/// Fail-slow pin: the meta-leader's own node turns gray (27x) while a
+/// compute node of another partition is also slow, amid crash/kill
+/// steps. The princess must talk the degraded leader into the slow-leader
+/// handoff (no takeover machinery, no dead verdict), the drained leader's
+/// partition must migrate off the slow node, and the ring must reconverge
+/// on a single leader everyone agrees on.
+///
+/// Replay: `cargo run --release -p phoenix-chaos --bin chaos -- --slow --replay 43`
+#[test]
+fn gray_leader_handoff() {
+    const SEED: u64 = 43;
+    let cfg = ChaosConfig::small_slow();
+    let (_world, cluster) = boot_cluster(cfg.topology(), cfg.params.clone(), SEED);
+    let steps = generate_schedule(SEED, &cfg, &cluster);
+    let slowed = slowed_nodes(&steps);
+    let leader_node = cluster.topology.partitions[0].server;
+    assert!(
+        slow_storms(&steps) >= 2 && slowed.contains(&leader_node),
+        "pin drifted: seed {SEED} no longer slows the leader's node \
+         (slowed: {slowed:?}) — re-run the slow scan and re-pin"
+    );
+    let out = run_schedule(SEED, &cfg, u64::MAX, false);
+    assert!(out.quiesced, "seed {SEED}: gray-leader cluster never quiesced");
+    assert!(
+        out.violations.is_empty(),
+        "seed {SEED} violated invariants under a gray leader: {:#?}\n\
+         replay: cargo run --release -p phoenix-chaos --bin chaos -- --slow --replay {SEED}",
+        out.violations
+    );
 }

@@ -147,3 +147,48 @@ fn differential_lossy_seed_178() {
 fn differential_quorum_even_split_seed_21() {
     assert_byte_identical(21, u64::MAX, &ChaosConfig::small_quorum());
 }
+
+/// Seed 1 (slow profile): both member-partition servers gray at once —
+/// RTT scoring, quarantine broadcast, drain migration and reinstatement
+/// all ride this replay, and every one of them must be byte-identical
+/// under either scheduler.
+#[test]
+fn differential_slow_double_gray_seed_1() {
+    assert_byte_identical(1, u64::MAX, &ChaosConfig::small_slow());
+}
+
+/// The fail-slow storm stream rides its own salted RNG and is appended
+/// after every other stream: turning it off must reproduce the exact
+/// remaining schedule, byte for byte, for every seed. This is what keeps
+/// all pre-slow pinned seeds (and their recorded streams) valid forever.
+#[test]
+fn slow_stream_is_rng_neutral() {
+    use phoenix::chaos::{generate_schedule, slow_storms, Step, StepAction};
+    use phoenix::sim::Fault;
+    let mut storms_seen = 0usize;
+    for seed in [1u64, 7, 21, 34, 43] {
+        let cfg = ChaosConfig::small_slow();
+        let (_world, cluster) =
+            phoenix::kernel::boot_cluster(cfg.topology(), cfg.params.clone(), seed);
+        let with_slow = generate_schedule(seed, &cfg, &cluster);
+        let mut base = cfg.clone();
+        base.slow_steps = false;
+        let without = generate_schedule(seed, &base, &cluster);
+        let filtered: Vec<Step> = with_slow
+            .iter()
+            .copied()
+            .filter(|s| {
+                !matches!(
+                    s.action,
+                    StepAction::Fault(Fault::SlowNode { .. } | Fault::SlowClear(_))
+                )
+            })
+            .collect();
+        assert_eq!(
+            filtered, without,
+            "seed {seed}: slow stream bled into the base schedule"
+        );
+        storms_seen += slow_storms(&with_slow);
+    }
+    assert!(storms_seen >= 5, "scan seeds no longer draw slow storms");
+}
