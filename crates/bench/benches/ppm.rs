@@ -32,7 +32,7 @@ fn launch(n: u32, tree: bool) -> SimTime {
             .collect(),
     };
     for &a in &agents {
-        w.inject(a, KernelMsg::Boot(Box::new(dir.clone())));
+        w.inject(a, KernelMsg::Boot(dir.clone().into()));
     }
     w.run_for(SimDuration::from_millis(5));
 

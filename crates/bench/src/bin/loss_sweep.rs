@@ -12,7 +12,9 @@
 //!   takeovers at every swept rate (seq-dedup + K-of-N suspicion +
 //!   probe-freshness aborts absorb random loss);
 //! * **retry / dedup counters** — `rpc.retries`, `net.loss.dropped`,
-//!   `net.dup.delivered` and `gsd.dedup.dropped` per fault-free run.
+//!   `net.dup.scheduled`/`net.dup.delivered` (delivered is counted at
+//!   dispatch, so delivered ≤ scheduled is asserted per rate) and
+//!   `gsd.dedup.dropped` per fault-free run.
 //!
 //! Results go to `results/BENCH_loss.json` (section `loss_curve`); the
 //! exit status is non-zero if any spurious takeover fired, which lets
@@ -97,6 +99,7 @@ struct FaultFreeStats {
     spurious_takeovers: u64,
     rpc_retries: u64,
     loss_dropped: u64,
+    dup_scheduled: u64,
     dup_delivered: u64,
     dedup_dropped: u64,
 }
@@ -110,6 +113,7 @@ fn fault_free(seed: u64, loss_permille: u16) -> FaultFreeStats {
             + reg.histogram("gsd.takeover").map(|h| h.count()).unwrap_or(0),
         rpc_retries: reg.counter("rpc.retries"),
         loss_dropped: reg.counter("net.loss.dropped"),
+        dup_scheduled: reg.counter("net.dup.scheduled"),
         dup_delivered: reg.counter("net.dup.delivered"),
         dedup_dropped: reg.counter("gsd.dedup.dropped"),
     })
@@ -178,6 +182,7 @@ fn main() {
         let mut spurious = 0u64;
         let mut retries = 0u64;
         let mut dropped = 0u64;
+        let mut dups_scheduled = 0u64;
         let mut dups = 0u64;
         let mut dedup = 0u64;
         for (job, out) in jobs.iter().zip(&outcome.results) {
@@ -196,6 +201,7 @@ fn main() {
                     spurious += s.spurious_takeovers;
                     retries += s.rpc_retries;
                     dropped += s.loss_dropped;
+                    dups_scheduled += s.dup_scheduled;
                     dups += s.dup_delivered;
                     dedup += s.dedup_dropped;
                 }
@@ -211,7 +217,7 @@ fn main() {
 
         println!(
             "  {:>4}‰: detect {:>8.1} ms (n={}, missed={}, node-diag={}) | \
-             spurious {} | retries {:>4}+{} | dropped {:>6} | dup {:>4} | \
+             spurious {} | retries {:>4}+{} | dropped {:>6} | dup {:>4}/{:<4} | \
              hb-dedup {:>4}",
             rate,
             detect_mean,
@@ -223,7 +229,16 @@ fn main() {
             detect_retries,
             dropped,
             dups,
+            dups_scheduled,
             dedup
+        );
+        // Pin the corrected accounting: `delivered` is now counted at
+        // dispatch, so it can never exceed what the lossy links scheduled
+        // (a dup whose destination died in flight is a drop, not a
+        // delivery).
+        assert!(
+            dups <= dups_scheduled,
+            "net.dup.delivered ({dups}) > net.dup.scheduled ({dups_scheduled}) at {rate}‰"
         );
         curve.push(
             Json::obj()
@@ -236,6 +251,7 @@ fn main() {
                 .set("rpc_retries", Json::Num(retries as f64))
                 .set("detect_rpc_retries", Json::Num(detect_retries as f64))
                 .set("net_loss_dropped", Json::Num(dropped as f64))
+                .set("net_dup_scheduled", Json::Num(dups_scheduled as f64))
                 .set("net_dup_delivered", Json::Num(dups as f64))
                 .set("gsd_dedup_dropped", Json::Num(dedup as f64)),
         );

@@ -376,11 +376,11 @@ impl Actor<KernelMsg> for BizRuntime {
                 _ => {}
             },
             KernelMsg::DbResp { entries, .. } => {
-                for e in entries {
+                for e in entries.iter() {
                     if let (BulletinKey::Resource(n), BulletinValue::Resource(u)) =
-                        (e.key, e.value)
+                        (&e.key, &e.value)
                     {
-                        self.usage.insert(n, u);
+                        self.usage.insert(*n, *u);
                     }
                 }
             }

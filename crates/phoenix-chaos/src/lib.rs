@@ -1528,7 +1528,7 @@ fn check_bulletin(
             {
                 answered = true;
                 complete_seen = complete;
-                for e in entries {
+                for e in entries.iter() {
                     if let BulletinKey::Resource(n) = e.key {
                         seen.push(n);
                     }

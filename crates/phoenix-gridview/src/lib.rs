@@ -293,7 +293,7 @@ impl Actor<KernelMsg> for GridView {
                         phoenix_telemetry::key(&[ctx.pid().0, req.0]),
                     );
                 }
-                self.ingest(ctx, entries, complete);
+                self.ingest(ctx, entries.unwrap_or_clone(), complete);
             }
             KernelMsg::CfgDirectory { directory, .. } => {
                 if let Some(m) = directory.partition(self.home_partition) {

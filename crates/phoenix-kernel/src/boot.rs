@@ -277,7 +277,7 @@ pub fn boot_onto(
     }
 
     // Deliver the directory to every service.
-    let boot = KernelMsg::Boot(Box::new(directory.clone()));
+    let boot = KernelMsg::Boot(directory.clone().into());
     world.inject(config, boot.clone());
     for m in &directory.partitions {
         for pid in [m.gsd, m.event, m.bulletin, m.checkpoint] {

@@ -196,7 +196,7 @@ impl DataBulletin {
                 p.client,
                 KernelMsg::DbResp {
                     req: p.client_req,
-                    entries: p.acc,
+                    entries: p.acc.into(),
                     complete,
                 },
             );
@@ -281,7 +281,7 @@ impl Actor<KernelMsg> for DataBulletin {
                         from,
                         KernelMsg::DbResp {
                             req,
-                            entries: self.local_matches(query),
+                            entries: self.local_matches(query).into(),
                             complete: false,
                         },
                     );
@@ -300,7 +300,7 @@ impl Actor<KernelMsg> for DataBulletin {
                         from,
                         KernelMsg::DbResp {
                             req,
-                            entries: acc,
+                            entries: acc.into(),
                             complete: true,
                         },
                     );
@@ -483,7 +483,7 @@ mod tests {
             nodes: vec![],
         };
         for &db in &dbs {
-            w.inject(db, KernelMsg::Boot(Box::new(dir.clone())));
+            w.inject(db, KernelMsg::Boot((dir.clone()).into()));
         }
         w.run_for(SimDuration::from_millis(5));
         (w, dbs)

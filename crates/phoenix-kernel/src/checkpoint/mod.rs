@@ -347,8 +347,8 @@ mod tests {
             ],
             nodes: vec![],
         };
-        w.inject(a, KernelMsg::Boot(Box::new(dir.clone())));
-        w.inject(b, KernelMsg::Boot(Box::new(dir)));
+        w.inject(a, KernelMsg::Boot((dir.clone()).into()));
+        w.inject(b, KernelMsg::Boot((dir).into()));
         w.run_for(SimDuration::from_millis(10));
 
         w.inject(

@@ -98,7 +98,7 @@ impl ConfigService {
     /// the current directory to WD/detector/PPM, and the directory update
     /// to the supervising GSD and every other PPM agent.
     fn wire_node(&self, ctx: &mut Ctx<'_, KernelMsg>, services: NodeServices) {
-        let boot = KernelMsg::Boot(Box::new(self.directory.clone()));
+        let boot = KernelMsg::Boot(self.directory.clone().into());
         ctx.send(services.wd, boot.clone());
         ctx.send(services.detector, boot.clone());
         ctx.send(services.ppm, boot);
@@ -211,7 +211,7 @@ impl Actor<KernelMsg> for ConfigService {
     fn on_message(&mut self, ctx: &mut Ctx<'_, KernelMsg>, from: Pid, msg: KernelMsg) {
         match msg {
             KernelMsg::Boot(dir) => {
-                self.directory = *dir;
+                self.directory = dir.unwrap_or_clone();
             }
             KernelMsg::CfgQueryTopology { req } => {
                 ctx.send(

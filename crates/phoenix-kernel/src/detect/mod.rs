@@ -316,7 +316,7 @@ mod tests {
             }],
             nodes: vec![],
         };
-        w.inject(det, KernelMsg::Boot(Box::new(dir)));
+        w.inject(det, KernelMsg::Boot((dir).into()));
         (w, det, bulletin, event)
     }
 

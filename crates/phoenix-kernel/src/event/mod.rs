@@ -343,8 +343,8 @@ mod tests {
             partitions: vec![member(0, 0, es0), member(1, 1, es1)],
             nodes: vec![],
         };
-        w.inject(es0, KernelMsg::Boot(Box::new(dir.clone())));
-        w.inject(es1, KernelMsg::Boot(Box::new(dir)));
+        w.inject(es0, KernelMsg::Boot((dir.clone()).into()));
+        w.inject(es1, KernelMsg::Boot((dir).into()));
         w.run_for(SimDuration::from_millis(5));
         (w, es0, es1)
     }

@@ -738,7 +738,7 @@ impl Gsd {
                 self.epoch += 1;
                 let msg = KernelMsg::MetaMembership {
                     epoch: self.epoch,
-                    members: self.members.clone(),
+                    members: self.members.clone().into(),
                 };
                 self.broadcast_meta(ctx, msg);
             } else {
@@ -991,7 +991,7 @@ impl Gsd {
                 old_gsd,
                 KernelMsg::MetaMembership {
                     epoch: self.epoch + 1,
-                    members: self.members.clone(),
+                    members: self.members.clone().into(),
                 },
             );
         }
@@ -2999,7 +2999,7 @@ impl Actor<KernelMsg> for Gsd {
                                 member.gsd,
                                 KernelMsg::MetaMembership {
                                     epoch: self.epoch,
-                                    members: self.members.clone(),
+                                    members: self.members.clone().into(),
                                 },
                             );
                         }
@@ -3018,7 +3018,7 @@ impl Actor<KernelMsg> for Gsd {
                                     member.gsd,
                                     KernelMsg::MetaMembership {
                                         epoch: self.epoch,
-                                        members: self.members.clone(),
+                                        members: self.members.clone().into(),
                                     },
                                 );
                                 return;
@@ -3032,7 +3032,7 @@ impl Actor<KernelMsg> for Gsd {
                     self.epoch += 1;
                     let msg = KernelMsg::MetaMembership {
                         epoch: self.epoch,
-                        members: self.members.clone(),
+                        members: self.members.clone().into(),
                     };
                     self.broadcast_meta(ctx, msg.clone());
                     // If a still-running instance was replaced (e.g. a
@@ -3104,7 +3104,7 @@ impl Actor<KernelMsg> for Gsd {
                         .iter()
                         .any(|m| m.partition == self.partition && m.gsd == ctx.pid());
                     self.epoch = epoch;
-                    self.members = members;
+                    self.members = members.unwrap_or_clone();
                     // Keep our own entry authoritative.
                     let local = self.local;
                     for m in &mut self.members {

@@ -308,7 +308,7 @@ mod tests {
                 .collect(),
         };
         for &a in &agents {
-            w.inject(a, KernelMsg::Boot(Box::new(dir.clone())));
+            w.inject(a, KernelMsg::Boot((dir.clone()).into()));
         }
         w.run_for(SimDuration::from_millis(5));
         (w, agents, det)

@@ -13,7 +13,9 @@ pub mod ids;
 pub mod job;
 pub mod msg;
 pub mod security;
+pub mod shared;
 pub mod topology;
+pub mod view;
 pub mod wire;
 
 pub use bulletin::{AppState, AppStatus, BulletinEntry, BulletinKey, BulletinQuery, BulletinValue};
@@ -23,5 +25,7 @@ pub use ids::{JobId, PartitionId, RequestId, ServiceKind, UserId};
 pub use job::{JobSpec, JobState, TaskSpec};
 pub use msg::{KernelMsg, MemberInfo, NodeOp, NodeServices, QueueRow, ServiceDirectory};
 pub use security::{Action, AuthToken, Role};
+pub use shared::Shared;
 pub use topology::{ClusterTopology, PartitionSpec};
+pub use view::KernelMsgView;
 pub use wire::{encoded_size, Wire, WireVariants};

@@ -12,6 +12,7 @@ use crate::event::{ConsumerReg, Event, EventType};
 use crate::ids::{JobId, PartitionId, RequestId, ServiceKind, UserId};
 use crate::job::{JobSpec, JobState, TaskSpec};
 use crate::security::{Action, AuthToken};
+use crate::shared::Shared;
 use crate::wire::encoded_size;
 use crate::topology::ClusterTopology;
 use phoenix_sim::{Diagnosis, Message, NicId, NodeId, Pid, ResourceUsage};
@@ -86,7 +87,10 @@ pub enum KernelMsg {
     // ---- boot / wiring -------------------------------------------------
     /// Initial wiring: the full service directory, sent to every service
     /// by the boot driver (the paper's "system construction tool").
-    Boot(Box<ServiceDirectory>),
+    /// `Shared`: one directory is fanned out to every kernel process at
+    /// boot, so each recipient's copy is a refcount bump, and the encoded
+    /// size is computed once for the whole broadcast.
+    Boot(Shared<ServiceDirectory>),
 
     // ---- group service: WD heartbeats and probing ("hb"/"probe") -------
     /// Watch-daemon heartbeat, sent over every NIC each interval.
@@ -118,10 +122,11 @@ pub enum KernelMsg {
     },
     /// A (re)started GSD announces itself to the meta-group leader.
     MetaJoin { member: MemberInfo },
-    /// Leader broadcast of the authoritative membership.
+    /// Leader broadcast of the authoritative membership. The member list
+    /// is `Shared`: one epoch's list goes to every meta-group peer.
     MetaMembership {
         epoch: u64,
-        members: Vec<MemberInfo>,
+        members: Shared<Vec<MemberInfo>>,
     },
     /// A GSD announces a peer's failure to the whole meta-group.
     MetaMemberDown {
@@ -264,7 +269,7 @@ pub enum KernelMsg {
     /// partition can't be obtained").
     DbResp {
         req: RequestId,
-        entries: Vec<BulletinEntry>,
+        entries: Shared<Vec<BulletinEntry>>,
         complete: bool,
     },
     /// Federation-internal fan-out of a query.
@@ -513,6 +518,9 @@ impl KernelMsg {
 
 impl Message for KernelMsg {
     fn wire_size(&self) -> usize {
+        // O(1) for the fixed-shape heartbeat/probe/ping family and for
+        // `Shared` broadcast payloads (memoized); only irregular owned
+        // shapes pay a tree walk. See `Wire::fixed_size`.
         encoded_size(self)
     }
 
@@ -547,12 +555,12 @@ mod tests {
         };
         let small = KernelMsg::DbResp {
             req: RequestId(1),
-            entries: vec![entry.clone()],
+            entries: vec![entry.clone()].into(),
             complete: true,
         };
         let big = KernelMsg::DbResp {
             req: RequestId(1),
-            entries: vec![entry; 100],
+            entries: vec![entry; 100].into(),
             complete: true,
         };
         assert!(big.wire_size() > small.wire_size() * 50);

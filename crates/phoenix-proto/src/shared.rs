@@ -1,0 +1,153 @@
+//! Reference-counted wire payloads for cheap fan-out.
+//!
+//! Broadcast-heavy messages carry their bulk behind [`Shared`]: an `Arc`
+//! whose clone is a pointer bump, so `do_send` duplication and
+//! multi-recipient fan-out (boot directory pushes, membership epochs,
+//! bulletin result pages) never deep-copy the payload. The wrapper is
+//! wire-transparent — it encodes exactly the bytes its payload would, so
+//! swapping `Box<T>`/`Vec<T>` for `Shared<T>` in a message is invisible on
+//! the wire — and it memoizes one sizing walk per value, so repeated
+//! `wire_size()` calls on the same broadcast payload are O(1) after the
+//! first (see [`crate::wire::Wire::fixed_size`]).
+
+use crate::wire::{Reader, Sink, Wire, WireError};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
+/// Immutable shared payload: `Arc` fan-out plus a memoized encoded size.
+pub struct Shared<T> {
+    inner: Arc<Inner<T>>,
+}
+
+struct Inner<T> {
+    value: T,
+    /// Encoded size of `value`, computed on first demand. Safe to memoize
+    /// because the payload is immutable once wrapped.
+    size: OnceLock<usize>,
+}
+
+impl<T> Shared<T> {
+    pub fn new(value: T) -> Self {
+        Shared {
+            inner: Arc::new(Inner {
+                value,
+                size: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// The wrapped value. `Deref` also works; this reads better in matches.
+    pub fn get_ref(&self) -> &T {
+        &self.inner.value
+    }
+
+    /// Take the value out of the wrapper: a move when this is the only
+    /// reference (the common case for a freshly decoded message), a clone
+    /// only when the payload is genuinely still shared.
+    pub fn unwrap_or_clone(self) -> T
+    where
+        T: Clone,
+    {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.value,
+            Err(arc) => arc.value.clone(),
+        }
+    }
+}
+
+impl<T> From<T> for Shared<T> {
+    fn from(value: T) -> Self {
+        Shared::new(value)
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        // The whole point: a fan-out clone is a refcount bump.
+        Shared {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Deref for Shared<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner.value
+    }
+}
+
+impl<T: PartialEq> PartialEq for Shared<T> {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner.value == other.inner.value
+    }
+}
+
+impl<T: Eq> Eq for Shared<T> {}
+
+impl<T: fmt::Debug> fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.value.fmt(f)
+    }
+}
+
+impl<T: Default> Default for Shared<T> {
+    fn default() -> Self {
+        Shared::new(T::default())
+    }
+}
+
+impl<T: Wire> Wire for Shared<T> {
+    fn put<S: Sink>(&self, sink: &mut S) {
+        self.inner.value.put(sink)
+    }
+
+    fn get(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Shared::new(T::get(reader)?))
+    }
+
+    fn fixed_size(&self) -> Option<usize> {
+        // One walk per wrapped value, ever: every later `encoded_size` /
+        // `encode` of any clone of this payload is a load.
+        Some(
+            *self
+                .inner
+                .size
+                .get_or_init(|| crate::wire::encoded_size(&self.inner.value)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode, encode, encoded_size};
+
+    #[test]
+    fn shared_is_wire_transparent() {
+        let plain: Vec<u64> = vec![3, 1, 4, 1, 5];
+        let shared = Shared::new(plain.clone());
+        assert_eq!(encode(&shared), encode(&plain));
+        assert_eq!(encoded_size(&shared), encoded_size(&plain));
+        let back: Shared<Vec<u64>> = decode(&encode(&plain)).expect("decode");
+        assert_eq!(back, shared);
+    }
+
+    #[test]
+    fn shared_memoizes_size_across_clones() {
+        let shared = Shared::new(vec![String::from("alpha"), String::from("beta")]);
+        let first = shared.fixed_size().expect("memoized");
+        let clone = shared.clone();
+        assert_eq!(clone.fixed_size(), Some(first));
+        assert_eq!(first, encoded_size(&*shared));
+    }
+
+    #[test]
+    fn shared_eq_compares_values_across_allocations() {
+        let a = Shared::new(vec![1u32, 2, 3]);
+        let b = Shared::new(vec![1u32, 2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, Shared::new(vec![9u32]));
+    }
+}

@@ -9,10 +9,16 @@
 //! byte counter the crate used before the workspace went offline-only,
 //! producing byte-for-byte identical sizes.
 //!
-//! [`encoded_size`] counts without allocating; [`Wire::put`] into a
-//! `Vec<u8>` produces real bytes and [`Wire::get`] decodes them back, so
-//! checkpoint replication and federation payloads can round-trip through
-//! an actual encoding in tests.
+//! [`encoded_size`] counts without allocating — and returns in O(1) for
+//! any value whose size is knowable without a tree walk ([`Wire::fixed_size`]:
+//! every fixed-shape message, plus memoized [`crate::shared::Shared`]
+//! payloads). [`Wire::put`] into a `Vec<u8>` produces real bytes in a
+//! single pass (capacity pre-reserved from the same fast path) and
+//! [`Wire::get`] decodes them back, so checkpoint replication and
+//! federation payloads can round-trip through an actual encoding in tests.
+//! Decoding is strictly canonical: `bool` and `Option` flag bytes other
+//! than 0/1 are rejected, so decode∘encode is the identity on valid bytes
+//! and every decoded value re-encodes to the exact input buffer.
 //!
 //! Every [`Wire`] impl in the workspace lives here (the trait is local, so
 //! impls for `phoenix_sim` types are allowed), written with the
@@ -22,16 +28,30 @@ use phoenix_sim::{Diagnosis, NicId, NodeId, Pid, ResourceUsage};
 use std::collections::BTreeMap;
 
 /// Compute the compact binary encoded size of any [`Wire`] value without
-/// producing bytes.
+/// producing bytes. O(1) whenever the value reports a [`Wire::fixed_size`];
+/// only irregular shapes pay the `Counter` walk.
 pub fn encoded_size<T: Wire + ?Sized>(value: &T) -> usize {
+    if let Some(n) = value.fixed_size() {
+        debug_assert_eq!(n, {
+            let mut c = Counter(0);
+            value.put(&mut c);
+            c.0
+        }, "fixed_size disagrees with the encoder");
+        return n;
+    }
     let mut c = Counter(0);
     value.put(&mut c);
     c.0
 }
 
-/// Encode a value to bytes.
+/// Encode a value to bytes in a single pass over the value: the writer is
+/// pre-reserved from the O(1) [`Wire::fixed_size`] fast path when one is
+/// available, never from a second tree walk.
 pub fn encode<T: Wire + ?Sized>(value: &T) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(encoded_size(value));
+    let mut buf = match value.fixed_size() {
+        Some(n) => Vec::with_capacity(n),
+        None => Vec::new(),
+    };
     value.put(&mut buf);
     buf
 }
@@ -124,6 +144,18 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Read a length-prefixed byte run without copying: the returned slice
+    /// borrows the encode buffer for the reader's lifetime.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.take_len()?;
+        self.take(len)
+    }
+
+    /// Read a length-prefixed UTF-8 string without allocating.
+    pub fn get_str(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| WireError::BadUtf8)
+    }
+
     /// Read an 8-byte length prefix, bounds-checked against the buffer.
     fn take_len(&mut self) -> Result<usize, WireError> {
         let n = u64::get(self)?;
@@ -147,6 +179,16 @@ pub trait Wire {
         let _ = reader;
         Err(WireError::Unsupported)
     }
+
+    /// The encoded size of *this value* when it is known in O(1), without
+    /// walking the value tree: `Some(n)` must equal what `put` would emit.
+    /// Fixed-shape types return a constant, composites sum their fields
+    /// (bailing to `None` at the first irregular field), and
+    /// [`crate::shared::Shared`] memoizes one walk for arbitrary payloads.
+    /// The default `None` falls back to the [`Counter`] walk.
+    fn fixed_size(&self) -> Option<usize> {
+        None
+    }
 }
 
 // --- primitives -----------------------------------------------------------
@@ -161,6 +203,9 @@ macro_rules! wire_prim {
                 let bytes = reader.take(std::mem::size_of::<$t>())?;
                 Ok(<$t>::from_le_bytes(bytes.try_into().expect("exact take")))
             }
+            fn fixed_size(&self) -> Option<usize> {
+                Some(std::mem::size_of::<$t>())
+            }
         }
     )+};
 }
@@ -172,7 +217,17 @@ impl Wire for bool {
         sink.put_bytes(&[*self as u8]);
     }
     fn get(reader: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(u8::get(reader)? != 0)
+        // Strictly canonical: only the two bytes the encoder can produce
+        // decode. Anything else would re-encode to different bytes, which
+        // breaks the decode∘encode identity the fuzz suite pins.
+        match u8::get(reader)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::BadTag(other as u32)),
+        }
+    }
+    fn fixed_size(&self) -> Option<usize> {
+        Some(1)
     }
 }
 
@@ -184,12 +239,18 @@ impl Wire for char {
         let v = u32::get(reader)?;
         char::from_u32(v).ok_or(WireError::BadTag(v))
     }
+    fn fixed_size(&self) -> Option<usize> {
+        Some(4)
+    }
 }
 
 impl Wire for str {
     fn put<S: Sink>(&self, sink: &mut S) {
         (self.len() as u64).put(sink);
         sink.put_bytes(self.as_bytes());
+    }
+    fn fixed_size(&self) -> Option<usize> {
+        Some(8 + self.len())
     }
 }
 
@@ -198,9 +259,11 @@ impl Wire for String {
         self.as_str().put(sink);
     }
     fn get(reader: &mut Reader<'_>) -> Result<Self, WireError> {
-        let len = reader.take_len()?;
-        let bytes = reader.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+        // Validate borrowed, allocate once at the end.
+        Ok(reader.get_str()?.to_owned())
+    }
+    fn fixed_size(&self) -> Option<usize> {
+        Some(8 + self.len())
     }
 }
 
@@ -252,9 +315,17 @@ impl<T: Wire> Wire for Option<T> {
         }
     }
     fn get(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        // Flag bytes other than 0/1 are non-canonical (see `bool`).
         match u8::get(reader)? {
             0 => Ok(None),
-            _ => Ok(Some(T::get(reader)?)),
+            1 => Ok(Some(T::get(reader)?)),
+            other => Err(WireError::BadTag(other as u32)),
+        }
+    }
+    fn fixed_size(&self) -> Option<usize> {
+        match self {
+            None => Some(1),
+            Some(v) => Some(1 + v.fixed_size()?),
         }
     }
 }
@@ -265,6 +336,9 @@ impl<T: Wire> Wire for Box<T> {
     }
     fn get(reader: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Box::new(T::get(reader)?))
+    }
+    fn fixed_size(&self) -> Option<usize> {
+        (**self).fixed_size()
     }
 }
 
@@ -277,6 +351,9 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
         let a = A::get(reader)?;
         let b = B::get(reader)?;
         Ok((a, b))
+    }
+    fn fixed_size(&self) -> Option<usize> {
+        Some(self.0.fixed_size()? + self.1.fixed_size()?)
     }
 }
 
@@ -291,6 +368,9 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
         let b = B::get(reader)?;
         let c = C::get(reader)?;
         Ok((a, b, c))
+    }
+    fn fixed_size(&self) -> Option<usize> {
+        Some(self.0.fixed_size()? + self.1.fixed_size()? + self.2.fixed_size()?)
     }
 }
 
@@ -308,6 +388,13 @@ macro_rules! wire_struct {
             fn get(reader: &mut $crate::wire::Reader<'_>) -> Result<Self, $crate::wire::WireError> {
                 Ok($ty { $( $field: $crate::wire::Wire::get(reader)?, )+ })
             }
+            fn fixed_size(&self) -> Option<usize> {
+                // Sums field sizes, bailing to `None` (Counter walk) at the
+                // first irregular field. All-primitive structs const-fold.
+                let mut n = 0usize;
+                $( n += $crate::wire::Wire::fixed_size(&self.$field)?; )+
+                Some(n)
+            }
         }
     };
 }
@@ -323,6 +410,9 @@ macro_rules! wire_newtype {
             }
             fn get(reader: &mut $crate::wire::Reader<'_>) -> Result<Self, $crate::wire::WireError> {
                 Ok($ty($crate::wire::Wire::get(reader)?))
+            }
+            fn fixed_size(&self) -> Option<usize> {
+                $crate::wire::Wire::fixed_size(&self.0)
             }
         }
     };
@@ -372,6 +462,23 @@ macro_rules! wire_enum {
                     other => Err($crate::wire::WireError::BadTag(other)),
                 }
             }
+            fn fixed_size(&self) -> Option<usize> {
+                match self {
+                    $(
+                        $ty::$variant $( ( $($tf),+ ) )? $( { $($sf),+ } )? => {
+                            // 4-byte tag plus each field's O(1) size; any
+                            // irregular field bails the whole variant to the
+                            // Counter walk. Fixed-shape variants (heartbeats,
+                            // probes, pings) const-fold to a literal.
+                            #[allow(unused_mut)]
+                            let mut n = 4usize;
+                            $( $( n += $crate::wire::Wire::fixed_size($tf)?; )+ )?
+                            $( $( n += $crate::wire::Wire::fixed_size($sf)?; )+ )?
+                            Some(n)
+                        }
+                    )+
+                }
+            }
         }
         impl $crate::wire::WireVariants for $ty {
             const VARIANT_COUNT: usize = [$($idx as u32),+].len();
@@ -398,6 +505,9 @@ impl Wire for NodeId {
     fn get(reader: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(NodeId(u32::get(reader)?))
     }
+    fn fixed_size(&self) -> Option<usize> {
+        Some(std::mem::size_of::<u32>())
+    }
 }
 
 impl Wire for NicId {
@@ -407,6 +517,9 @@ impl Wire for NicId {
     fn get(reader: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(NicId(u8::get(reader)?))
     }
+    fn fixed_size(&self) -> Option<usize> {
+        Some(std::mem::size_of::<u8>())
+    }
 }
 
 impl Wire for Pid {
@@ -415,6 +528,9 @@ impl Wire for Pid {
     }
     fn get(reader: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Pid(u64::get(reader)?))
+    }
+    fn fixed_size(&self) -> Option<usize> {
+        Some(std::mem::size_of::<u64>())
     }
 }
 

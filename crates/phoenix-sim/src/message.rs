@@ -7,8 +7,16 @@
 //! bulletin queries).
 
 /// Payload type routed by the simulated network.
+///
+/// `Clone` is the fan-out/duplication path: a duplicating link and every
+/// multi-recipient broadcast clone the payload, so implementations should
+/// keep bulk data behind cheap-to-clone handles (the kernel message type
+/// routes broadcast payloads through `Arc`-backed wrappers).
 pub trait Message: Clone + std::fmt::Debug + 'static {
     /// Approximate encoded size in bytes, charged to network counters.
+    /// Called once per send on the hot path, so it should be O(1) for the
+    /// high-rate shapes — derived from a fixed-size fast path or memoized,
+    /// never a per-call walk over bulk payload data.
     fn wire_size(&self) -> usize;
 
     /// Coarse message-class label used to bucket traffic statistics.

@@ -224,7 +224,11 @@ impl Ord for EntryRef {
 /// sits in `overflow`.
 pub struct WheelScheduler<T> {
     cursor: u64,
-    ready: BinaryHeap<EntryRef>,
+    /// Entries at or before the cursor, sorted descending by `(at, seq)`
+    /// (so the earliest event is at the back, popped in O(1)). Refilled in
+    /// batch by `advance` (one sort), trickle-fed by binary insertion when
+    /// a push lands at or before the cursor.
+    ready: Vec<EntryRef>,
     slots: Vec<Vec<EntryRef>>,
     occ: [u64; LEVELS],
     overflow: BinaryHeap<EntryRef>,
@@ -247,7 +251,7 @@ impl<T> WheelScheduler<T> {
     pub fn new() -> Self {
         WheelScheduler {
             cursor: 0,
-            ready: BinaryHeap::new(),
+            ready: Vec::new(),
             slots: (0..LEVELS as u64 * SLOTS).map(|_| Vec::new()).collect(),
             occ: [0; LEVELS],
             overflow: BinaryHeap::new(),
@@ -257,29 +261,53 @@ impl<T> WheelScheduler<T> {
     }
 
     /// Insert an entry whose level-0 slot is strictly after the cursor:
-    /// pick the finest level where it is within one revolution, else
-    /// overflow.
+    /// pick the finest level where it is within one revolution (a sliding
+    /// 63-slot window ahead of the cursor), else overflow. The highest bit
+    /// where the entry's slot differs from the cursor bounds the level to
+    /// two candidates, so placement is O(1) instead of a per-level scan:
+    /// the sliding window at level L-1 may still hold an entry whose
+    /// aligned window first matches at L (it straddles an alignment
+    /// boundary), never one finer than that.
     fn insert(&mut self, e: EntryRef) {
-        debug_assert!(slot0(e.at) > self.cursor);
-        for lvl in 0..LEVELS {
-            let shift = SLOT_BITS * lvl as u32;
-            let ev_slot = slot0(e.at) >> shift;
-            let cur_slot = self.cursor >> shift;
-            if ev_slot - cur_slot < SLOTS {
-                let idx = (ev_slot & (SLOTS - 1)) as usize;
-                self.slots[lvl * SLOTS as usize + idx].push(e);
-                self.occ[lvl] |= 1 << idx;
-                return;
+        let s0 = slot0(e.at);
+        debug_assert!(s0 > self.cursor);
+        let aligned = (63 - (s0 ^ self.cursor).leading_zeros()) / SLOT_BITS;
+        let mut lvl = (aligned as usize).min(LEVELS);
+        if lvl > 0 {
+            let shift = SLOT_BITS * (lvl as u32 - 1);
+            if (s0 >> shift) - (self.cursor >> shift) < SLOTS {
+                lvl -= 1;
             }
         }
-        self.overflow.push(e);
+        if lvl < LEVELS {
+            let shift = SLOT_BITS * lvl as u32;
+            let idx = ((s0 >> shift) & (SLOTS - 1)) as usize;
+            self.slots[lvl * SLOTS as usize + idx].push(e);
+            self.occ[lvl] |= 1 << idx;
+        } else {
+            self.overflow.push(e);
+        }
     }
 
     /// Re-home an entry after a cursor move: current slot → ready,
-    /// future slot → wheel/overflow.
+    /// future slot → wheel/overflow. `ready` additions are appended
+    /// unsorted; callers outside `advance` must restore the sort order
+    /// (see `place_sorted`).
     fn place(&mut self, e: EntryRef) {
         if slot0(e.at) <= self.cursor {
             self.ready.push(e);
+        } else {
+            self.insert(e);
+        }
+    }
+
+    /// `place` for the public push path: keeps `ready` sorted by inserting
+    /// at the right position (EntryRef's `Ord` is earliest-last, matching
+    /// the descending sort).
+    fn place_sorted(&mut self, e: EntryRef) {
+        if slot0(e.at) <= self.cursor {
+            let pos = self.ready.binary_search(&e).unwrap_or_else(|p| p);
+            self.ready.insert(pos, e);
         } else {
             self.insert(e);
         }
@@ -330,7 +358,9 @@ impl<T> WheelScheduler<T> {
         }
 
         // Cascade every slot whose span now contains the cursor, coarsest
-        // first so entries settle at their finest level in one pass.
+        // first so entries settle at their finest level in one pass. The
+        // slot's buffer is swapped out for the drain and swapped back after
+        // so its capacity is recycled instead of freed every revolution.
         for lvl in (1..LEVELS).rev() {
             let shift = SLOT_BITS * lvl as u32;
             let idx = ((self.cursor >> shift) & (SLOTS - 1)) as usize;
@@ -338,19 +368,25 @@ impl<T> WheelScheduler<T> {
                 continue;
             }
             self.occ[lvl] &= !(1 << idx);
-            let entries = std::mem::take(&mut self.slots[lvl * SLOTS as usize + idx]);
-            for e in entries {
+            let mut entries = std::mem::take(&mut self.slots[lvl * SLOTS as usize + idx]);
+            for e in entries.drain(..) {
                 self.place(e);
             }
+            // A drained entry never re-enters the slot it came from (it
+            // always settles strictly finer or in `ready`), so the slot is
+            // still the empty placeholder — give it its buffer back.
+            std::mem::swap(&mut self.slots[lvl * SLOTS as usize + idx], &mut entries);
         }
         let idx0 = (self.cursor & (SLOTS - 1)) as usize;
         if self.occ[0] & (1 << idx0) != 0 {
             self.occ[0] &= !(1 << idx0);
-            let entries = std::mem::take(&mut self.slots[idx0]);
-            for e in entries {
-                self.ready.push(e);
-            }
+            let mut entries = std::mem::take(&mut self.slots[idx0]);
+            self.ready.append(&mut entries);
+            std::mem::swap(&mut self.slots[idx0], &mut entries);
         }
+        // One batch sort instead of per-entry heap sifts; `ready` was empty
+        // on entry, so everything in it arrived during this advance.
+        self.ready.sort_unstable();
     }
 
     fn fill_ready(&mut self) {
@@ -374,7 +410,7 @@ impl<T> Scheduler<T> for WheelScheduler<T> {
             seq,
             handle,
         };
-        self.place(e);
+        self.place_sorted(e);
     }
 
     fn pop(&mut self) -> Option<(SimTime, u64, T)> {
@@ -391,7 +427,7 @@ impl<T> Scheduler<T> for WheelScheduler<T> {
             return None;
         }
         self.fill_ready();
-        if self.ready.peek().unwrap().at > deadline.0 {
+        if self.ready.last().unwrap().at > deadline.0 {
             return None;
         }
         let e = self.ready.pop().unwrap();
@@ -403,7 +439,7 @@ impl<T> Scheduler<T> for WheelScheduler<T> {
         let mut consider = |at: u64| {
             best = Some(best.map_or(at, |b: u64| b.min(at)));
         };
-        if let Some(e) = self.ready.peek() {
+        for e in &self.ready {
             consider(e.at);
         }
         if let Some(e) = self.overflow.peek() {

@@ -120,6 +120,10 @@ enum SimEvent<M: Message> {
         msg: M,
         label: &'static str,
         bytes: usize,
+        /// True for the extra copy a duplicating link scheduled; counted
+        /// as `net.dup.delivered` only if it actually reaches a live
+        /// process (a dup whose target dies in flight is just a drop).
+        dup: bool,
     },
     Timer {
         id: TimerId,
@@ -285,6 +289,7 @@ impl<M: Message> World<M> {
                 msg,
                 label,
                 bytes,
+                dup: false,
             },
         );
     }
@@ -398,8 +403,12 @@ impl<M: Message> World<M> {
                 msg,
                 label,
                 bytes,
+                dup,
             } => {
                 if self.procs.contains_key(&to) {
+                    if dup {
+                        phoenix_telemetry::counter_add("net.dup.delivered", 1);
+                    }
                     self.metrics.on_deliver(label, bytes);
                     self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
                 } else {
@@ -615,7 +624,10 @@ impl<M: Message> World<M> {
                 if crossing && Network::roll(quality.dup_permille, &mut self.rng) {
                     let dup_latency =
                         self.network.latency(src, dst, &mut self.rng) + extra;
-                    phoenix_telemetry::counter_add("net.dup.delivered", 1);
+                    phoenix_telemetry::counter_add("net.dup.scheduled", 1);
+                    // `msg.clone()` here is the fan-out clone `Shared`
+                    // payloads make a refcount bump; delivery is counted
+                    // at dispatch, where we know the target survived.
                     self.push(
                         self.clock + dup_latency,
                         SimEvent::Deliver {
@@ -624,6 +636,7 @@ impl<M: Message> World<M> {
                             msg: msg.clone(),
                             label,
                             bytes,
+                            dup: true,
                         },
                     );
                 }
@@ -636,6 +649,7 @@ impl<M: Message> World<M> {
                         msg,
                         label,
                         bytes,
+                        dup: false,
                     },
                 );
             }

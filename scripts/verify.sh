@@ -329,4 +329,20 @@ else
     echo "(single-core runner: speedup gate skipped, determinism gate enforced)"
 fi
 
+echo "== perf gate: wheel events/sec >= 1.10x committed baseline =="
+# results/BENCH_events_baseline.json pins the wheel throughput of the last
+# PR that claimed a scheduler perf win; it only advances with such a PR, so
+# this gate is a regression floor, not a ratchet.
+base_eps=$(sed -n 's/.*"wheel_events_per_sec": \([0-9.]*\).*/\1/p' results/BENCH_events_baseline.json)
+fresh_eps=$(sed -n 's/.*"wheel_events_per_sec": \([0-9.]*\).*/\1/p' results/BENCH_events.json)
+[ -n "$base_eps" ] && [ -n "$fresh_eps" ] || {
+    echo "FAIL: wheel_events_per_sec missing from baseline or fresh results" >&2
+    exit 1
+}
+echo "wheel events/sec: fresh ${fresh_eps} vs baseline ${base_eps} (need >= 1.10x)"
+awk "BEGIN { exit !($fresh_eps >= 1.10 * $base_eps) }" || {
+    echo "FAIL: wheel events/sec ${fresh_eps} < 1.10 * baseline ${base_eps}" >&2
+    exit 1
+}
+
 echo "verify: OK"

@@ -291,7 +291,7 @@ fn kernel_msg_surface() -> Vec<phoenix::proto::KernelMsg> {
     let spec = JobSpec::simple(11, "alice", "hpc", 4);
 
     vec![
-        KernelMsg::Boot(Box::new(directory.clone())),
+        KernelMsg::Boot(directory.clone().into()),
         KernelMsg::WdHeartbeat { node: NodeId(3), nic: NicId(1), seq: 99 },
         KernelMsg::ProbeReq { req: RequestId(5) },
         KernelMsg::ProbeResp { req: RequestId(5) },
@@ -303,7 +303,7 @@ fn kernel_msg_surface() -> Vec<phoenix::proto::KernelMsg> {
             seq: 41,
         },
         KernelMsg::MetaJoin { member },
-        KernelMsg::MetaMembership { epoch: 18, members: vec![member, member] },
+        KernelMsg::MetaMembership { epoch: 18, members: vec![member, member].into() },
         KernelMsg::RegroupPing {
             from_partition: PartitionId(3),
             epoch: 7,
@@ -360,7 +360,7 @@ fn kernel_msg_surface() -> Vec<phoenix::proto::KernelMsg> {
         KernelMsg::DbQuery { req: RequestId(7), query: BulletinQuery::Node(NodeId(3)) },
         KernelMsg::DbResp {
             req: RequestId(7),
-            entries: vec![entry.clone()],
+            entries: vec![entry.clone()].into(),
             complete: false,
         },
         KernelMsg::DbFedQuery { req: RequestId(8), query: BulletinQuery::Apps },
@@ -540,6 +540,95 @@ fn kernel_msg_full_surface_round_trips() {
     }
 }
 
+/// Canonicality over the whole message surface: every byte string the
+/// encoder can produce decodes back, and re-encoding the decoded value
+/// reproduces the input *byte for byte*. Sits next to the VARIANT_COUNT
+/// pin above so a new variant cannot ship a non-canonical encoding.
+#[test]
+fn kernel_msg_decode_reencodes_byte_identical() {
+    use phoenix::proto::wire::{decode, encode};
+    use phoenix::proto::KernelMsg;
+    for msg in kernel_msg_surface() {
+        let bytes = encode(&msg);
+        let back: KernelMsg = decode(&bytes).expect("decode");
+        assert_eq!(
+            encode(&back),
+            bytes,
+            "decode∘encode is not byte-identity for {msg:?}"
+        );
+    }
+}
+
+/// The zero-copy view agrees with the owned decoder on every variant: hot
+/// shapes parse borrowed, everything else falls back to `Other`, and
+/// `to_owned` always reproduces what `decode` would.
+#[test]
+fn kernel_msg_view_agrees_with_decode() {
+    use phoenix::proto::wire::encode;
+    use phoenix::proto::KernelMsgView;
+    let mut hot = 0usize;
+    for msg in kernel_msg_surface() {
+        let bytes = encode(&msg);
+        let view = KernelMsgView::parse(&bytes).expect("view parse");
+        hot += view.is_hot() as usize;
+        assert_eq!(view.to_owned().expect("to_owned"), msg);
+    }
+    // The fixed-shape heartbeat/probe/ping family (9 variants) plus the
+    // surface's Text-payload EsFedForward exemplar take the borrowed
+    // path; its CkReplicate exemplar carries a non-Raw payload and
+    // legitimately falls back.
+    assert_eq!(hot, 10, "hot-view coverage drifted");
+}
+
+/// Strict canonical decode: flag bytes a canonical encoder can never emit
+/// (bool/Option > 1) are rejected with `BadTag`, not silently accepted.
+/// Exemplars live here (not only in the random fuzz above) so the rejected
+/// bytes stay pinned.
+#[test]
+fn kernel_msg_rejects_noncanonical_flag_bytes() {
+    use phoenix::proto::wire::{decode, encode, WireError};
+    use phoenix::proto::{KernelMsg, PartitionId, RequestId};
+
+    // RegroupAck's `frozen` bool is the 25th byte region: tag(4) +
+    // from_partition(8) + epoch(8) + round(8). Locate it by diffing the
+    // true/false encodings instead of hand-counting offsets.
+    let mk = |frozen| KernelMsg::RegroupAck {
+        from_partition: PartitionId(5),
+        epoch: 9,
+        round: 21,
+        frozen,
+        weight: 3,
+        witness: PartitionId(2),
+        witness_epoch: 5,
+    };
+    let t = encode(&mk(true));
+    let f = encode(&mk(false));
+    let flag_at = t
+        .iter()
+        .zip(&f)
+        .position(|(a, b)| a != b)
+        .expect("encodings differ only at the flag");
+    for bad in [2u8, 0x7F, 0xFF] {
+        let mut bytes = t.clone();
+        bytes[flag_at] = bad;
+        match decode::<KernelMsg>(&bytes) {
+            Err(WireError::BadTag(v)) => assert_eq!(v, bad as u32),
+            other => panic!("bool flag {bad:#x} must be rejected, got {other:?}"),
+        }
+    }
+
+    // Option flag: SecLoginResp { token: None } encodes the flag last.
+    let none = encode(&KernelMsg::SecLoginResp { req: RequestId(15), token: None });
+    for bad in [2u8, 0xEE] {
+        let mut bytes = none.clone();
+        *bytes.last_mut().expect("non-empty") = bad;
+        match decode::<KernelMsg>(&bytes) {
+            Err(WireError::BadTag(v)) => assert_eq!(v, bad as u32),
+            other => panic!("Option flag {bad:#x} must be rejected, got {other:?}"),
+        }
+    }
+}
+
 /// Decoding must be total: random byte mutations, truncations and garbage
 /// may fail, but must never panic and never round-trip to different bytes.
 #[test]
@@ -566,10 +655,13 @@ fn kernel_msg_decode_survives_random_mutations() {
             }
             match decode::<KernelMsg>(&bytes) {
                 // A mutation may land in a don't-care position (e.g. a
-                // float payload, or a lenient bool byte) and still parse;
-                // whatever parses must itself round-trip losslessly.
+                // float payload) and still parse; decode is strictly
+                // canonical (bool/Option flags > 1 are rejected), so
+                // whatever parses must round-trip to the same bytes.
                 Ok(back) => {
-                    let re: KernelMsg = decode(&encode(&back)).expect("re-decode");
+                    let re_bytes = encode(&back);
+                    assert_eq!(re_bytes, bytes, "accepted bytes must be canonical");
+                    let re: KernelMsg = decode(&re_bytes).expect("re-decode");
                     assert_eq!(re, back);
                 }
                 Err(_) => {}
